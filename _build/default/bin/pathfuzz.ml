@@ -1,0 +1,238 @@
+(** pathfuzz: command-line front end for the path-aware fuzzing library.
+
+    Subcommands:
+    - [subjects]           list the benchmark subjects;
+    - [fuzz]               run one fuzzing campaign on a subject;
+    - [profile]            Ball–Larus path-profile one input (§VII's
+                           profiling use of the encoding);
+    - [cfg]                print a function's CFG (optionally Graphviz)
+                           with path increments;
+    - [tables]             regenerate every table and figure of the paper. *)
+
+open Cmdliner
+
+let subject_arg =
+  let doc = "Benchmark subject name (see `pathfuzz subjects`)." in
+  Arg.(value & opt string "motivating" & info [ "s"; "subject" ] ~docv:"NAME" ~doc)
+
+let lookup_subject name =
+  if name = "motivating" then Subjects.Motivating.subject
+  else
+    match Subjects.Registry.find name with
+    | Some s -> s
+    | None ->
+        Fmt.epr "unknown subject %s; try `pathfuzz subjects`@." name;
+        exit 2
+
+(* --- subjects --- *)
+
+let subjects_cmd =
+  let run () =
+    Fmt.pr "%-12s %-9s %-6s %s@." "NAME" "FUNCTIONS" "BUGS" "DESCRIPTION";
+    List.iter
+      (fun (s : Subjects.Subject.t) ->
+        Fmt.pr "%-12s %-9d %-6d %s@." s.name
+          (Subjects.Subject.num_functions s)
+          (List.length s.bugs) s.description)
+      (Subjects.Registry.all @ [ Subjects.Motivating.subject ])
+  in
+  Cmd.v (Cmd.info "subjects" ~doc:"List benchmark subjects")
+    Term.(const run $ const ())
+
+(* --- fuzz --- *)
+
+let fuzzer_of_name rounds = function
+  | "path" -> Fuzz.Strategy.path
+  | "pcguard" -> Fuzz.Strategy.pcguard
+  | "cull" -> Fuzz.Strategy.cull ~rounds ()
+  | "cull_r" -> Fuzz.Strategy.cull_r ~rounds ()
+  | "cull_p" -> Fuzz.Strategy.cull_p ~rounds ()
+  | "opp" -> Fuzz.Strategy.opp
+  | "pathafl" -> Fuzz.Strategy.pathafl
+  | "afl" -> Fuzz.Strategy.afl
+  | "block" -> Fuzz.Strategy.block
+  | "ngram2" -> Fuzz.Strategy.ngram 2
+  | "ngram4" -> Fuzz.Strategy.ngram 4
+  | other ->
+      Fmt.epr "unknown fuzzer %s@." other;
+      exit 2
+
+let fuzz_cmd =
+  let fuzzer =
+    Arg.(
+      value
+      & opt string "path"
+      & info [ "f"; "fuzzer" ] ~docv:"FUZZER"
+          ~doc:
+            "One of path, pcguard, cull, cull_r, cull_p, opp, pathafl, afl, \
+             block, ngram2, ngram4.")
+  in
+  let budget =
+    Arg.(value & opt int 24_000 & info [ "b"; "budget" ] ~docv:"EXECS" ~doc:"Execution budget.")
+  in
+  let trial = Arg.(value & opt int 1 & info [ "t"; "trial" ] ~docv:"N" ~doc:"Trial seed.") in
+  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.") in
+  let run subject fuzzer budget trial rounds =
+    let s = lookup_subject subject in
+    let prog = Subjects.Subject.program s in
+    let fz = fuzzer_of_name rounds fuzzer in
+    Fmt.pr "fuzzing %s with %s for %d execs (trial %d)...@." s.name fz.name budget trial;
+    let r = Fuzz.Strategy.run ~budget ~trial_seed:trial fz prog ~seeds:s.seeds in
+    Fmt.pr "executions:      %d@." r.execs;
+    Fmt.pr "queue size:      %d@." r.queue_size;
+    Fmt.pr "total crashes:   %d (hangs: %d)@." r.triage.total_crashes
+      r.triage.total_hangs;
+    Fmt.pr "unique crashes:  %d (stack-hash top-5)@."
+      (Fuzz.Triage.unique_crashes r.triage);
+    Fmt.pr "unique bugs:     %d / %d known@."
+      (Fuzz.Triage.unique_bugs r.triage)
+      (List.length s.bugs);
+    List.iter
+      (fun id ->
+        let witness = Option.value ~default:"" (Fuzz.Triage.bug_witness r.triage id) in
+        let summary =
+          match id with
+          | Vm.Crash.Id n -> begin
+              match
+                List.find_opt (fun (b : Subjects.Subject.bug) -> b.id = n) s.bugs
+              with
+              | Some b -> b.summary
+              | None -> "?"
+            end
+          | Vm.Crash.At_site _ -> "organic crash"
+        in
+        Fmt.pr "  %a: %s (witness %d bytes)@." Vm.Crash.pp_identity id summary
+          (String.length witness))
+      (Fuzz.Triage.bugs r.triage)
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzing campaign")
+    Term.(const run $ subject_arg $ fuzzer $ budget $ trial $ rounds)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let input =
+    Arg.(value & opt string "" & info [ "i"; "input" ] ~docv:"STRING" ~doc:"Input to profile.")
+  in
+  let top = Arg.(value & opt int 5 & info [ "top" ] ~doc:"Paths to show per function.") in
+  let run subject input top =
+    let s = lookup_subject subject in
+    let prog = Subjects.Subject.program s in
+    let plans = Pathcov.Ball_larus.of_program prog in
+    (* count committed paths per function: a classic path profile *)
+    let counts : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    let regs = ref [] in
+    let bump fid pid =
+      let k = (fid, pid) in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    in
+    let hooks =
+      {
+        Vm.Interp.no_hooks with
+        h_call = (fun _ -> regs := 0 :: !regs);
+        h_edge =
+          (fun fid src dst ->
+            match Pathcov.Ball_larus.on_edge plans.plans.(fid) ~src ~dst with
+            | None -> ()
+            | Some (Pathcov.Ball_larus.Add k) -> begin
+                match !regs with [] -> () | r :: rest -> regs := (r + k) :: rest
+              end
+            | Some (Pathcov.Ball_larus.Commit_back { add; reset }) -> begin
+                match !regs with
+                | [] -> ()
+                | r :: rest ->
+                    bump fid (r + add);
+                    regs := reset :: rest
+              end);
+        h_ret =
+          (fun fid block ->
+            match !regs with
+            | [] -> ()
+            | r :: rest ->
+                bump fid (r + Pathcov.Ball_larus.on_ret plans.plans.(fid) ~block);
+                regs := rest);
+      }
+    in
+    let out = Vm.Interp.run ~hooks prog ~input in
+    (match out.status with
+    | Vm.Interp.Finished v -> Fmt.pr "finished, main returned %a@." Fmt.(option int) v
+    | Vm.Interp.Crashed c -> Fmt.pr "crashed: %a@." Vm.Crash.pp c
+    | Vm.Interp.Hung -> Fmt.pr "hung@.");
+    Array.iteri
+      (fun fid (f : Minic.Ir.func) ->
+        let here =
+          Hashtbl.fold
+            (fun (fid', pid) n acc -> if fid' = fid then (pid, n) :: acc else acc)
+            counts []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        if here <> [] then begin
+          Fmt.pr "@[<v 2>%s (%d acyclic paths):@," f.name
+            plans.plans.(fid).num_paths;
+          List.iteri
+            (fun i (pid, n) ->
+              if i < top then
+                Fmt.pr "path %3d x%-5d  %s@," pid n
+                  (String.concat "->"
+                     (List.map string_of_int
+                        (Pathcov.Ball_larus.regenerate plans.plans.(fid) pid))))
+            here;
+          Fmt.pr "@]@."
+        end)
+      prog.funcs
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Path-profile one input (Ball-Larus as a profiler)")
+    Term.(const run $ subject_arg $ input $ top)
+
+(* --- cfg --- *)
+
+let cfg_cmd =
+  let fname = Arg.(value & opt string "main" & info [ "fn" ] ~doc:"Function name.") in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz.") in
+  let run subject fname dot =
+    let s = lookup_subject subject in
+    let prog = Subjects.Subject.program s in
+    let f = Minic.Ir.func_exn prog fname in
+    let plan = Pathcov.Ball_larus.of_func f in
+    if dot then
+      let edge_label (src, dst) =
+        match Pathcov.Ball_larus.on_edge plan ~src ~dst with
+        | Some (Pathcov.Ball_larus.Add k) -> Some (Printf.sprintf "r += %d" k)
+        | Some (Pathcov.Ball_larus.Commit_back { add; reset }) ->
+            Some (Printf.sprintf "commit r+%d; r := %d" add reset)
+        | None -> None
+      in
+      print_string (Minic.Dot.to_dot ~edge_label f)
+    else begin
+      Fmt.pr "%a@." Minic.Pretty.pp_func f;
+      Fmt.pr "acyclic paths: %d, probes: %d, back edges: %d@." plan.num_paths
+        plan.probes
+        (List.length plan.back_edges)
+    end
+  in
+  Cmd.v (Cmd.info "cfg" ~doc:"Show a function's CFG and path-instrumentation plan")
+    Term.(const run $ subject_arg $ fname $ dot)
+
+(* --- tables --- *)
+
+let tables_cmd =
+  let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Smoke-test scale.") in
+  let run fast =
+    let cfg =
+      if fast then Experiments.Config.fast else Experiments.Config.of_env ()
+    in
+    Fmt.pr "running the evaluation matrix (%a)...@." Experiments.Config.pp cfg;
+    let m = Experiments.Runner.run cfg in
+    print_string (Experiments.Tables.all m)
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate every table and figure of the paper")
+    Term.(const run $ fast)
+
+let () =
+  let doc = "path-aware coverage-guided fuzzing (CGO 2026 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "pathfuzz" ~doc)
+          [ subjects_cmd; fuzz_cmd; profile_cmd; cfg_cmd; tables_cmd ]))

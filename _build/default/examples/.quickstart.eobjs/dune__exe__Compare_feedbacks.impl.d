@@ -1,0 +1,1 @@
+examples/compare_feedbacks.ml: Fmt Fuzz List Pathcov String Subjects Vm

@@ -1,0 +1,1 @@
+examples/custom_target.ml: Array Fmt Fuzz List Minic Option Pathcov Vm

@@ -1,0 +1,1 @@
+examples/path_profiler.ml: Array Fmt Hashtbl List Minic Option Pathcov String Subjects Vm

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Fuzz List Minic Pathcov String Subjects Vm

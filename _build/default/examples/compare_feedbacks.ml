@@ -1,0 +1,53 @@
+(** A miniature of the paper's Table II on a single subject: run the four
+    §V fuzzer configurations (plus the sensitivity-ladder extras) on the
+    gdk-like image loader and compare bugs, crashes and queue sizes.
+    Run with: dune exec examples/compare_feedbacks.exe *)
+
+let () =
+  let subject = Subjects.Registry.find_exn "gdk" in
+  let prog = Subjects.Subject.program subject in
+  let plans = Pathcov.Ball_larus.of_program prog in
+  let budget = 16_000 and trials = 3 in
+  Fmt.pr "subject %s: %d functions, %d seeded bugs, %d execs x %d trials@.@."
+    subject.name
+    (Subjects.Subject.num_functions subject)
+    (List.length subject.bugs) budget trials;
+  Fmt.pr "%-8s %6s %8s %8s %8s  %s@." "fuzzer" "bugs" "crashes" "queue" "edges"
+    "bug ids";
+  List.iter
+    (fun (fz : Fuzz.Strategy.fuzzer) ->
+      let bugs = ref Fuzz.Stats.Bug_set.empty in
+      let crashes = ref 0 and queue = ref 0 and edges = ref Fuzz.Measure.Int_set.empty in
+      for t = 1 to trials do
+        let r =
+          Fuzz.Strategy.run ~plans ~budget ~trial_seed:(t * 31) fz prog
+            ~seeds:subject.seeds
+        in
+        bugs :=
+          Fuzz.Stats.Bug_set.union !bugs
+            (Fuzz.Stats.bug_set (Fuzz.Triage.bugs r.triage));
+        crashes := !crashes + Fuzz.Triage.unique_crashes r.triage;
+        queue := !queue + r.queue_size;
+        edges :=
+          Fuzz.Measure.Int_set.union !edges
+            (Fuzz.Measure.edge_union prog r.final_queue)
+      done;
+      let ids =
+        Fuzz.Stats.Bug_set.elements !bugs
+        |> List.map (fun id -> Fmt.str "%a" Vm.Crash.pp_identity id)
+        |> String.concat " "
+      in
+      Fmt.pr "%-8s %6d %8d %8d %8d  %s@." fz.name
+        (Fuzz.Stats.Bug_set.cardinal !bugs)
+        !crashes (!queue / trials)
+        (Fuzz.Measure.Int_set.cardinal !edges)
+        ids)
+    [
+      Fuzz.Strategy.path;
+      Fuzz.Strategy.pcguard;
+      Fuzz.Strategy.cull ();
+      Fuzz.Strategy.opp;
+      Fuzz.Strategy.block;
+      Fuzz.Strategy.ngram 4;
+      Fuzz.Strategy.pathafl;
+    ]

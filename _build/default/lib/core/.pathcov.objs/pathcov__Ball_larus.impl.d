@@ -1,0 +1,1 @@
+lib/core/ball_larus.ml: Array Hashtbl List Minic Printf Queue

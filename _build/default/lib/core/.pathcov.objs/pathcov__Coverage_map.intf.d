@@ -1,0 +1,1 @@
+lib/core/coverage_map.mli:

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Ball_larus Coverage_map Hashtbl List Minic Printf

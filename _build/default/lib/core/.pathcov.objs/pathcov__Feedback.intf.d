@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Ball_larus Coverage_map Minic

@@ -1,0 +1,145 @@
+(** AFL-style fixed-size coverage bitmap with hit-count bucketing.
+
+    A trace map records hit counts per index during one execution; counts
+    are then classified into AFL's power-of-two buckets and compared
+    against the campaign-wide virgin map. [merge_into] answers the
+    fuzzer's novelty question: did this execution hit a new tuple, or a
+    known tuple in a new bucket? The default size is 2^16 (the paper uses
+    2^18 to match L2 caches; ours is configurable and smaller because
+    MiniC subjects have far fewer tuples than UNIFUZZ binaries).
+
+    Unlike AFL's memset-and-scan loops (which vectorise in C), the map
+    keeps a journal of touched indices so that clearing, classifying and
+    merging cost O(indices actually hit) — the OCaml-appropriate way to
+    keep per-execution overhead proportional to the program's work. *)
+
+type t = {
+  bits : Bytes.t;
+  mask : int;
+  mutable touched : int array;  (** indices with non-zero count, unordered *)
+  mutable ntouched : int;
+}
+
+type novelty =
+  | Nothing  (** nothing new *)
+  | New_bucket  (** a known tuple reached a new hit-count bucket *)
+  | New_tuple  (** a never-seen map index was hit *)
+
+let default_size_log2 = 16
+
+let create ?(size_log2 = default_size_log2) () =
+  if size_log2 < 4 || size_log2 > 24 then invalid_arg "Coverage_map.create";
+  let size = 1 lsl size_log2 in
+  { bits = Bytes.make size '\000'; mask = size - 1; touched = Array.make 256 0; ntouched = 0 }
+
+let size t = Bytes.length t.bits
+
+let clear t =
+  for k = 0 to t.ntouched - 1 do
+    Bytes.unsafe_set t.bits (Array.unsafe_get t.touched k) '\000'
+  done;
+  t.ntouched <- 0
+
+let record_touch t i =
+  if t.ntouched = Array.length t.touched then begin
+    let bigger = Array.make (2 * t.ntouched) 0 in
+    Array.blit t.touched 0 bigger 0 t.ntouched;
+    t.touched <- bigger
+  end;
+  t.touched.(t.ntouched) <- i;
+  t.ntouched <- t.ntouched + 1
+
+(** Record one hit at [idx] (wrapped into range, saturating at 255). *)
+let hit t idx =
+  let i = idx land t.mask in
+  let c = Char.code (Bytes.unsafe_get t.bits i) in
+  if c = 0 then record_touch t i;
+  if c < 255 then Bytes.unsafe_set t.bits i (Char.unsafe_chr (c + 1))
+
+(* AFL's count classification: 1,2,3,4-7,8-15,16-31,32-127,128-255 map to
+   distinct bits so bucket transitions show up as new bits. *)
+let bucket_of_count = function
+  | 0 -> 0
+  | 1 -> 1
+  | 2 -> 2
+  | 3 -> 4
+  | n when n < 8 -> 8
+  | n when n < 16 -> 16
+  | n when n < 32 -> 32
+  | n when n < 128 -> 64
+  | _ -> 128
+
+let classify_lookup = Array.init 256 (fun c -> Char.chr (bucket_of_count c))
+
+(** Replace raw counts by their bucket representative, in place. *)
+let classify t =
+  for k = 0 to t.ntouched - 1 do
+    let i = Array.unsafe_get t.touched k in
+    let c = Char.code (Bytes.unsafe_get t.bits i) in
+    Bytes.unsafe_set t.bits i (Array.unsafe_get classify_lookup c)
+  done
+
+(** Compare a classified trace against the virgin map, folding any novelty
+    into the virgin map. Virgin semantics follow AFL: virgin starts
+    all-0xFF and novelty means [trace land virgin <> 0] at some index. *)
+let merge_into ~(virgin : t) (trace : t) : novelty =
+  if Bytes.length virgin.bits <> Bytes.length trace.bits then
+    invalid_arg "Coverage_map.merge_into";
+  let res = ref Nothing in
+  for k = 0 to trace.ntouched - 1 do
+    let i = Array.unsafe_get trace.touched k in
+    let tr = Char.code (Bytes.unsafe_get trace.bits i) in
+    if tr <> 0 then begin
+      let vg = Char.code (Bytes.unsafe_get virgin.bits i) in
+      if tr land vg <> 0 then begin
+        if vg = 255 then res := New_tuple
+        else if !res = Nothing then res := New_bucket;
+        Bytes.unsafe_set virgin.bits i (Char.unsafe_chr (vg land lnot tr land 255))
+      end
+    end
+  done;
+  !res
+
+(* A virgin map is all-0xFF and is only ever written through [merge_into];
+   its journal is unused. *)
+let create_virgin ?size_log2 () =
+  let t = create ?size_log2 () in
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\255';
+  t
+
+(** Number of indices hit in a trace (AFL's [count_bytes]). *)
+let count_set t = t.ntouched
+
+(** Indices hit in a trace, ascending. *)
+let set_indices t =
+  List.sort compare (Array.to_list (Array.sub t.touched 0 t.ntouched))
+
+(** [iteri_set f t] calls [f idx count] for every touched index. *)
+let iteri_set f t =
+  for k = 0 to t.ntouched - 1 do
+    let i = t.touched.(k) in
+    f i (Char.code (Bytes.get t.bits i))
+  done
+
+let copy t =
+  {
+    bits = Bytes.copy t.bits;
+    mask = t.mask;
+    touched = Array.copy t.touched;
+    ntouched = t.ntouched;
+  }
+
+(** Read the raw byte at a map index (tests and diagnostics). *)
+let get t idx = Char.code (Bytes.get t.bits (idx land t.mask))
+
+(** FNV-1a hash of the trace contents (order-independent via sorting). *)
+let hash t =
+  let idxs = set_indices t in
+  let h = ref 0x3bf29ce484222325 in
+  List.iter
+    (fun i ->
+      let c = Char.code (Bytes.unsafe_get t.bits i) in
+      h := !h lxor ((i lsl 8) lor c);
+      h := !h * 0x100000001b3)
+    idxs;
+  !h land max_int

@@ -1,0 +1,55 @@
+(** AFL-style fixed-size coverage bitmap with hit-count bucketing and a
+    touched-index journal (clear/classify/merge cost is proportional to
+    the indices actually hit, not to the map size). *)
+
+type t
+
+(** Novelty verdict of {!merge_into}. *)
+type novelty =
+  | Nothing  (** nothing new *)
+  | New_bucket  (** a known tuple reached a new hit-count bucket *)
+  | New_tuple  (** a never-seen map index was hit *)
+
+val default_size_log2 : int
+
+(** Create an all-zero trace map of [2^size_log2] entries (4 ≤ n ≤ 24). *)
+val create : ?size_log2:int -> unit -> t
+
+(** Create an all-0xFF virgin map, written only through {!merge_into}. *)
+val create_virgin : ?size_log2:int -> unit -> t
+
+val size : t -> int
+
+(** Reset all touched counts to zero. *)
+val clear : t -> unit
+
+(** Record one hit at an index (wrapped into range, saturating at 255). *)
+val hit : t -> int -> unit
+
+(** AFL's power-of-two count classification (1,2,3,4-7,8-15,...). *)
+val bucket_of_count : int -> int
+
+(** Replace raw counts by their bucket representative, in place. *)
+val classify : t -> unit
+
+(** Compare a classified trace against the virgin map, folding any novelty
+    into the virgin map. Virgin semantics follow AFL: novelty means
+    [trace land virgin <> 0] at some index. *)
+val merge_into : virgin:t -> t -> novelty
+
+(** Number of indices hit (AFL's [count_bytes]). *)
+val count_set : t -> int
+
+(** Indices hit, ascending. *)
+val set_indices : t -> int list
+
+(** [iteri_set f t] calls [f idx byte] for every touched index. *)
+val iteri_set : (int -> int -> unit) -> t -> unit
+
+val copy : t -> t
+
+(** Raw byte at a (wrapped) map index — tests and diagnostics. *)
+val get : t -> int -> int
+
+(** Order-independent FNV-1a hash of the trace contents. *)
+val hash : t -> int

@@ -1,0 +1,192 @@
+(** Coverage feedback listeners: the sensitivity ladder studied by the
+    paper. Each listener consumes VM execution events and fills a trace
+    [Coverage_map.t]; the fuzzer then classifies the trace and asks the
+    virgin map for novelty. Implemented modes:
+
+    - [Block]: basic-block coverage (n-gram with n=0);
+    - [Edge]: AFL/pcguard-style edge coverage via a shifted previous-block
+      key, the paper's baseline feedback;
+    - [Ngram n]: last-n-blocks history hashing (§VII related work);
+    - [Path]: the paper's contribution — Ball–Larus intra-procedural
+      acyclic-path IDs, committed at back edges and returns, indexed as
+      [(path_id xor function_salt) mod map_size] (§IV);
+    - [Pathafl]: a PathAFL-like sketch — edge coverage plus a rolling hash
+      over "key" edges (function entries and branch edges), approximating
+      partial whole-program paths (Appendix C comparison). *)
+
+type mode = Block | Edge | Ngram of int | Path | Pathafl
+
+let mode_name = function
+  | Block -> "block"
+  | Edge -> "edge"
+  | Ngram n -> Printf.sprintf "ngram%d" n
+  | Path -> "path"
+  | Pathafl -> "pathafl"
+
+type t = {
+  mode : mode;
+  trace : Coverage_map.t;
+  reset : unit -> unit;  (** called before each execution *)
+  on_call : int -> unit;  (** [fid]: a function activation begins *)
+  on_block : int -> int -> unit;  (** [fid block]: control enters block *)
+  on_edge : int -> int -> int -> unit;  (** [fid src dst]: CFG transition *)
+  on_ret : int -> int -> unit;  (** [fid block]: return executes in block *)
+}
+
+(* Stable per-(function, block) location key, spread over the map domain. *)
+let block_key fid block = ((fid * 0x9e3779b1) + (block * 0x85ebca6b)) land max_int
+
+let make_block prog map =
+  ignore prog;
+  {
+    mode = Block;
+    trace = map;
+    reset = (fun () -> ());
+    on_call = (fun _ -> ());
+    on_block = (fun fid b -> Coverage_map.hit map (block_key fid b));
+    on_edge = (fun _ _ _ -> ());
+    on_ret = (fun _ _ -> ());
+  }
+
+let make_edge prog map =
+  ignore prog;
+  let prev = ref 0 in
+  {
+    mode = Edge;
+    trace = map;
+    reset = (fun () -> prev := 0);
+    on_call = (fun _ -> ());
+    on_block =
+      (fun fid b ->
+        let cur = block_key fid b in
+        Coverage_map.hit map (cur lxor !prev);
+        prev := cur lsr 1);
+    on_edge = (fun _ _ _ -> ());
+    on_ret = (fun _ _ -> ());
+  }
+
+let make_ngram n prog map =
+  ignore prog;
+  if n < 2 then invalid_arg "Feedback.make_ngram: n must be >= 2";
+  let hist = Array.make n 0 in
+  let pos = ref 0 in
+  {
+    mode = Ngram n;
+    trace = map;
+    reset =
+      (fun () ->
+        Array.fill hist 0 n 0;
+        pos := 0);
+    on_call = (fun _ -> ());
+    on_block =
+      (fun fid b ->
+        hist.(!pos mod n) <- block_key fid b;
+        incr pos;
+        let h = ref 0 in
+        for i = 0 to n - 1 do
+          h := !h lxor (hist.(i) lsr (i land 15))
+        done;
+        Coverage_map.hit map !h);
+    on_edge = (fun _ _ _ -> ());
+    on_ret = (fun _ _ -> ());
+  }
+
+let make_path (plans : Ball_larus.program_plans) (prog : Minic.Ir.program) map =
+  let salts =
+    Array.map (fun (f : Minic.Ir.func) -> Hashtbl.hash f.name * 0x9e3779b1) prog.funcs
+  in
+  (* One path register per live activation; reset clears leftovers from
+     crashed executions. *)
+  let regs = ref [] in
+  let fids = ref [] in
+  let commit fid pid =
+    Coverage_map.hit map ((pid lxor salts.(fid)) land max_int)
+  in
+  let top_add delta =
+    match !regs with [] -> () | r :: rest -> regs := (r + delta) :: rest
+  in
+  {
+    mode = Path;
+    trace = map;
+    reset =
+      (fun () ->
+        regs := [];
+        fids := []);
+    on_call =
+      (fun fid ->
+        regs := 0 :: !regs;
+        fids := fid :: !fids);
+    on_block = (fun _ _ -> ());
+    on_edge =
+      (fun fid src dst ->
+        match Ball_larus.on_edge plans.plans.(fid) ~src ~dst with
+        | None -> ()
+        | Some (Ball_larus.Add k) -> top_add k
+        | Some (Ball_larus.Commit_back { add; reset }) -> begin
+            match !regs with
+            | [] -> ()
+            | r :: rest ->
+                commit fid (r + add);
+                regs := reset :: rest
+          end);
+    on_ret =
+      (fun fid block ->
+        match (!regs, !fids) with
+        | r :: rrest, _ :: frest ->
+            commit fid (r + Ball_larus.on_ret plans.plans.(fid) ~block);
+            regs := rrest;
+            fids := frest
+        | _ -> ());
+  }
+
+let make_pathafl (prog : Minic.Ir.program) map =
+  (* Branch-edge predicate per function: edges out of multi-successor
+     blocks are "key" edges that feed the rolling whole-program hash. *)
+  let nsucc =
+    Array.map
+      (fun (f : Minic.Ir.func) ->
+        Array.map
+          (fun (b : Minic.Ir.block) -> List.length (Minic.Ir.successors b.term))
+          f.blocks)
+      prog.funcs
+  in
+  let prev = ref 0 in
+  let rolling = ref 0 in
+  let key_event k =
+    rolling := (((!rolling lsl 13) lor (!rolling lsr 49)) lxor k) land max_int;
+    Coverage_map.hit map !rolling
+  in
+  {
+    mode = Pathafl;
+    trace = map;
+    reset =
+      (fun () ->
+        prev := 0;
+        rolling := 0);
+    on_call = (fun fid -> key_event (block_key fid 0 + 1));
+    on_block =
+      (fun fid b ->
+        let cur = block_key fid b in
+        Coverage_map.hit map (cur lxor !prev);
+        prev := cur lsr 1);
+    on_edge =
+      (fun fid src dst ->
+        if nsucc.(fid).(src) >= 2 then key_event (block_key fid src lxor (dst * 31)));
+    on_ret = (fun _ _ -> ());
+  }
+
+(** Instantiate a feedback listener for [prog]. [plans] may be supplied to
+    share a precomputed Ball–Larus artifact across campaigns (it is only
+    consulted for [Path] mode). *)
+let make ?size_log2 ?plans mode (prog : Minic.Ir.program) : t =
+  let map = Coverage_map.create ?size_log2 () in
+  match mode with
+  | Block -> make_block prog map
+  | Edge -> make_edge prog map
+  | Ngram n -> make_ngram n prog map
+  | Path ->
+      let plans =
+        match plans with Some p -> p | None -> Ball_larus.of_program prog
+      in
+      make_path plans prog map
+  | Pathafl -> make_pathafl prog map

@@ -1,0 +1,38 @@
+(** Coverage feedback listeners: the sensitivity ladder studied by the
+    paper. Each listener consumes VM execution events and fills a trace
+    {!Coverage_map.t}; the fuzzer classifies the trace and asks the virgin
+    map for novelty. *)
+
+(** Available feedback modes:
+    - [Block]: basic-block coverage (n-gram with n = 0);
+    - [Edge]: AFL/pcguard-style edge coverage, the paper's baseline;
+    - [Ngram n]: last-n-blocks history hashing (§VII related work);
+    - [Path]: the paper's contribution — Ball–Larus intra-procedural
+      acyclic-path IDs committed at back edges and returns, indexed as
+      [(path_id xor function_salt) mod map_size] (§IV);
+    - [Pathafl]: a PathAFL-like sketch — edge coverage plus a rolling hash
+      over key edges, approximating partial whole-program paths
+      (Appendix C comparison). *)
+type mode = Block | Edge | Ngram of int | Path | Pathafl
+
+val mode_name : mode -> string
+
+type t = {
+  mode : mode;
+  trace : Coverage_map.t;
+  reset : unit -> unit;  (** call before each execution *)
+  on_call : int -> unit;  (** [fid]: a function activation begins *)
+  on_block : int -> int -> unit;  (** [fid block]: control enters block *)
+  on_edge : int -> int -> int -> unit;  (** [fid src dst]: CFG transition *)
+  on_ret : int -> int -> unit;  (** [fid block]: return executes in block *)
+}
+
+(** Instantiate a feedback listener for a program. [plans] may be supplied
+    to share a precomputed Ball–Larus artifact across campaigns (consulted
+    only in [Path] mode). *)
+val make :
+  ?size_log2:int ->
+  ?plans:Ball_larus.program_plans ->
+  mode ->
+  Minic.Ir.program ->
+  t

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Config Fuzz Hashtbl List Pathcov Printf Render String Subjects

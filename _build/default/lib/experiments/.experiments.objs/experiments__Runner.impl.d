@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Config Fuzz Hashtbl List Option Pathcov Printf String Subjects

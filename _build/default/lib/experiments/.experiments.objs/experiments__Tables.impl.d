@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Buffer Bug_set Fmt Fuzz Hashtbl List Minic Option Pathcov Printf Render Runner String Subjects Sys Vm

@@ -1,0 +1,146 @@
+(** The ablation studies called out in DESIGN.md §4, complementing the
+    paper's Appendix D:
+
+    - the feedback *sensitivity ladder* (§VII: block ⊂ edge ⊂ n-gram ⊂
+      acyclic paths) compared on bug finding and queue size;
+    - the *culling criterion* (edge-preserving vs path-preserving vs
+      random — the §III-B1 footnote says edges win);
+    - the culling *round count* (the paper's footnote 2 sensitivity study
+      on round duration: too-long rounds are detrimental). *)
+
+let run_set (cfg : Config.t) ~budget ~trials subjects fuzzers =
+  let cells = Hashtbl.create 32 in
+  List.iter
+    (fun name ->
+      let s = Subjects.Registry.find_exn name in
+      let prog = Subjects.Subject.program s in
+      let plans = Pathcov.Ball_larus.of_program prog in
+      List.iter
+        (fun (fz : Fuzz.Strategy.fuzzer) ->
+          let runs =
+            List.init trials (fun t ->
+                Fuzz.Strategy.run ~plans ~budget
+                  ~trial_seed:(cfg.base_seed + (t * 3571))
+                  fz prog ~seeds:s.seeds)
+          in
+          Hashtbl.replace cells (name, fz.name) runs)
+        fuzzers)
+    subjects;
+  cells
+
+let bugs_of runs =
+  Fuzz.Stats.Bug_set.cardinal
+    (List.fold_left
+       (fun acc (r : Fuzz.Strategy.run_result) ->
+         Fuzz.Stats.Bug_set.union acc (Fuzz.Stats.bug_set (Fuzz.Triage.bugs r.triage)))
+       Fuzz.Stats.Bug_set.empty runs)
+
+let queue_of runs =
+  Fuzz.Stats.median_int
+    (List.map (fun (r : Fuzz.Strategy.run_result) -> r.queue_size) runs)
+
+(** Sensitivity ladder: block / edge / 2-gram / 4-gram / path. *)
+let sensitivity_ladder (cfg : Config.t) : string =
+  let subjects = [ "gdk"; "jq"; "mp3gain"; "tiffsplit" ] in
+  let fuzzers =
+    [
+      Fuzz.Strategy.block;
+      Fuzz.Strategy.pcguard;
+      Fuzz.Strategy.ngram 2;
+      Fuzz.Strategy.ngram 4;
+      Fuzz.Strategy.path;
+    ]
+  in
+  let budget = max 1000 (cfg.budget / 2) and trials = max 1 (cfg.trials - 2) in
+  let cells = run_set cfg ~budget ~trials subjects fuzzers in
+  let rows =
+    List.map
+      (fun s ->
+        s
+        :: List.concat_map
+             (fun (fz : Fuzz.Strategy.fuzzer) ->
+               let runs = Hashtbl.find cells (s, fz.name) in
+               [ Render.i (bugs_of runs); Render.f1 (queue_of runs) ])
+             fuzzers)
+      subjects
+  in
+  Render.table
+    ~title:
+      (Printf.sprintf
+         "Ablation A1: feedback sensitivity ladder — bugs / median queue \
+          (%d execs, %d trials)"
+         budget trials)
+    ~header:
+      [
+        "Benchmark"; "block"; "q"; "edge"; "q"; "ngram2"; "q"; "ngram4"; "q";
+        "path"; "q";
+      ]
+    ~rows
+
+(** Culling criterion: preserve edges vs preserve paths vs random trim. *)
+let culling_criterion (cfg : Config.t) : string =
+  let subjects = [ "gdk"; "pdftotext"; "infotocap" ] in
+  let fuzzers =
+    [
+      Fuzz.Strategy.cull ~rounds:cfg.cull_rounds ();
+      Fuzz.Strategy.cull_p ~rounds:cfg.cull_rounds ();
+      Fuzz.Strategy.cull_r ~rounds:cfg.cull_rounds ();
+    ]
+  in
+  let budget = max 1000 (cfg.budget / 2) and trials = max 1 (cfg.trials - 2) in
+  let cells = run_set cfg ~budget ~trials subjects fuzzers in
+  let rows =
+    List.map
+      (fun s ->
+        s
+        :: List.concat_map
+             (fun (fz : Fuzz.Strategy.fuzzer) ->
+               let runs = Hashtbl.find cells (s, fz.name) in
+               [ Render.i (bugs_of runs); Render.f1 (queue_of runs) ])
+             fuzzers)
+      subjects
+  in
+  Render.table
+    ~title:
+      (Printf.sprintf
+         "Ablation A2: culling criterion (edges vs paths vs random) — bugs \
+          / median queue (%d execs, %d trials)"
+         budget trials)
+    ~header:[ "Benchmark"; "cull"; "q"; "cull_p"; "q"; "cull_r"; "q" ]
+    ~rows
+
+(** Round-count sensitivity for the culling driver. *)
+let culling_rounds (cfg : Config.t) : string =
+  let subjects = [ "gdk"; "pdftotext" ] in
+  let rounds_options = [ 2; 4; 8 ] in
+  let budget = max 1000 (cfg.budget / 2) and trials = max 1 (cfg.trials - 2) in
+  let fuzzers =
+    List.map
+      (fun r ->
+        { (Fuzz.Strategy.cull ~rounds:r ()) with name = Printf.sprintf "cull%d" r })
+      rounds_options
+  in
+  let cells = run_set cfg ~budget ~trials subjects fuzzers in
+  let rows =
+    List.map
+      (fun s ->
+        s
+        :: List.concat_map
+             (fun (fz : Fuzz.Strategy.fuzzer) ->
+               let runs = Hashtbl.find cells (s, fz.name) in
+               [ Render.i (bugs_of runs); Render.f1 (queue_of runs) ])
+             fuzzers)
+      subjects
+  in
+  Render.table
+    ~title:
+      (Printf.sprintf
+         "Ablation A3: culling round count — bugs / median queue (%d execs, \
+          %d trials)"
+         budget trials)
+    ~header:[ "Benchmark"; "2 rounds"; "q"; "4 rounds"; "q"; "8 rounds"; "q" ]
+    ~rows
+
+let all (cfg : Config.t) : string =
+  String.concat "\n"
+    [ sensitivity_ladder cfg; culling_criterion cfg; culling_rounds cfg ]

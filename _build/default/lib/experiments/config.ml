@@ -1,0 +1,37 @@
+(** Experiment-scale knobs. The paper fuzzes 18 subjects x 4-7 fuzzers x 10
+    trials x 48 hours; we keep the same matrix shape but measure budgets in
+    executions so runs are deterministic and CI-sized. Environment
+    overrides: PATHCOV_BUDGET (execs per run), PATHCOV_TRIALS,
+    PATHCOV_ROUNDS (culling rounds), PATHCOV_FAST=1 (smoke-test scale). *)
+
+type t = {
+  budget : int;  (** executions per fuzzing run (stand-in for 48 h) *)
+  trials : int;  (** runs per (subject, fuzzer) pair (paper: 10) *)
+  cull_rounds : int;  (** culling windows per run (paper: 8 x 6 h) *)
+  map_size_log2 : int;
+  base_seed : int;  (** trial i uses rng seed [base_seed + i] *)
+}
+
+let default =
+  { budget = 24_000; trials = 5; cull_rounds = 3; map_size_log2 = 16; base_seed = 1 }
+
+let fast = { default with budget = 4_000; trials = 2 }
+
+let env_int name fallback =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> fallback)
+  | None -> fallback
+
+(** Resolve the configuration from the environment. *)
+let of_env () =
+  let base = if Sys.getenv_opt "PATHCOV_FAST" = Some "1" then fast else default in
+  {
+    base with
+    budget = env_int "PATHCOV_BUDGET" base.budget;
+    trials = env_int "PATHCOV_TRIALS" base.trials;
+    cull_rounds = env_int "PATHCOV_ROUNDS" base.cull_rounds;
+  }
+
+let pp fmt t =
+  Fmt.pf fmt "budget=%d execs, trials=%d, cull_rounds=%d, map=2^%d" t.budget
+    t.trials t.cull_rounds t.map_size_log2

@@ -1,0 +1,45 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let pad_left width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+(** Render a table: first column left-aligned, the rest right-aligned. *)
+let table ~title ~header ~rows : string =
+  let ncols = List.length header in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           if i = 0 then pad widths.(i) cell else pad_left widths.(i) cell)
+         row)
+  in
+  let sep = String.make (String.length (render_row header)) '-' in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "\n%s\n%s\n" title sep);
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let f1 v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
+let f2 v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v
+let i = string_of_int

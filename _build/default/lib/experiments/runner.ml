@@ -1,0 +1,127 @@
+(** Experiment runner: executes the (subject x fuzzer x trial) matrix once
+    and caches the per-run results; every table and figure generator then
+    aggregates from the same matrix, exactly as the paper derives Tables
+    II/III/IV/VI and Figure 3 from one set of campaigns. *)
+
+type cell = {
+  subject : Subjects.Subject.t;
+  fuzzer : Fuzz.Strategy.fuzzer;
+  runs : Fuzz.Strategy.run_result list;  (** one per trial *)
+}
+
+type matrix = {
+  config : Config.t;
+  cells : (string * string, cell) Hashtbl.t;  (** (subject, fuzzer) *)
+  fuzzers : Fuzz.Strategy.fuzzer list;
+  subjects : Subjects.Subject.t list;
+}
+
+(** The evaluated fuzzer configurations (§V), including the appendix ones. *)
+let standard_fuzzers (cfg : Config.t) : Fuzz.Strategy.fuzzer list =
+  [
+    Fuzz.Strategy.path;
+    Fuzz.Strategy.pcguard;
+    Fuzz.Strategy.cull ~rounds:cfg.cull_rounds ();
+    Fuzz.Strategy.opp;
+    Fuzz.Strategy.cull_r ~rounds:cfg.cull_rounds ();
+    Fuzz.Strategy.pathafl;
+    Fuzz.Strategy.afl;
+  ]
+
+let run_cell (cfg : Config.t) (subject : Subjects.Subject.t)
+    (fuzzer : Fuzz.Strategy.fuzzer) : cell =
+  let prog = Subjects.Subject.program subject in
+  let plans = Pathcov.Ball_larus.of_program prog in
+  let runs =
+    List.init cfg.trials (fun trial ->
+        Fuzz.Strategy.run ~plans ~budget:cfg.budget
+          ~trial_seed:(cfg.base_seed + (trial * 7919))
+          fuzzer prog ~seeds:subject.seeds)
+  in
+  { subject; fuzzer; runs }
+
+(** Run the full matrix. [quiet] suppresses progress on stderr. *)
+let run ?(quiet = false) ?fuzzers ?subjects (cfg : Config.t) : matrix =
+  let fuzzers = Option.value fuzzers ~default:(standard_fuzzers cfg) in
+  let subjects = Option.value subjects ~default:Subjects.Registry.all in
+  let cells = Hashtbl.create 128 in
+  let total = List.length fuzzers * List.length subjects in
+  let done_ = ref 0 in
+  List.iter
+    (fun subject ->
+      List.iter
+        (fun (fuzzer : Fuzz.Strategy.fuzzer) ->
+          let cell = run_cell cfg subject fuzzer in
+          Hashtbl.replace cells (subject.Subjects.Subject.name, fuzzer.name) cell;
+          incr done_;
+          if not quiet then
+            Printf.eprintf "[matrix %3d/%d] %-10s %-8s bugs/trial: %s\n%!" !done_
+              total subject.Subjects.Subject.name fuzzer.name
+              (String.concat ","
+                 (List.map
+                    (fun (r : Fuzz.Strategy.run_result) ->
+                      string_of_int (Fuzz.Triage.unique_bugs r.triage))
+                    cell.runs)))
+        fuzzers)
+    subjects;
+  { config = cfg; cells; fuzzers; subjects }
+
+let cell (m : matrix) ~subject ~fuzzer : cell =
+  match Hashtbl.find_opt m.cells (subject, fuzzer) with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Runner.cell: no cell (%s, %s)" subject fuzzer)
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell aggregations *)
+
+(** Union of ground-truth bugs over all trials (the "cumulative" columns). *)
+let cumulative_bugs (c : cell) : Fuzz.Stats.Bug_set.t =
+  List.fold_left
+    (fun acc (r : Fuzz.Strategy.run_result) ->
+      Fuzz.Stats.Bug_set.union acc (Fuzz.Stats.bug_set (Fuzz.Triage.bugs r.triage)))
+    Fuzz.Stats.Bug_set.empty c.runs
+
+(** Count of distinct stack-hash unique crashes over all trials. *)
+let cumulative_unique_crashes (c : cell) : int =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Fuzz.Strategy.run_result) ->
+      Hashtbl.iter (fun h _ -> Hashtbl.replace tbl h ()) r.triage.by_stack)
+    c.runs;
+  Hashtbl.length tbl
+
+let median_bugs (c : cell) : float =
+  Fuzz.Stats.median_int
+    (List.map (fun (r : Fuzz.Strategy.run_result) -> Fuzz.Triage.unique_bugs r.triage) c.runs)
+
+let median_queue (c : cell) : float =
+  Fuzz.Stats.median_int
+    (List.map (fun (r : Fuzz.Strategy.run_result) -> r.queue_size) c.runs)
+
+let total_crashes (c : cell) : int =
+  List.fold_left
+    (fun acc (r : Fuzz.Strategy.run_result) -> acc + r.triage.total_crashes)
+    0 c.runs
+
+let afl_unique_crashes (c : cell) : int =
+  List.fold_left
+    (fun acc (r : Fuzz.Strategy.run_result) ->
+      acc + Fuzz.Triage.afl_unique_crashes r.triage)
+    0 c.runs
+
+(** Cumulative edge coverage: union over trials of afl-showmap on the final
+    queue plus the seeds (Table IV's measurement). *)
+let cumulative_edges (c : cell) : Fuzz.Measure.Int_set.t =
+  let prog = Subjects.Subject.program c.subject in
+  List.fold_left
+    (fun acc (r : Fuzz.Strategy.run_result) ->
+      Fuzz.Measure.Int_set.union acc
+        (Fuzz.Measure.edge_union prog (c.subject.seeds @ r.final_queue)))
+    Fuzz.Measure.Int_set.empty c.runs
+
+(** Per-trial bug sets (medians and per-run set algebra, Table VI). *)
+let per_trial_bugs (c : cell) : Fuzz.Stats.Bug_set.t list =
+  List.map
+    (fun (r : Fuzz.Strategy.run_result) ->
+      Fuzz.Stats.bug_set (Fuzz.Triage.bugs r.triage))
+    c.runs

@@ -1,0 +1,1 @@
+lib/fuzz/campaign.ml: Array Corpus Hashtbl List Minic Mutator Pathcov Rng Triage Vm

@@ -1,0 +1,1 @@
+lib/fuzz/campaign.mli: Corpus Minic Pathcov Triage

@@ -1,0 +1,1 @@
+lib/fuzz/corpus.ml: Array Hashtbl List String

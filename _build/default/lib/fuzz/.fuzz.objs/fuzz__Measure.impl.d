@@ -1,0 +1,1 @@
+lib/fuzz/measure.ml: Hashtbl Int List Pathcov Set String Vm

@@ -1,0 +1,1 @@
+lib/fuzz/measure.mli: Minic Pathcov Set

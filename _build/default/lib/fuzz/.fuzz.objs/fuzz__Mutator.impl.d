@@ -1,0 +1,1 @@
+lib/fuzz/mutator.ml: Array Bytes Char List Rng String

@@ -1,0 +1,1 @@
+lib/fuzz/mutator.mli: Rng

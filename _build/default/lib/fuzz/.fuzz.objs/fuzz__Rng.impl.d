@@ -1,0 +1,1 @@
+lib/fuzz/rng.ml: Array Char List

@@ -1,0 +1,1 @@
+lib/fuzz/stats.ml: List Set Vm

@@ -1,0 +1,1 @@
+lib/fuzz/stats.mli: Set Vm

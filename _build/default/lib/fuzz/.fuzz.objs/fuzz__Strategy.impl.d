@@ -1,0 +1,1 @@
+lib/fuzz/strategy.ml: Array Campaign Corpus List Measure Minic Pathcov Printf Rng Triage

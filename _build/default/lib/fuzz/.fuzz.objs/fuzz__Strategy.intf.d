@@ -1,0 +1,1 @@
+lib/fuzz/strategy.mli: Minic Pathcov Triage

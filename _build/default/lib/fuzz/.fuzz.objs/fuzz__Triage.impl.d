@@ -1,0 +1,1 @@
+lib/fuzz/triage.ml: Hashtbl List Option Vm

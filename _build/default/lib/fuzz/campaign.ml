@@ -1,0 +1,255 @@
+(** The coverage-guided fuzzing loop: an afl-fuzz-shaped campaign over the
+    MiniC VM, parameterised by the feedback listener (§IV "Integration").
+
+    A campaign owns a virgin map, a crash-virgin map, the queue, and the
+    triage record. Its budget is an execution count — the deterministic
+    stand-in for the paper's wall-clock budgets — and all randomness flows
+    from one [Rng.t], so a run is a pure function of
+    (program, seeds, config). *)
+
+type config = {
+  mode : Pathcov.Feedback.mode;
+  budget : int;  (** total target executions *)
+  rng_seed : int;
+  fuel : int;  (** VM fuel per execution (the timeout analogue) *)
+  map_size_log2 : int;
+  cmplog : bool;  (** enable comparison-operand capture + I2S mutations *)
+  max_queue : int;  (** hard safety bound on queue growth *)
+}
+
+let default_config =
+  {
+    mode = Pathcov.Feedback.Edge;
+    budget = 20_000;
+    rng_seed = 1;
+    fuel = Vm.Interp.default_fuel;
+    map_size_log2 = 16;
+    cmplog = true;
+    max_queue = 500_000;
+  }
+
+type result = {
+  config : config;
+  corpus : Corpus.t;
+  triage : Triage.t;
+  execs : int;  (** executions actually performed *)
+  queue_series : (int * int) list;  (** (execs, queue size) samples *)
+  sum_exec_blocks : int;  (** total VM blocks executed, throughput proxy *)
+}
+
+(** Final queue inputs, in discovery order. *)
+let queue_inputs (r : result) : string list =
+  List.map (fun (e : Corpus.entry) -> e.data) (Corpus.to_list r.corpus)
+
+type state = {
+  prepared : Vm.Interp.prepared;
+  cfg : config;
+  feedback : Pathcov.Feedback.t;
+  virgin : Pathcov.Coverage_map.t;
+  crash_virgin : Pathcov.Coverage_map.t;
+  corpus : Corpus.t;
+  triage : Triage.t;
+  rng : Rng.t;
+  mutable execs : int;
+  mutable blocks : int;
+  mutable series : (int * int) list;
+  mutable sample_every : int;
+  cmp_buf : (int * int, unit) Hashtbl.t;  (** per-exec comparison pairs *)
+}
+
+let make_hooks (st : state) : Vm.Interp.hooks =
+  let fb = st.feedback in
+  {
+    Vm.Interp.h_call = fb.on_call;
+    h_block = fb.on_block;
+    h_edge = fb.on_edge;
+    h_ret = fb.on_ret;
+    h_cmp =
+      (fun a b ->
+        if st.cfg.cmplog && a <> b && Hashtbl.length st.cmp_buf < 64 then
+          Hashtbl.replace st.cmp_buf (a, b) ());
+  }
+
+(* Run one input; the trace map is left classified for novelty checks. *)
+let execute (st : state) hooks (input : string) : Vm.Interp.outcome =
+  st.feedback.reset ();
+  Pathcov.Coverage_map.clear st.feedback.trace;
+  Hashtbl.reset st.cmp_buf;
+  let out = Vm.Interp.run_prepared ~fuel:st.cfg.fuel ~hooks st.prepared ~input in
+  st.execs <- st.execs + 1;
+  st.blocks <- st.blocks + out.blocks_executed;
+  Pathcov.Coverage_map.classify st.feedback.trace;
+  if st.execs mod st.sample_every = 0 then
+    st.series <- (st.execs, Corpus.size st.corpus) :: st.series;
+  out
+
+let current_cmps (st : state) : Mutator.cmp_pair list =
+  Hashtbl.fold
+    (fun (a, b) () acc ->
+      { Mutator.observed = a; wanted = b } :: { Mutator.observed = b; wanted = a } :: acc)
+    st.cmp_buf []
+
+(* Incremental update_bitmap_score: claim top_rated slots that this entry
+   covers more cheaply; favored flags are refreshed in full at cycle
+   boundaries by [Corpus.recompute_favored]. *)
+let update_top_rated (st : state) (e : Corpus.entry) =
+  Array.iter
+    (fun idx ->
+      match Hashtbl.find_opt st.corpus.top_rated idx with
+      | Some best when Corpus.fav_factor best <= Corpus.fav_factor e -> ()
+      | _ ->
+          Hashtbl.replace st.corpus.top_rated idx e;
+          if not e.favored then begin
+            e.favored <- true;
+            if e.times_fuzzed = 0 then
+              st.corpus.pending_favored <- st.corpus.pending_favored + 1
+          end)
+    e.indices
+
+(* Evaluate one candidate input end to end: execute, triage crashes and
+   hangs, retain on coverage novelty. *)
+let process (st : state) hooks ~depth (input : string) : unit =
+  let out = execute st hooks input in
+  match out.status with
+  | Vm.Interp.Crashed crash ->
+      let coverage_novel =
+        Pathcov.Coverage_map.merge_into ~virgin:st.crash_virgin st.feedback.trace
+        <> Pathcov.Coverage_map.Nothing
+      in
+      Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel
+  | Vm.Interp.Hung -> Triage.record_hang st.triage
+  | Vm.Interp.Finished _ ->
+      let novelty =
+        Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
+      in
+      if novelty <> Pathcov.Coverage_map.Nothing
+         && Corpus.size st.corpus < st.cfg.max_queue
+      then begin
+        let indices =
+          Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
+        in
+        let e =
+          Corpus.add st.corpus ~data:input ~indices
+            ~exec_blocks:(max 1 out.blocks_executed) ~depth ~found_at:st.execs
+        in
+        update_top_rated st e
+      end
+
+(* Seeds are always retained (afl imports the full seed directory). *)
+let add_seed (st : state) hooks (input : string) : unit =
+  let out = execute st hooks input in
+  begin
+    match out.status with
+    | Vm.Interp.Crashed crash ->
+        let coverage_novel =
+          Pathcov.Coverage_map.merge_into ~virgin:st.crash_virgin st.feedback.trace
+          <> Pathcov.Coverage_map.Nothing
+        in
+        Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel
+    | Vm.Interp.Hung -> Triage.record_hang st.triage
+    | Vm.Interp.Finished _ ->
+        ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace);
+        let indices =
+          Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
+        in
+        let e =
+          Corpus.add st.corpus ~data:input ~indices
+            ~exec_blocks:(max 1 out.blocks_executed) ~depth:0 ~found_at:st.execs
+        in
+        update_top_rated st e
+  end
+
+(* afl-fuzz's skip probabilities in fuzz_one. *)
+let should_skip (st : state) (e : Corpus.entry) : bool =
+  if e.favored then false
+  else if st.corpus.pending_favored > 0 then Rng.chance st.rng ~num:99 ~den:100
+  else if e.times_fuzzed > 0 then Rng.chance st.rng ~num:95 ~den:100
+  else Rng.chance st.rng ~num:75 ~den:100
+
+(* Havoc energy for one queue entry (a simplified perf_score). *)
+let energy (st : state) (e : Corpus.entry) : int =
+  let base = 48 in
+  let base = if e.favored then base * 2 else base in
+  let base = if e.times_fuzzed = 0 then base * 2 else base in
+  let base = if e.depth > 4 then base * 5 / 4 else base in
+  min base (max 8 (st.cfg.budget / 64))
+
+let random_other (st : state) (e : Corpus.entry) : string option =
+  match st.corpus.entries with
+  | [] | [ _ ] -> None
+  | l ->
+      let pick = List.nth l (Rng.int st.rng (List.length l)) in
+      if pick.id = e.id then None else Some pick.data
+
+(** Run a campaign. [plans] shares a precomputed Ball–Larus artifact.
+    [on_segment_start] is a hook for strategies to observe loop progress. *)
+let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
+    ~(seeds : string list) : result =
+  let feedback =
+    Pathcov.Feedback.make ~size_log2:config.map_size_log2 ?plans config.mode prog
+  in
+  let st =
+    {
+      prepared = Vm.Interp.prepare prog;
+      cfg = config;
+      feedback;
+      virgin = Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
+      crash_virgin =
+        Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
+      corpus = Corpus.create ();
+      triage = Triage.create ();
+      rng = Rng.create config.rng_seed;
+      execs = 0;
+      blocks = 0;
+      series = [];
+      sample_every = max 1 (config.budget / 64);
+      cmp_buf = Hashtbl.create 64;
+    }
+  in
+  let hooks = make_hooks st in
+  List.iter (add_seed st hooks) seeds;
+  (* Never start with an empty queue: synthesise a minimal seed. *)
+  if Corpus.size st.corpus = 0 then add_seed st hooks "A";
+  if Corpus.size st.corpus = 0 then
+    (* even "A" crashes; fall back to an entry with no coverage *)
+    ignore
+      (Corpus.add st.corpus ~data:"A" ~indices:[||] ~exec_blocks:1 ~depth:0
+         ~found_at:st.execs);
+  while st.execs < config.budget do
+    Corpus.recompute_favored st.corpus;
+    let snapshot = Corpus.to_list st.corpus in
+    List.iter
+      (fun (e : Corpus.entry) ->
+        if st.execs < config.budget && not (should_skip st e) then begin
+          (* One calibration run with cmplog capture feeds I2S mutations
+             for this entry (the colorization stage of AFL++). *)
+          let cmps =
+            if config.cmplog then begin
+              ignore (execute st hooks e.data);
+              current_cmps st
+            end
+            else []
+          in
+          let n = energy st e in
+          let i = ref 0 in
+          while !i < n && st.execs < config.budget do
+            let child =
+              Mutator.havoc ~cmps ?splice_with:(random_other st e) st.rng e.data
+            in
+            process st hooks ~depth:(e.depth + 1) child;
+            incr i
+          done;
+          e.times_fuzzed <- e.times_fuzzed + 1;
+          if e.favored && e.times_fuzzed = 1 then
+            st.corpus.pending_favored <- max 0 (st.corpus.pending_favored - 1)
+        end)
+      snapshot
+  done;
+  {
+    config;
+    corpus = st.corpus;
+    triage = st.triage;
+    execs = st.execs;
+    queue_series = List.rev ((st.execs, Corpus.size st.corpus) :: st.series);
+    sum_exec_blocks = st.blocks;
+  }

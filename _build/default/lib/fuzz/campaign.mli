@@ -1,0 +1,38 @@
+(** The coverage-guided fuzzing loop: an afl-fuzz-shaped campaign over the
+    MiniC VM, parameterised by the feedback listener (§IV "Integration").
+    Budgets are execution counts — the deterministic stand-in for the
+    paper's wall-clock budgets — and all randomness flows from one
+    {!Rng.t}, so a run is a pure function of (program, seeds, config). *)
+
+type config = {
+  mode : Pathcov.Feedback.mode;
+  budget : int;  (** total target executions *)
+  rng_seed : int;
+  fuel : int;  (** VM fuel per execution (the timeout analogue) *)
+  map_size_log2 : int;
+  cmplog : bool;  (** comparison-operand capture + I2S mutations *)
+  max_queue : int;  (** hard safety bound on queue growth *)
+}
+
+val default_config : config
+
+type result = {
+  config : config;
+  corpus : Corpus.t;
+  triage : Triage.t;
+  execs : int;  (** executions actually performed *)
+  queue_series : (int * int) list;  (** (execs, queue size) samples *)
+  sum_exec_blocks : int;  (** total VM blocks executed, throughput proxy *)
+}
+
+(** Final queue inputs, in discovery order. *)
+val queue_inputs : result -> string list
+
+(** Run a campaign. [plans] shares a precomputed Ball–Larus artifact
+    across campaigns on the same program. *)
+val run :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  ?config:config ->
+  Minic.Ir.program ->
+  seeds:string list ->
+  result

@@ -1,0 +1,92 @@
+(** The fuzzer queue and AFL's favored-corpus machinery.
+
+    Each interesting test case is retained as an [entry] with the sparse
+    set of coverage-map indices it touches. [recompute_favored] implements
+    afl-fuzz's [update_bitmap_score]/[cull_queue] greedy set-cover
+    approximation: for every map index, the cheapest entry covering it is
+    top-rated, and an entry is *favored* if it is top-rated for at least
+    one index. The paper's culling strategy (§III-B1) and the opportunistic
+    queue trim (§III-B2) both reuse exactly this machinery, as does the
+    scheduler's favored-skip logic. *)
+
+type entry = {
+  id : int;
+  data : string;
+  indices : int array;  (** classified trace indices hit, ascending *)
+  exec_blocks : int;  (** work proxy standing in for execution time *)
+  depth : int;  (** mutation chain length from the seed *)
+  found_at : int;  (** global execution counter at discovery *)
+  mutable favored : bool;
+  mutable times_fuzzed : int;
+}
+
+type t = {
+  mutable entries : entry list;  (** newest first *)
+  mutable size : int;
+  mutable next_id : int;
+  top_rated : (int, entry) Hashtbl.t;  (** map index -> cheapest entry *)
+  mutable pending_favored : int;
+}
+
+let create () =
+  { entries = []; size = 0; next_id = 0; top_rated = Hashtbl.create 1024; pending_favored = 0 }
+
+(* afl's fav_factor: exec time * input length. *)
+let fav_factor e = e.exec_blocks * (String.length e.data + 16)
+
+let recompute_favored (t : t) : unit =
+  Hashtbl.reset t.top_rated;
+  List.iter
+    (fun e ->
+      Array.iter
+        (fun idx ->
+          match Hashtbl.find_opt t.top_rated idx with
+          | Some best when fav_factor best <= fav_factor e -> ()
+          | _ -> Hashtbl.replace t.top_rated idx e)
+        e.indices)
+    (List.rev t.entries);
+  let favored = Hashtbl.create 64 in
+  Hashtbl.iter (fun _ e -> Hashtbl.replace favored e.id ()) t.top_rated;
+  t.pending_favored <- 0;
+  List.iter
+    (fun e ->
+      e.favored <- Hashtbl.mem favored e.id;
+      if e.favored && e.times_fuzzed = 0 then
+        t.pending_favored <- t.pending_favored + 1)
+    t.entries
+
+let add (t : t) ~data ~indices ~exec_blocks ~depth ~found_at : entry =
+  let e =
+    {
+      id = t.next_id;
+      data;
+      indices;
+      exec_blocks;
+      depth;
+      found_at;
+      favored = false;
+      times_fuzzed = 0;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.entries <- e :: t.entries;
+  t.size <- t.size + 1;
+  e
+
+let to_list t = List.rev t.entries
+let size t = t.size
+
+(** Entries whose union of indices equals the whole queue's union, chosen
+    greedily by fav_factor — the "minimal coverage-preserving queue" the
+    culling strategy retains. *)
+let favored_subset (t : t) : entry list =
+  recompute_favored t;
+  List.filter (fun e -> e.favored) (to_list t)
+
+(** Union of all covered indices across the queue. *)
+let covered_indices (t : t) : int list =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun e -> Array.iter (fun i -> Hashtbl.replace tbl i ()) e.indices)
+    t.entries;
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) tbl [])

@@ -1,0 +1,55 @@
+(** The fuzzer queue and AFL's favored-corpus machinery
+    ([update_bitmap_score]/[cull_queue]): for every coverage-map index the
+    cheapest entry covering it is top-rated, and an entry is *favored* if
+    it is top-rated somewhere. The paper's culling strategy (§III-B1) and
+    opportunistic queue trim (§III-B2) reuse this machinery, as does the
+    scheduler's favored-skip logic. *)
+
+type entry = {
+  id : int;
+  data : string;
+  indices : int array;  (** classified trace indices hit, ascending *)
+  exec_blocks : int;  (** work proxy standing in for execution time *)
+  depth : int;  (** mutation chain length from the seed *)
+  found_at : int;  (** global execution counter at discovery *)
+  mutable favored : bool;
+  mutable times_fuzzed : int;
+}
+
+type t = {
+  mutable entries : entry list;  (** newest first *)
+  mutable size : int;
+  mutable next_id : int;
+  top_rated : (int, entry) Hashtbl.t;  (** map index -> cheapest entry *)
+  mutable pending_favored : int;
+}
+
+val create : unit -> t
+
+(** afl's fav_factor: execution work x input length. *)
+val fav_factor : entry -> int
+
+(** Full favored recomputation (afl's cull_queue, run at cycle starts). *)
+val recompute_favored : t -> unit
+
+val add :
+  t ->
+  data:string ->
+  indices:int array ->
+  exec_blocks:int ->
+  depth:int ->
+  found_at:int ->
+  entry
+
+(** Entries in discovery order. *)
+val to_list : t -> entry list
+
+val size : t -> int
+
+(** Entries whose union of indices equals the whole queue's union, chosen
+    greedily by {!fav_factor} — the "minimal coverage-preserving queue"
+    the culling strategy retains. *)
+val favored_subset : t -> entry list
+
+(** Union of all covered indices across the queue, ascending. *)
+val covered_indices : t -> int list

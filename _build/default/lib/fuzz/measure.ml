@@ -1,0 +1,91 @@
+(** Post-campaign measurement utilities: the afl-showmap analogue used by
+    the coverage study (Table IV) and the queue-trimming primitives shared
+    by the culling and opportunistic strategies. *)
+
+module Int_set = Set.Make (Int)
+
+let make_hooks (fb : Pathcov.Feedback.t) : Vm.Interp.hooks =
+  {
+    Vm.Interp.no_hooks with
+    h_call = fb.on_call;
+    h_block = fb.on_block;
+    h_edge = fb.on_edge;
+    h_ret = fb.on_ret;
+  }
+
+(* Replay [input] under [fb], returning the raw trace indices it hits and
+   an afl-style cost (work x size). *)
+let replay ?(fuel = Vm.Interp.default_fuel) prepared fb input =
+  let hooks = make_hooks fb in
+  fb.Pathcov.Feedback.reset ();
+  Pathcov.Coverage_map.clear fb.trace;
+  let out = Vm.Interp.run_prepared ~fuel ~hooks prepared ~input in
+  let idxs = Pathcov.Coverage_map.set_indices fb.trace in
+  (idxs, out.blocks_executed * (String.length input + 16))
+
+(** Edge-coverage indices hit by one input under the pcguard-style
+    listener (raw tuple identities; bucketing is irrelevant here). *)
+let edges_of_input ?fuel prog (input : string) : Int_set.t =
+  let prepared = Vm.Interp.prepare prog in
+  let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
+  Int_set.of_list (fst (replay ?fuel prepared fb input))
+
+(** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
+let edge_union ?fuel prog (inputs : string list) : Int_set.t =
+  let prepared = Vm.Interp.prepare prog in
+  let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
+  List.fold_left
+    (fun acc input ->
+      Int_set.union acc (Int_set.of_list (fst (replay ?fuel prepared fb input))))
+    Int_set.empty inputs
+
+(* Greedy favored-corpus construction over an arbitrary feedback: keep,
+   for every covered index, the cheapest input covering it. Order-stable. *)
+let preserving_cull ?fuel prog fb (inputs : string list) : string list =
+  let prepared = Vm.Interp.prepare prog in
+  (* order-stable dedup: queue semantics never hold duplicates *)
+  let seen = Hashtbl.create 64 in
+  let inputs =
+    List.filter
+      (fun i ->
+        if Hashtbl.mem seen i then false
+        else begin
+          Hashtbl.add seen i ();
+          true
+        end)
+      inputs
+  in
+  let scored =
+    List.map
+      (fun input ->
+        let idxs, cost = replay ?fuel prepared fb input in
+        (input, idxs, cost))
+      inputs
+  in
+  let top : (int, string * int) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun (input, idxs, cost) ->
+      List.iter
+        (fun idx ->
+          match Hashtbl.find_opt top idx with
+          | Some (_, best) when best <= cost -> ()
+          | _ -> Hashtbl.replace top idx (input, cost))
+        idxs)
+    scored;
+  let keep = Hashtbl.create 256 in
+  Hashtbl.iter (fun _ (input, _) -> Hashtbl.replace keep input ()) top;
+  List.filter (fun i -> Hashtbl.mem keep i) inputs
+
+(** Greedy edge-coverage-preserving trim (the favored-corpus construction
+    the paper uses as its culling criterion, §III-B1, and as the
+    opportunistic queue pre-processing, §III-B2). *)
+let edge_preserving_cull ?fuel prog (inputs : string list) : string list =
+  preserving_cull ?fuel prog (Pathcov.Feedback.make Pathcov.Feedback.Edge prog) inputs
+
+(** Same trim but preserving *path* coverage — the alternative culling
+    criterion the paper tested and rejected (§III-B1 footnote). Exposed
+    for the ablation bench. *)
+let path_preserving_cull ?fuel ?plans prog (inputs : string list) : string list =
+  preserving_cull ?fuel prog
+    (Pathcov.Feedback.make ?plans Pathcov.Feedback.Path prog)
+    inputs

@@ -1,0 +1,28 @@
+(** Post-campaign measurement utilities: the afl-showmap analogue used by
+    the coverage study (Table IV) and the queue-trimming primitives shared
+    by the culling and opportunistic strategies. *)
+
+module Int_set : Set.S with type elt = int
+
+(** Edge-coverage indices hit by one input under the pcguard-style
+    listener (raw tuple identities; bucketing is irrelevant here). *)
+val edges_of_input : ?fuel:int -> Minic.Ir.program -> string -> Int_set.t
+
+(** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
+val edge_union : ?fuel:int -> Minic.Ir.program -> string list -> Int_set.t
+
+(** Greedy edge-coverage-preserving trim (the favored-corpus construction
+    the paper uses as its culling criterion, §III-B1, and as the
+    opportunistic queue pre-processing, §III-B2). Order-stable,
+    duplicate-free. *)
+val edge_preserving_cull : ?fuel:int -> Minic.Ir.program -> string list -> string list
+
+(** Same trim but preserving *path* coverage — the alternative criterion
+    the paper tested and rejected (§III-B1 footnote); kept for the
+    ablation bench. *)
+val path_preserving_cull :
+  ?fuel:int ->
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  Minic.Ir.program ->
+  string list ->
+  string list

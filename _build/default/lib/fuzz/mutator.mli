@@ -1,0 +1,27 @@
+(** Input mutation engine: the AFL havoc stack, splicing, and an
+    input-to-state substitution stage fed by comparison operands captured
+    by the VM (the stand-in for AFL++'s cmplog/Redqueen, enabled for all
+    fuzzer configurations in the paper's evaluation). *)
+
+(** Hard cap on generated input length. *)
+val max_len : int
+
+(** A comparison observed at run time: the program compared [observed]
+    (hopefully an input-derived value) against [wanted]. *)
+type cmp_pair = { observed : int; wanted : int }
+
+(** Try to rewrite the input so the observed operand becomes the wanted
+    one: searches for little-endian (1/2/4-byte) and ASCII-decimal
+    encodings of [observed] and substitutes the encoding of [wanted];
+    returns the input unchanged when no encoding is found. *)
+val i2s_apply : Rng.t -> cmp_pair -> string -> string
+
+(** One havoc-mutated child: a random stack of 1–8 operations (bit flips,
+    arithmetic, interesting values, block copy/insert/delete, optional
+    input-to-state substitution from [cmps], optional splice with a second
+    corpus entry). Never returns an empty string. *)
+val havoc : ?cmps:cmp_pair list -> ?splice_with:string -> Rng.t -> string -> string
+
+(** The deterministic stage (walking bit flips and interesting bytes),
+    used by tests and the classic-AFL profile; returns all children. *)
+val deterministic : string -> string list

@@ -1,0 +1,43 @@
+(** Deterministic splitmix64-style PRNG. The fuzzer's behaviour must be a
+    pure function of (program, seeds, trial seed) so experiments are
+    replayable; we avoid [Stdlib.Random] to keep the stream stable across
+    OCaml releases and independent of global state. *)
+
+type t = { mutable s : int }
+
+let create seed = { s = (seed * 0x9e3779b9) lxor 0x5deece66d }
+
+(* splitmix64 finalizer on a 63-bit state. *)
+let next t =
+  t.s <- (t.s + 0x1e3779b97f4a7c15) land max_int;
+  let z = t.s in
+  let z = (z lxor (z lsr 30)) * 0x1b97f4a7c15 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14ce4e6cd9 land max_int in
+  (z lxor (z lsr 31)) land max_int
+
+(** Uniform int in [0, bound); [bound] must be positive. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+let bool t = next t land 1 = 1
+
+(** True with probability [num]/[den]. *)
+let chance t ~num ~den = int t den < num
+
+let byte t = Char.chr (int t 256)
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose";
+  arr.(int t (Array.length arr))
+
+let choose_list t l =
+  match l with [] -> invalid_arg "Rng.choose_list" | _ -> List.nth l (int t (List.length l))
+
+(** Range [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+(** Derive an independent child generator (for per-trial streams). *)
+let split t = create (next t)

@@ -1,0 +1,29 @@
+(** Deterministic splitmix64-style PRNG. The fuzzer's behaviour must be a
+    pure function of (program, seeds, trial seed) so experiments are
+    replayable; the stream is stable across OCaml releases and independent
+    of global state. *)
+
+type t
+
+val create : int -> t
+
+(** Next raw positive integer of the stream. *)
+val next : t -> int
+
+(** Uniform int in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** True with probability [num]/[den]. *)
+val chance : t -> num:int -> den:int -> bool
+
+val byte : t -> char
+val choose : t -> 'a array -> 'a
+val choose_list : t -> 'a list -> 'a
+
+(** Inclusive range [lo, hi]. *)
+val range : t -> int -> int -> int
+
+(** Derive an independent child generator (per-trial streams). *)
+val split : t -> t

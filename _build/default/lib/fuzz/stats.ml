@@ -1,0 +1,57 @@
+(** Small statistics toolbox for the evaluation: medians, geometric means
+    and the set algebra behind the pairwise bug comparisons (∩ and ∖
+    columns of Tables II/VI/VII/VIII/X and the Figure 3 Venn regions). *)
+
+let median_float (l : float list) : float =
+  match List.sort compare l with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      if n mod 2 = 1 then List.nth sorted (n / 2)
+      else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.
+
+let median_int (l : int list) : float = median_float (List.map float_of_int l)
+
+(** Geometric mean of positive ratios; zero/negative entries are skipped
+    (mirrors how the paper reports GEOMEAN rows). *)
+let geomean (l : float list) : float =
+  let pos = List.filter (fun x -> x > 0.) l in
+  match pos with
+  | [] -> nan
+  | _ ->
+      exp (List.fold_left (fun a x -> a +. log x) 0. pos /. float_of_int (List.length pos))
+
+module Bug_set = Set.Make (struct
+  type t = Vm.Crash.identity
+
+  let compare = Vm.Crash.identity_compare
+end)
+
+let bug_set (ids : Vm.Crash.identity list) : Bug_set.t = Bug_set.of_list ids
+
+let inter a b = Bug_set.cardinal (Bug_set.inter a b)
+let diff a b = Bug_set.cardinal (Bug_set.diff a b)
+
+(** Sizes of the seven regions of a three-set Venn diagram, as
+    [(only_a, only_b, only_c, ab, ac, bc, abc)]. *)
+let venn3 a b c =
+  let abc = Bug_set.inter a (Bug_set.inter b c) in
+  let ab = Bug_set.diff (Bug_set.inter a b) abc in
+  let ac = Bug_set.diff (Bug_set.inter a c) abc in
+  let bc = Bug_set.diff (Bug_set.inter b c) abc in
+  let only_a = Bug_set.diff a (Bug_set.union b c) in
+  let only_b = Bug_set.diff b (Bug_set.union a c) in
+  let only_c = Bug_set.diff c (Bug_set.union a b) in
+  Bug_set.
+    ( cardinal only_a,
+      cardinal only_b,
+      cardinal only_c,
+      cardinal ab,
+      cardinal ac,
+      cardinal bc,
+      cardinal abc )
+
+(** Two-set Venn regions: [(only_a, only_b, both)]. *)
+let venn2 a b =
+  let both = Bug_set.inter a b in
+  (diff a b, diff b a, Bug_set.cardinal both)

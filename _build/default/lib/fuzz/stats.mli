@@ -1,0 +1,24 @@
+(** Statistics toolbox for the evaluation: medians, geometric means and
+    the set algebra behind the pairwise bug comparisons (the ∩ and ∖
+    columns of Tables II/VI/VII/VIII/X and the Figure 3 Venn regions). *)
+
+val median_float : float list -> float
+val median_int : int list -> float
+
+(** Geometric mean of positive values; non-positive entries are skipped
+    (mirrors how the paper reports GEOMEAN rows); [nan] on empty input. *)
+val geomean : float list -> float
+
+module Bug_set : Set.S with type elt = Vm.Crash.identity
+
+val bug_set : Vm.Crash.identity list -> Bug_set.t
+val inter : Bug_set.t -> Bug_set.t -> int
+val diff : Bug_set.t -> Bug_set.t -> int
+
+(** Sizes of the seven regions of a three-set Venn diagram, as
+    [(only_a, only_b, only_c, ab, ac, bc, abc)]. *)
+val venn3 :
+  Bug_set.t -> Bug_set.t -> Bug_set.t -> int * int * int * int * int * int * int
+
+(** Two-set Venn regions: [(only_a, only_b, both)]. *)
+val venn2 : Bug_set.t -> Bug_set.t -> int * int * int

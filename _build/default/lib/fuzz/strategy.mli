@@ -1,0 +1,66 @@
+(** The fuzzer configurations of the evaluation (§V) as strategy drivers
+    over {!Campaign}: the plain feedbacks, the culling driver (with
+    edge-preserving, path-preserving and random criteria), and the
+    opportunistic two-phase driver. *)
+
+type spec =
+  | Plain of Pathcov.Feedback.mode
+  | Cull of { rounds : int; criterion : [ `Edges | `Paths | `Random ] }
+  | Opportunistic
+
+type fuzzer = { name : string; spec : spec; cmplog : bool }
+
+(** AFL++'s default edge feedback with cmplog — the paper's baseline. *)
+val pcguard : fuzzer
+
+(** The baseline path-aware fuzzer (§III-A). *)
+val path : fuzzer
+
+(** [path] with periodic edge-coverage-preserving queue culling (§III-B1). *)
+val cull : ?rounds:int -> unit -> fuzzer
+
+(** The Appendix D ablation: random trimming of 84–98% per round. *)
+val cull_r : ?rounds:int -> unit -> fuzzer
+
+(** Culling by path identity — the criterion the paper tested and
+    rejected (§III-B1 footnote). *)
+val cull_p : ?rounds:int -> unit -> fuzzer
+
+(** The opportunistic strategy (§III-B2): first half of the budget under
+    edge feedback, queue trimmed edge-preserving, second half path-aware;
+    only the second phase's findings count. *)
+val opp : fuzzer
+
+(** PathAFL-like whole-program path sketch atop an AFL-2.52b-like profile
+    (no cmplog), Appendix C. *)
+val pathafl : fuzzer
+
+(** Plain AFL-like edge fuzzing (no cmplog), Appendix C. *)
+val afl : fuzzer
+
+(** Sensitivity-ladder extras (§VII). *)
+val block : fuzzer
+
+val ngram : int -> fuzzer
+
+(** Campaign-level outcome of running one fuzzer on one subject. *)
+type run_result = {
+  fuzzer : string;
+  final_queue : string list;  (** inputs in the queue when the budget ended *)
+  queue_size : int;
+  triage : Triage.t;
+  execs : int;
+  queue_series : (int * int) list;
+  sum_exec_blocks : int;
+}
+
+(** Run [fuzzer] on a program for [budget] executions. [plans] shares the
+    Ball–Larus artifact across configurations of a trial. *)
+val run :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  budget:int ->
+  trial_seed:int ->
+  fuzzer ->
+  Minic.Ir.program ->
+  seeds:string list ->
+  run_result

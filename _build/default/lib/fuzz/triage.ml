@@ -1,0 +1,72 @@
+(** Crash bookkeeping at the three granularities used by the evaluation:
+
+    - raw crash count;
+    - "unique crashes": stack-trace clustering over the top 5 frames
+      (standard practice, §V-A and Table IX columns 3/5);
+    - "AFL unique crashes": AFL 2.52b's trace-novelty notion, where a
+      crash is unique iff it hits a coverage tuple no previous crash hit
+      (Appendix C, Table IX columns 2/4) — maintained by the campaign via
+      a crash-virgin map and recorded here;
+    - ground-truth unique *bugs*: exact seeded identities, standing in for
+      the paper's manual deduplication. *)
+
+type record = {
+  crash : Vm.Crash.t;
+  input : string;  (** a witness input triggering this crash *)
+  at_exec : int;  (** execution counter at discovery *)
+}
+
+type t = {
+  mutable total_crashes : int;
+  mutable total_hangs : int;
+  by_stack : (int, record) Hashtbl.t;  (** top-5-frame hash -> first record *)
+  by_bug : (Vm.Crash.identity, record) Hashtbl.t;
+  mutable afl_unique : record list;  (** coverage-novel crashes, newest first *)
+}
+
+let create () =
+  {
+    total_crashes = 0;
+    total_hangs = 0;
+    by_stack = Hashtbl.create 64;
+    by_bug = Hashtbl.create 64;
+    afl_unique = [];
+  }
+
+(** Record a crash. [coverage_novel] says whether the crash's trace had new
+    bits against the campaign's crash-virgin map (the AFL notion). *)
+let record_crash (t : t) ~(crash : Vm.Crash.t) ~input ~at_exec ~coverage_novel : unit =
+  t.total_crashes <- t.total_crashes + 1;
+  let r = { crash; input; at_exec } in
+  let h = Vm.Crash.top5_hash crash in
+  if not (Hashtbl.mem t.by_stack h) then Hashtbl.replace t.by_stack h r;
+  let id = Vm.Crash.bug_identity crash in
+  if not (Hashtbl.mem t.by_bug id) then Hashtbl.replace t.by_bug id r;
+  if coverage_novel then t.afl_unique <- r :: t.afl_unique
+
+let record_hang (t : t) = t.total_hangs <- t.total_hangs + 1
+
+let unique_crashes t = Hashtbl.length t.by_stack
+let afl_unique_crashes t = List.length t.afl_unique
+
+(** Ground-truth bug identities found, sorted. *)
+let bugs t : Vm.Crash.identity list =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.by_bug []
+  |> List.sort Vm.Crash.identity_compare
+
+let unique_bugs t = Hashtbl.length t.by_bug
+
+let bug_witness t id = Option.map (fun r -> r.input) (Hashtbl.find_opt t.by_bug id)
+
+(** Merge [src] into [dst] (used when a strategy stitches several fuzzer
+    instances into one campaign-level report). *)
+let merge ~into:(dst : t) (src : t) : unit =
+  dst.total_crashes <- dst.total_crashes + src.total_crashes;
+  dst.total_hangs <- dst.total_hangs + src.total_hangs;
+  Hashtbl.iter
+    (fun h r -> if not (Hashtbl.mem dst.by_stack h) then Hashtbl.replace dst.by_stack h r)
+    src.by_stack;
+  Hashtbl.iter
+    (fun id r -> if not (Hashtbl.mem dst.by_bug id) then Hashtbl.replace dst.by_bug id r)
+    src.by_bug;
+  dst.afl_unique <- src.afl_unique @ dst.afl_unique

@@ -1,0 +1,40 @@
+(** Crash bookkeeping at the three granularities used by the evaluation:
+    raw crash counts, stack-hash "unique crashes" (top 5 frames, §V-A),
+    AFL-2.52b-style coverage-novel crashes (Appendix C / Table IX), and
+    ground-truth unique bugs (the paper's manually deduplicated notion,
+    exact here thanks to seeded identities). *)
+
+type record = {
+  crash : Vm.Crash.t;
+  input : string;  (** a witness input triggering this crash *)
+  at_exec : int;  (** execution counter at discovery *)
+}
+
+type t = {
+  mutable total_crashes : int;
+  mutable total_hangs : int;
+  by_stack : (int, record) Hashtbl.t;  (** top-5-frame hash -> first record *)
+  by_bug : (Vm.Crash.identity, record) Hashtbl.t;
+  mutable afl_unique : record list;  (** coverage-novel crashes, newest first *)
+}
+
+val create : unit -> t
+
+(** Record a crash. [coverage_novel] says whether the crash's trace had
+    new bits against the campaign's crash-virgin map (the AFL notion). *)
+val record_crash :
+  t -> crash:Vm.Crash.t -> input:string -> at_exec:int -> coverage_novel:bool -> unit
+
+val record_hang : t -> unit
+val unique_crashes : t -> int
+val afl_unique_crashes : t -> int
+
+(** Ground-truth bug identities found, sorted. *)
+val bugs : t -> Vm.Crash.identity list
+
+val unique_bugs : t -> int
+val bug_witness : t -> Vm.Crash.identity -> string option
+
+(** Merge [src] into [into] (used when a strategy stitches several fuzzer
+    instances into one campaign-level report). *)
+val merge : into:t -> t -> unit

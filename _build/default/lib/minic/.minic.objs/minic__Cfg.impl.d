@@ -1,0 +1,1 @@
+lib/minic/cfg.ml: Array Ir List

@@ -1,0 +1,1 @@
+lib/minic/dominance.ml: Array Cfg List

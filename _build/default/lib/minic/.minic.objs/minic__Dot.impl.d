@@ -1,0 +1,1 @@
+lib/minic/dot.ml: Array Buffer Cfg Fmt Ir List Pretty Printf String

@@ -1,0 +1,1 @@
+lib/minic/loops.ml: Array Cfg Dominance List

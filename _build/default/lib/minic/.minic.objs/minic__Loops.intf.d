@@ -1,0 +1,1 @@
+lib/minic/loops.mli: Cfg

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Ir List Option Printf Sema

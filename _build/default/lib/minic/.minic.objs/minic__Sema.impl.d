@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Format Hashtbl List Map Option Parser Set String

@@ -1,0 +1,105 @@
+(** Abstract syntax for MiniC, the small imperative language used as the
+    program-under-test substrate. MiniC deliberately mirrors the control-flow
+    features that matter to path profiling: conditionals, loops,
+    short-circuit booleans, function calls and mutable global state. *)
+
+(** Source position (line, column), for error reporting. *)
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+let pp_pos fmt p = Format.fprintf fmt "%d:%d" p.line p.col
+
+(** Binary operators. [Land]/[Lor] are short-circuiting and are desugared
+    into control flow during lowering; all others are strict. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type unop = Neg | Not | Bnot
+
+(** Expressions. [In] reads an input byte (-1 when out of range), [Len] is
+    the input length, [ArrayMake] allocates a zero-filled integer array. *)
+type expr =
+  | Int of int
+  | Var of string
+  | Index of expr_node * expr_node  (** [a[i]]; the base must name an array *)
+  | Binop of binop * expr_node * expr_node
+  | Unop of unop * expr_node
+  | Call of string * expr_node list
+  | In of expr_node
+  | Len
+  | ArrayMake of expr_node
+  | ArrayLen of expr_node
+  | Abs of expr_node
+
+and expr_node = { expr : expr; epos : pos }
+
+(** Statements. [Bug] marks a seeded defect site: executing it crashes with
+    the given ground-truth bug identifier (the analogue of an ASAN report at
+    a known buggy line). [Check] crashes when its condition is zero. *)
+type stmt =
+  | Decl of string * expr_node option
+  | Assign of string * expr_node
+  | Store of expr_node * expr_node * expr_node  (** base, index, value *)
+  | If of expr_node * block * block
+  | While of expr_node * block
+  | Return of expr_node option
+  | ExprStmt of expr_node
+  | Bug of int
+  | Check of expr_node * int  (** condition, bug id on failure *)
+
+and stmt_node = { stmt : stmt; spos : pos }
+
+and block = stmt_node list
+
+type func = {
+  fname : string;
+  params : string list;
+  body : block;
+  fpos : pos;
+}
+
+(** A global is an integer cell or an array of the given static size,
+    zero-initialised before [main] runs. *)
+type global = Gint of string | Garr of string * int
+
+type program = { globals : global list; funcs : func list }
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let unop_to_string = function Neg -> "-" | Not -> "!" | Bnot -> "~"

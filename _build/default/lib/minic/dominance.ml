@@ -1,0 +1,57 @@
+(** Dominator computation using the Cooper–Harvey–Kennedy iterative
+    algorithm ("A Simple, Fast Dominance Algorithm"). Used by the loop
+    analysis to certify back edges (target dominates source), which in turn
+    certifies CFG reducibility for the Ball–Larus pass. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; entry maps to itself *)
+  rpo_index : int array;  (** position of each block in reverse postorder *)
+}
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.num_blocks cfg in
+  let rpo = Array.of_list (Cfg.reverse_postorder cfg) in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i v -> rpo_index.(v) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(0) <- 0;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_index.(!f1) > rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_index.(!f2) > rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> 0 then begin
+          let preds = Cfg.predecessors cfg v in
+          let processed = List.filter (fun p -> idom.(p) <> -1) preds in
+          match processed with
+          | [] -> ()  (* unreachable; cannot happen after pruning *)
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(v) <> new_idom then begin
+                idom.(v) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+(** [dominates t a b] iff every path from the entry to [b] goes through
+    [a] (reflexive). *)
+let dominates (t : t) (a : int) (b : int) : bool =
+  let rec walk v = if v = a then true else if v = 0 then a = 0 else walk t.idom.(v) in
+  walk b
+
+let immediate_dominator t v = t.idom.(v)

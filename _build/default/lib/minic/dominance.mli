@@ -1,0 +1,14 @@
+(** Dominator computation using the Cooper–Harvey–Kennedy iterative
+    algorithm. Used by the loop analysis to certify back edges, which in
+    turn certifies CFG reducibility for the Ball–Larus pass. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** [dominates t a b] iff every path from the entry to [b] goes through
+    [a] (reflexive). *)
+val dominates : t -> int -> int -> bool
+
+(** Immediate dominator; the entry maps to itself. *)
+val immediate_dominator : t -> int -> int

@@ -1,0 +1,36 @@
+(** Graphviz output for function CFGs, optionally annotated with
+    Ball–Larus edge increments (the caller supplies a labelling function,
+    keeping this module independent of the instrumentation library). *)
+
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+(** [to_dot ?edge_label f] renders the CFG of [f]. [edge_label (v, w)]
+    may return a string shown on the edge (e.g. a path-ID increment). *)
+let to_dot ?(edge_label = fun (_ : int * int) -> None) (f : Ir.func) : string =
+  let buf = Buffer.create 512 in
+  let cfg = Cfg.of_func f in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" f.name);
+  Buffer.add_string buf "  node [shape=box fontname=monospace];\n";
+  Array.iter
+    (fun (b : Ir.block) ->
+      let body =
+        String.concat "\\l"
+          (List.map (Fmt.str "%a" Pretty.pp_instr) b.instrs
+          @ [ Fmt.str "%a" Pretty.pp_term b.term ])
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"L%d:\\l%s\\l\"];\n" b.label b.label
+           (escape body)))
+    f.blocks;
+  List.iter
+    (fun (v, w) ->
+      match edge_label (v, w) with
+      | Some l ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%s\"];\n" v w (escape l))
+      | None -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" v w))
+    (Cfg.edges cfg);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

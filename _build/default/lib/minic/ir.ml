@@ -1,0 +1,100 @@
+(** Control-flow-graph intermediate representation for MiniC.
+
+    Every function is an array of basic blocks; block 0 is the entry. IR
+    expressions are pure (no calls, no short-circuit operators — the
+    lowering pass hoists calls into [Call] instructions and desugars
+    [&&]/[||] into branches), so an instruction is the only unit of side
+    effect and a terminator is the only unit of intra-procedural control
+    flow. Each instruction and terminator carries a globally unique [site]
+    identifier used for crash reporting and ground-truth bug identity. *)
+
+type var = string
+
+(** Strict binary operators (no [Land]/[Lor]; those never reach the IR). *)
+type binop = Ast.binop
+
+type expr =
+  | Const of int
+  | Load of var
+  | Index of expr * expr
+  | Binop of binop * expr * expr
+  | Unop of Ast.unop * expr
+  | InByte of expr  (** input byte at offset, or -1 when out of range *)
+  | InputLen
+  | ArrayMake of expr
+  | ArrayLen of expr
+  | Abs of expr
+
+type site = int
+
+type instr =
+  | Assign of { dst : var; e : expr; site : site }
+  | Store of { base : expr; idx : expr; v : expr; site : site }
+  | CallI of { dst : var option; callee : string; args : expr list; site : site }
+  | BugI of { bug : int; site : site }
+      (** seeded defect: executing this crashes with ground-truth id [bug] *)
+  | CheckI of { cond : expr; bug : int; site : site }
+      (** ASAN-like check: crashes with id [bug] when [cond] is zero *)
+
+type term =
+  | Goto of int
+  | Branch of { cond : expr; if_true : int; if_false : int; site : site }
+  | Ret of { e : expr option; site : site }
+
+type block = { label : int; instrs : instr list; term : term }
+
+type func = {
+  name : string;
+  params : var list;
+  locals : var list;
+      (** names declared with [var] plus lowering temporaries; any other
+          name referenced by the body is a global *)
+  blocks : block array;
+}
+
+(** What kind of source construct a site identifies — used in diagnostics. *)
+type site_kind =
+  | Sassign
+  | Sstore
+  | Scall
+  | Sbug of int
+  | Scheck of int
+  | Sbranch
+  | Sreturn
+
+type site_info = { sfunc : string; spos : Ast.pos; skind : site_kind }
+
+type program = {
+  globals : Ast.global list;
+  funcs : func array;
+  sites : site_info array;  (** indexed by site id *)
+}
+
+let instr_site = function
+  | Assign { site; _ } | Store { site; _ } | CallI { site; _ } | BugI { site; _ }
+  | CheckI { site; _ } ->
+      site
+
+let term_site = function
+  | Goto _ -> None
+  | Branch { site; _ } -> Some site
+  | Ret { site; _ } -> Some site
+
+(** Successor labels of a terminator, in CFG order (branch: true then
+    false). The order is significant for Ball–Larus edge numbering. *)
+let successors = function
+  | Goto l -> [ l ]
+  | Branch { if_true; if_false; _ } ->
+      if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+  | Ret _ -> []
+
+let find_func (p : program) (name : string) : func option =
+  Array.find_opt (fun f -> f.name = name) p.funcs
+
+let func_exn p name =
+  match find_func p name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Ir.func_exn: no function %s" name)
+
+(** Number of sites in the program (site ids are dense in [0, n)). *)
+let num_sites p = Array.length p.sites

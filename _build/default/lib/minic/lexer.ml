@@ -1,0 +1,92 @@
+(** Hand-written lexer for MiniC. Produces a token list with positions;
+    raises [Error] on malformed input. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string  (** one of the reserved words *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | EOF
+
+type tok = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [
+    "fn"; "var"; "global"; "if"; "else"; "while"; "return"; "bug"; "check";
+    "in"; "len"; "array"; "array_len"; "abs";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character punctuation must be tried before its prefixes. *)
+let puncts =
+  [
+    "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "("; ")"; "{"; "}"; "[";
+    "]"; ","; ";"; "="; "<"; ">"; "+"; "-"; "*"; "/"; "%"; "!"; "&"; "|"; "^";
+    "~";
+  ]
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | EOF -> "<eof>"
+
+let tokenize (src : string) : tok list =
+  let n = String.length src in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let rec skip i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\r' -> skip (i + 1)
+      | '\n' ->
+          incr line;
+          bol := i + 1;
+          skip (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+          skip (eol (i + 1))
+      | _ -> i
+  in
+  let rec lex acc i =
+    let i = skip i in
+    if i >= n then List.rev ({ tok = EOF; pos = pos i } :: acc)
+    else
+      let p = pos i in
+      let c = src.[i] in
+      if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        let v = int_of_string (String.sub src i (!j - i)) in
+        lex ({ tok = INT v; pos = p } :: acc) !j
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do
+          incr j
+        done;
+        let s = String.sub src i (!j - i) in
+        let t = if List.mem s keywords then KW s else IDENT s in
+        lex ({ tok = t; pos = p } :: acc) !j
+      end
+      else
+        let rec try_puncts = function
+          | [] -> raise (Error (Printf.sprintf "unexpected character %C" c, p))
+          | pct :: rest ->
+              let l = String.length pct in
+              if i + l <= n && String.sub src i l = pct then
+                lex ({ tok = PUNCT pct; pos = p } :: acc) (i + l)
+              else try_puncts rest
+        in
+        try_puncts puncts
+  in
+  lex [] 0

@@ -1,0 +1,72 @@
+(** Back-edge and natural-loop detection.
+
+    A retreating edge is a DFS edge to a node already on the DFS stack; it
+    is a proper back edge when its target dominates its source. MiniC only
+    produces structured loops, so every retreating edge is a back edge and
+    CFGs are reducible — [reducible] certifies this, and the Ball–Larus
+    pass asserts it before instrumenting. *)
+
+type loop = {
+  header : int;
+  back_edge : int * int;  (** (latch, header) *)
+  body : int list;  (** blocks of the natural loop, ascending, incl. header *)
+}
+
+(** Retreating edges of a depth-first traversal from the entry, in
+    discovery order. *)
+let retreating_edges (cfg : Cfg.t) : (int * int) list =
+  let n = Cfg.num_blocks cfg in
+  let color = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let acc = ref [] in
+  let rec dfs v =
+    color.(v) <- 1;
+    List.iter
+      (fun w ->
+        if color.(w) = 0 then dfs w
+        else if color.(w) = 1 then acc := (v, w) :: !acc)
+      (Cfg.successors cfg v);
+    color.(v) <- 2
+  in
+  dfs 0;
+  List.rev !acc
+
+(** Back edges (v, w) where [w] dominates [v]. *)
+let back_edges (cfg : Cfg.t) : (int * int) list =
+  let dom = Dominance.compute cfg in
+  List.filter (fun (v, w) -> Dominance.dominates dom w v) (retreating_edges cfg)
+
+(** A CFG is reducible when every retreating edge is a back edge. *)
+let reducible (cfg : Cfg.t) : bool =
+  let dom = Dominance.compute cfg in
+  List.for_all (fun (v, w) -> Dominance.dominates dom w v) (retreating_edges cfg)
+
+(** Natural loop of a back edge: header plus all blocks that reach the
+    latch without passing through the header. *)
+let natural_loop (cfg : Cfg.t) ((latch, header) : int * int) : loop =
+  let n = Cfg.num_blocks cfg in
+  let in_loop = Array.make n false in
+  in_loop.(header) <- true;
+  let rec walk v =
+    if not in_loop.(v) then begin
+      in_loop.(v) <- true;
+      List.iter walk (Cfg.predecessors cfg v)
+    end
+  in
+  walk latch;
+  let body = ref [] in
+  for v = n - 1 downto 0 do
+    if in_loop.(v) then body := v :: !body
+  done;
+  { header; back_edge = (latch, header); body = !body }
+
+let loops (cfg : Cfg.t) : loop list = List.map (natural_loop cfg) (back_edges cfg)
+
+(** Loop nesting depth per block (0 = not in any loop). *)
+let depths (cfg : Cfg.t) : int array =
+  let n = Cfg.num_blocks cfg in
+  let d = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun v -> d.(v) <- d.(v) + 1) l.body)
+    (loops cfg);
+  d

@@ -1,0 +1,279 @@
+(** Lowering from the MiniC AST to the CFG IR.
+
+    The pass performs three desugarings that shape the CFG exactly as a C
+    compiler front-end would:
+    - short-circuit [&&]/[||]/[!] become branch chains ("jumping code"),
+      both in statement conditions and in value positions;
+    - calls are hoisted out of expressions into [CallI] instructions on
+      fresh temporaries, in left-to-right evaluation order;
+    - [while] becomes the classic header/body/exit shape whose body→header
+      edge is the loop back edge Ball–Larus instrumentation keys on.
+
+    Unreachable blocks (e.g. code after [return]) are pruned and labels are
+    compacted before the function is emitted. *)
+
+open Ast
+
+(* Mutable single-function lowering state. Blocks are built as a growable
+   list of (label, rev-instrs, term option); the current block accumulates
+   instructions until a terminator seals it. *)
+type fstate = {
+  mutable blocks : (int * Ir.instr list * Ir.term option) array;
+  mutable nblocks : int;
+  mutable cur : int;  (** index of the open block *)
+  mutable tmp : int;
+  mutable locals : string list;  (* declared names + temps, reversed *)
+  sites : Ir.site_info list ref;  (** program-wide, reversed *)
+  nsites : int ref;
+  fname : string;
+}
+
+let new_site st pos kind =
+  let id = !(st.nsites) in
+  incr st.nsites;
+  st.sites := { Ir.sfunc = st.fname; spos = pos; skind = kind } :: !(st.sites);
+  id
+
+let new_block st =
+  let label = st.nblocks in
+  if st.nblocks = Array.length st.blocks then begin
+    let bigger = Array.make (max 8 (2 * st.nblocks)) (0, [], None) in
+    Array.blit st.blocks 0 bigger 0 st.nblocks;
+    st.blocks <- bigger
+  end;
+  st.blocks.(st.nblocks) <- (label, [], None);
+  st.nblocks <- st.nblocks + 1;
+  label
+
+let emit st instr =
+  let label, instrs, term = st.blocks.(st.cur) in
+  match term with
+  | Some _ -> ()  (* dead code after return: drop *)
+  | None -> st.blocks.(st.cur) <- (label, instr :: instrs, None)
+
+let seal st term =
+  let label, instrs, t = st.blocks.(st.cur) in
+  match t with
+  | Some _ -> ()
+  | None -> st.blocks.(st.cur) <- (label, instrs, Some term)
+
+let switch_to st label = st.cur <- label
+
+let fresh_tmp st =
+  let n = st.tmp in
+  st.tmp <- n + 1;
+  let name = Printf.sprintf "%%t%d" n in
+  st.locals <- name :: st.locals;
+  name
+
+(* Lower an expression to a pure IR expression, emitting call instructions
+   and short-circuit control flow as needed. *)
+let rec lower_expr st (e : expr_node) : Ir.expr =
+  match e.expr with
+  | Int n -> Ir.Const n
+  | Var v -> Ir.Load v
+  | Index (a, i) ->
+      let a' = lower_expr st a in
+      let i' = lower_expr st i in
+      Ir.Index (a', i')
+  | Binop ((Land | Lor), _, _) | Unop (Not, _) ->
+      (* Value position: materialise the boolean through jumping code. *)
+      let t = fresh_tmp st in
+      let l_true = new_block st in
+      let l_false = new_block st in
+      let l_join = new_block st in
+      lower_cond st e l_true l_false;
+      switch_to st l_true;
+      let s1 = new_site st e.epos Ir.Sassign in
+      emit st (Ir.Assign { dst = t; e = Ir.Const 1; site = s1 });
+      seal st (Ir.Goto l_join);
+      switch_to st l_false;
+      let s0 = new_site st e.epos Ir.Sassign in
+      emit st (Ir.Assign { dst = t; e = Ir.Const 0; site = s0 });
+      seal st (Ir.Goto l_join);
+      switch_to st l_join;
+      Ir.Load t
+  | Binop (op, a, b) ->
+      let a' = lower_expr st a in
+      let b' = lower_expr st b in
+      Ir.Binop (op, a', b')
+  | Unop (op, a) -> Ir.Unop (op, lower_expr st a)
+  | Call (callee, args) ->
+      let args' = List.map (lower_expr st) args in
+      let t = fresh_tmp st in
+      let site = new_site st e.epos Ir.Scall in
+      emit st (Ir.CallI { dst = Some t; callee; args = args'; site });
+      Ir.Load t
+  | In a -> Ir.InByte (lower_expr st a)
+  | Len -> Ir.InputLen
+  | ArrayMake a -> Ir.ArrayMake (lower_expr st a)
+  | ArrayLen a -> Ir.ArrayLen (lower_expr st a)
+  | Abs a -> Ir.Abs (lower_expr st a)
+
+(* Lower [e] as a condition jumping to [l_true]/[l_false]. *)
+and lower_cond st (e : expr_node) l_true l_false : unit =
+  match e.expr with
+  | Binop (Land, a, b) ->
+      let l_mid = new_block st in
+      lower_cond st a l_mid l_false;
+      switch_to st l_mid;
+      lower_cond st b l_true l_false
+  | Binop (Lor, a, b) ->
+      let l_mid = new_block st in
+      lower_cond st a l_true l_mid;
+      switch_to st l_mid;
+      lower_cond st b l_true l_false
+  | Unop (Not, a) -> lower_cond st a l_false l_true
+  | _ ->
+      let c = lower_expr st e in
+      let site = new_site st e.epos Ir.Sbranch in
+      seal st (Ir.Branch { cond = c; if_true = l_true; if_false = l_false; site })
+
+let rec lower_block st (b : block) : unit = List.iter (lower_stmt st) b
+
+and lower_stmt st (s : stmt_node) : unit =
+  match s.stmt with
+  | Decl (name, init) ->
+      if not (List.mem name st.locals) then st.locals <- name :: st.locals;
+      let e =
+        match init with Some e -> lower_expr st e | None -> Ir.Const 0
+      in
+      let site = new_site st s.spos Ir.Sassign in
+      emit st (Ir.Assign { dst = name; e; site })
+  | Assign (name, e) ->
+      let e' = lower_expr st e in
+      let site = new_site st s.spos Ir.Sassign in
+      emit st (Ir.Assign { dst = name; e = e'; site })
+  | Store (base, idx, v) ->
+      let base' = lower_expr st base in
+      let idx' = lower_expr st idx in
+      let v' = lower_expr st v in
+      let site = new_site st s.spos Ir.Sstore in
+      emit st (Ir.Store { base = base'; idx = idx'; v = v'; site })
+  | If (cond, then_, else_) ->
+      let l_then = new_block st in
+      let l_else = new_block st in
+      let l_join = new_block st in
+      lower_cond st cond l_then l_else;
+      switch_to st l_then;
+      lower_block st then_;
+      seal st (Ir.Goto l_join);
+      switch_to st l_else;
+      lower_block st else_;
+      seal st (Ir.Goto l_join);
+      switch_to st l_join
+  | While (cond, body) ->
+      let l_head = new_block st in
+      let l_body = new_block st in
+      let l_exit = new_block st in
+      seal st (Ir.Goto l_head);
+      switch_to st l_head;
+      lower_cond st cond l_body l_exit;
+      switch_to st l_body;
+      lower_block st body;
+      seal st (Ir.Goto l_head);
+      switch_to st l_exit
+  | Return e ->
+      let e' = Option.map (lower_expr st) e in
+      let site = new_site st s.spos Ir.Sreturn in
+      seal st (Ir.Ret { e = e'; site });
+      (* Open a fresh (unreachable) block for any trailing statements. *)
+      let l = new_block st in
+      switch_to st l
+  | ExprStmt e ->
+      (* Only the side effects (calls) matter; a pure result is dropped. *)
+      begin
+        match e.expr with
+        | Call (callee, args) ->
+            let args' = List.map (lower_expr st) args in
+            let site = new_site st e.epos Ir.Scall in
+            emit st (Ir.CallI { dst = None; callee; args = args'; site })
+        | _ -> ignore (lower_expr st e)
+      end
+  | Bug id ->
+      let site = new_site st s.spos (Ir.Sbug id) in
+      emit st (Ir.BugI { bug = id; site })
+  | Check (cond, id) ->
+      let c = lower_expr st cond in
+      let site = new_site st s.spos (Ir.Scheck id) in
+      emit st (Ir.CheckI { cond = c; bug = id; site })
+
+(* Drop unreachable blocks and compact labels so that blocks.(i).label = i. *)
+let prune_and_compact (blocks : (int * Ir.instr list * Ir.term option) array)
+    (n : int) : Ir.block array =
+  let term_of i =
+    let _, _, t = blocks.(i) in
+    match t with Some t -> t | None -> Ir.Ret { e = None; site = -1 }
+  in
+  let visited = Array.make n false in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs (Ir.successors (term_of i))
+    end
+  in
+  dfs 0;
+  let remap = Array.make n (-1) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if visited.(i) then begin
+      remap.(i) <- !count;
+      incr count
+    end
+  done;
+  let remap_term = function
+    | Ir.Goto l -> Ir.Goto remap.(l)
+    | Ir.Branch b ->
+        Ir.Branch { b with if_true = remap.(b.if_true); if_false = remap.(b.if_false) }
+    | Ir.Ret _ as t -> t
+  in
+  let out = Array.make !count { Ir.label = 0; instrs = []; term = Ir.Goto 0 } in
+  for i = 0 to n - 1 do
+    if visited.(i) then begin
+      let _, rev_instrs, _ = blocks.(i) in
+      out.(remap.(i)) <-
+        {
+          Ir.label = remap.(i);
+          instrs = List.rev rev_instrs;
+          term = remap_term (term_of i);
+        }
+    end
+  done;
+  out
+
+let lower_func sites nsites (f : func) : Ir.func =
+  let st =
+    {
+      blocks = Array.make 8 (0, [], None);
+      nblocks = 0;
+      cur = 0;
+      tmp = 0;
+      locals = [];
+      sites;
+      nsites;
+      fname = f.fname;
+    }
+  in
+  let entry = new_block st in
+  switch_to st entry;
+  lower_block st f.body;
+  (* Implicit return at the end of the body. *)
+  let site = new_site st f.fpos Ir.Sreturn in
+  seal st (Ir.Ret { e = None; site });
+  {
+    Ir.name = f.fname;
+    params = f.params;
+    locals = List.rev st.locals;
+    blocks = prune_and_compact st.blocks st.nblocks;
+  }
+
+(** Lower a checked program to IR. *)
+let lower (p : program) : Ir.program =
+  let sites = ref [] in
+  let nsites = ref 0 in
+  let funcs = Array.of_list (List.map (lower_func sites nsites) p.funcs) in
+  let site_arr = Array.of_list (List.rev !sites) in
+  { Ir.globals = p.globals; funcs; sites = site_arr }
+
+(** Front-end pipeline: parse, check, lower. *)
+let compile (src : string) : Ir.program = lower (Sema.front src)

@@ -1,0 +1,314 @@
+(** Recursive-descent parser for MiniC with precedence climbing for
+    expressions. Raises [Error] with a message and position on bad input. *)
+
+open Ast
+
+exception Error of string * pos
+
+type state = { mutable toks : Lexer.tok list }
+
+let peek st =
+  match st.toks with [] -> { Lexer.tok = Lexer.EOF; pos = dummy_pos } | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: r -> st.toks <- r
+
+let errorf p fmt = Format.kasprintf (fun s -> raise (Error (s, p))) fmt
+
+let expect_punct st s =
+  let t = peek st in
+  match t.tok with
+  | Lexer.PUNCT p when p = s -> advance st
+  | other -> errorf t.pos "expected %S, got %S" s (Lexer.token_to_string other)
+
+let expect_kw st s =
+  let t = peek st in
+  match t.tok with
+  | Lexer.KW k when k = s -> advance st
+  | other -> errorf t.pos "expected keyword %S, got %S" s (Lexer.token_to_string other)
+
+let expect_ident st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | other -> errorf t.pos "expected identifier, got %S" (Lexer.token_to_string other)
+
+let expect_int st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | other -> errorf t.pos "expected integer, got %S" (Lexer.token_to_string other)
+
+let accept_punct st s =
+  match (peek st).tok with
+  | Lexer.PUNCT p when p = s ->
+      advance st;
+      true
+  | _ -> false
+
+(* Binary operator precedence: higher binds tighter. *)
+let binop_of_punct = function
+  | "||" -> Some (Lor, 1)
+  | "&&" -> Some (Land, 2)
+  | "|" -> Some (Bor, 3)
+  | "^" -> Some (Bxor, 4)
+  | "&" -> Some (Band, 5)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Rem, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binop st 0
+
+and parse_binop st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    let t = peek st in
+    match t.tok with
+    | Lexer.PUNCT p -> begin
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            advance st;
+            let rhs = parse_binop st (prec + 1) in
+            loop { expr = Binop (op, lhs, rhs); epos = t.pos }
+        | _ -> lhs
+      end
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.PUNCT "-" ->
+      advance st;
+      let e = parse_unary st in
+      { expr = Unop (Neg, e); epos = t.pos }
+  | Lexer.PUNCT "!" ->
+      advance st;
+      let e = parse_unary st in
+      { expr = Unop (Not, e); epos = t.pos }
+  | Lexer.PUNCT "~" ->
+      advance st;
+      let e = parse_unary st in
+      { expr = Unop (Bnot, e); epos = t.pos }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let base = parse_atom st in
+  let rec loop base =
+    if accept_punct st "[" then begin
+      let idx = parse_expr st in
+      expect_punct st "]";
+      loop { expr = Index (base, idx); epos = base.epos }
+    end
+    else base
+  in
+  loop base
+
+and parse_args st =
+  expect_punct st "(";
+  if accept_punct st ")" then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if accept_punct st "," then loop (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+and parse_atom st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.INT n ->
+      advance st;
+      { expr = Int n; epos = t.pos }
+  | Lexer.IDENT name ->
+      advance st;
+      if (peek st).tok = Lexer.PUNCT "(" then
+        { expr = Call (name, parse_args st); epos = t.pos }
+      else { expr = Var name; epos = t.pos }
+  | Lexer.KW "in" ->
+      advance st;
+      begin
+        match parse_args st with
+        | [ e ] -> { expr = In e; epos = t.pos }
+        | args -> errorf t.pos "in() takes 1 argument, got %d" (List.length args)
+      end
+  | Lexer.KW "len" ->
+      advance st;
+      expect_punct st "(";
+      expect_punct st ")";
+      { expr = Len; epos = t.pos }
+  | Lexer.KW "array" ->
+      advance st;
+      begin
+        match parse_args st with
+        | [ e ] -> { expr = ArrayMake e; epos = t.pos }
+        | args -> errorf t.pos "array() takes 1 argument, got %d" (List.length args)
+      end
+  | Lexer.KW "array_len" ->
+      advance st;
+      begin
+        match parse_args st with
+        | [ e ] -> { expr = ArrayLen e; epos = t.pos }
+        | args ->
+            errorf t.pos "array_len() takes 1 argument, got %d" (List.length args)
+      end
+  | Lexer.KW "abs" ->
+      advance st;
+      begin
+        match parse_args st with
+        | [ e ] -> { expr = Abs e; epos = t.pos }
+        | args -> errorf t.pos "abs() takes 1 argument, got %d" (List.length args)
+      end
+  | Lexer.PUNCT "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | other -> errorf t.pos "unexpected token %S in expression" (Lexer.token_to_string other)
+
+let rec parse_stmt st : stmt_node =
+  let t = peek st in
+  match t.tok with
+  | Lexer.KW "var" ->
+      advance st;
+      let name = expect_ident st in
+      let init = if accept_punct st "=" then Some (parse_expr st) else None in
+      expect_punct st ";";
+      { stmt = Decl (name, init); spos = t.pos }
+  | Lexer.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let then_ = parse_block st in
+      let else_ =
+        match (peek st).tok with
+        | Lexer.KW "else" ->
+            advance st;
+            if (peek st).tok = Lexer.KW "if" then [ parse_stmt st ]
+            else parse_block st
+        | _ -> []
+      in
+      { stmt = If (cond, then_, else_); spos = t.pos }
+  | Lexer.KW "while" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let body = parse_block st in
+      { stmt = While (cond, body); spos = t.pos }
+  | Lexer.KW "return" ->
+      advance st;
+      if accept_punct st ";" then { stmt = Return None; spos = t.pos }
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        { stmt = Return (Some e); spos = t.pos }
+      end
+  | Lexer.KW "bug" ->
+      advance st;
+      expect_punct st "(";
+      let id = expect_int st in
+      expect_punct st ")";
+      expect_punct st ";";
+      { stmt = Bug id; spos = t.pos }
+  | Lexer.KW "check" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ",";
+      let id = expect_int st in
+      expect_punct st ")";
+      expect_punct st ";";
+      { stmt = Check (cond, id); spos = t.pos }
+  | _ ->
+      (* Expression-led statement: assignment, store or bare call. *)
+      let e = parse_expr st in
+      if accept_punct st "=" then begin
+        let rhs = parse_expr st in
+        expect_punct st ";";
+        match e.expr with
+        | Var name -> { stmt = Assign (name, rhs); spos = t.pos }
+        | Index (base, idx) -> { stmt = Store (base, idx, rhs); spos = t.pos }
+        | _ -> errorf t.pos "invalid assignment target"
+      end
+      else begin
+        expect_punct st ";";
+        { stmt = ExprStmt e; spos = t.pos }
+      end
+
+and parse_block st : block =
+  expect_punct st "{";
+  let rec loop acc =
+    if accept_punct st "}" then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_params st =
+  expect_punct st "(";
+  if accept_punct st ")" then []
+  else
+    let rec loop acc =
+      let p = expect_ident st in
+      if accept_punct st "," then loop (p :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (p :: acc)
+      end
+    in
+    loop []
+
+let parse_program (src : string) : program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop globals funcs =
+    let t = peek st in
+    match t.tok with
+    | Lexer.EOF -> { globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KW "global" ->
+        advance st;
+        let name = expect_ident st in
+        let g =
+          if accept_punct st "[" then begin
+            let n = expect_int st in
+            expect_punct st "]";
+            Garr (name, n)
+          end
+          else Gint name
+        in
+        expect_punct st ";";
+        loop (g :: globals) funcs
+    | Lexer.KW "fn" ->
+        advance st;
+        let name = expect_ident st in
+        let params = parse_params st in
+        let body = parse_block st in
+        loop globals ({ fname = name; params; body; fpos = t.pos } :: funcs)
+    | other ->
+        errorf t.pos "expected 'fn' or 'global' at top level, got %S"
+          (Lexer.token_to_string other)
+  in
+  loop [] []
+
+(** Parse a program, converting lexer errors into parser errors. *)
+let parse src =
+  try parse_program src
+  with Lexer.Error (msg, pos) -> raise (Error ("lexer: " ^ msg, pos))

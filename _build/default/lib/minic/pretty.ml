@@ -1,0 +1,52 @@
+(** Printers for IR programs, used by diagnostics, examples and tests. *)
+
+open Ir
+
+let rec pp_expr fmt = function
+  | Const n -> Fmt.int fmt n
+  | Load v -> Fmt.string fmt v
+  | Index (a, i) -> Fmt.pf fmt "%a[%a]" pp_expr a pp_expr i
+  | Binop (op, a, b) ->
+      Fmt.pf fmt "(%a %s %a)" pp_expr a (Ast.binop_to_string op) pp_expr b
+  | Unop (op, a) -> Fmt.pf fmt "%s%a" (Ast.unop_to_string op) pp_expr a
+  | InByte e -> Fmt.pf fmt "in(%a)" pp_expr e
+  | InputLen -> Fmt.string fmt "len()"
+  | ArrayMake e -> Fmt.pf fmt "array(%a)" pp_expr e
+  | ArrayLen e -> Fmt.pf fmt "array_len(%a)" pp_expr e
+  | Abs e -> Fmt.pf fmt "abs(%a)" pp_expr e
+
+let pp_instr fmt = function
+  | Assign { dst; e; _ } -> Fmt.pf fmt "%s = %a" dst pp_expr e
+  | Store { base; idx; v; _ } ->
+      Fmt.pf fmt "%a[%a] = %a" pp_expr base pp_expr idx pp_expr v
+  | CallI { dst = Some d; callee; args; _ } ->
+      Fmt.pf fmt "%s = %s(%a)" d callee Fmt.(list ~sep:comma pp_expr) args
+  | CallI { dst = None; callee; args; _ } ->
+      Fmt.pf fmt "%s(%a)" callee Fmt.(list ~sep:comma pp_expr) args
+  | BugI { bug; _ } -> Fmt.pf fmt "bug(%d)" bug
+  | CheckI { cond; bug; _ } -> Fmt.pf fmt "check(%a, %d)" pp_expr cond bug
+
+let pp_term fmt = function
+  | Goto l -> Fmt.pf fmt "goto L%d" l
+  | Branch { cond; if_true; if_false; _ } ->
+      Fmt.pf fmt "if %a then L%d else L%d" pp_expr cond if_true if_false
+  | Ret { e = Some e; _ } -> Fmt.pf fmt "ret %a" pp_expr e
+  | Ret { e = None; _ } -> Fmt.string fmt "ret"
+
+let pp_block fmt (b : block) =
+  Fmt.pf fmt "@[<v 2>L%d:" b.label;
+  List.iter (fun i -> Fmt.pf fmt "@ %a" pp_instr i) b.instrs;
+  Fmt.pf fmt "@ %a@]" pp_term b.term
+
+let pp_func fmt (f : func) =
+  Fmt.pf fmt "@[<v 2>fn %s(%a):@ %a@]" f.name
+    Fmt.(list ~sep:comma string)
+    f.params
+    Fmt.(array ~sep:(any "@ ") pp_block)
+    f.blocks
+
+let pp_program fmt (p : program) =
+  Fmt.pf fmt "@[<v>%a@]" Fmt.(array ~sep:(any "@ @ ") pp_func) p.funcs
+
+let func_to_string f = Fmt.str "%a" pp_func f
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,161 @@
+(** Semantic checks for MiniC programs: scoping, arity, entry point and
+    ground-truth bug-id uniqueness. MiniC values are dynamically typed in the
+    VM (ints vs arrays), so [check] validates names and shapes, not types. *)
+
+open Ast
+
+type error = { msg : string; pos : pos }
+
+exception Error of error
+
+let errorf pos fmt = Format.kasprintf (fun msg -> raise (Error { msg; pos })) fmt
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+(** All seeded bug ids appearing in [Bug]/[Check] statements, sorted. *)
+let bug_ids (p : program) : int list =
+  let ids = ref [] in
+  let rec walk_block b = List.iter walk_stmt b
+  and walk_stmt s =
+    match s.stmt with
+    | Bug id -> ids := id :: !ids
+    | Check (_, id) -> ids := id :: !ids
+    | If (_, a, b) ->
+        walk_block a;
+        walk_block b
+    | While (_, b) -> walk_block b
+    | Decl _ | Assign _ | Store _ | Return _ | ExprStmt _ -> ()
+  in
+  List.iter (fun f -> walk_block f.body) p.funcs;
+  List.sort_uniq compare !ids
+
+let check (p : program) : unit =
+  (* Function table: unique names, collect arities. *)
+  let arities =
+    List.fold_left
+      (fun m f ->
+        if SMap.mem f.fname m then
+          errorf f.fpos "duplicate function %s" f.fname
+        else SMap.add f.fname (List.length f.params) m)
+      SMap.empty p.funcs
+  in
+  begin
+    match SMap.find_opt "main" arities with
+    | Some 0 -> ()
+    | Some n -> errorf dummy_pos "main must take 0 parameters, has %d" n
+    | None -> errorf dummy_pos "missing entry function main"
+  end;
+  let globals =
+    List.fold_left
+      (fun s g ->
+        let name = match g with Gint n | Garr (n, _) -> n in
+        if SSet.mem name s then errorf dummy_pos "duplicate global %s" name
+        else SSet.add name s)
+      SSet.empty p.globals
+  in
+  List.iter
+    (fun g ->
+      match g with
+      | Garr (name, n) when n <= 0 ->
+          errorf dummy_pos "global array %s has non-positive size %d" name n
+      | Garr _ | Gint _ -> ())
+    p.globals;
+  (* Bug ids must be globally unique: they are ground-truth identities. *)
+  let seen = Hashtbl.create 16 in
+  let rec collect_block b = List.iter collect_stmt b
+  and collect_stmt s =
+    match s.stmt with
+    | Bug id | Check (_, id) ->
+        if Hashtbl.mem seen id then errorf s.spos "duplicate bug id %d" id
+        else Hashtbl.add seen id ()
+    | If (_, a, b) ->
+        collect_block a;
+        collect_block b
+    | While (_, b) -> collect_block b
+    | Decl _ | Assign _ | Store _ | Return _ | ExprStmt _ -> ()
+  in
+  List.iter (fun f -> collect_block f.body) p.funcs;
+  (* Per-function scope checks. MiniC scoping is function-wide: a [var]
+     declaration is visible from its statement to the end of the function,
+     including inside nested blocks entered after it. *)
+  let check_func f =
+    let rec check_expr env (e : expr_node) =
+      match e.expr with
+      | Int _ | Len -> ()
+      | Var v ->
+          if not (SSet.mem v env || SSet.mem v globals) then
+            errorf e.epos "unbound variable %s in %s" v f.fname
+      | Index (a, i) ->
+          check_expr env a;
+          check_expr env i
+      | Binop (_, a, b) ->
+          check_expr env a;
+          check_expr env b
+      | Unop (_, a) | In a | ArrayMake a | ArrayLen a | Abs a -> check_expr env a
+      | Call (name, args) -> begin
+          match SMap.find_opt name arities with
+          | None -> errorf e.epos "call to undefined function %s" name
+          | Some arity ->
+              if arity <> List.length args then
+                errorf e.epos "%s expects %d arguments, got %d" name arity
+                  (List.length args);
+              List.iter (check_expr env) args
+        end
+    in
+    let rec check_block env b =
+      List.fold_left
+        (fun env s ->
+          match s.stmt with
+          | Decl (name, init) ->
+              Option.iter (check_expr env) init;
+              SSet.add name env
+          | Assign (name, e) ->
+              if not (SSet.mem name env || SSet.mem name globals) then
+                errorf s.spos "assignment to undeclared variable %s" name;
+              check_expr env e;
+              env
+          | Store (base, idx, v) ->
+              check_expr env base;
+              check_expr env idx;
+              check_expr env v;
+              env
+          | If (c, a, b) ->
+              check_expr env c;
+              ignore (check_block env a);
+              ignore (check_block env b);
+              env
+          | While (c, body) ->
+              check_expr env c;
+              ignore (check_block env body);
+              env
+          | Return (Some e) ->
+              check_expr env e;
+              env
+          | Return None -> env
+          | ExprStmt e ->
+              check_expr env e;
+              env
+          | Bug _ -> env
+          | Check (c, _) ->
+              check_expr env c;
+              env)
+        env b
+    in
+    let params =
+      List.fold_left
+        (fun s p ->
+          if SSet.mem p s then
+            errorf f.fpos "duplicate parameter %s in %s" p f.fname
+          else SSet.add p s)
+        SSet.empty f.params
+    in
+    ignore (check_block params f.body)
+  in
+  List.iter check_func p.funcs
+
+(** Parse then check; the one-stop front-end entry point. *)
+let front (src : string) : program =
+  let p = Parser.parse src in
+  check p;
+  p

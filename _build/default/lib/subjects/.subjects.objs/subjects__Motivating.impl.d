@@ -1,0 +1,1 @@
+lib/subjects/motivating.ml: String Subject Vm

@@ -1,0 +1,1 @@
+lib/subjects/s_cflow.ml: String Subject

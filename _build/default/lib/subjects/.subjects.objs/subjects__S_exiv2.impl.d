@@ -1,0 +1,1 @@
+lib/subjects/s_exiv2.ml: List String Subject

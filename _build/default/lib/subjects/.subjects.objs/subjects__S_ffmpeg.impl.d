@@ -1,0 +1,1 @@
+lib/subjects/s_ffmpeg.ml: List String Subject

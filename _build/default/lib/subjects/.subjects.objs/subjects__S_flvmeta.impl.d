@@ -1,0 +1,1 @@
+lib/subjects/s_flvmeta.ml: String Subject

@@ -1,0 +1,1 @@
+lib/subjects/s_gdk.ml: List String Subject

@@ -1,0 +1,1 @@
+lib/subjects/s_infotocap.ml: String Subject

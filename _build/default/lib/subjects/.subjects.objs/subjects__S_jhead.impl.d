@@ -1,0 +1,1 @@
+lib/subjects/s_jhead.ml: List String Subject

@@ -1,0 +1,1 @@
+lib/subjects/s_jq.ml: Subject

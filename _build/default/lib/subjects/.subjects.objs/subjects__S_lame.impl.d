@@ -1,0 +1,1 @@
+lib/subjects/s_lame.ml: List String Subject

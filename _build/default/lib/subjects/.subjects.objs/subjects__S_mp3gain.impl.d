@@ -1,0 +1,1 @@
+lib/subjects/s_mp3gain.ml: Array String Subject

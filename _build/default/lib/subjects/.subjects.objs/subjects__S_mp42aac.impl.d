@@ -1,0 +1,1 @@
+lib/subjects/s_mp42aac.ml: String Subject

@@ -1,0 +1,1 @@
+lib/subjects/s_mujs.ml: String Subject

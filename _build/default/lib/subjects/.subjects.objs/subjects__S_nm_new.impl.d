@@ -1,0 +1,1 @@
+lib/subjects/s_nm_new.ml: List String Subject

@@ -1,0 +1,1 @@
+lib/subjects/s_objdump.ml: List String Subject

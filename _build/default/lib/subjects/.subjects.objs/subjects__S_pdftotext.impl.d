@@ -1,0 +1,1 @@
+lib/subjects/s_pdftotext.ml: List String Subject

@@ -1,0 +1,1 @@
+lib/subjects/s_sqlite3.ml: Subject

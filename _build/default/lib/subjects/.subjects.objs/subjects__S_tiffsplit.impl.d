@@ -1,0 +1,1 @@
+lib/subjects/s_tiffsplit.ml: List String Subject

@@ -1,0 +1,1 @@
+lib/subjects/subject.ml: Array Char Hashtbl List Minic String Vm

@@ -1,0 +1,61 @@
+(** The paper's Figure 1 motivating example, transliterated to MiniC: a
+    heap overflow in [foo] that triggers only when execution reaches
+    [arr[l + j]] through the rare [j = 3] block with a long input starting
+    with 'h'. Used by the quickstart example, the Figure 1 generator and
+    the test suite. *)
+
+let source =
+  {|
+// Figure 1: arr is a heap array of size N=54; the write at arr[l + j]
+// overflows only when the rare block set j = 3 and l = 52.
+fn foo() {
+  var arr = array(54);
+  var l = len();
+  if (l > 54 || l < 3) {
+    return 0;
+  }
+  var j = 0;
+  if (l % 4 == 0 && l > 39) {
+    j = 3;                       // rare to reach
+  } else {
+    j = 0 - 2;
+  }
+  var c = in(0);
+  if (c == 104) {
+    // buffer overflow if reached via the rare block and l = 52
+    arr[l + j] = 7;
+  } else {
+    j = abs(j);
+    arr[j] = 0;
+  }
+  return j;
+}
+
+fn main() {
+  return foo();
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "motivating";
+    description = "Figure 1 motivating example (path-dependent heap overflow)";
+    source;
+    seeds = [ "hello"; "some longer input to mutate" ];
+    bugs =
+      [
+        {
+          id = 0;
+          (* the overflow is organic (no seeded id): identified by site *)
+          summary = "heap overflow via rare block with len=52 and leading 'h'";
+          bug_class = Subject.Path_dependent;
+          witness = "h" ^ String.make 51 'x';
+        };
+      ];
+  }
+
+(** The organic overflow's ground-truth identity (site-based). *)
+let overflow_identity () : Vm.Crash.identity =
+  match Vm.Interp.crash_of (Subject.program subject) ~input:("h" ^ String.make 51 'x') with
+  | Some crash -> Vm.Crash.bug_identity crash
+  | None -> failwith "motivating example witness no longer crashes"

@@ -1,0 +1,37 @@
+(** All benchmark subjects, in the order the paper's tables list them. *)
+
+let all : Subject.t list =
+  [
+    S_cflow.subject;
+    S_exiv2.subject;
+    S_ffmpeg.subject;
+    S_flvmeta.subject;
+    S_gdk.subject;
+    S_imginfo.subject;
+    S_infotocap.subject;
+    S_jhead.subject;
+    S_jq.subject;
+    S_lame.subject;
+    S_mp3gain.subject;
+    S_mp42aac.subject;
+    S_mujs.subject;
+    S_nm_new.subject;
+    S_objdump.subject;
+    S_pdftotext.subject;
+    S_sqlite3.subject;
+    S_tiffsplit.subject;
+  ]
+
+let find (name : string) : Subject.t option =
+  List.find_opt (fun (s : Subject.t) -> s.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "unknown subject %s" name)
+
+let names () = List.map (fun (s : Subject.t) -> s.name) all
+
+(** Total ground-truth bug count across the suite. *)
+let total_bugs () =
+  List.fold_left (fun acc (s : Subject.t) -> acc + List.length s.bugs) 0 all

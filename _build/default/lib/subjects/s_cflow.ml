@@ -1,0 +1,136 @@
+(** cflow stand-in: a C call-graph extractor skeleton. Input is a token
+    stream (one byte per token). Reproduces the §V-A case study: an
+    out-of-bounds index ([curs]) that grows through repeated executions of
+    the same functions while [parse_function_declaration] skips unexpected
+    tokens — the loop-accumulation bug the paper's path fuzzer found and
+    pcguard missed. *)
+
+let source =
+  {|
+// cflow: token stream parser. Tokens (one byte each):
+//   'f' function keyword, '(' ')' '{' '}' ';' punctuation,
+//   'i' identifier, 's' storage-class, '*' pointer, others skipped.
+global token_stack[16];
+global curs;
+global depth;
+global saw_proto;
+global storage_classes;
+
+fn push_token(t) {
+  // parser.c:302 analogue: the index creeps up across repeated
+  // skip-unexpected-token cycles; the original has no bounds check.
+  check(curs < 16, 101);
+  token_stack[curs] = t;
+  curs = curs + 1;
+  return 0;
+}
+
+fn pop_token() {
+  if (curs > 0) {
+    curs = curs - 1;
+    return token_stack[curs];
+  }
+  return -1;
+}
+
+fn parse_function_declaration(pos) {
+  var p = pos;
+  var t = in(p);
+  while (t != -1 && t != 123) {
+    if (t == 40) {
+      saw_proto = 1;
+    } else {
+      if (t == 115) {
+        storage_classes = storage_classes + 1;
+      } else {
+        if (t != 41 && t != 59 && t != 42) {
+          push_token(t);
+        }
+      }
+    }
+    p = p + 1;
+    t = in(p);
+  }
+  return p;
+}
+
+fn parse_body(pos) {
+  var p = pos + 1;
+  var t = in(p);
+  while (t != -1 && t != 125) {
+    if (t == 123) {
+      depth = depth + 1;
+      check(depth < 8, 102);
+    }
+    if (t == 105) {
+      // identifier inside a body: a call site if followed by '('
+      if (saw_proto == 1 && depth == 0 && in(p + 1) == 40) {
+        // path-dependent: prototype parens seen during the declaration
+        // AND a top-level call expression in the body
+        bug(103);
+      }
+      if (storage_classes >= 3 && pop_token() == 105) {
+        // three storage-class tokens skipped, then an identifier call
+        // with an identifier on the token stack: confused symbol table
+        bug(104);
+      }
+    }
+    p = p + 1;
+    t = in(p);
+  }
+  return p;
+}
+
+fn main() {
+  curs = 0;
+  depth = 0;
+  saw_proto = 0;
+  storage_classes = 0;
+  var p = 0;
+  while (in(p) != -1) {
+    if (in(p) == 102) {
+      p = parse_function_declaration(p + 1);
+      if (in(p) == 123) {
+        p = parse_body(p);
+      }
+    }
+    p = p + 1;
+  }
+  return curs;
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "cflow";
+    description = "C call-graph extractor skeleton over a token stream";
+    source;
+    seeds = [ "fi(){ii;}"; "f(){x}"; "fsi*(){i;}" ];
+    bugs =
+      [
+        {
+          id = 101;
+          summary = "token_stack overflow via repeated skipped tokens";
+          bug_class = Subject.Loop_accumulation;
+          witness = "f" ^ String.make 17 'a';
+        };
+        {
+          id = 102;
+          summary = "nesting depth overflow in parse_body";
+          bug_class = Subject.Shallow;
+          witness = "f{" ^ String.make 8 '{';
+        };
+        {
+          id = 103;
+          summary = "top-level call after prototype confuses declaration parser";
+          bug_class = Subject.Path_dependent;
+          witness = "f({i(";
+        };
+        {
+          id = 104;
+          summary = "storage-class tokens plus stacked identifier misparse";
+          bug_class = Subject.Path_dependent;
+          witness = "fisss{i;";
+        };
+      ];
+  }

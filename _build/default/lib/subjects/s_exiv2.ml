@@ -1,0 +1,181 @@
+(** exiv2 stand-in: a TIFF/EXIF metadata parser (C++-heavy in UNIFUZZ,
+    8 bugs in the paper's Table II). Byte-order handling, IFD entry
+    decoding with type/count validation, and a sub-IFD recursion. *)
+
+let source =
+  {|
+// exiv2: TIFF byte-order header + IFD walker with sub-IFD recursion.
+global big_endian;
+global ifds_visited;
+global ratios_seen;
+global last_tag;
+
+fn u16(p) {
+  if (big_endian == 1) {
+    return (in(p) * 256) + in(p + 1);
+  }
+  return in(p) + (in(p + 1) * 256);
+}
+
+fn u32(p) {
+  if (big_endian == 1) {
+    return (u16(p) * 65536) + u16(p + 2);
+  }
+  return u16(p) + (u16(p + 2) * 65536);
+}
+
+fn type_size(t) {
+  if (t == 1 || t == 2) { return 1; }
+  if (t == 3) { return 2; }
+  if (t == 4) { return 4; }
+  if (t == 5) { return 8; }
+  return 0;
+}
+
+fn parse_entry(p) {
+  var tag = in(p) + (in(p + 1) * 256);
+  if (big_endian == 1) {
+    tag = (in(p) * 256) + in(p + 1);
+  }
+  var typ = u16(p + 2);
+  var count = u32(p + 4);
+  var ts = type_size(typ);
+  if (ts == 0) {
+    return 0;                           // unknown type, skipped
+  }
+  var bytes = ts * count;
+  check(bytes >= 0 && bytes < 65536, 171);  // count * size overflow
+  if (typ == 5) {
+    ratios_seen = ratios_seen + 1;
+    var denom = u32(p + 8);
+    if (denom == 0 && ratios_seen > 1) {
+      // zero denominator in a second RATIONAL: the first parse primes a
+      // cached conversion state (path-dependent)
+      bug(172);
+    }
+  }
+  if (tag == 34665) {
+    // EXIF sub-IFD pointer
+    var off = u32(p + 8);
+    if (off > 0 && off < len()) {
+      parse_ifd(off);
+    }
+  }
+  if (tag < last_tag && typ == 2 && big_endian == 1) {
+    // unsorted ASCII tag on big-endian: wrong binary-search assumption
+    bug(173);
+  }
+  last_tag = tag;
+  return 1;
+}
+
+fn parse_ifd(p) {
+  ifds_visited = ifds_visited + 1;
+  check(ifds_visited <= 4, 174);        // unbounded sub-IFD recursion
+  var n = u16(p);
+  if (n < 0 || n > 64) {
+    return -1;
+  }
+  var i = 0;
+  while (i < n) {
+    parse_entry(p + 2 + (i * 12));
+    i = i + 1;
+  }
+  var next = u32(p + 2 + (n * 12));
+  if (next > 0 && next < len() && next != p) {
+    parse_ifd(next);
+  }
+  return n;
+}
+
+fn main() {
+  big_endian = 0;
+  ifds_visited = 0;
+  ratios_seen = 0;
+  last_tag = 0;
+  // "II*\0" or "MM\0*"
+  if (in(0) == 73 && in(1) == 73 && in(2) == 42) {
+    big_endian = 0;
+  } else {
+    if (in(0) == 77 && in(1) == 77 && in(3) == 42) {
+      big_endian = 1;
+    } else {
+      return 1;
+    }
+  }
+  var first = u32(4);
+  if (first <= 0 || first >= len()) {
+    return 2;
+  }
+  parse_ifd(first);
+  return 0;
+}
+|}
+
+let b = Subject.b
+let u16le = Subject.u16le
+let u32le = Subject.u32le
+
+(* little-endian TIFF with one IFD at offset 8 *)
+let tiff_le entries =
+  let n = List.length entries in
+  "II*" ^ b [ 0 ] ^ u32le 8 ^ u16le n
+  ^ String.concat ""
+      (List.map
+         (fun (tag, typ, count, value) -> u16le tag ^ u16le typ ^ u32le count ^ u32le value)
+         entries)
+  ^ u32le 0
+
+let u16be v = b [ (v lsr 8) land 255; v land 255 ]
+let u32be v = b [ (v lsr 24) land 255; (v lsr 16) land 255; (v lsr 8) land 255; v land 255 ]
+
+let tiff_be entries =
+  let n = List.length entries in
+  "MM" ^ b [ 0; 42 ] ^ u32be 8 ^ u16be n
+  ^ String.concat ""
+      (List.map
+         (fun (tag, typ, count, value) -> u16be tag ^ u16be typ ^ u32be count ^ u32be value)
+         entries)
+  ^ u32be 0
+
+let subject : Subject.t =
+  {
+    name = "exiv2";
+    description = "TIFF/EXIF IFD walker with byte-order and sub-IFD handling";
+    source;
+    seeds =
+      [
+        tiff_le [ (256, 3, 1, 64); (257, 3, 1, 64) ];
+        tiff_be [ (256, 3, 1, 64); (282, 5, 1, 72) ];
+        tiff_le [ (34665, 4, 1, 0) ];
+      ];
+    bugs =
+      [
+        {
+          id = 171;
+          summary = "type-size * count multiplication overflow";
+          bug_class = Subject.Shallow;
+          witness = tiff_le [ (256, 4, 70000, 0) ];
+        };
+        {
+          id = 172;
+          summary = "zero denominator in second RATIONAL entry";
+          bug_class = Subject.Path_dependent;
+          witness = tiff_le [ (282, 5, 1, 72); (283, 5, 1, 0) ];
+        };
+        {
+          id = 173;
+          summary = "unsorted ASCII tag breaks big-endian binary search";
+          bug_class = Subject.Path_dependent;
+          witness = tiff_be [ (300, 3, 1, 1); (270, 2, 4, 0) ];
+        };
+        {
+          id = 174;
+          summary = "unbounded sub-IFD recursion";
+          bug_class = Subject.Deep;
+          witness =
+            (* IFD at 8 with one EXIF-pointer entry pointing at itself *)
+            tiff_le [ (34665, 4, 1, 8) ];
+        };
+      ];
+  }

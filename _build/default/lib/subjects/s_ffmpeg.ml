@@ -1,0 +1,198 @@
+(** ffmpeg stand-in: a chunked media container demuxer with per-codec
+    packet decoders. The largest subject by function count, with bugs
+    buried deep in specific codec/flag combinations (matching the paper,
+    where ffmpeg yields only 0–3 bugs per fuzzer despite its size). *)
+
+let source =
+  {|
+// ffmpeg: container demuxer + codec dispatch.
+// Container: "MKC0", then chunks [fourcc? no: kind8 len16 payload].
+global audio_codec;
+global video_codec;
+global packets;
+global keyframes;
+global pts_last;
+global errors;
+
+fn u16(p) {
+  return in(p) + (in(p + 1) * 256);
+}
+
+fn clip(v, lo, hi) {
+  if (v < lo) { return lo; }
+  if (v > hi) { return hi; }
+  return v;
+}
+
+fn decode_pcm(p, n) {
+  var i = 0;
+  var acc = 0;
+  while (i < n) {
+    acc = acc + clip(in(p + i) - 128, -100, 100);
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn decode_adpcm(p, n) {
+  var pred = 0;
+  var step = 4;
+  var i = 0;
+  while (i < n) {
+    var nib = in(p + i) & 15;
+    pred = pred + ((nib - 8) * step);
+    if ((in(p + i) & 16) != 0) {
+      step = step * 2;
+    } else {
+      if (step > 1) { step = step / 2; }
+    }
+    check(step <= 2048, 211);           // step table index runaway
+    i = i + 1;
+  }
+  return pred;
+}
+
+fn decode_rlevid(p, n, kf) {
+  var i = 0;
+  var px = 0;
+  while (i + 1 < n) {
+    var run = in(p + i);
+    var val = in(p + i + 1);
+    px = px + run;
+    if (kf == 0 && px > 4096) {
+      // inter frame drawing past the reference frame
+      bug(212);
+    }
+    i = i + 2;
+  }
+  return px;
+}
+
+fn parse_codec_setup(p) {
+  audio_codec = in(p);
+  video_codec = in(p + 1);
+  if (audio_codec > 2) {
+    errors = errors + 1;
+    audio_codec = 0;
+  }
+  if (video_codec > 1) {
+    errors = errors + 1;
+    video_codec = 0;
+  }
+  return 0;
+}
+
+fn handle_audio(p, n) {
+  if (audio_codec == 1) {
+    return decode_pcm(p, n);
+  }
+  if (audio_codec == 2) {
+    return decode_adpcm(p, n);
+  }
+  return 0;
+}
+
+fn handle_video(p, n, flags) {
+  var kf = flags & 1;
+  if (kf == 1) {
+    keyframes = keyframes + 1;
+  }
+  if (video_codec == 1) {
+    return decode_rlevid(p, n, kf);
+  }
+  return 0;
+}
+
+fn handle_pts(p) {
+  var pts = u16(p);
+  if (pts < pts_last && keyframes > 1 && audio_codec == 2) {
+    // non-monotonic timestamps after a second keyframe with ADPCM audio:
+    // the reorder buffer underflows (deep combination)
+    bug(213);
+  }
+  pts_last = pts;
+  return pts;
+}
+
+fn main() {
+  audio_codec = 0;
+  video_codec = 0;
+  packets = 0;
+  keyframes = 0;
+  pts_last = 0;
+  errors = 0;
+  if (in(0) != 77 || in(1) != 75 || in(2) != 67 || in(3) != 48) {
+    return 1;
+  }
+  var p = 4;
+  while (in(p) != -1 && packets < 24) {
+    var kind = in(p);
+    var n = u16(p + 1);
+    if (n < 0) {
+      return 2;
+    }
+    if (kind == 1) {
+      parse_codec_setup(p + 3);
+    }
+    if (kind == 2) {
+      handle_audio(p + 3, n);
+    }
+    if (kind == 3) {
+      handle_video(p + 4, n - 1, in(p + 3));
+    }
+    if (kind == 4) {
+      handle_pts(p + 3);
+    }
+    packets = packets + 1;
+    p = p + 3 + n;
+  }
+  return packets;
+}
+|}
+
+let b = Subject.b
+let u16le = Subject.u16le
+
+let chunk kind payload = b [ kind ] ^ u16le (String.length payload) ^ payload
+let hdr = "MKC0"
+
+let subject : Subject.t =
+  {
+    name = "ffmpeg";
+    description = "chunked media demuxer with PCM/ADPCM/RLE codecs";
+    source;
+    seeds =
+      [
+        hdr ^ chunk 1 (b [ 1; 1 ]) ^ chunk 2 "aaaa" ^ chunk 3 (b [ 1; 4; 1; 4; 1 ]);
+        hdr ^ chunk 1 (b [ 2; 0 ]) ^ chunk 2 (b [ 3; 18; 3 ]) ^ chunk 4 (u16le 10);
+        hdr ^ chunk 4 (u16le 5) ^ chunk 4 (u16le 9);
+      ];
+    bugs =
+      [
+        {
+          id = 211;
+          summary = "ADPCM step runaway on monotone escalation bits";
+          bug_class = Subject.Loop_accumulation;
+          witness = hdr ^ chunk 1 (b [ 2; 0 ]) ^ chunk 2 (String.make 12 '\x1f');
+        };
+        {
+          id = 212;
+          summary = "inter-frame RLE paints past reference frame";
+          bug_class = Subject.Path_dependent;
+          witness =
+            hdr ^ chunk 1 (b [ 1; 1 ])
+            ^ chunk 3 (b [ 0 ] ^ String.concat "" (List.init 20 (fun _ -> Subject.b [ 255; 1 ])));
+        };
+        {
+          id = 213;
+          summary = "reorder underflow: non-monotonic pts, 2 keyframes, ADPCM";
+          bug_class = Subject.Deep;
+          witness =
+            hdr ^ chunk 1 (b [ 2; 1 ])
+            ^ chunk 3 (b [ 1; 1; 1 ])
+            ^ chunk 3 (b [ 1; 1; 1 ])
+            ^ chunk 4 (u16le 500)
+            ^ chunk 4 (u16le 3);
+        };
+      ];
+  }

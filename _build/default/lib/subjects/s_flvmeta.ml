@@ -1,0 +1,92 @@
+(** flvmeta stand-in: an FLV metadata extractor. Input: "FLV" magic,
+    version byte, flags byte, then tags [type len_hi len_lo payload...].
+    Two seeded bugs, matching the subject's small bug surface. *)
+
+let source =
+  {|
+// flvmeta: FLV container tag walker.
+global audio_tags;
+global video_tags;
+
+fn u16(p) {
+  return (in(p) * 256) + in(p + 1);
+}
+
+fn handle_script(p, taglen) {
+  // script tags carry AMF data; name length first
+  var namelen = u16(p);
+  check(namelen <= taglen, 121);       // name length exceeds tag body
+  return namelen;
+}
+
+fn main() {
+  audio_tags = 0;
+  video_tags = 0;
+  if (in(0) != 70 || in(1) != 76 || in(2) != 86) {
+    return 1;                          // not FLV
+  }
+  var version = in(3);
+  var flags = in(4);
+  var p = 5;
+  var tags = 0;
+  while (in(p) != -1 && tags < 24) {
+    var kind = in(p);
+    var taglen = u16(p + 1);
+    if (taglen < 0) {
+      return 2;                        // truncated
+    }
+    if (kind == 8) {
+      audio_tags = audio_tags + 1;
+      if ((flags & 4) == 0) {
+        // audio tag but header said no audio: stale counter
+        if (version >= 5 && video_tags > 0) {
+          bug(122);                    // path-dependent mixed-stream state
+        }
+      }
+    }
+    if (kind == 9) {
+      video_tags = video_tags + 1;
+    }
+    if (kind == 18) {
+      handle_script(p + 3, taglen);
+    }
+    p = p + 3 + taglen;
+    tags = tags + 1;
+  }
+  return 0;
+}
+|}
+
+let b = Subject.b
+
+let tag kind payload =
+  b [ kind; String.length payload lsr 8; String.length payload land 255 ] ^ payload
+
+let hdr ?(version = 1) ?(flags = 5) () = "FLV" ^ b [ version; flags ]
+
+let subject : Subject.t =
+  {
+    name = "flvmeta";
+    description = "FLV container tag walker with script-tag sub-parser";
+    source;
+    seeds =
+      [
+        hdr () ^ tag 8 "aa" ^ tag 9 "vv";
+        hdr () ^ tag 18 (b [ 0; 2 ] ^ "ab");
+      ];
+    bugs =
+      [
+        {
+          id = 121;
+          summary = "script tag name length exceeds tag body";
+          bug_class = Subject.Shallow;
+          witness = hdr () ^ tag 18 (b [ 0; 9 ] ^ "ab");
+        };
+        {
+          id = 122;
+          summary = "audio tag with no-audio flags after video, v5+ only";
+          bug_class = Subject.Path_dependent;
+          witness = hdr ~version:5 ~flags:0 () ^ tag 9 "v" ^ tag 8 "a";
+        };
+      ];
+  }

@@ -1,0 +1,221 @@
+(** gdk-pixbuf stand-in: an image loader with palette handling and an RLE
+    decoder. The RLE state machine has per-byte branching inside loops —
+    many intra-procedural acyclic paths per input — making this one of the
+    queue-explosion subjects, and it carries a rich bug population
+    (the paper's gdk row has 8–11 bugs across fuzzers). *)
+
+let source =
+  {|
+// gdk: header + palette + RLE pixel decoder.
+global palette[16];
+global palette_size;
+global pixels[256];
+global written;
+global transparent_idx;
+
+fn read_header(p) {
+  // "GP" w h flags palsize
+  if (in(p) != 71 || in(p + 1) != 80) {
+    return -1;
+  }
+  var w = in(p + 2);
+  var h = in(p + 3);
+  if (w <= 0 || h <= 0) {
+    return -1;
+  }
+  check(w * h <= 256, 151);            // pixel buffer overflow by dimensions
+  return p + 6;
+}
+
+fn read_palette(p, n) {
+  var i = 0;
+  check(n <= 16, 152);                 // palette overflow
+  while (i < n) {
+    palette[i] = in(p + i);
+    i = i + 1;
+  }
+  palette_size = n;
+  return p + n;
+}
+
+// per-pixel statistics: six independent decisions per activation
+fn pixel_stats(v) {
+  var w = 0;
+  if ((v & 1) != 0) { w = w + 1; }
+  if ((v & 2) != 0) { w = w + 2; }
+  if ((v & 4) != 0) { w = w + 4; }
+  if ((v & 8) != 0) { w = w + 8; }
+  if ((v & 16) != 0) { w = w + 16; }
+  if (v > 32) { w = w + 32; }
+  return w;
+}
+
+fn emit(v) {
+  check(written < 256, 153);           // RLE run overflows pixel buffer
+  pixel_stats(v);
+  pixels[written] = v;
+  written = written + 1;
+  return 0;
+}
+
+fn lookup(idx) {
+  if (idx == transparent_idx || idx < 0) {
+    return 0;
+  }
+  check(idx < palette_size, 154);      // palette index out of range
+  return palette[idx];
+}
+
+fn decode_rle(p, limit) {
+  // opcodes: 0x00 n v = run, 0x01 n = literal run, 0x02 = set transparent,
+  // 0x03 d = delta repeat of last pixel
+  var last = 0;
+  while (in(p) != -1 && written < limit) {
+    var op = in(p);
+    if (op == 0) {
+      var n = in(p + 1);
+      var v = lookup(in(p + 2));
+      var i = 0;
+      while (i < n) {
+        emit(v);
+        i = i + 1;
+      }
+      last = v;
+      p = p + 3;
+    } else {
+      if (op == 1) {
+        var n2 = in(p + 1);
+        var j = 0;
+        while (j < n2) {
+          emit(lookup(in(p + 2 + j)));
+          j = j + 1;
+        }
+        if (written > 0) {
+          last = pixels[written - 1];
+        }
+        p = p + 2 + n2;
+      } else {
+        if (op == 2) {
+          transparent_idx = in(p + 1);
+          if (transparent_idx >= palette_size && written > 0) {
+            // path-dependent: transparent index set after pixels emitted
+            bug(155);
+          }
+          p = p + 2;
+        } else {
+          if (op == 3) {
+            var d = in(p + 1);
+            emit(last + d);
+            if (last + d > 255 && transparent_idx > 0) {
+              bug(156);               // delta overflow with transparency on
+            }
+            p = p + 2;
+          } else {
+            p = p + 1;               // unknown opcode skipped
+          }
+        }
+      }
+    }
+  }
+  return written;
+}
+
+// post-decode audit: fatal only for one configuration of counters
+fn summary_check(w, h) {
+  var risk = 0;
+  if (written >= 6) { risk = risk + 1; }
+  if (palette_size % 3 == 1) { risk = risk + 2; }
+  if (transparent_idx == 2) { risk = risk + 4; }
+  if ((written & 7) == 5) { risk = risk + 8; }
+  check(risk != 15, 157);
+  return risk;
+}
+
+fn main() {
+  palette_size = 0;
+  written = 0;
+  transparent_idx = -1;
+  var p = read_header(0);
+  if (p < 0) {
+    return 1;
+  }
+  var npal = in(5);
+  p = read_palette(p, npal);
+  var w = in(2);
+  var h = in(3);
+  decode_rle(p, w * h);
+  summary_check(w, h);
+  return written;
+}
+|}
+
+let b = Subject.b
+
+(* header: "GP" w h flags palsize, then palette bytes, then RLE stream *)
+let img ?(w = 4) ?(h = 4) ?(flags = 0) ~pal rle =
+  "GP" ^ b [ w; h; flags; List.length pal ] ^ b pal ^ rle
+
+let subject : Subject.t =
+  {
+    name = "gdk";
+    description = "paletted image loader with RLE decoder";
+    source;
+    seeds =
+      [
+        img ~pal:[ 10; 20; 30 ] (b [ 0; 4; 1; 1; 2; 0; 2 ]);
+        img ~w:2 ~h:2 ~pal:[ 1; 2 ] (b [ 1; 2; 0; 1 ]);
+        img ~pal:[ 5 ] (b [ 2; 0; 0; 3; 0 ]);
+      ];
+    bugs =
+      [
+        {
+          id = 151;
+          summary = "width*height exceeds pixel buffer";
+          bug_class = Subject.Shallow;
+          witness = "GP" ^ b [ 32; 32; 0; 0 ];
+        };
+        {
+          id = 152;
+          summary = "palette size exceeds palette buffer";
+          bug_class = Subject.Shallow;
+          witness = "GP" ^ b [ 2; 2; 0; 17 ];
+        };
+        {
+          id = 153;
+          summary = "RLE run crosses pixel buffer end";
+          bug_class = Subject.Loop_accumulation;
+          (* limit w*h=16 stops the outer loop but a single long literal run
+             keeps emitting past 256: w=16,h=16 limit 256 ... use runs *)
+          witness =
+            img ~w:16 ~h:16 ~pal:[ 1 ]
+              (String.concat ""
+                 (List.init 2 (fun _ -> Subject.b [ 0; 255; 0 ]))
+              ^ Subject.b [ 0; 255; 0 ]);
+          (* 3 runs of 255 -> written hits 256 mid-run *)
+        };
+        {
+          id = 154;
+          summary = "palette index beyond palette size";
+          bug_class = Subject.Shallow;
+          witness = img ~pal:[ 1; 2 ] (b [ 0; 1; 9 ]);
+        };
+        {
+          id = 155;
+          summary = "transparent index changed after pixels emitted";
+          bug_class = Subject.Path_dependent;
+          witness = img ~pal:[ 1; 2 ] (b [ 0; 1; 0; 2; 7 ]);
+        };
+        {
+          id = 157;
+          summary = "fatal counter configuration in post-decode audit";
+          bug_class = Subject.Path_dependent;
+          witness = img ~w:4 ~h:4 ~pal:[ 3; 4; 5; 6 ] (b [ 2; 2; 0; 13; 1 ]);
+        };
+        {
+          id = 156;
+          summary = "delta opcode overflows pixel value with transparency";
+          bug_class = Subject.Path_dependent;
+          witness = img ~pal:[ 1; 2 ] (b [ 2; 1; 0; 1; 0; 3; 255 ]);
+        };
+      ];
+  }

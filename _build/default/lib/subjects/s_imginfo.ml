@@ -1,0 +1,124 @@
+(** imginfo (JasPer) stand-in: image format sniffing across three codecs
+    (PNM, BMP-like, RAS-like) with per-codec header validation. *)
+
+let source =
+  {|
+// imginfo: format sniffer + per-format header parsers.
+global components;
+
+fn u16(p) {
+  return (in(p) * 256) + in(p + 1);
+}
+
+fn u32(p) {
+  return (u16(p) * 65536) + u16(p + 2);
+}
+
+fn parse_pnm(p) {
+  // "P" digit, whitespace, width, height, maxval
+  var kind = in(p + 1) - 48;
+  if (kind < 1 || kind > 6) {
+    return 1;
+  }
+  var q = p + 2;
+  while (in(q) == 32 || in(q) == 10) { q = q + 1; }
+  var w = 0;
+  while (in(q) >= 48 && in(q) <= 57) {
+    w = (w * 10) + (in(q) - 48);
+    q = q + 1;
+  }
+  while (in(q) == 32 || in(q) == 10) { q = q + 1; }
+  var h = 0;
+  while (in(q) >= 48 && in(q) <= 57) {
+    h = (h * 10) + (in(q) - 48);
+    q = q + 1;
+  }
+  check(w * h < 1000000, 141);          // pixel-count overflow
+  if (kind >= 5 && w > 0 && h == 0) {
+    bug(142);                           // raw PNM with zero height
+  }
+  return 0;
+}
+
+fn parse_bmp(p) {
+  var size = u32(p + 2);
+  var w = u16(p + 6);
+  var h = u16(p + 8);
+  var bpp = in(p + 10);
+  if (bpp != 1 && bpp != 8 && bpp != 24) {
+    return 1;
+  }
+  components = bpp / 8;
+  if (components == 0 && w * h > 64) {
+    // 1-bit image with large dimensions: row stride rounds to zero
+    bug(143);
+  }
+  return 0;
+}
+
+fn parse_ras(p) {
+  var depth = in(p + 4);
+  var maplen = in(p + 5);
+  if (depth == 24 && maplen > 0) {
+    // colormap on truecolor raster
+    check(maplen <= 8, 144);
+  }
+  return 0;
+}
+
+fn main() {
+  components = 0;
+  if (in(0) == 80) {
+    return parse_pnm(0);                // 'P'
+  }
+  if (in(0) == 66 && in(1) == 77) {
+    return parse_bmp(0);                // "BM"
+  }
+  if (in(0) == 89 && in(1) == 106) {
+    return parse_ras(0);                // "Yj"
+  }
+  return 2;
+}
+|}
+
+let b = Subject.b
+
+let subject : Subject.t =
+  {
+    name = "imginfo";
+    description = "image format sniffer (PNM / BMP-like / RAS-like)";
+    source;
+    seeds =
+      [
+        "P5 16 16 255 ";
+        "BM" ^ b [ 0; 0; 0; 64; 0; 16; 0; 16; 8 ];
+        "Yj" ^ b [ 0; 0; 8; 0 ];
+      ];
+    bugs =
+      [
+        {
+          id = 141;
+          summary = "pixel-count multiplication overflow in PNM";
+          bug_class = Subject.Shallow;
+          witness = "P5 9999 9999 ";
+        };
+        {
+          id = 142;
+          summary = "raw PNM with zero height";
+          bug_class = Subject.Shallow;
+          witness = "P6 4 0 ";
+        };
+        {
+          id = 143;
+          summary = "1-bit BMP row stride rounds to zero";
+          bug_class = Subject.Magic;
+          witness = "BM" ^ b [ 0; 0; 0; 0; 0; 16; 0; 16; 1 ];
+        };
+        {
+          id = 144;
+          summary = "oversized colormap on truecolor raster";
+          bug_class = Subject.Magic;
+          witness = "Yj" ^ b [ 0; 0; 24; 9 ];
+        };
+      ];
+  }

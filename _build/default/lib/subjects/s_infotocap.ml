@@ -1,0 +1,282 @@
+(** infotocap (ncurses) stand-in: terminfo source to termcap translator.
+    Dense per-character branching inside nested loops (capability names,
+    '%' parameterised strings, '^'/'\' escapes) gives this subject the
+    largest acyclic-path population — it is the paper's most extreme
+    queue-explosion case (62x in Table III, 191k queue items in Table I). *)
+
+let source =
+  {|
+// infotocap: terminfo entry parser + parameterised-string translator.
+global caps_seen;
+global params_depth;
+global out_len;
+global last_delay;
+global attr_mix;
+
+// per-character attribute classifier: eight independent decisions per
+// activation, so each byte value selects one of 256 acyclic paths
+fn attr_class(c) {
+  var w = 0;
+  if ((c & 1) != 0) { w = w + 1; }
+  if ((c & 2) != 0) { w = w + 2; }
+  if ((c & 4) != 0) { w = w + 4; }
+  if ((c & 8) != 0) { w = w + 8; }
+  if ((c & 16) != 0) { w = w + 16; }
+  if ((c & 32) != 0) { w = w + 32; }
+  if ((c & 64) != 0) { w = w + 64; }
+  if (c > 96) { w = w + 128; }
+  attr_mix = (attr_mix + w) & 255;
+  return w;
+}
+
+fn is_alnum(c) {
+  return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || (c >= 48 && c <= 57);
+}
+
+fn emit(n) {
+  out_len = out_len + n;
+  check(out_len < 512, 221);            // translated string overflow
+  return out_len;
+}
+
+fn parse_percent(p) {
+  // %d %s %p1..%p9 %{nn} %% etc.
+  var c = in(p);
+  if (c == 100 || c == 115 || c == 99) {
+    emit(2);
+    return p + 1;
+  }
+  if (c == 112) {
+    var digit = in(p + 1);
+    check(digit >= 49 && digit <= 57, 222);  // %p must have digit 1..9
+    params_depth = params_depth + 1;
+    emit(4);
+    return p + 2;
+  }
+  if (c == 123) {
+    var q = p + 1;
+    var v = 0;
+    while (in(q) >= 48 && in(q) <= 57) {
+      v = (v * 10) + (in(q) - 48);
+      q = q + 1;
+    }
+    if (in(q) == 125) {
+      emit(3);
+      if (v > 255 && params_depth > 0) {
+        // literal constant exceeding a byte inside parameterised context
+        bug(223);
+      }
+      return q + 1;
+    }
+    return q;
+  }
+  if (c == 37) {
+    emit(1);
+    return p + 1;
+  }
+  emit(1);
+  return p + 1;
+}
+
+fn parse_string_cap(p) {
+  // translate until ',' or end
+  while (in(p) != -1 && in(p) != 44) {
+    var c = in(p);
+    if (c == 37) {
+      p = parse_percent(p + 1);
+    } else {
+      if (c == 94) {
+        // ^X control char
+        var x = in(p + 1);
+        check(x >= 63, 224);            // ^ followed by non-control source
+        emit(2);
+        p = p + 2;
+      } else {
+        if (c == 92) {
+          // backslash escape
+          var e = in(p + 1);
+          if (e == 69 || e == 101) {
+            emit(2);                    // \E escape
+          } else {
+            if (e >= 48 && e <= 57) {
+              // octal
+              var q = p + 1;
+              var v = 0;
+              while (in(q) >= 48 && in(q) <= 55) {
+                v = (v * 8) + (in(q) - 48);
+                q = q + 1;
+              }
+              check(v <= 255, 225);     // octal escape out of byte range
+              emit(1);
+              p = q;
+            } else {
+              emit(1);
+            }
+          }
+          p = p + 2;
+        } else {
+          if (c == 36) {
+            // $<delay>
+            if (in(p + 1) == 60) {
+              var q2 = p + 2;
+              var d = 0;
+              while (in(q2) >= 48 && in(q2) <= 57) {
+                d = (d * 10) + (in(q2) - 48);
+                q2 = q2 + 1;
+              }
+              last_delay = d;
+              if (in(q2) == 62) {
+                q2 = q2 + 1;
+              }
+              p = q2;
+            } else {
+              emit(1);
+              p = p + 1;
+            }
+          } else {
+            attr_class(c);
+            emit(1);
+            p = p + 1;
+          }
+        }
+      }
+    }
+  }
+  return p;
+}
+
+fn parse_cap(p) {
+  // name[=value] or name[#number]
+  var q = p;
+  while (is_alnum(in(q)) == 1) {
+    q = q + 1;
+  }
+  if (q == p) {
+    return p + 1;                       // junk, skip
+  }
+  caps_seen = caps_seen + 1;
+  if (in(q) == 61) {
+    q = parse_string_cap(q + 1);
+    if (last_delay > 0 && params_depth >= 2 && out_len > 64) {
+      // delay + 2 params + long output: termcap translation corrupts
+      bug(226);
+    }
+    return q;
+  }
+  if (in(q) == 35) {
+    var v = 0;
+    var r = q + 1;
+    while (in(r) >= 48 && in(r) <= 57) {
+      v = (v * 10) + (in(r) - 48);
+      r = r + 1;
+    }
+    check(v < 32768, 227);              // numeric cap overflows short
+    return r;
+  }
+  return q;
+}
+
+// end-of-entry audit: crashes only for one configuration of counters
+// whose contributing branches are all individually trivial to cover
+fn final_audit() {
+  var risk = 0;
+  if (caps_seen % 5 == 3) { risk = risk + 1; }
+  if (out_len % 7 == 2) { risk = risk + 2; }
+  if (params_depth >= 3) { risk = risk + 4; }
+  if (last_delay > 10) { risk = risk + 8; }
+  check(risk != 15, 228);
+  return risk;
+}
+
+fn main() {
+  caps_seen = 0;
+  params_depth = 0;
+  out_len = 0;
+  last_delay = 0;
+  attr_mix = 0;
+  // entry: name chars until ',', then capabilities
+  var p = 0;
+  while (in(p) != -1 && in(p) != 44) {
+    p = p + 1;
+  }
+  if (in(p) != 44) {
+    return 1;
+  }
+  p = p + 1;
+  var guard = 0;
+  while (in(p) != -1 && guard < 64) {
+    if (in(p) == 32 || in(p) == 9 || in(p) == 10 || in(p) == 44) {
+      p = p + 1;
+    } else {
+      p = parse_cap(p);
+    }
+    guard = guard + 1;
+  }
+  final_audit();
+  return caps_seen;
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "infotocap";
+    description = "terminfo-to-termcap translator with %-string machine";
+    source;
+    seeds =
+      [
+        "xterm,cols#80,am,cup=\\E[%p1%d;%p2%dH,";
+        "vt100,bel=^G,sgr0=\\E[m$<2>,";
+        "dumb,am,";
+      ];
+    bugs =
+      [
+        {
+          id = 221;
+          summary = "translated output overflow";
+          bug_class = Subject.Loop_accumulation;
+          witness = "t,x=" ^ String.make 600 'a' ^ ",";
+        };
+        {
+          id = 222;
+          summary = "%p escape without parameter digit";
+          bug_class = Subject.Shallow;
+          witness = "t,x=%pz,";
+        };
+        {
+          id = 223;
+          summary = "%{N} literal above 255 in parameterised context";
+          bug_class = Subject.Path_dependent;
+          witness = "t,x=%p1%{300},";
+        };
+        {
+          id = 224;
+          summary = "caret escape with non-control source byte";
+          bug_class = Subject.Shallow;
+          witness = "t,x=^\x01,";
+        };
+        {
+          id = 225;
+          summary = "octal escape beyond byte range";
+          bug_class = Subject.Shallow;
+          witness = "t,x=\\777,";
+        };
+        {
+          id = 226;
+          summary = "delay with two params and long output corrupts translation";
+          bug_class = Subject.Path_dependent;
+          witness = "t,x=%p1%p2$<5>" ^ String.make 60 'q' ^ ",";
+        };
+        {
+          id = 228;
+          summary = "fatal counter configuration in end-of-entry audit";
+          bug_class = Subject.Path_dependent;
+          witness = "t,a=%p1%p2%p3$<45>XXXX,b,c,";
+        };
+        {
+          id = 227;
+          summary = "numeric capability overflows a short";
+          bug_class = Subject.Magic;
+          witness = "t,c#40000,";
+        };
+      ];
+  }

@@ -1,0 +1,164 @@
+(** jhead stand-in: a JPEG/EXIF header walker. Input is a JPEG-like byte
+    stream: SOI marker [0xFF 0xD8], then segments [0xFF kind len_hi len_lo
+    payload...]. Six seeded bugs (matching the subject's bug count in the
+    paper) across marker handling and the EXIF sub-parser. *)
+
+let source =
+  {|
+// jhead: JPEG marker segment walker with an EXIF sub-parser.
+global exif_offset;
+global orientation;
+global thumb_len;
+
+fn u16(p) {
+  return (in(p) * 256) + in(p + 1);
+}
+
+fn parse_exif(p, seg_end) {
+  // TIFF-ish: byte order mark then tag list: [tag16 val16] pairs
+  var order = u16(p);
+  var q = p + 2;
+  var tags = 0;
+  while (q + 3 < seg_end && tags < 12) {
+    var tag = u16(q);
+    var val = u16(q + 2);
+    if (tag == 274) {
+      orientation = val;
+      check(orientation <= 8, 111);   // unchecked orientation index
+    }
+    if (tag == 513) {
+      exif_offset = val;
+    }
+    if (tag == 514) {
+      thumb_len = val;
+      if (exif_offset > 0 && order == 19789) {
+        // path-dependent: thumbnail length after offset tag, big-endian
+        check(exif_offset + thumb_len < 65536, 112);
+      }
+    }
+    q = q + 4;
+    tags = tags + 1;
+  }
+  return tags;
+}
+
+fn parse_segment(p) {
+  var kind = in(p + 1);
+  var seg_len = u16(p + 2);
+  if (seg_len >= 0 && seg_len < 2) {
+    bug(113);                          // length underflow (real jhead CVE class)
+  }
+  if (kind == 225) {
+    // APP1: check "Ex" signature then parse EXIF
+    if (in(p + 4) == 69 && in(p + 5) == 120) {
+      parse_exif(p + 6, p + 2 + seg_len);
+    }
+  }
+  if (kind == 219) {
+    // DQT: quantisation table must be 64 entries
+    var n = seg_len - 3;
+    check(n <= 64, 114);
+  }
+  if (kind == 192) {
+    // SOF0: dimensions
+    var h = u16(p + 5);
+    var w = u16(p + 7);
+    if (w == 0 && h > 0) {
+      bug(115);                        // zero-width division downstream
+    }
+  }
+  return p + 2 + seg_len;
+}
+
+fn main() {
+  exif_offset = 0;
+  orientation = 1;
+  thumb_len = 0;
+  if (in(0) != 255 || in(1) != 216) {
+    return 1;                          // not a JPEG
+  }
+  var p = 2;
+  var segs = 0;
+  while (in(p) == 255 && in(p + 1) != -1 && segs < 16) {
+    if (in(p + 1) == 217) {
+      return 0;                        // EOI
+    }
+    var q = parse_segment(p);
+    if (q <= p) {
+      bug(116);                        // non-advancing segment loop
+    }
+    p = q;
+    segs = segs + 1;
+  }
+  return 0;
+}
+|}
+
+let b = Subject.b
+
+(* A segment: 0xFF kind len_hi len_lo payload; len covers itself+payload. *)
+let seg kind payload =
+  b [ 0xFF; kind; (String.length payload + 2) lsr 8; (String.length payload + 2) land 255 ]
+  ^ payload
+
+let soi = b [ 0xFF; 0xD8 ]
+let eoi = b [ 0xFF; 0xD9 ]
+
+(* EXIF payload: "Ex" + order16 + tag/val pairs. *)
+let exif ?(order = 0x4D4D) tags =
+  "Ex"
+  ^ b [ order lsr 8; order land 255 ]
+  ^ String.concat ""
+      (List.map (fun (t, v) -> b [ t lsr 8; t land 255; v lsr 8; v land 255 ]) tags)
+
+let subject : Subject.t =
+  {
+    name = "jhead";
+    description = "JPEG marker walker with EXIF tag sub-parser";
+    source;
+    seeds =
+      [
+        soi ^ seg 0xE1 (exif [ (274, 1); (513, 100) ]) ^ eoi;
+        soi ^ seg 0xC0 (b [ 8; 0; 16; 0; 16 ]) ^ eoi;
+        soi ^ seg 0xDB (String.make 32 '\001') ^ eoi;
+      ];
+    bugs =
+      [
+        {
+          id = 111;
+          summary = "EXIF orientation value used as unchecked index";
+          bug_class = Subject.Shallow;
+          witness = soi ^ seg 0xE1 (exif [ (274, 9) ]) ^ eoi;
+        };
+        {
+          id = 112;
+          summary = "thumbnail offset+length overflow, big-endian only, after offset tag";
+          bug_class = Subject.Path_dependent;
+          witness = soi ^ seg 0xE1 (exif [ (513, 40000); (514, 40000) ]) ^ eoi;
+        };
+        {
+          id = 113;
+          summary = "segment length underflow wraps the walker";
+          bug_class = Subject.Shallow;
+          witness = soi ^ b [ 0xFF; 0xE0; 0; 1 ];
+        };
+        {
+          id = 114;
+          summary = "oversized quantisation table copy";
+          bug_class = Subject.Shallow;
+          witness = soi ^ seg 0xDB (String.make 70 '\000') ^ eoi;
+        };
+        {
+          id = 115;
+          summary = "zero image width with non-zero height";
+          bug_class = Subject.Magic;
+          witness = soi ^ seg 0xC0 (b [ 8; 0; 16; 0; 0 ]) ^ eoi;
+        };
+        {
+          id = 116;
+          summary = "non-advancing segment pointer on truncated header";
+          bug_class = Subject.Deep;
+          witness = soi ^ b [ 0xFF; 0xE0 ];
+        };
+      ];
+  }

@@ -1,0 +1,154 @@
+(** jq stand-in: a recursive-descent JSON parser. One seeded bug (matching
+    the paper's single jq bug): a deep path-dependent defect in the
+    object-after-nested-array state handling. *)
+
+let source =
+  {|
+// jq: recursive JSON value parser. Returns position after the value.
+global max_depth_seen;
+global arrays_open;
+global key_count;
+
+fn skip_ws(p) {
+  while (in(p) == 32 || in(p) == 10 || in(p) == 9 || in(p) == 13) {
+    p = p + 1;
+  }
+  return p;
+}
+
+fn parse_string(p) {
+  // assumes in(p) == '"'
+  p = p + 1;
+  while (in(p) != 34 && in(p) != -1) {
+    if (in(p) == 92) {
+      p = p + 1;                        // escape
+    }
+    p = p + 1;
+  }
+  return p + 1;
+}
+
+fn parse_number(p) {
+  if (in(p) == 45) { p = p + 1; }
+  while (in(p) >= 48 && in(p) <= 57) {
+    p = p + 1;
+  }
+  if (in(p) == 46) {
+    p = p + 1;
+    while (in(p) >= 48 && in(p) <= 57) {
+      p = p + 1;
+    }
+  }
+  return p;
+}
+
+fn parse_value(p, depth) {
+  p = skip_ws(p);
+  if (depth > max_depth_seen) {
+    max_depth_seen = depth;
+  }
+  if (depth > 12) {
+    return -2;                          // depth cap, jq errors out
+  }
+  var c = in(p);
+  if (c == 34) {
+    return parse_string(p);
+  }
+  if (c == 91) {
+    // array
+    arrays_open = arrays_open + 1;
+    p = skip_ws(p + 1);
+    if (in(p) == 93) {
+      return p + 1;
+    }
+    var more = 1;
+    while (more == 1) {
+      p = parse_value(p, depth + 1);
+      if (p < 0) { return p; }
+      p = skip_ws(p);
+      if (in(p) == 44) {
+        p = skip_ws(p + 1);
+      } else {
+        more = 0;
+      }
+    }
+    if (in(p) != 93) { return -1; }
+    arrays_open = arrays_open - 1;
+    return p + 1;
+  }
+  if (c == 123) {
+    // object
+    p = skip_ws(p + 1);
+    if (in(p) == 125) {
+      return p + 1;
+    }
+    var more = 1;
+    while (more == 1) {
+      if (in(p) != 34) { return -1; }
+      p = parse_string(p);
+      key_count = key_count + 1;
+      if (arrays_open >= 2 && max_depth_seen >= 4 && key_count >= 3) {
+        // jq issue analogue: path-state bookkeeping corrupted when an
+        // object with several keys appears under doubly-nested arrays
+        bug(131);
+      }
+      p = skip_ws(p);
+      if (in(p) != 58) { return -1; }
+      p = parse_value(skip_ws(p + 1), depth + 1);
+      if (p < 0) { return p; }
+      p = skip_ws(p);
+      if (in(p) == 44) {
+        p = skip_ws(p + 1);
+      } else {
+        more = 0;
+      }
+    }
+    if (in(p) != 125) { return -1; }
+    return p + 1;
+  }
+  if (c == 45 || (c >= 48 && c <= 57)) {
+    return parse_number(p);
+  }
+  if (c == 116 || c == 102 || c == 110) {
+    // true / false / null: skip the keyword
+    while (in(p) >= 97 && in(p) <= 122) {
+      p = p + 1;
+    }
+    return p;
+  }
+  return -1;
+}
+
+fn main() {
+  max_depth_seen = 0;
+  arrays_open = 0;
+  key_count = 0;
+  var r = parse_value(0, 0);
+  if (r < 0) {
+    return 1;
+  }
+  return 0;
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "jq";
+    description = "recursive-descent JSON parser";
+    source;
+    seeds =
+      [
+        {_|{"a": [1, 2], "b": "x"}|_};
+        {_|[[1, {"k": null}], true]|_};
+        "-12.5";
+      ];
+    bugs =
+      [
+        {
+          id = 131;
+          summary = "object key bookkeeping corrupt under doubly-nested arrays";
+          bug_class = Subject.Path_dependent;
+          witness = {_|[[[{"a":1,"b":2,"c":3}]]]|_};
+        };
+      ];
+  }

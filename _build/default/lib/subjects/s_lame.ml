@@ -1,0 +1,215 @@
+(** lame stand-in: WAV reader + MP3 encoder front-end. Per-sample analysis
+    loops with amplitude-dependent branching make it the second-largest
+    queue-explosion subject (37x in Table III); bugs sit in resampling and
+    psychoacoustic block switching. *)
+
+let source =
+  {|
+// lame: WAV header + sample analysis + block-switch state machine.
+global channels;
+global sample_rate;
+global bits;
+global clipped;
+global block_type;
+global switches;
+global energy[4];
+
+fn u16(p) {
+  return in(p) + (in(p + 1) * 256);
+}
+
+fn u32(p) {
+  return u16(p) + (u16(p + 2) * 65536);
+}
+
+// per-sample shape analysis: six independent decisions per activation
+fn sample_shape(v) {
+  var w = 0;
+  if ((v & 1) != 0) { w = w + 1; }
+  if ((v & 2) != 0) { w = w + 2; }
+  if ((v & 4) != 0) { w = w + 4; }
+  if ((v & 8) != 0) { w = w + 8; }
+  if ((v & 32) != 0) { w = w + 16; }
+  if (v > 160) { w = w + 32; }
+  return w;
+}
+
+fn classify_sample(v) {
+  // granule energy bucketing
+  var a = abs(v - 128);
+  sample_shape(v);
+  if (a > 120) {
+    clipped = clipped + 1;
+    check(clipped <= 8, 231);           // clip counter overflows scalefactor
+    return 3;
+  }
+  if (a > 64) { return 2; }
+  if (a > 16) { return 1; }
+  return 0;
+}
+
+fn block_switch(kind) {
+  // long(0) <-> short(1) transitions through start(2)/stop(3) windows
+  if (kind == 3 && block_type == 0) {
+    block_type = 2;
+    switches = switches + 1;
+  } else {
+    if (kind <= 1 && block_type == 2) {
+      block_type = 1;
+      switches = switches + 1;
+    } else {
+      if (kind == 0 && block_type == 1) {
+        block_type = 3;
+        switches = switches + 1;
+      } else {
+        if (block_type == 3) {
+          block_type = 0;
+        }
+      }
+    }
+  }
+  if (switches >= 5 && block_type == 3 && channels == 2) {
+    // stereo block-switch thrash: window buffer reused across channels
+    bug(232);
+  }
+  return block_type;
+}
+
+fn analyze(p, n) {
+  var i = 0;
+  while (i < n) {
+    var kind = classify_sample(in(p + i));
+    energy[kind] = energy[kind] + 1;
+    block_switch(kind);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fn resample_ratio() {
+  // output rate fixed at 44100-ish tier
+  check(sample_rate > 0, 233);          // division by zero rate
+  var ratio = 4410000 / sample_rate;
+  if (ratio > 400 && bits == 8) {
+    bug(234);                           // extreme upsample with 8-bit input
+  }
+  return ratio;
+}
+
+// post-encode audit: fatal only for one configuration of counters
+fn gain_audit() {
+  var risk = 0;
+  if (energy[0] > 0 && energy[3] > 0) { risk = risk + 1; }
+  if (switches % 4 == 2) { risk = risk + 2; }
+  if (clipped == 5) { risk = risk + 4; }
+  if (sample_rate % 11 == 0 && sample_rate > 0) { risk = risk + 8; }
+  check(risk != 15, 235);
+  return risk;
+}
+
+fn main() {
+  channels = 0;
+  sample_rate = 0;
+  bits = 0;
+  clipped = 0;
+  block_type = 0;
+  switches = 0;
+  // "RIFF....WAVEfmt " header, little-endian fields
+  if (in(0) != 82 || in(1) != 73 || in(2) != 70 || in(3) != 70) {
+    return 1;
+  }
+  if (in(8) != 87 || in(9) != 65 || in(10) != 86 || in(11) != 69) {
+    return 1;
+  }
+  channels = u16(22);
+  sample_rate = u32(24);
+  bits = u16(34);
+  if (channels < 1 || channels > 2) {
+    return 2;
+  }
+  if (bits != 8 && bits != 16) {
+    return 3;
+  }
+  resample_ratio();
+  // data chunk at fixed offset 44
+  var n = len() - 44;
+  if (n > 0) {
+    analyze(44, n);
+  }
+  gain_audit();
+  return switches;
+}
+|}
+
+let b = Subject.b
+let u16le = Subject.u16le
+let u32le = Subject.u32le
+
+let wav ?(channels = 1) ?(rate = 44100) ?(bits = 16) samples =
+  "RIFF" ^ u32le (36 + String.length samples) ^ "WAVEfmt " ^ u32le 16 ^ u16le 1
+  ^ u16le channels ^ u32le rate ^ u32le (rate * channels * (bits / 8))
+  ^ u16le (channels * (bits / 8)) ^ u16le bits ^ "data"
+  ^ u32le (String.length samples) ^ samples
+
+(* sample byte with amplitude class: 0 quiet, 1 mid, 2 loud, 3 clip *)
+let s_quiet = '\x80'
+let s_mid = '\xb0'
+let s_loud = '\xf0'
+let s_clip = '\x00'
+
+let subject : Subject.t =
+  {
+    name = "lame";
+    description = "WAV reader and MP3 block-switch front-end";
+    source;
+    seeds =
+      [
+        wav (String.make 32 s_quiet);
+        wav ~channels:2 (String.concat "" [ String.make 4 s_mid; String.make 4 s_quiet ]);
+        wav ~rate:8000 ~bits:16 (String.make 8 s_loud);
+      ];
+    bugs =
+      [
+        {
+          id = 231;
+          summary = "clip counter overflows scalefactor table";
+          bug_class = Subject.Loop_accumulation;
+          witness = wav (String.make 9 s_clip);
+        };
+        {
+          id = 232;
+          summary = "stereo window-buffer reuse under block-switch thrash";
+          bug_class = Subject.Path_dependent;
+          witness =
+            wav ~channels:2
+              (String.concat ""
+                 (List.init 6 (fun _ ->
+                      String.make 1 s_clip ^ String.make 1 s_mid
+                      ^ String.make 1 s_quiet)));
+        };
+        {
+          id = 235;
+          summary = "fatal counter configuration in post-encode audit";
+          bug_class = Subject.Path_dependent;
+          witness =
+            wav ~rate:22000
+              (String.concat ""
+                 [
+                   String.make 1 s_quiet; String.make 1 s_clip;
+                   String.make 1 s_mid; String.make 4 s_clip;
+                 ]);
+        };
+        {
+          id = 233;
+          summary = "zero sample rate divides the resampler";
+          bug_class = Subject.Magic;
+          witness = wav ~rate:0 "";
+        };
+        {
+          id = 234;
+          summary = "extreme upsampling ratio with 8-bit input";
+          bug_class = Subject.Magic;
+          witness = wav ~rate:9000 ~bits:8 "";
+        };
+      ];
+  }

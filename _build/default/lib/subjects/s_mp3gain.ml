@@ -1,0 +1,144 @@
+(** mp3gain stand-in: MP3 frame-header walker with a per-frame gain
+    analysis accumulator. The gain histogram bug is path-dependent: it
+    needs a particular sequence of frame kinds to skew the accumulator,
+    matching the subject's profile in the paper (3–4 bugs, with each
+    fuzzer family finding a different subset). *)
+
+let source =
+  {|
+// mp3gain: frame sync walker + gain histogram.
+global histogram[32];
+global frames;
+global max_gain;
+global vbr_seen;
+
+fn frame_size(bitrate_idx, padding) {
+  var table = array(8);
+  table[0] = 0;
+  table[1] = 104;
+  table[2] = 130;
+  table[3] = 156;
+  table[4] = 182;
+  table[5] = 208;
+  table[6] = 261;
+  table[7] = 313;
+  if (bitrate_idx < 0 || bitrate_idx > 7) {
+    return -1;
+  }
+  return table[bitrate_idx] + padding;
+}
+
+fn analyze_frame(p, size) {
+  // gain byte lives at a fixed offset in the side info
+  var g = in(p + 3);
+  if (g < 0) {
+    return -1;
+  }
+  // the histogram key mixes gain with the frame ordinal, so the index
+  // creeps upward across frames (loop-accumulation overflow)
+  var bucket = (g + (frames * 4)) / 8;
+  check(bucket < 32, 161);
+  histogram[bucket] = histogram[bucket] + 1;
+  if (g > max_gain) {
+    max_gain = g;
+  }
+  frames = frames + 1;
+  return 0;
+}
+
+fn apply_gain() {
+  // replay-gain arithmetic: triggered only with a VBR header seen first
+  // and a saturated max gain accumulated across frames
+  if (vbr_seen == 1 && max_gain >= 248 && frames >= 3) {
+    bug(162);
+  }
+  if (frames > 0) {
+    return max_gain / frames;
+  }
+  return 0;
+}
+
+fn main() {
+  frames = 0;
+  max_gain = 0;
+  vbr_seen = 0;
+  var p = 0;
+  var guard = 0;
+  while (in(p) != -1 && guard < 24) {
+    if (in(p) == 255 && (in(p + 1) & 224) == 224) {
+      // frame sync
+      var bitrate_idx = (in(p + 2) >> 4) & 7;
+      var padding = (in(p + 2) >> 1) & 1;
+      var size = frame_size(bitrate_idx, padding);
+      if (size <= 0) {
+        bug(163);                      // free-format frame: size loop stall
+      }
+      if (in(p + 4) == 88 && in(p + 5) == 105) {
+        // "Xi(ng)" VBR header
+        vbr_seen = 1;
+        var vbr_frames = (in(p + 6) * 256) + in(p + 7);
+        check(vbr_frames > 0, 164);    // zero VBR frame count divides later
+      }
+      analyze_frame(p, size);
+      p = p + size;
+    } else {
+      p = p + 1;
+    }
+    guard = guard + 1;
+  }
+  apply_gain();
+  return frames;
+}
+|}
+
+let b = Subject.b
+
+(* frame header: FF Ex (bitrate<<4|pad<<1) gain ... *)
+let frame ?(bitrate = 1) ?(pad = 0) ?(gain = 10) ?(tail = "") () =
+  let hdr = b [ 0xFF; 0xE0; (bitrate lsl 4) lor (pad lsl 1); gain ] in
+  let size =
+    [| 0; 104; 130; 156; 182; 208; 261; 313 |].(bitrate) + pad
+  in
+  hdr ^ tail ^ String.make (max 0 (size - 4 - String.length tail)) '\000'
+
+let subject : Subject.t =
+  {
+    name = "mp3gain";
+    description = "MP3 frame walker with replay-gain histogram";
+    source;
+    seeds =
+      [
+        frame () ^ frame ~gain:30 ();
+        frame ~bitrate:2 ~tail:(b [ 88; 105; 0; 9 ]) () ^ frame ();
+        "ID3garbage" ^ frame ~gain:100 ();
+      ];
+    bugs =
+      [
+        {
+          id = 161;
+          summary = "gain histogram bucket overflow across frames";
+          bug_class = Subject.Loop_accumulation;
+          witness = frame ~gain:0xFF () ^ frame ~gain:0xFF ();
+        };
+        {
+          id = 162;
+          summary = "replay-gain saturation after VBR header and 3+ frames";
+          bug_class = Subject.Path_dependent;
+          witness =
+            frame ~tail:(b [ 88; 105; 0; 9 ]) ()
+            ^ frame ~gain:250 () ^ frame ~gain:7 ();
+        };
+        {
+          id = 163;
+          summary = "free-format frame stalls the walker";
+          bug_class = Subject.Shallow;
+          witness = b [ 0xFF; 0xE0; 0x00; 0 ];
+        };
+        {
+          id = 164;
+          summary = "zero VBR frame count";
+          bug_class = Subject.Magic;
+          witness = frame ~tail:(b [ 88; 105; 0; 0 ]) ();
+        };
+      ];
+  }

@@ -1,0 +1,186 @@
+(** mp42aac (Bento4) stand-in: MP4 box parser extracting an AAC track.
+    Nested box recursion (moov/trak/mdia/stsd), sample table handling and
+    an extraction loop — 7–8 bugs in the paper, several path-dependent. *)
+
+let source =
+  {|
+// mp42aac: ISO-BMFF box walker: [size32 fourcc payload...], big-endian.
+global track_count;
+global aac_found;
+global sample_count;
+global descr_len;
+global depth;
+
+fn u32(p) {
+  return (((in(p) * 256 + in(p + 1)) * 256 + in(p + 2)) * 256) + in(p + 3);
+}
+
+fn fourcc(p, a, c, d, e) {
+  return in(p) == a && in(p + 1) == c && in(p + 2) == d && in(p + 3) == e;
+}
+
+fn parse_stsd(p, end_) {
+  // sample description: count, then entries with a format fourcc
+  var n = u32(p);
+  check(n <= 4, 191);                   // sample-description overflow
+  var q = p + 4;
+  var i = 0;
+  while (i < n && q + 8 <= end_) {
+    var esize = u32(q);
+    if (fourcc(q + 4, 109, 112, 52, 97)) {
+      // "mp4a"
+      aac_found = 1;
+      descr_len = u32(q + 8);
+      if (descr_len > esize && track_count > 1) {
+        // path-dependent: descriptor longer than entry, multi-track only
+        bug(192);
+      }
+    }
+    if (esize <= 0) {
+      bug(193);                         // zero-size entry stalls scan
+    }
+    q = q + esize;
+    i = i + 1;
+  }
+  return n;
+}
+
+fn parse_stsz(p) {
+  sample_count = u32(p + 4);
+  check(sample_count >= 0 && sample_count < 1024, 194);
+  return sample_count;
+}
+
+fn parse_children(p, end_) {
+  var q = p;
+  while (q + 8 <= end_) {
+    var adv = parse_box(q, end_);
+    if (adv <= 0) {
+      return -1;
+    }
+    q = q + adv;
+  }
+  return 0;
+}
+
+fn parse_box(p, end_) {
+  var size = u32(p);
+  if (size < 8 || p + size > end_) {
+    return -1;
+  }
+  depth = depth + 1;
+  check(depth <= 6, 195);               // unbounded container nesting
+  if (fourcc(p + 4, 109, 111, 111, 118) || fourcc(p + 4, 116, 114, 97, 107)
+      || fourcc(p + 4, 109, 100, 105, 97) || fourcc(p + 4, 115, 116, 98, 108)) {
+    // moov / trak / mdia / stbl are containers
+    if (fourcc(p + 4, 116, 114, 97, 107)) {
+      track_count = track_count + 1;
+    }
+    parse_children(p + 8, p + size);
+  } else {
+    if (fourcc(p + 4, 115, 116, 115, 100)) {
+      parse_stsd(p + 8, p + size);      // stsd
+    }
+    if (fourcc(p + 4, 115, 116, 115, 122)) {
+      parse_stsz(p + 8);                // stsz
+    }
+    if (fourcc(p + 4, 109, 100, 97, 116)) {
+      // mdat: extraction happens later
+      if (aac_found == 1 && sample_count == 0) {
+        bug(196);                       // extraction with empty sample table
+      }
+    }
+  }
+  depth = depth - 1;
+  return size;
+}
+
+fn main() {
+  track_count = 0;
+  aac_found = 0;
+  sample_count = 0;
+  descr_len = 0;
+  depth = 0;
+  if (len() < 8) {
+    return 1;
+  }
+  parse_children(0, len());
+  return aac_found;
+}
+|}
+
+let b = Subject.b
+
+let u32be v =
+  b [ (v lsr 24) land 255; (v lsr 16) land 255; (v lsr 8) land 255; v land 255 ]
+
+let box fourcc payload = u32be (8 + String.length payload) ^ fourcc ^ payload
+
+(* an stsd with one mp4a entry; the entry embeds a descriptor length *)
+let stsd_mp4a ?(descr = 4) ?(esize = 16) () =
+  u32be 1 ^ u32be esize ^ "mp4a" ^ u32be descr ^ String.make (max 0 (esize - 12)) '\000'
+
+let subject : Subject.t =
+  {
+    name = "mp42aac";
+    description = "MP4 box walker extracting an AAC track";
+    source;
+    seeds =
+      [
+        box "moov" (box "trak" (box "mdia" (box "stbl" (box "stsd" (stsd_mp4a ())))));
+        box "moov" (box "trak" (box "stbl" (box "stsz" (u32be 0 ^ u32be 12))))
+        ^ box "mdat" "xx";
+        box "ftyp" "isom";
+      ];
+    bugs =
+      [
+        {
+          id = 191;
+          summary = "sample-description count overflow";
+          bug_class = Subject.Shallow;
+          witness = box "stsd" (u32be 9);
+        };
+        {
+          id = 192;
+          summary = "descriptor length beyond entry, multi-track files only";
+          bug_class = Subject.Path_dependent;
+          witness =
+            box "moov"
+              (box "trak" (box "mdia" "")
+              ^ box "trak" (box "stbl" (box "stsd" (stsd_mp4a ~descr:999 ()))));
+        };
+        {
+          id = 193;
+          summary = "zero-size sample entry stalls the scan";
+          bug_class = Subject.Magic;
+          witness = box "stsd" (u32be 1 ^ u32be 0 ^ "xxxx" ^ u32be 0);
+        };
+        {
+          id = 194;
+          summary = "unchecked sample count allocation";
+          bug_class = Subject.Shallow;
+          witness = box "stsz" (u32be 0 ^ u32be 5000);
+        };
+        {
+          id = 195;
+          summary = "unbounded container nesting";
+          bug_class = Subject.Deep;
+          witness =
+            box "moov"
+              (box "trak"
+                 (box "mdia"
+                    (box "stbl"
+                       (box "moov" (box "trak" (box "mdia" (box "stbl" "")))))));
+        };
+        {
+          id = 196;
+          summary = "extraction with AAC track but empty sample table";
+          bug_class = Subject.Path_dependent;
+          witness =
+            box "moov"
+              (box "trak"
+                 (box "mdia" (box "stbl" (box "stsd" (stsd_mp4a ())))))
+            ^ box "mdat" "xx";
+        };
+      ];
+  }

@@ -1,0 +1,219 @@
+(** mujs stand-in: a tiny expression-language front-end (lexer, Pratt
+    parser via recursion, constant evaluator) — the recursion-heavy
+    subject. Bugs live in operator precedence handling, scope depth and
+    the string-literal scanner. *)
+
+let source =
+  {|
+// mujs: expression parser/evaluator over ASCII input.
+// pos is threaded through a global cursor.
+global cur;
+global paren_depth;
+global strings_seen;
+global idents_seen;
+
+fn peek() {
+  return in(cur);
+}
+
+fn advance() {
+  cur = cur + 1;
+  return cur;
+}
+
+fn skip_ws() {
+  while (peek() == 32 || peek() == 9) {
+    advance();
+  }
+  return 0;
+}
+
+fn parse_primary() {
+  skip_ws();
+  var c = peek();
+  if (c == 40) {
+    advance();
+    paren_depth = paren_depth + 1;
+    check(paren_depth <= 10, 241);      // parser recursion overflow
+    var v = parse_expr(0);
+    skip_ws();
+    if (peek() == 41) {
+      advance();
+      paren_depth = paren_depth - 1;
+    }
+    return v;
+  }
+  if (c == 34) {
+    // string literal
+    advance();
+    strings_seen = strings_seen + 1;
+    var n = 0;
+    while (peek() != 34 && peek() != -1) {
+      if (peek() == 92) {
+        advance();
+        if (peek() == 117) {
+          // \uXXXX
+          var i = 0;
+          var v2 = 0;
+          advance();
+          while (i < 4) {
+            var h = peek();
+            if (h >= 48 && h <= 57) {
+              v2 = (v2 * 16) + (h - 48);
+            } else {
+              if (h >= 97 && h <= 102) {
+                v2 = (v2 * 16) + (h - 87);
+              } else {
+                check(0 == 1, 242);     // malformed unicode escape
+              }
+            }
+            advance();
+            i = i + 1;
+          }
+          if (v2 >= 55296 && v2 <= 57343 && strings_seen > 1) {
+            // lone surrogate in a second string: intern table confusion
+            bug(243);
+          }
+        } else {
+          advance();
+        }
+      } else {
+        advance();
+      }
+      n = n + 1;
+    }
+    advance();
+    return n;
+  }
+  if (c >= 48 && c <= 57) {
+    var num = 0;
+    while (peek() >= 48 && peek() <= 57) {
+      num = (num * 10) + (peek() - 48);
+      advance();
+    }
+    return num;
+  }
+  if ((c >= 97 && c <= 122) || c == 95) {
+    idents_seen = idents_seen + 1;
+    while ((peek() >= 97 && peek() <= 122) || peek() == 95) {
+      advance();
+    }
+    return 1;
+  }
+  if (c == 45) {
+    advance();
+    return 0 - parse_primary();
+  }
+  advance();
+  return 0;
+}
+
+fn prec_of(op) {
+  if (op == 43 || op == 45) { return 1; }
+  if (op == 42 || op == 47 || op == 37) { return 2; }
+  if (op == 94) { return 3; }
+  return 0;
+}
+
+fn apply(op, a, b2) {
+  if (op == 43) { return a + b2; }
+  if (op == 45) { return a - b2; }
+  if (op == 42) { return a * b2; }
+  if (op == 47) {
+    check(b2 != 0, 244);                // constant-folded division by zero
+    return a / b2;
+  }
+  if (op == 37) {
+    check(b2 != 0, 245);                // constant-folded modulo by zero
+    return a % b2;
+  }
+  if (op == 94) {
+    // exponent by squaring, bounded
+    var r = 1;
+    var i3 = 0;
+    while (i3 < b2 && i3 < 20) {
+      r = r * a;
+      i3 = i3 + 1;
+    }
+    if (r > 1000000 && paren_depth > 0 && idents_seen > 0) {
+      // folded pow overflow inside parens after an identifier
+      bug(246);
+    }
+    return r;
+  }
+  return 0;
+}
+
+fn parse_expr(min_prec) {
+  var lhs = parse_primary();
+  skip_ws();
+  var op = peek();
+  var p2 = prec_of(op);
+  while (p2 > 0 && p2 >= min_prec) {
+    advance();
+    var rhs = parse_expr(p2 + 1);
+    lhs = apply(op, lhs, rhs);
+    skip_ws();
+    op = peek();
+    p2 = prec_of(op);
+  }
+  return lhs;
+}
+
+fn main() {
+  cur = 0;
+  paren_depth = 0;
+  strings_seen = 0;
+  idents_seen = 0;
+  var v = parse_expr(0);
+  return v & 255;
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "mujs";
+    description = "expression-language lexer/parser/constant folder";
+    source;
+    seeds =
+      [ "1 + 2 * (3 - x)"; {_|"hi" + "Abc"|_}; "10 / 2 % 3" ];
+    bugs =
+      [
+        {
+          id = 241;
+          summary = "parenthesis nesting overflows parser stack budget";
+          bug_class = Subject.Shallow;
+          witness = String.make 11 '(' ^ "1";
+        };
+        {
+          id = 242;
+          summary = "malformed unicode escape in string literal";
+          bug_class = Subject.Shallow;
+          witness = {_|"\uZZZZ"|_};
+        };
+        {
+          id = 243;
+          summary = "lone surrogate interning in a second string literal";
+          bug_class = Subject.Path_dependent;
+          witness = {_|"a" + "\ud800"|_};
+        };
+        {
+          id = 244;
+          summary = "constant-folded division by zero";
+          bug_class = Subject.Shallow;
+          witness = "4 / 0";
+        };
+        {
+          id = 245;
+          summary = "constant-folded modulo by zero";
+          bug_class = Subject.Shallow;
+          witness = "4 % 0";
+        };
+        {
+          id = 246;
+          summary = "pow overflow folded inside parens after identifier";
+          bug_class = Subject.Path_dependent;
+          witness = "x + (9 ^ 9)";
+        };
+      ];
+  }

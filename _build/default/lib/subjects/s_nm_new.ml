@@ -1,0 +1,120 @@
+(** nm-new (binutils) stand-in: ELF-like symbol table lister. The paper's
+    Table II shows *zero* bugs found by every fuzzer on this subject; we
+    reproduce that by seeding a single defect behind an eight-byte magic
+    chain plus a semantic constraint that no fuzzer realistically clears
+    within the budget. *)
+
+let source =
+  {|
+// nm_new: ELF-ish symbol lister.
+global nsyms;
+
+fn u16(p) {
+  return in(p) + (in(p + 1) * 256);
+}
+
+fn u32(p) {
+  return u16(p) + (u16(p + 2) * 65536);
+}
+
+fn sym_name_ok(p, strtab, strsize) {
+  var off = u32(p);
+  if (off < 0 || off >= strsize) {
+    return 0;
+  }
+  // names must be NUL-terminated within the table
+  var q = strtab + off;
+  var guard = 0;
+  while (in(q) > 0 && guard < 64) {
+    q = q + 1;
+    guard = guard + 1;
+  }
+  return in(q) == 0;
+}
+
+fn main() {
+  nsyms = 0;
+  // \x7fELF class2 data1 version1 pad pad
+  if (in(0) != 127 || in(1) != 69 || in(2) != 76 || in(3) != 70) {
+    return 1;
+  }
+  if (in(4) != 2 || in(5) != 1 || in(6) != 1 || in(7) != 91) {
+    return 2;
+  }
+  var symoff = u16(8);
+  var count = u16(10);
+  var stroff = u16(12);
+  var strsize = u16(14);
+  if (symoff < 16 || count < 0 || count > 32) {
+    return 3;
+  }
+  var i = 0;
+  var weak_after_strong = 0;
+  var strong_seen = 0;
+  while (i < count) {
+    var p = symoff + (i * 8);
+    var bind = in(p + 4);
+    if (bind == 1) {
+      strong_seen = strong_seen + 1;
+    }
+    if (bind == 2 && strong_seen >= 7) {
+      weak_after_strong = weak_after_strong + 1;
+    }
+    if (sym_name_ok(p, stroff, strsize) == 1) {
+      nsyms = nsyms + 1;
+    }
+    i = i + 1;
+  }
+  if (weak_after_strong >= 5 && nsyms == count && count == 31) {
+    // needs exactly 31 valid symbols, 7 strong then 5 weak: beyond any
+    // realistic budget, mirroring nm-new's zero-bug row in the paper
+    bug(201);
+  }
+  return nsyms;
+}
+|}
+
+let b = Subject.b
+let u16le = Subject.u16le
+
+let elf ~symoff ~count ~stroff ~strsize rest =
+  b [ 127; 69; 76; 70; 2; 1; 1; 91 ]
+  ^ u16le symoff ^ u16le count ^ u16le stroff ^ u16le strsize
+  ^ rest
+
+(* Build the (practically unreachable) witness so the ground truth stays
+   checkable: 31 symbols, the first 7 STB_GLOBAL, then 5 STB_WEAK. *)
+let witness_201 =
+  let nsym = 31 in
+  let symoff = 16 in
+  let stroff = symoff + (nsym * 8) in
+  let syms =
+    String.concat ""
+      (List.init nsym (fun i ->
+           let bind = if i < 7 then 1 else if i < 12 then 2 else 0 in
+           Subject.u32le 0 ^ b [ bind; 0; 0; 0 ]))
+  in
+  elf ~symoff ~count:nsym ~stroff ~strsize:4 (syms ^ b [ 0; 0; 0; 0 ])
+
+let subject : Subject.t =
+  {
+    name = "nm_new";
+    description = "ELF-like symbol lister (intentionally bug-free in practice)";
+    source;
+    seeds =
+      [
+        elf ~symoff:16 ~count:2 ~stroff:32 ~strsize:4
+          (Subject.u32le 0 ^ b [ 1; 0; 0; 0 ] ^ Subject.u32le 1 ^ b [ 0; 0; 0; 0 ]
+          ^ b [ 0; 97; 98; 0 ]);
+        "\x7fELF";
+      ];
+    bugs =
+      [
+        {
+          id = 201;
+          summary = "weak-after-strong rebind with exactly 31 valid symbols";
+          bug_class = Subject.Deep;
+          witness = witness_201;
+        };
+      ];
+  }

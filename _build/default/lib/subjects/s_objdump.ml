@@ -1,0 +1,284 @@
+(** objdump stand-in: object-file disassembler. Section header walk plus
+    an opcode decode loop with mode-dependent operand handling — the
+    richest bug population in the paper (9–12 unique bugs), spread over
+    shallow decode errors, path-dependent prefix state and deep
+    relocation handling. *)
+
+let source =
+  {|
+// objdump: section table + linear-sweep disassembler.
+global mode64;
+global prefix_rep;
+global prefix_lock;
+global insn_count;
+global reloc_count;
+global branch_targets[16];
+global nbranch;
+
+fn u16(p) {
+  return in(p) + (in(p + 1) * 256);
+}
+
+fn u32(p) {
+  return u16(p) + (u16(p + 2) * 65536);
+}
+
+fn record_branch(target) {
+  check(nbranch < 16, 251);             // branch table overflow
+  branch_targets[nbranch] = target;
+  nbranch = nbranch + 1;
+  return nbranch;
+}
+
+fn decode_operand(p, kind) {
+  if (kind == 0) {
+    return 1;                           // register
+  }
+  if (kind == 1) {
+    return 2;                           // imm8
+  }
+  if (kind == 2) {
+    return 5;                           // imm32
+  }
+  // memory operand with SIB-ish byte
+  var sib = in(p);
+  var scale = (sib >> 6) & 3;
+  var base2 = sib & 7;
+  if (base2 == 5 && scale == 3 && mode64 == 0) {
+    // 32-bit mode scaled rip-relative: invalid encoding accepted
+    bug(252);
+  }
+  return 2;
+}
+
+fn decode_insn(p) {
+  var op = in(p);
+  if (op == -1) {
+    return -1;
+  }
+  var size = 1;
+  if (op == 240) {
+    prefix_lock = 1;
+    return 1;
+  }
+  if (op == 243) {
+    prefix_rep = 1;
+    return 1;
+  }
+  if (op == 15) {
+    // two-byte opcode
+    var op2 = in(p + 1);
+    if (op2 == 184 && prefix_rep == 1) {
+      // rep-prefixed popcnt-like: operand decode with stale lock prefix
+      if (prefix_lock == 1) {
+        bug(253);                       // lock+rep combination (path-dep)
+      }
+      size = 2 + decode_operand(p + 2, 3);
+    } else {
+      if (op2 >= 128 && op2 <= 143) {
+        // long conditional branch
+        record_branch(p + u32(p + 2));
+        size = 6;
+      } else {
+        size = 2;
+      }
+    }
+    prefix_rep = 0;
+    prefix_lock = 0;
+    return size;
+  }
+  if (op >= 112 && op <= 127) {
+    // short branch
+    var disp = in(p + 1);
+    if (disp > 127) {
+      disp = disp - 256;
+    }
+    record_branch(p + 2 + disp);
+    size = 2;
+  } else {
+    if (op == 233) {
+      record_branch(p + 5 + u32(p + 1));
+      size = 5;
+    } else {
+      if (op >= 176 && op <= 183) {
+        size = 1 + decode_operand(p + 1, 1);
+      } else {
+        if (op == 199) {
+          size = 1 + decode_operand(p + 1, 3);
+          size = size + 4;
+        } else {
+          size = 1;
+        }
+      }
+    }
+  }
+  if (prefix_lock == 1 && (op < 128 || op > 143) && op != 199) {
+    // lock prefix on non-lockable instruction
+    bug(254);
+  }
+  prefix_rep = 0;
+  prefix_lock = 0;
+  insn_count = insn_count + 1;
+  return size;
+}
+
+fn parse_relocs(p, n) {
+  var i = 0;
+  while (i < n) {
+    var off = u32(p + (i * 8));
+    var typ = u32(p + (i * 8) + 4);
+    check(typ <= 38, 255);              // unknown relocation type
+    if (off > 65536 && mode64 == 0) {
+      bug(256);                         // 32-bit reloc offset overflow
+    }
+    reloc_count = reloc_count + 1;
+    i = i + 1;
+  }
+  return n;
+}
+
+fn disassemble(p, end_) {
+  var q = p;
+  var guard = 0;
+  while (q < end_ && guard < 128) {
+    var s = decode_insn(q);
+    if (s <= 0) {
+      return -1;
+    }
+    q = q + s;
+    guard = guard + 1;
+  }
+  if (nbranch >= 12 && insn_count < 16) {
+    // branch-dense region: jump table heuristic miscounts
+    bug(257);
+  }
+  return insn_count;
+}
+
+// post-disassembly audit: fatal only for one configuration of counters
+fn disasm_audit() {
+  var risk = 0;
+  if (insn_count % 4 == 1) { risk = risk + 1; }
+  if (nbranch >= 2) { risk = risk + 2; }
+  if (reloc_count >= 1) { risk = risk + 4; }
+  if (mode64 == 1) { risk = risk + 8; }
+  check(risk != 15, 258);
+  return risk;
+}
+
+fn main() {
+  mode64 = 0;
+  prefix_rep = 0;
+  prefix_lock = 0;
+  insn_count = 0;
+  reloc_count = 0;
+  nbranch = 0;
+  // header: "OBJ" mode, then sections: [kind len16 payload]
+  if (in(0) != 79 || in(1) != 66 || in(2) != 74) {
+    return 1;
+  }
+  mode64 = in(3) & 1;
+  var p = 4;
+  var sections = 0;
+  while (in(p) != -1 && sections < 8) {
+    var kind = in(p);
+    var n = u16(p + 1);
+    if (n < 0) {
+      return 2;
+    }
+    if (kind == 1) {
+      disassemble(p + 3, p + 3 + n);
+    }
+    if (kind == 2) {
+      var cnt = in(p + 3);
+      if (cnt >= 0 && (cnt * 8) < n) {
+        parse_relocs(p + 4, cnt);
+      }
+    }
+    p = p + 3 + n;
+    sections = sections + 1;
+  }
+  disasm_audit();
+  return insn_count;
+}
+|}
+
+let b = Subject.b
+let u16le = Subject.u16le
+let u32le = Subject.u32le
+
+let hdr ?(mode = 0) () = "OBJ" ^ b [ mode ]
+let sec kind payload = b [ kind ] ^ u16le (String.length payload) ^ payload
+
+let subject : Subject.t =
+  {
+    name = "objdump";
+    description = "object-file disassembler with prefix state machine";
+    source;
+    seeds =
+      [
+        hdr () ^ sec 1 (b [ 0xB0; 7; 0x90; 0xE9 ] ^ u32le 2 ^ b [ 0x90 ]);
+        hdr ~mode:1 () ^ sec 1 (b [ 0x73; 2; 0x90; 0x90 ]);
+        hdr () ^ sec 2 (b [ 1 ] ^ u32le 16 ^ u32le 7 ^ b [ 0 ]);
+      ];
+    bugs =
+      [
+        {
+          id = 251;
+          summary = "branch target table overflow";
+          bug_class = Subject.Loop_accumulation;
+          witness =
+            hdr ()
+            ^ sec 1 (String.concat "" (List.init 17 (fun _ -> Subject.b [ 0x70; 0 ])));
+        };
+        {
+          id = 252;
+          summary = "scaled rip-relative operand accepted in 32-bit mode";
+          bug_class = Subject.Magic;
+          witness = hdr () ^ sec 1 (b [ 0xC7; 0xCD; 0; 0; 0; 0; 0; 0; 0 ]);
+        };
+        {
+          id = 253;
+          summary = "lock+rep prefix combination on two-byte opcode";
+          bug_class = Subject.Path_dependent;
+          witness = hdr () ^ sec 1 (b [ 0xF0; 0xF3; 0x0F; 0xB8; 0; 0 ]);
+        };
+        {
+          id = 254;
+          summary = "lock prefix on non-lockable instruction";
+          bug_class = Subject.Path_dependent;
+          witness = hdr () ^ sec 1 (b [ 0xF0; 0x90 ]);
+        };
+        {
+          id = 255;
+          summary = "unknown relocation type";
+          bug_class = Subject.Shallow;
+          witness = hdr () ^ sec 2 (b [ 1 ] ^ u32le 16 ^ u32le 40 ^ b [ 0 ]);
+        };
+        {
+          id = 256;
+          summary = "32-bit relocation offset overflow";
+          bug_class = Subject.Magic;
+          witness = hdr () ^ sec 2 (b [ 1 ] ^ u32le 70000 ^ u32le 7 ^ b [ 0 ]);
+        };
+        {
+          id = 258;
+          summary = "fatal counter configuration in post-disassembly audit";
+          bug_class = Subject.Path_dependent;
+          witness =
+            hdr ~mode:1 ()
+            ^ sec 1
+                (String.concat "" (List.init 3 (fun _ -> Subject.b [ 0x70; 0 ]))
+                ^ String.make 2 '\x90')
+            ^ sec 2 (b [ 2 ] ^ u32le 16 ^ u32le 7 ^ u32le 20 ^ u32le 8 ^ b [ 0 ]);
+        };
+        {
+          id = 257;
+          summary = "jump-table heuristic miscount in branch-dense region";
+          bug_class = Subject.Path_dependent;
+          witness =
+            hdr ()
+            ^ sec 1 (String.concat "" (List.init 12 (fun _ -> Subject.b [ 0x70; 0 ])));
+        };
+      ];
+  }

@@ -1,0 +1,262 @@
+(** pdftotext (xpdf) stand-in: PDF object scanner and content-stream text
+    extractor. The paper's most productive subject for the culling
+    strategy (18 bugs for cull vs 10 for pcguard), so the bug population
+    here is the largest and skews path-dependent: nested dictionaries,
+    stream filters, font-state tracking and text-matrix handling. *)
+
+let source =
+  {|
+// pdftotext: object scanner + content stream interpreter.
+global objects;
+global dict_depth;
+global in_text;
+global font_size;
+global font_set;
+global tm_x;
+global tm_y;
+global filters;
+global strings_out;
+
+fn starts(p, a, c) {
+  return in(p) == a && in(p + 1) == c;
+}
+
+fn skip_to(p, ch) {
+  while (in(p) != -1 && in(p) != ch) {
+    p = p + 1;
+  }
+  return p;
+}
+
+fn parse_number(p, sign) {
+  var v = 0;
+  while (in(p) >= 48 && in(p) <= 57) {
+    v = (v * 10) + (in(p) - 48);
+    p = p + 1;
+  }
+  return v * sign;
+}
+
+fn parse_dict(p) {
+  // << ... >> possibly nested
+  dict_depth = dict_depth + 1;
+  check(dict_depth <= 6, 261);          // dictionary nesting overflow
+  p = p + 2;
+  while (in(p) != -1) {
+    if (starts(p, 60, 60) == 1) {
+      p = parse_dict(p);
+    } else {
+      if (starts(p, 62, 62) == 1) {
+        dict_depth = dict_depth - 1;
+        return p + 2;
+      } else {
+        if (in(p) == 47 && in(p + 1) == 70 && in(p + 2) == 108) {
+          // /Fl(ate) filter name
+          filters = filters + 1;
+          check(filters <= 4, 262);     // filter chain too long
+          p = p + 3;
+        } else {
+          p = p + 1;
+        }
+      }
+    }
+  }
+  dict_depth = dict_depth - 1;
+  return p;
+}
+
+fn handle_tf(size) {
+  font_size = size;
+  font_set = 1;
+  check(font_size >= 0 && font_size <= 1000, 263);  // absurd font size
+  return 0;
+}
+
+fn handle_td(dx, dy) {
+  tm_x = tm_x + dx;
+  tm_y = tm_y + dy;
+  if (tm_y < -10000 && in_text == 1 && font_set == 0) {
+    // text cursor far off-page with no font set: layout engine
+    // dereferences a null font (path-dependent state combo)
+    bug(264);
+  }
+  return 0;
+}
+
+fn handle_tj(p) {
+  // (string) Tj
+  var n = 0;
+  while (in(p) != 41 && in(p) != -1) {
+    if (in(p) == 92) {
+      p = p + 1;
+    }
+    n = n + 1;
+    p = p + 1;
+    check(n <= 256, 265);               // unterminated string runaway
+  }
+  strings_out = strings_out + n;
+  if (font_set == 1 && font_size == 0 && n > 0) {
+    bug(266);                           // glyph scale division by zero size
+  }
+  return p + 1;
+}
+
+fn content_stream(p, end_) {
+  while (p < end_ && in(p) != -1) {
+    if (starts(p, 66, 84) == 1) {
+      // BT
+      if (in_text == 1 && dict_depth == 0 && strings_out > 0) {
+        bug(267);                       // nested BT after emitted text
+      }
+      in_text = 1;
+      p = p + 2;
+    } else {
+      if (starts(p, 69, 84) == 1) {
+        // ET
+        in_text = 0;
+        p = p + 2;
+      } else {
+        if (starts(p, 84, 102) == 1) {
+          // Tf: size precedes operator, crude scan backwards-free form:
+          // "Tf" then number
+          handle_tf(parse_number(p + 2, 1));
+          p = p + 2;
+        } else {
+          if (starts(p, 84, 100) == 1) {
+            // Td dx dy (signs allowed)
+            var q = p + 2;
+            var sx = 1;
+            if (in(q) == 45) { sx = 0 - 1; q = q + 1; }
+            var dx = parse_number(q, sx);
+            q = skip_to(q, 32);
+            q = q + 1;
+            var sy = 1;
+            if (in(q) == 45) { sy = 0 - 1; q = q + 1; }
+            var dy = parse_number(q, sy);
+            handle_td(dx, dy);
+            p = p + 2;
+          } else {
+            if (in(p) == 40) {
+              p = handle_tj(p + 1);
+            } else {
+              p = p + 1;
+            }
+          }
+        }
+      }
+    }
+  }
+  return strings_out;
+}
+
+// end-of-document audit: fatal only for one configuration of counters
+fn layout_audit() {
+  var risk = 0;
+  if (strings_out % 4 == 3) { risk = risk + 1; }
+  if (filters >= 2) { risk = risk + 2; }
+  if (tm_x > 50) { risk = risk + 4; }
+  if (in_text == 1) { risk = risk + 8; }
+  check(risk != 15, 268);
+  return risk;
+}
+
+fn main() {
+  objects = 0;
+  dict_depth = 0;
+  in_text = 0;
+  font_size = 12;
+  font_set = 0;
+  tm_x = 0;
+  tm_y = 0;
+  filters = 0;
+  strings_out = 0;
+  // "%PDF"
+  if (in(0) != 37 || in(1) != 80 || in(2) != 68 || in(3) != 70) {
+    return 1;
+  }
+  var p = 4;
+  var guard = 0;
+  while (in(p) != -1 && guard < 32) {
+    if (starts(p, 60, 60) == 1) {
+      p = parse_dict(p);
+    } else {
+      if (starts(p, 115, 116) == 1 && in(p + 2) == 114) {
+        // "str(eam)": content until "end"
+        var e = skip_to(p + 3, 101);
+        content_stream(p + 3, e);
+        p = e + 1;
+        objects = objects + 1;
+      } else {
+        p = p + 1;
+      }
+    }
+    guard = guard + 1;
+  }
+  layout_audit();
+  return objects;
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "pdftotext";
+    description = "PDF object scanner and content-stream text extractor";
+    source;
+    seeds =
+      [
+        "%PDF<</Fl 9>>str BT Tf12 (hi) ET";
+        "%PDF str BT Td5 7 (x)(y) ET";
+        "%PDF<<<<>>>>str (abc)";
+      ];
+    bugs =
+      [
+        {
+          id = 261;
+          summary = "dictionary nesting overflow";
+          bug_class = Subject.Shallow;
+          witness = "%PDF" ^ String.concat "" (List.init 7 (fun _ -> "<<"));
+        };
+        {
+          id = 262;
+          summary = "filter chain longer than decoder stack";
+          bug_class = Subject.Shallow;
+          witness = "%PDF<</Fl/Fl/Fl/Fl/Fl>>";
+        };
+        {
+          id = 263;
+          summary = "absurd font size accepted";
+          bug_class = Subject.Shallow;
+          witness = "%PDF str Tf9999 end";
+        };
+        {
+          id = 264;
+          summary = "off-page text cursor with no font selected";
+          bug_class = Subject.Path_dependent;
+          witness = "%PDF str BT Td0 -20000 end";
+        };
+        {
+          id = 265;
+          summary = "unterminated string literal runaway";
+          bug_class = Subject.Loop_accumulation;
+          witness = "%PDF str (" ^ String.make 300 'a' ^ " nd end";
+        };
+        {
+          id = 266;
+          summary = "glyph scaling divides by zero font size";
+          bug_class = Subject.Path_dependent;
+          witness = "%PDF str BT Tf0 (x) end";
+        };
+        {
+          id = 268;
+          summary = "fatal counter configuration in end-of-document audit";
+          bug_class = Subject.Path_dependent;
+          witness = "%PDF<</Fl/Fl>>str BT Td60 0 (abc)";
+        };
+        {
+          id = 267;
+          summary = "nested BT after emitted text";
+          bug_class = Subject.Path_dependent;
+          witness = "%PDF str BT (q) BT end";
+        };
+      ];
+  }

@@ -1,0 +1,239 @@
+(** sqlite3 stand-in: SQL statement tokenizer + statement compiler for a
+    SELECT/INSERT/CREATE subset. Keyword-gated branches reward cmplog-style
+    byte solving (pcguard leads here in the paper, 9 vs 5 bugs) while the
+    expression compiler holds a few path-dependent defects. *)
+
+let source =
+  {|
+// sqlite3: keyword tokenizer + statement compiler.
+global ncols;
+global nvals;
+global where_depth;
+global select_nested;
+global reg_top;
+
+fn lower(c) {
+  if (c >= 65 && c <= 90) { return c + 32; }
+  return c;
+}
+
+fn kw(p, a, b2, c2) {
+  // 3-letter keyword prefix match, case-insensitive
+  return lower(in(p)) == a && lower(in(p + 1)) == b2 && lower(in(p + 2)) == c2;
+}
+
+fn skip_ws(p) {
+  while (in(p) == 32 || in(p) == 9 || in(p) == 10) {
+    p = p + 1;
+  }
+  return p;
+}
+
+fn skip_word(p) {
+  while ((lower(in(p)) >= 97 && lower(in(p)) <= 122) || in(p) == 95
+         || (in(p) >= 48 && in(p) <= 57)) {
+    p = p + 1;
+  }
+  return p;
+}
+
+fn alloc_reg() {
+  reg_top = reg_top + 1;
+  check(reg_top <= 10, 271);            // register file overflow
+  return reg_top;
+}
+
+fn compile_expr(p, depth) {
+  // expr := term (op expr)?, term := word | number | '(' expr ')'
+  check(depth <= 9, 273);               // expression tree too deep
+  p = skip_ws(p);
+  if (in(p) == 40) {
+    where_depth = where_depth + 1;
+    var q = p + 1;
+    if (kw(q, 115, 101, 108) == 1) {
+      // nested (SELECT ...)
+      select_nested = select_nested + 1;
+      if (select_nested >= 2 && ncols > 2) {
+        // correlated double-nested subquery with wide column list:
+        // name resolution walks a stale frame (path-dependent)
+        bug(272);
+      }
+      q = skip_word(q);
+    }
+    p = compile_expr(q, depth + 1);
+    p = skip_ws(p);
+    if (in(p) == 41) {
+      p = p + 1;
+    }
+  } else {
+    alloc_reg();
+    p = skip_word(p);
+  }
+  p = skip_ws(p);
+  var op = in(p);
+  if (op == 61 || op == 60 || op == 62 || op == 43 || op == 45) {
+    p = compile_expr(p + 1, depth + 1);
+  }
+  return p;
+}
+
+fn compile_select(p) {
+  // SELECT col[, col]* FROM word [WHERE expr]
+  p = skip_ws(p);
+  ncols = 1;
+  alloc_reg();
+  p = skip_word(p);
+  while (in(p) == 44) {
+    ncols = ncols + 1;
+    check(ncols <= 8, 274);             // column list overflow
+    alloc_reg();
+    p = skip_word(skip_ws(p + 1));
+  }
+  p = skip_ws(p);
+  if (kw(p, 102, 114, 111) == 1) {
+    p = skip_word(p);
+    p = skip_ws(p);
+    p = skip_word(p);
+  }
+  p = skip_ws(p);
+  if (kw(p, 119, 104, 101) == 1) {
+    p = skip_word(p);
+    compile_expr(p, 0);
+  }
+  return p;
+}
+
+fn compile_insert(p) {
+  // INSERT word VALUES ( v[, v]* )
+  p = skip_word(skip_ws(p));
+  p = skip_ws(p);
+  if (kw(p, 118, 97, 108) == 1) {
+    p = skip_word(p);
+    p = skip_ws(p);
+    if (in(p) == 40) {
+      nvals = 1;
+      p = skip_word(skip_ws(p + 1));
+      while (in(p) == 44) {
+        nvals = nvals + 1;
+        p = skip_word(skip_ws(p + 1));
+      }
+      if (ncols > 0 && nvals != ncols && ncols != 1) {
+        // INSERT after a SELECT primed the column count: mismatch uses
+        // the stale count (path-dependent across statements)
+        bug(275);
+      }
+    }
+  }
+  return p;
+}
+
+fn compile_create(p) {
+  p = skip_ws(p);
+  // CREATE TABLE word ( cols )
+  if (kw(p, 116, 97, 98) == 1) {
+    p = skip_word(p);
+    p = skip_ws(p);
+    p = skip_word(p);
+    p = skip_ws(p);
+    if (in(p) == 40) {
+      var n = 0;
+      p = p + 1;
+      while (in(p) != 41 && in(p) != -1) {
+        if (in(p) == 44) {
+          n = n + 1;
+        }
+        p = p + 1;
+      }
+      check(n <= 16, 276);              // too many table columns
+    }
+  }
+  return p;
+}
+
+fn main() {
+  ncols = 0;
+  nvals = 0;
+  where_depth = 0;
+  select_nested = 0;
+  reg_top = 0;
+  var p = 0;
+  var stmts = 0;
+  while (in(p) != -1 && stmts < 6) {
+    p = skip_ws(p);
+    if (kw(p, 115, 101, 108) == 1) {
+      p = compile_select(skip_word(p));
+    } else {
+      if (kw(p, 105, 110, 115) == 1) {
+        p = compile_insert(skip_word(p));
+      } else {
+        if (kw(p, 99, 114, 101) == 1) {
+          p = compile_create(skip_word(p));
+        } else {
+          p = skip_word(p);
+          if (p == skip_ws(p) && in(p) != -1 && in(p) != 59) {
+            p = p + 1;                  // punctuation
+          }
+        }
+      }
+    }
+    p = skip_ws(p);
+    if (in(p) == 59) {
+      p = p + 1;
+    }
+    stmts = stmts + 1;
+  }
+  return reg_top;
+}
+|}
+
+let subject : Subject.t =
+  {
+    name = "sqlite3";
+    description = "SQL tokenizer and statement compiler (SELECT/INSERT/CREATE)";
+    source;
+    seeds =
+      [
+        "SELECT a, b FROM t WHERE x = 1;";
+        "INSERT t VALUES (1, 2);";
+        "CREATE TABLE t (a, b, c); SELECT a FROM t;";
+      ];
+    bugs =
+      [
+        {
+          id = 271;
+          summary = "expression register file overflow";
+          bug_class = Subject.Loop_accumulation;
+          witness = "SELECT a,b,c,d,e,f,g,h FROM t WHERE i+j+k";
+        };
+        {
+          id = 272;
+          summary = "stale frame in correlated double-nested subquery";
+          bug_class = Subject.Path_dependent;
+          witness = "SELECT a, b, c FROM t WHERE ((select x)=(select y))";
+        };
+        {
+          id = 273;
+          summary = "expression tree depth overflow";
+          bug_class = Subject.Deep;
+          witness = "SELECT a FROM t WHERE ((((((((((a))))))))))";
+        };
+        {
+          id = 274;
+          summary = "column list overflow";
+          bug_class = Subject.Shallow;
+          witness = "SELECT a,b,c,d,e,f,g,h,i FROM t";
+        };
+        {
+          id = 275;
+          summary = "stale column count reused across statements";
+          bug_class = Subject.Path_dependent;
+          witness = "SELECT a, b FROM t; INSERT t VALUES (1,2,3);";
+        };
+        {
+          id = 276;
+          summary = "CREATE TABLE column-count overflow";
+          bug_class = Subject.Shallow;
+          witness = "CREATE TABLE t (a,b,c,d,e,f,g,h,i,j,k,l,m,n,o,p,q,r)";
+        };
+      ];
+  }

@@ -1,0 +1,220 @@
+(** tiffsplit stand-in: TIFF strip extractor. Walks IFDs, reads strip
+    offset/bytecount arrays and "copies" strips; the copy loops give this
+    subject the large acyclic-path population (22x queue ratio in Table
+    III) and several OOB bug sites. *)
+
+let source =
+  {|
+// tiffsplit: IFD walk + strip copy loops.
+global strip_offsets[8];
+global strip_counts[8];
+global nstrips_off;
+global nstrips_cnt;
+global out_buf[64];
+global out_pos;
+global compression;
+global byte_mix;
+
+fn u16(p) {
+  return in(p) + (in(p + 1) * 256);
+}
+
+fn u32(p) {
+  return u16(p) + (u16(p + 2) * 65536);
+}
+
+fn read_strip_array(p, count, dst) {
+  check(count <= 8, 181);               // strip table overflow
+  var i = 0;
+  while (i < count) {
+    var arr = strip_offsets;
+    if (dst == 1) {
+      arr = strip_counts;
+    }
+    arr[i] = u32(p + (i * 4));
+    i = i + 1;
+  }
+  return count;
+}
+
+// per-byte classification: five independent decisions per activation
+fn byte_class(c) {
+  var w = 0;
+  if ((c & 1) != 0) { w = w + 1; }
+  if ((c & 2) != 0) { w = w + 2; }
+  if ((c & 4) != 0) { w = w + 4; }
+  if ((c & 8) != 0) { w = w + 8; }
+  if (c > 64) { w = w + 16; }
+  byte_mix = (byte_mix + w) & 63;
+  return w;
+}
+
+fn copy_strip(src, n) {
+  var i = 0;
+  while (i < n) {
+    var c = in(src + i);
+    if (c == -1) {
+      return -1;                        // truncated strip
+    }
+    byte_class(c);
+    check(out_pos < 64, 182);           // output buffer overflow
+    if (compression == 1 && c == 0) {
+      // RLE: zero escapes a run
+      var run = in(src + i + 1);
+      out_pos = out_pos + run;
+      check(out_pos <= 64, 183);        // RLE run skips bounds check
+      i = i + 2;
+    } else {
+      out_buf[out_pos] = c;
+      out_pos = out_pos + 1;
+      i = i + 1;
+    }
+  }
+  return n;
+}
+
+// post-split audit: fatal only for one configuration of counters
+fn split_audit() {
+  var risk = 0;
+  if (out_pos > 8) { risk = risk + 1; }
+  if (out_pos % 9 == 4) { risk = risk + 2; }
+  if ((byte_mix & 7) == 6) { risk = risk + 4; }
+  check(risk != 7, 185);
+  return risk;
+}
+
+fn main() {
+  nstrips_off = 0;
+  nstrips_cnt = 0;
+  out_pos = 0;
+  compression = 0;
+  byte_mix = 0;
+  if (in(0) != 73 || in(1) != 73 || in(2) != 42) {
+    return 1;
+  }
+  var ifd = u32(4);
+  if (ifd <= 0 || ifd >= len()) {
+    return 2;
+  }
+  var n = u16(ifd);
+  if (n < 0 || n > 16) {
+    return 3;
+  }
+  var i = 0;
+  while (i < n) {
+    var p = ifd + 2 + (i * 12);
+    var tag = u16(p);
+    var count = u32(p + 4);
+    var value = u32(p + 8);
+    if (tag == 259) {
+      compression = value;
+    }
+    if (tag == 273) {
+      // strip offsets: inline if count==1 else pointer
+      if (count == 1) {
+        strip_offsets[0] = value;
+        nstrips_off = 1;
+      } else {
+        nstrips_off = read_strip_array(value, count, 0);
+      }
+    }
+    if (tag == 279) {
+      if (count == 1) {
+        strip_counts[0] = value;
+        nstrips_cnt = 1;
+      } else {
+        nstrips_cnt = read_strip_array(value, count, 1);
+      }
+    }
+    i = i + 1;
+  }
+  if (nstrips_off > 0 && nstrips_cnt != nstrips_off) {
+    // mismatched strip tables: the real tiffsplit crashes here too
+    bug(184);
+  }
+  var s = 0;
+  while (s < nstrips_off) {
+    copy_strip(strip_offsets[s], strip_counts[s]);
+    s = s + 1;
+  }
+  split_audit();
+  return out_pos;
+}
+|}
+
+let b = Subject.b
+let u16le = Subject.u16le
+let u32le = Subject.u32le
+
+(* Build a little-endian TIFF: header, IFD at 8, then payload data. *)
+let tiff entries payload =
+  let n = List.length entries in
+  "II*" ^ b [ 0 ] ^ u32le 8 ^ u16le n
+  ^ String.concat ""
+      (List.map
+         (fun (tag, count, value) -> u16le tag ^ u16le 4 ^ u32le count ^ u32le value)
+         entries)
+  ^ u32le 0 ^ payload
+
+let subject : Subject.t =
+  {
+    name = "tiffsplit";
+    description = "TIFF strip extractor with RLE copy loops";
+    source;
+    seeds =
+      [
+        (* one strip of 4 bytes right after the IFD *)
+        (let body = tiff [ (273, 1, 0); (279, 1, 4) ] "" in
+         let fixed =
+           tiff [ (273, 1, String.length body); (279, 1, 4) ] "abcd"
+         in
+         fixed);
+        tiff [ (259, 1, 1) ] "";
+      ];
+    bugs =
+      [
+        {
+          id = 181;
+          summary = "strip table count overflow";
+          bug_class = Subject.Shallow;
+          witness = tiff [ (273, 9, 60) ] (String.make 40 '\001');
+        };
+        {
+          id = 182;
+          summary = "output buffer overflow on long strip copy";
+          bug_class = Subject.Loop_accumulation;
+          witness =
+            (let body = tiff [ (273, 1, 0); (279, 1, 70) ] "" in
+             tiff
+               [ (273, 1, String.length body); (279, 1, 70) ]
+               (String.make 70 'x'));
+        };
+        {
+          id = 183;
+          summary = "RLE run length skips the per-byte bounds check";
+          bug_class = Subject.Path_dependent;
+          witness =
+            (let body = tiff [ (259, 1, 1); (273, 1, 0); (279, 1, 2) ] "" in
+             tiff
+               [ (259, 1, 1); (273, 1, String.length body); (279, 1, 2) ]
+               (b [ 0; 200 ]));
+        };
+        {
+          id = 185;
+          summary = "fatal counter configuration in post-split audit";
+          bug_class = Subject.Path_dependent;
+          witness =
+            (* one 13-byte strip of 0x06 bytes: out_pos=13, byte_mix=14 *)
+            (let body = tiff [ (273, 1, 0); (279, 1, 13) ] "" in
+             tiff
+               [ (273, 1, String.length body); (279, 1, 13) ]
+               (String.make 13 '\x06'));
+        };
+        {
+          id = 184;
+          summary = "mismatched strip offset/count tables";
+          bug_class = Subject.Shallow;
+          witness = tiff [ (273, 1, 60); (279, 2, 60) ] (u32le 1 ^ u32le 1);
+        };
+      ];
+  }

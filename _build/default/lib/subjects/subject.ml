@@ -1,0 +1,68 @@
+(** The benchmark-subject abstraction: a MiniC program standing in for one
+    UNIFUZZ target, with seed inputs, a ground-truth bug table, and one
+    *witness input* per bug. The witnesses make the paper's manual bug
+    deduplication exact and are verified by the test suite (every witness
+    provably triggers its bug id; every seed runs crash-free). *)
+
+type bug_class =
+  | Shallow  (** reachable with little coverage progress *)
+  | Magic  (** gated behind multi-byte magic values (cmplog territory) *)
+  | Path_dependent
+      (** triggers only via a specific path over edges that are all
+          individually coverable — the paper's motivating class (§II-B) *)
+  | Loop_accumulation
+      (** state accumulated over repeated executions of the same paths,
+          like the cflow [curs] overflow of §V-A *)
+  | Deep  (** requires sustained coverage progress to reach *)
+
+let bug_class_name = function
+  | Shallow -> "shallow"
+  | Magic -> "magic"
+  | Path_dependent -> "path-dependent"
+  | Loop_accumulation -> "loop-accumulation"
+  | Deep -> "deep"
+
+type bug = {
+  id : int;  (** ground-truth identity, matches [bug]/[check] ids in source *)
+  summary : string;
+  bug_class : bug_class;
+  witness : string;  (** a known input that triggers exactly this bug *)
+}
+
+type t = {
+  name : string;  (** UNIFUZZ subject this stands in for *)
+  description : string;
+  source : string;  (** MiniC source text *)
+  seeds : string list;
+  bugs : bug list;
+}
+
+(** Compile a subject's source (parse + check + lower); memoised because
+    experiments instantiate subjects repeatedly. *)
+let ir_cache : (string, Minic.Ir.program) Hashtbl.t = Hashtbl.create 32
+
+let program (t : t) : Minic.Ir.program =
+  match Hashtbl.find_opt ir_cache t.name with
+  | Some p -> p
+  | None ->
+      let p = Minic.Lower.compile t.source in
+      Hashtbl.replace ir_cache t.name p;
+      p
+
+(** Number of MiniC functions (the "Functions" column of Table I). *)
+let num_functions (t : t) : int = Array.length (program t).funcs
+
+let bug_ids (t : t) : int list = List.map (fun b -> b.id) t.bugs
+
+(** Check one witness: run it and return the crash identity observed. *)
+let witness_identity (t : t) (b : bug) : Vm.Crash.identity option =
+  match Vm.Interp.crash_of (program t) ~input:b.witness with
+  | Some crash -> Some (Vm.Crash.bug_identity crash)
+  | None -> None
+
+(* Helpers for building binary seed/witness strings. *)
+let b (l : int list) : string =
+  String.init (List.length l) (fun i -> Char.chr (List.nth l i land 255))
+
+let u16le v = b [ v land 255; (v lsr 8) land 255 ]
+let u32le v = b [ v land 255; (v lsr 8) land 255; (v lsr 16) land 255; (v lsr 24) land 255 ]

@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Char Crash Hashtbl List Minic Option String Value

@@ -1,0 +1,70 @@
+(** Crash model: what the paper's ASAN-instrumented targets report, made
+    deterministic. A crash carries a kind, the faulting site and the call
+    stack; [top5_hash] implements the stack-trace clustering used for
+    "unique crashes" (top 5 frames, as in §V-A), while [bug_identity] is
+    the exact ground-truth notion that the paper approximates by manual
+    deduplication. *)
+
+type kind =
+  | Out_of_bounds of { len : int; idx : int }
+  | Div_by_zero
+  | Seeded of int  (** explicit [bug(id)] defect site *)
+  | Check_failed of int  (** [check(cond, id)] with a zero condition *)
+  | Bad_alloc of int
+  | Stack_overflow
+  | Type_error of string
+
+type frame = { fn : string; site : int }
+
+type t = {
+  kind : kind;
+  stack : frame list;  (** innermost first; head is the faulting frame *)
+}
+
+(** Ground-truth bug identity: seeded ids are explicit; organic crashes
+    (OOB, division, allocation, recursion, type confusion) are identified
+    by their faulting site, which is stable across runs of a program. *)
+type identity = Id of int | At_site of int
+
+let faulting_site t = match t.stack with [] -> -1 | f :: _ -> f.site
+
+let bug_identity t : identity =
+  match t.kind with
+  | Seeded id | Check_failed id -> Id id
+  | Out_of_bounds _ | Div_by_zero | Bad_alloc _ | Stack_overflow | Type_error _ ->
+      At_site (faulting_site t)
+
+let kind_name = function
+  | Out_of_bounds _ -> "heap-out-of-bounds"
+  | Div_by_zero -> "division-by-zero"
+  | Seeded _ -> "seeded-memory-error"
+  | Check_failed _ -> "assertion-failure"
+  | Bad_alloc _ -> "allocation-failure"
+  | Stack_overflow -> "stack-overflow"
+  | Type_error _ -> "type-confusion"
+
+(** Stack-trace clustering key: hash of the top 5 frames plus the crash
+    kind tag — the standard "unique crash" notion of the evaluation. *)
+let top5_hash t : int =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | f :: rest -> (f.fn, f.site) :: take (n - 1) rest
+  in
+  Hashtbl.hash (kind_name t.kind, take 5 t.stack)
+
+(** AFL 2.52b's cruder notion (Appendix C): a crash is "unique" iff its
+    execution trace hits a coverage tuple no earlier crash hit. This lives
+    in the fuzzer (it needs the coverage map); here we only expose the
+    stack-based key. *)
+
+let pp_identity fmt = function
+  | Id n -> Fmt.pf fmt "bug#%d" n
+  | At_site s -> Fmt.pf fmt "site@%d" s
+
+let pp fmt t =
+  Fmt.pf fmt "%s at %a [%a]" (kind_name t.kind) pp_identity (bug_identity t)
+    Fmt.(list ~sep:(any " <- ") (fun fmt f -> Fmt.pf fmt "%s:%d" f.fn f.site))
+    t.stack
+
+let identity_compare (a : identity) (b : identity) = compare a b

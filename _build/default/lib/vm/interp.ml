@@ -1,0 +1,440 @@
+(** CFG interpreter for MiniC IR programs.
+
+    The interpreter is the stand-in for native execution of the
+    instrumented target: it runs a program on an input byte string,
+    emitting the events (calls, block entries, edge traversals, returns,
+    comparisons) that the instrumentation hooks of [Pathcov.Feedback]
+    consume, and converting memory-safety violations into [Crash.t]
+    reports exactly where ASAN would. Execution is bounded by a fuel
+    budget (the analogue of AFL's timeout) and a call-depth limit.
+
+    Because a fuzzing campaign executes the same program millions of
+    times, [prepare] resolves variable names to frame slots and function
+    names to indices once; [run] then evaluates integers unboxed. MiniC
+    locals are zero-initialised at function entry (as if the target were
+    built with [-ftrivial-auto-var-init=zero]). *)
+
+type hooks = {
+  h_call : int -> unit;  (** [fid]: entering a function *)
+  h_block : int -> int -> unit;  (** [fid block]: control enters a block *)
+  h_edge : int -> int -> int -> unit;  (** [fid src dst]: CFG transition *)
+  h_ret : int -> int -> unit;  (** [fid block]: return executes *)
+  h_cmp : int -> int -> unit;  (** comparison operands, for cmplog *)
+}
+
+let no_hooks =
+  {
+    h_call = (fun _ -> ());
+    h_block = (fun _ _ -> ());
+    h_edge = (fun _ _ _ -> ());
+    h_ret = (fun _ _ -> ());
+    h_cmp = (fun _ _ -> ());
+  }
+
+type status =
+  | Finished of int option  (** [main] returned normally *)
+  | Crashed of Crash.t
+  | Hung  (** fuel exhausted: the analogue of an AFL timeout *)
+
+type outcome = {
+  status : status;
+  blocks_executed : int;  (** work metric: blocks entered across the run *)
+}
+
+let default_fuel = 200_000
+let default_max_depth = 128
+let max_alloc = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Resolved (slot-addressed) representation *)
+
+type slot = Local of int | Global of int
+
+(* Comparison operators are split out so the evaluator can invoke the
+   cmplog hook without re-dispatching on the operator. *)
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type arith = Aadd | Asub | Amul | Adiv | Arem | Aband | Abor | Abxor | Ashl | Ashr
+
+type rexpr =
+  | Rconst of int
+  | Rload of slot
+  | Rindex of rexpr * rexpr * int  (** base, index, site *)
+  | Rarith of arith * rexpr * rexpr * int  (** site for div-by-zero *)
+  | Rcmp of cmp * rexpr * rexpr
+  | Rneg of rexpr
+  | Rnot of rexpr
+  | Rbnot of rexpr
+  | Rin of rexpr
+  | Rlen
+  | Rarray_make of rexpr * int
+  | Rarray_len of rexpr * int
+  | Rabs of rexpr
+
+type rinstr =
+  | Rassign of slot * rexpr
+  | Rstore of rexpr * rexpr * rexpr * int
+  | Rcall of { dst : slot option; callee : int; args : rexpr list; site : int }
+  | Rbug of int * int  (** bug id, site *)
+  | Rcheck of rexpr * int * int  (** cond, bug id, site *)
+
+type rterm =
+  | Rgoto of int
+  | Rbranch of rexpr * int * int * int  (** cond, true, false, site *)
+  | Rret of rexpr option * int
+
+type rblock = { rinstrs : rinstr array; rterm : rterm }
+
+type rfunc = {
+  rname : string;
+  nlocals : int;
+  param_slots : int list;
+  rblocks : rblock array;
+}
+
+type prepared = {
+  prog : Minic.Ir.program;
+  rfuncs : rfunc array;
+  main_id : int;
+  global_names : string array;
+  global_sizes : int array;  (** 0 = int cell, n > 0 = array of n *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Resolution *)
+
+exception Unknown_name of string
+
+let resolve_func (globals : (string, int) Hashtbl.t)
+    (fidx : (string, int) Hashtbl.t) (f : Minic.Ir.func) : rfunc =
+  let locals : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let nlocals = ref 0 in
+  let local name =
+    match Hashtbl.find_opt locals name with
+    | Some i -> i
+    | None ->
+        let i = !nlocals in
+        incr nlocals;
+        Hashtbl.replace locals name i;
+        i
+  in
+  (* Params first, then the function's declared locals and temporaries;
+     loads and stores of anything else resolve to globals. *)
+  let param_slots = List.map local f.params in
+  List.iter (fun name -> ignore (local name)) f.locals;
+  let slot name =
+    match Hashtbl.find_opt locals name with
+    | Some i -> Local i
+    | None -> (
+        match Hashtbl.find_opt globals name with
+        | Some i -> Global i
+        | None -> raise (Unknown_name name))
+  in
+  let arith_of : Minic.Ast.binop -> arith option = function
+    | Add -> Some Aadd
+    | Sub -> Some Asub
+    | Mul -> Some Amul
+    | Div -> Some Adiv
+    | Rem -> Some Arem
+    | Band -> Some Aband
+    | Bor -> Some Abor
+    | Bxor -> Some Abxor
+    | Shl -> Some Ashl
+    | Shr -> Some Ashr
+    | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> None
+  in
+  let cmp_of : Minic.Ast.binop -> cmp = function
+    | Eq -> Ceq
+    | Ne -> Cne
+    | Lt -> Clt
+    | Le -> Cle
+    | Gt -> Cgt
+    | Ge -> Cge
+    | _ -> assert false
+  in
+  let rec rexpr site (e : Minic.Ir.expr) : rexpr =
+    match e with
+    | Const n -> Rconst n
+    | Load v -> Rload (slot v)
+    | Index (b, i) -> Rindex (rexpr site b, rexpr site i, site)
+    | Binop (op, a, b) -> begin
+        match arith_of op with
+        | Some a' -> Rarith (a', rexpr site a, rexpr site b, site)
+        | None -> Rcmp (cmp_of op, rexpr site a, rexpr site b)
+      end
+    | Unop (Neg, a) -> Rneg (rexpr site a)
+    | Unop (Not, a) -> Rnot (rexpr site a)
+    | Unop (Bnot, a) -> Rbnot (rexpr site a)
+    | InByte a -> Rin (rexpr site a)
+    | InputLen -> Rlen
+    | ArrayMake a -> Rarray_make (rexpr site a, site)
+    | ArrayLen a -> Rarray_len (rexpr site a, site)
+    | Abs a -> Rabs (rexpr site a)
+  in
+  let rinstr (i : Minic.Ir.instr) : rinstr =
+    match i with
+    | Assign { dst; e; site } -> Rassign (slot dst, rexpr site e)
+    | Store { base; idx; v; site } ->
+        Rstore (rexpr site base, rexpr site idx, rexpr site v, site)
+    | CallI { dst; callee; args; site } ->
+        let cid =
+          match Hashtbl.find_opt fidx callee with
+          | Some c -> c
+          | None -> raise (Unknown_name callee)
+        in
+        Rcall
+          {
+            dst = Option.map (fun d -> slot d) dst;
+            callee = cid;
+            args = List.map (rexpr site) args;
+            site;
+          }
+    | BugI { bug; site } -> Rbug (bug, site)
+    | CheckI { cond; bug; site } -> Rcheck (rexpr site cond, bug, site)
+  in
+  let rterm (t : Minic.Ir.term) : rterm =
+    match t with
+    | Goto l -> Rgoto l
+    | Branch { cond; if_true; if_false; site } ->
+        Rbranch (rexpr site cond, if_true, if_false, site)
+    | Ret { e; site } -> Rret (Option.map (rexpr site) e, site)
+  in
+  let rblocks =
+    Array.map
+      (fun (b : Minic.Ir.block) ->
+        { rinstrs = Array.of_list (List.map rinstr b.instrs); rterm = rterm b.term })
+      f.blocks
+  in
+  { rname = f.name; nlocals = !nlocals; param_slots; rblocks }
+
+(** Resolve a program once; reuse the result across executions. *)
+let prepare (prog : Minic.Ir.program) : prepared =
+  let globals = Hashtbl.create 16 in
+  let names = ref [] and sizes = ref [] in
+  List.iteri
+    (fun i g ->
+      let name, size =
+        match g with
+        | Minic.Ast.Gint n -> (n, 0)
+        | Minic.Ast.Garr (n, s) -> (n, s)
+      in
+      Hashtbl.replace globals name i;
+      names := name :: !names;
+      sizes := size :: !sizes)
+    prog.globals;
+  let fidx = Hashtbl.create 16 in
+  Array.iteri (fun i (f : Minic.Ir.func) -> Hashtbl.replace fidx f.name i) prog.funcs;
+  let main_id =
+    match Hashtbl.find_opt fidx "main" with
+    | Some id -> id
+    | None -> invalid_arg "Interp.prepare: program has no main"
+  in
+  {
+    prog;
+    rfuncs = Array.map (resolve_func globals fidx) prog.funcs;
+    main_id;
+    global_names = Array.of_list (List.rev !names);
+    global_sizes = Array.of_list (List.rev !sizes);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+exception Crash_exn of Crash.kind * int
+exception Out_of_fuel
+
+type rstate = {
+  p : prepared;
+  input : string;
+  hooks : hooks;
+  gvals : Value.t array;
+  mutable fuel : int;
+  mutable blocks : int;
+  mutable call_stack : Crash.frame list;
+}
+
+let type_err site what = raise (Crash_exn (Crash.Type_error what, site))
+
+let read st (frame : Value.t array) = function
+  | Local i -> frame.(i)
+  | Global i -> st.gvals.(i)
+
+let write st (frame : Value.t array) slot v =
+  match slot with Local i -> frame.(i) <- v | Global i -> st.gvals.(i) <- v
+
+let as_int site = function
+  | Value.Vint n -> n
+  | Value.Varr _ -> type_err site "int expected"
+
+let as_arr site = function
+  | Value.Varr a -> a
+  | Value.Vint _ -> type_err site "array expected"
+
+(* Integer-typed evaluation; array-typed sub-expressions are reached only
+   through [eval_arr]. *)
+let rec eval_int st frame (e : rexpr) : int =
+  match e with
+  | Rconst n -> n
+  | Rload s -> as_int (-1) (read st frame s)
+  | Rindex (b, i, site) ->
+      let a = eval_arr st frame site b in
+      let idx = eval_int st frame i in
+      if idx < 0 || idx >= Array.length a then
+        raise (Crash_exn (Crash.Out_of_bounds { len = Array.length a; idx }, site))
+      else Array.unsafe_get a idx
+  | Rarith (op, e1, e2, site) -> begin
+      let a = eval_int st frame e1 in
+      let b = eval_int st frame e2 in
+      match op with
+      | Aadd -> a + b
+      | Asub -> a - b
+      | Amul -> a * b
+      | Adiv -> if b = 0 then raise (Crash_exn (Crash.Div_by_zero, site)) else a / b
+      | Arem -> if b = 0 then raise (Crash_exn (Crash.Div_by_zero, site)) else a mod b
+      | Aband -> a land b
+      | Abor -> a lor b
+      | Abxor -> a lxor b
+      | Ashl -> a lsl (min 62 (b land 63))
+      | Ashr -> a asr (min 62 (b land 63))
+    end
+  | Rcmp (op, e1, e2) -> begin
+      let a = eval_int st frame e1 in
+      let b = eval_int st frame e2 in
+      st.hooks.h_cmp a b;
+      match op with
+      | Ceq -> if a = b then 1 else 0
+      | Cne -> if a <> b then 1 else 0
+      | Clt -> if a < b then 1 else 0
+      | Cle -> if a <= b then 1 else 0
+      | Cgt -> if a > b then 1 else 0
+      | Cge -> if a >= b then 1 else 0
+    end
+  | Rneg e -> -eval_int st frame e
+  | Rnot e -> if eval_int st frame e = 0 then 1 else 0
+  | Rbnot e -> lnot (eval_int st frame e)
+  | Rin e ->
+      let i = eval_int st frame e in
+      if i < 0 || i >= String.length st.input then -1
+      else Char.code (String.unsafe_get st.input i)
+  | Rlen -> String.length st.input
+  | Rabs e -> abs (eval_int st frame e)
+  | Rarray_make (_, site) -> type_err site "array in int context"
+  | Rarray_len (e, site) -> Array.length (eval_arr st frame site e)
+
+and eval_arr st frame site (e : rexpr) : int array =
+  match e with
+  | Rload s -> as_arr site (read st frame s)
+  | Rarray_make (n, site') ->
+      let n = eval_int st frame n in
+      if n < 0 || n > max_alloc then raise (Crash_exn (Crash.Bad_alloc n, site'))
+      else Array.make n 0
+  | _ -> type_err site "array expected"
+
+(* Values for call arguments and assignments: arrays stay arrays. *)
+and eval_val st frame (e : rexpr) : Value.t =
+  match e with
+  | Rload s -> read st frame s
+  | Rarray_make (n, site) ->
+      let n = eval_int st frame n in
+      if n < 0 || n > max_alloc then raise (Crash_exn (Crash.Bad_alloc n, site))
+      else Value.Varr (Array.make n 0)
+  | _ -> Value.Vint (eval_int st frame e)
+
+let burn st =
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let rec call st (fid : int) (args : Value.t list) (depth : int) : Value.t =
+  if depth > default_max_depth then raise (Crash_exn (Crash.Stack_overflow, -1));
+  let f = st.p.rfuncs.(fid) in
+  st.hooks.h_call fid;
+  let frame = Array.make (max 1 f.nlocals) (Value.Vint 0) in
+  List.iter2 (fun slot v -> frame.(slot) <- v) f.param_slots args;
+  let rec run_block label =
+    burn st;
+    st.blocks <- st.blocks + 1;
+    st.hooks.h_block fid label;
+    let b = f.rblocks.(label) in
+    let n = Array.length b.rinstrs in
+    for i = 0 to n - 1 do
+      exec_instr st frame fid depth (Array.unsafe_get b.rinstrs i)
+    done;
+    match b.rterm with
+    | Rgoto l ->
+        st.hooks.h_edge fid label l;
+        run_block l
+    | Rbranch (cond, if_true, if_false, _site) ->
+        let dst = if eval_int st frame cond <> 0 then if_true else if_false in
+        st.hooks.h_edge fid label dst;
+        run_block dst
+    | Rret (e, _site) ->
+        let v =
+          match e with Some e -> eval_val st frame e | None -> Value.Vint 0
+        in
+        st.hooks.h_ret fid label;
+        v
+  in
+  run_block 0
+
+and exec_instr st frame fid depth (i : rinstr) : unit =
+  burn st;
+  match i with
+  | Rassign (slot, e) -> write st frame slot (eval_val st frame e)
+  | Rstore (base, idx, v, site) ->
+      let a = eval_arr st frame site base in
+      let i = eval_int st frame idx in
+      let x = eval_int st frame v in
+      if i < 0 || i >= Array.length a then
+        raise (Crash_exn (Crash.Out_of_bounds { len = Array.length a; idx = i }, site))
+      else Array.unsafe_set a i x
+  | Rcall { dst; callee; args; site } ->
+      let argv = List.map (eval_val st frame) args in
+      let fname = st.p.rfuncs.(fid).rname in
+      st.call_stack <- { Crash.fn = fname; site } :: st.call_stack;
+      let result = call st callee argv (depth + 1) in
+      st.call_stack <- List.tl st.call_stack;
+      (match dst with Some d -> write st frame d result | None -> ())
+  | Rbug (bug, site) -> raise (Crash_exn (Crash.Seeded bug, site))
+  | Rcheck (cond, bug, site) ->
+      if eval_int st frame cond = 0 then raise (Crash_exn (Crash.Check_failed bug, site))
+
+let site_function (prog : Minic.Ir.program) site =
+  if site >= 0 && site < Array.length prog.sites then prog.sites.(site).sfunc
+  else "?"
+
+(** Execute a prepared program from [main] on [input]. Never raises for
+    program-under-test misbehaviour — crashes, hangs and type confusion
+    all come back as [status]. *)
+let run_prepared ?(fuel = default_fuel) ?(hooks = no_hooks) (p : prepared)
+    ~(input : string) : outcome =
+  let gvals =
+    Array.map
+      (fun size -> if size = 0 then Value.Vint 0 else Value.Varr (Array.make size 0))
+      p.global_sizes
+  in
+  let st = { p; input; hooks; gvals; fuel; blocks = 0; call_stack = [] } in
+  let status =
+    try
+      match call st p.main_id [] 0 with
+      | Value.Vint n -> Finished (Some n)
+      | Value.Varr _ -> Finished None
+    with
+    | Crash_exn (kind, site) ->
+        let top = { Crash.fn = site_function p.prog site; site } in
+        Crashed { Crash.kind; stack = top :: st.call_stack }
+    | Out_of_fuel -> Hung
+    | Stack_overflow ->
+        Crashed { Crash.kind = Crash.Stack_overflow; stack = st.call_stack }
+  in
+  { status; blocks_executed = st.blocks }
+
+(** One-shot convenience (prepares on each call; use [prepare] +
+    [run_prepared] in loops). *)
+let run ?fuel ?hooks (prog : Minic.Ir.program) ~input : outcome =
+  run_prepared ?fuel ?hooks (prepare prog) ~input
+
+(** Convenience: run and return the crash, if any. *)
+let crash_of ?fuel ?hooks prog ~input : Crash.t option =
+  match (run ?fuel ?hooks prog ~input).status with
+  | Crashed c -> Some c
+  | Finished _ | Hung -> None

@@ -1,0 +1,56 @@
+(** CFG interpreter for MiniC IR programs — the stand-in for native
+    execution of the instrumented target. It runs a program on an input
+    byte string, emitting the events that the instrumentation listeners of
+    [Pathcov.Feedback] consume, and converting memory-safety violations
+    into {!Crash.t} reports exactly where ASAN would. Execution is bounded
+    by a fuel budget (the analogue of AFL's timeout) and a call-depth
+    limit. MiniC locals are zero-initialised at function entry. *)
+
+(** Instrumentation hooks, invoked during execution. *)
+type hooks = {
+  h_call : int -> unit;  (** [fid]: entering a function *)
+  h_block : int -> int -> unit;  (** [fid block]: control enters a block *)
+  h_edge : int -> int -> int -> unit;  (** [fid src dst]: CFG transition *)
+  h_ret : int -> int -> unit;  (** [fid block]: return executes *)
+  h_cmp : int -> int -> unit;  (** comparison operands, for cmplog *)
+}
+
+val no_hooks : hooks
+
+type status =
+  | Finished of int option  (** [main] returned normally *)
+  | Crashed of Crash.t
+  | Hung  (** fuel exhausted: the analogue of an AFL timeout *)
+
+type outcome = {
+  status : status;
+  blocks_executed : int;  (** work metric: blocks entered across the run *)
+}
+
+val default_fuel : int
+val default_max_depth : int
+
+(** Maximum [array(n)] size before the VM reports [Bad_alloc]. *)
+val max_alloc : int
+
+(** A program with names resolved to slots — build once per program,
+    reuse across the campaign's millions of executions. *)
+type prepared
+
+(** Raised by {!prepare} when the IR references an unbound variable or an
+    undefined function (cannot happen for sema-checked programs). *)
+exception Unknown_name of string
+
+val prepare : Minic.Ir.program -> prepared
+
+(** Execute a prepared program from [main] on [input]. Never raises for
+    program-under-test misbehaviour — crashes, hangs and type confusion
+    all come back as [status]. *)
+val run_prepared : ?fuel:int -> ?hooks:hooks -> prepared -> input:string -> outcome
+
+(** One-shot convenience (prepares on each call; use {!prepare} +
+    {!run_prepared} in loops). *)
+val run : ?fuel:int -> ?hooks:hooks -> Minic.Ir.program -> input:string -> outcome
+
+(** Run and return the crash, if any. *)
+val crash_of : ?fuel:int -> ?hooks:hooks -> Minic.Ir.program -> input:string -> Crash.t option

@@ -1,0 +1,10 @@
+(** Runtime values of the MiniC VM: machine integers and heap-allocated
+    integer arrays (arrays are shared by reference, like C pointers). *)
+
+type t = Vint of int | Varr of int array
+
+let pp fmt = function
+  | Vint n -> Fmt.int fmt n
+  | Varr a -> Fmt.pf fmt "array[%d]" (Array.length a)
+
+let type_name = function Vint _ -> "int" | Varr _ -> "array"

@@ -1,0 +1,1 @@
+test/gen.ml: List Minic QCheck

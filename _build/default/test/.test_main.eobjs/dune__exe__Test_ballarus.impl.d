@@ -1,0 +1,1 @@
+test/test_ballarus.ml: Alcotest Array Fun Gen Hashtbl List Minic Pathcov QCheck QCheck_alcotest String Subjects Vm

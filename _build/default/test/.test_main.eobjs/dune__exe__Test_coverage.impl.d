@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Gen List Minic Pathcov Printf QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ast Gen List Minic Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Float Fuzz Gen List Minic Pathcov QCheck QCheck_alcotest String Subjects Vm

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Experiments Fuzz List Minic Pathcov Printexc Printf String Subjects Vm

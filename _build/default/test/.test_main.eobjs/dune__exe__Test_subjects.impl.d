@@ -1,0 +1,1 @@
+test/test_subjects.ml: Alcotest Array Fmt Fuzz List Minic Pathcov String Subjects Vm

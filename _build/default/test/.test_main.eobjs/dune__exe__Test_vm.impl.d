@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Fmt Gen List Minic Option QCheck QCheck_alcotest Vm

@@ -1,0 +1,127 @@
+(** Random MiniC program generation for property-based tests. Programs are
+    built structurally (straight from the AST grammar), so they are always
+    parseable, sema-clean and reducible — which lets properties over the
+    whole pipeline (lowering, dominance, Ball–Larus, VM) run on thousands
+    of distinct CFGs. *)
+
+open Minic.Ast
+
+let pos = dummy_pos
+
+let e expr = { expr; epos = pos }
+let s stmt = { stmt; spos = pos }
+
+(* Expression generator over a fixed set of int-typed locals. *)
+let rec gen_expr vars depth st =
+  let open QCheck.Gen in
+  if depth <= 0 then
+    frequency
+      [
+        (3, map (fun n -> e (Int n)) (int_range (-8) 260));
+        (3, map (fun v -> e (Var v)) (oneofl vars));
+        (1, return (e Len));
+        (2, map (fun i -> e (In (e (Int i)))) (int_range 0 24));
+      ]
+      st
+  else
+    frequency
+      [
+        (2, gen_expr vars 0);
+        ( 4,
+          fun st ->
+            let op =
+              oneofl
+                [ Add; Sub; Mul; Eq; Ne; Lt; Le; Gt; Ge; Land; Lor; Band; Bxor ]
+                st
+            in
+            let a = gen_expr vars (depth - 1) st in
+            let b = gen_expr vars (depth - 1) st in
+            e (Binop (op, a, b)) );
+        (1, fun st -> e (Unop (Not, gen_expr vars (depth - 1) st)));
+        (1, fun st -> e (Abs (gen_expr vars (depth - 1) st)));
+      ]
+      st
+
+(* Statement generator: structured control flow only, bounded nesting.
+   [depth] bounds nesting; loops get a counter guard so programs always
+   terminate well within fuel. *)
+let rec gen_block vars ~loops depth st =
+  let open QCheck.Gen in
+  let n = int_range 1 4 st in
+  List.concat (List.init n (fun _ -> gen_stmt vars ~loops depth st))
+
+and gen_stmt vars ~loops depth st : stmt_node list =
+  let open QCheck.Gen in
+  let choice = int_range 0 (if depth > 0 then 5 else 2) st in
+  match choice with
+  | 0 | 1 ->
+      let v = oneofl vars st in
+      [ s (Assign (v, gen_expr vars 2 st)) ]
+  | 2 ->
+      let v = oneofl vars st in
+      [ s (Assign (v, gen_expr vars 1 st)) ]
+  | 3 ->
+      let cond = gen_expr vars 2 st in
+      let then_ = gen_block vars ~loops (depth - 1) st in
+      let else_ = if bool st then gen_block vars ~loops (depth - 1) st else [] in
+      [ s (If (cond, then_, else_)) ]
+  | 4 when loops ->
+      (* bounded while loop over a dedicated counter *)
+      let v = oneofl vars st in
+      let bound = int_range 1 6 st in
+      [
+        s (Assign (v, e (Int 0)));
+        s
+          (While
+             ( e (Binop (Lt, e (Var v), e (Int bound))),
+               gen_block vars ~loops:false (depth - 1) st
+               @ [ s (Assign (v, e (Binop (Add, e (Var v), e (Int 1))))) ] ));
+      ]
+  | _ ->
+      let cond = gen_expr vars 2 st in
+      [ s (If (cond, gen_block vars ~loops (depth - 1) st, [])) ]
+
+(** Generate a full program: two helper functions plus [main] calling
+    them. All variables are pre-declared so scoping always checks. *)
+let gen_program : program QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let vars = [ "a"; "b"; "c" ] in
+  let decls = List.map (fun v -> s (Decl (v, Some (e (Int 0))))) vars in
+  let mk_func name ~loops =
+    let body = decls @ gen_block vars ~loops 3 st in
+    let ret = s (Return (Some (gen_expr vars 1 st))) in
+    { fname = name; params = [ "x" ]; body = body @ [ ret ]; fpos = pos }
+  in
+  let f = mk_func "f" ~loops:true in
+  let g = mk_func "g" ~loops:(bool st) in
+  let main_body =
+    decls
+    @ [
+        s (Assign ("a", e (Call ("f", [ e (In (e (Int 0))) ]))));
+        s (Assign ("b", e (Call ("g", [ e (Var "a") ]))));
+        s (Return (Some (e (Binop (Add, e (Var "a"), e (Var "b"))))));
+      ]
+  in
+  {
+    globals = [ Gint "gcount" ];
+    funcs = [ f; g; { fname = "main"; params = []; body = main_body; fpos = pos } ];
+  }
+
+let arbitrary_program : program QCheck.arbitrary = QCheck.make gen_program
+
+(** Lowered IR of a random program (checks sema along the way). *)
+let gen_ir : Minic.Ir.program QCheck.Gen.t =
+  QCheck.Gen.map
+    (fun p ->
+      Minic.Sema.check p;
+      Minic.Lower.lower p)
+    gen_program
+
+let arbitrary_ir : Minic.Ir.program QCheck.arbitrary = QCheck.make gen_ir
+
+(** Random input strings for VM runs. *)
+let gen_input : string QCheck.Gen.t =
+  QCheck.Gen.(string_size ~gen:char (int_range 0 40))
+
+let arbitrary_input = QCheck.make gen_input

@@ -1,0 +1,370 @@
+(** Front-end tests: lexer, parser, sema, lowering, CFG, dominance, loops. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+open Minic
+
+(* --- lexer --- *)
+
+let test_lex_basic () =
+  check (Alcotest.list Alcotest.string) "tokens"
+    [ "fn"; "main"; "("; ")"; "{"; "return"; "1"; ";"; "}"; "<eof>" ]
+    (List.map
+       (fun (t : Minic.Lexer.tok) -> Minic.Lexer.token_to_string t.tok)
+       (Minic.Lexer.tokenize "fn main() { return 1; }"))
+
+let test_lex_multichar () =
+  let got =
+    List.map
+      (fun (t : Minic.Lexer.tok) -> Minic.Lexer.token_to_string t.tok)
+      (Minic.Lexer.tokenize "a==b!=c<=d>=e&&f||g<<h>>i")
+  in
+  check (Alcotest.list Alcotest.string) "longest match"
+    [ "a"; "=="; "b"; "!="; "c"; "<="; "d"; ">="; "e"; "&&"; "f"; "||"; "g";
+      "<<"; "h"; ">>"; "i"; "<eof>" ]
+    got
+
+let test_lex_comment () =
+  let got = Minic.Lexer.tokenize "1 // two three\n4" in
+  check Alcotest.int "comment skipped" 3 (List.length got)
+
+let test_lex_positions () =
+  match Minic.Lexer.tokenize "a\n  b" with
+  | [ a; b; _eof ] ->
+      check Alcotest.int "a line" 1 a.pos.line;
+      check Alcotest.int "b line" 2 b.pos.line;
+      check Alcotest.int "b col" 3 b.pos.col
+  | _ -> fail "expected three tokens"
+
+let test_lex_error () =
+  match Minic.Lexer.tokenize "a $ b" with
+  | exception Minic.Lexer.Error (_, pos) -> check Alcotest.int "col" 3 pos.col
+  | _ -> fail "expected lexer error"
+
+(* --- parser --- *)
+
+let parse_main body =
+  Minic.Parser.parse (Printf.sprintf "fn main() { %s }" body)
+
+let main_stmts (p : Ast.program) =
+  match p.funcs with [ f ] -> f.body | _ -> fail "one function expected"
+
+let rec expr_str (e : Ast.expr_node) =
+  match e.expr with
+  | Ast.Int n -> string_of_int n
+  | Ast.Var v -> v
+  | Ast.Binop (op, a, b) ->
+      Printf.sprintf "(%s%s%s)" (expr_str a) (Ast.binop_to_string op) (expr_str b)
+  | Ast.Unop (op, a) -> Printf.sprintf "(%s%s)" (Ast.unop_to_string op) (expr_str a)
+  | Ast.In a -> Printf.sprintf "in(%s)" (expr_str a)
+  | Ast.Len -> "len()"
+  | Ast.Call (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_str args))
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (expr_str a) (expr_str i)
+  | Ast.ArrayMake a -> Printf.sprintf "array(%s)" (expr_str a)
+  | Ast.ArrayLen a -> Printf.sprintf "array_len(%s)" (expr_str a)
+  | Ast.Abs a -> Printf.sprintf "abs(%s)" (expr_str a)
+
+let first_expr body =
+  match main_stmts (parse_main body) with
+  | [ { stmt = Ast.ExprStmt e; _ } ] -> expr_str e
+  | _ -> fail "expected single expression statement"
+
+let test_parse_precedence () =
+  check Alcotest.string "mul binds tighter" "(1+(2*3))" (first_expr "1 + 2 * 3;");
+  check Alcotest.string "parens" "((1+2)*3)" (first_expr "(1 + 2) * 3;");
+  check Alcotest.string "cmp vs arith" "((a+1)<(b*2))" (first_expr "a + 1 < b * 2;");
+  check Alcotest.string "and/or" "(a||(b&&c))" (first_expr "a || b && c;");
+  check Alcotest.string "left assoc" "((a-b)-c)" (first_expr "a - b - c;");
+  check Alcotest.string "unary" "((-a)+b)" (first_expr "-a + b;");
+  check Alcotest.string "shift" "((a<<1)|(b>>2))" (first_expr "a << 1 | b >> 2;")
+
+let test_parse_if_else_chain () =
+  let p = parse_main "if (a) { } else if (b) { } else { c = 1; }" in
+  match main_stmts p with
+  | [ { stmt = Ast.If (_, _, [ { stmt = Ast.If (_, _, else2); _ } ]); _ } ] ->
+      check Alcotest.int "final else" 1 (List.length else2)
+  | _ -> fail "expected nested if-else chain"
+
+let test_parse_statements () =
+  let p =
+    parse_main
+      "var x = 1; x = x + 1; while (x < 3) { x = x + 1; } bug(7); check(x, 8); \
+       return x;"
+  in
+  check Alcotest.int "statement count" 6 (List.length (main_stmts p))
+
+let test_parse_store () =
+  match main_stmts (parse_main "a[1] = 2;") with
+  | [ { stmt = Ast.Store _; _ } ] -> ()
+  | _ -> fail "expected store"
+
+let test_parse_globals () =
+  let p = Minic.Parser.parse "global x; global arr[9]; fn main() { return x; }" in
+  check Alcotest.int "globals" 2 (List.length p.globals);
+  match p.globals with
+  | [ Ast.Gint "x"; Ast.Garr ("arr", 9) ] -> ()
+  | _ -> fail "wrong globals"
+
+let expect_parse_error src =
+  match Minic.Parser.parse src with
+  | exception Minic.Parser.Error _ -> ()
+  | _ -> fail ("expected parse error for: " ^ src)
+
+let test_parse_errors () =
+  expect_parse_error "fn main() { return 1 }";
+  expect_parse_error "fn main() { 1 + ; }";
+  expect_parse_error "fn main() { if a { } }";
+  expect_parse_error "fn main() { 1 = 2; }";
+  expect_parse_error "fn () { }";
+  expect_parse_error "global 3;"
+
+(* --- sema --- *)
+
+let expect_sema_error src =
+  match Minic.Sema.front src with
+  | exception Minic.Sema.Error _ -> ()
+  | _ -> fail ("expected sema error for: " ^ src)
+
+let test_sema_ok () =
+  ignore
+    (Minic.Sema.front
+       "global g; fn f(x) { var y = x; return y + g; } fn main() { return f(1); }")
+
+let test_sema_errors () =
+  expect_sema_error "fn f() { return 0; }";
+  (* no main *)
+  expect_sema_error "fn main(x) { return x; }";
+  (* main arity *)
+  expect_sema_error "fn main() { return y; }";
+  (* unbound *)
+  expect_sema_error "fn main() { y = 1; return 0; }";
+  (* assign undeclared *)
+  expect_sema_error "fn main() { return f(); }";
+  (* undefined callee *)
+  expect_sema_error "fn f(x) { return x; } fn main() { return f(); }";
+  (* arity *)
+  expect_sema_error "fn main() { bug(1); bug(1); }";
+  (* duplicate bug id *)
+  expect_sema_error "fn f() { return 0; } fn f() { return 1; } fn main() { return 0; }";
+  expect_sema_error "fn f(x, x) { return x; } fn main() { return 0; }";
+  expect_sema_error "global g; global g; fn main() { return 0; }"
+
+let test_sema_bug_ids () =
+  let p =
+    Minic.Sema.front "fn main() { bug(3); check(1, 9); bug(5); return 0; }"
+  in
+  check (Alcotest.list Alcotest.int) "bug ids" [ 3; 5; 9 ] (Minic.Sema.bug_ids p)
+
+(* --- lowering / CFG --- *)
+
+let compile = Minic.Lower.compile
+
+let test_lower_if_shape () =
+  let p = compile "fn main() { var x = in(0); if (x) { x = 1; } else { x = 2; } return x; }" in
+  let f = Minic.Ir.func_exn p "main" in
+  let cfg = Minic.Cfg.of_func f in
+  (* entry branch, then, else, join *)
+  check Alcotest.int "blocks" 4 (Minic.Cfg.num_blocks cfg);
+  check Alcotest.int "exits" 1 (List.length (Minic.Cfg.exits cfg))
+
+let test_lower_while_back_edge () =
+  let p = compile "fn main() { var i = 0; while (i < 3) { i = i + 1; } return i; }" in
+  let f = Minic.Ir.func_exn p "main" in
+  let cfg = Minic.Cfg.of_func f in
+  check Alcotest.int "one back edge" 1 (List.length (Minic.Loops.back_edges cfg));
+  check Alcotest.bool "reducible" true (Minic.Loops.reducible cfg)
+
+let test_lower_short_circuit () =
+  (* a && b in a condition becomes a branch chain: no Land survives *)
+  let p = compile "fn main() { var a = in(0); if (a > 1 && a < 5) { a = 0; } return a; }" in
+  let f = Minic.Ir.func_exn p "main" in
+  let has_land = ref false in
+  let rec walk (e : Minic.Ir.expr) =
+    match e with
+    | Minic.Ir.Binop (op, a, b) ->
+        if op = Minic.Ast.Land || op = Minic.Ast.Lor then has_land := true;
+        walk a;
+        walk b
+    | Minic.Ir.Unop (_, a)
+    | Minic.Ir.InByte a
+    | Minic.Ir.ArrayMake a
+    | Minic.Ir.ArrayLen a
+    | Minic.Ir.Abs a ->
+        walk a
+    | Minic.Ir.Index (a, b) -> walk a; walk b
+    | Minic.Ir.Const _ | Minic.Ir.Load _ | Minic.Ir.InputLen -> ()
+  in
+  Array.iter
+    (fun (b : Minic.Ir.block) ->
+      List.iter
+        (function
+          | Minic.Ir.Assign { e; _ } -> walk e
+          | Minic.Ir.Store { base; idx; v; _ } -> walk base; walk idx; walk v
+          | Minic.Ir.CallI { args; _ } -> List.iter walk args
+          | Minic.Ir.BugI _ -> ()
+          | Minic.Ir.CheckI { cond; _ } -> walk cond)
+        b.instrs;
+      match b.term with
+      | Minic.Ir.Branch { cond; _ } -> walk cond
+      | Minic.Ir.Ret { e = Some e; _ } -> walk e
+      | Minic.Ir.Ret { e = None; _ } | Minic.Ir.Goto _ -> ())
+    f.blocks;
+  check Alcotest.bool "no Land/Lor in IR" false !has_land
+
+let test_lower_dead_code_pruned () =
+  let p = compile "fn main() { return 1; var x = 2; x = 3; }" in
+  let f = Minic.Ir.func_exn p "main" in
+  (* the trailing statements are unreachable: single block remains *)
+  check Alcotest.int "blocks" 1 (Array.length f.blocks)
+
+let test_lower_call_hoisting () =
+  let p =
+    compile "fn f(x) { return x + 1; } fn main() { return f(1) + f(2); }"
+  in
+  let f = Minic.Ir.func_exn p "main" in
+  let calls = ref 0 in
+  Array.iter
+    (fun (b : Minic.Ir.block) ->
+      List.iter
+        (function Minic.Ir.CallI _ -> incr calls | _ -> ())
+        b.instrs)
+    f.blocks;
+  check Alcotest.int "two hoisted calls" 2 !calls
+
+let test_sites_unique_and_dense () =
+  let p = compile "fn main() { var x = in(0); if (x) { bug(1); } return x; }" in
+  let n = Minic.Ir.num_sites p in
+  check Alcotest.bool "has sites" true (n > 0);
+  (* every instr/term site is within [0, n) *)
+  Array.iter
+    (fun (f : Minic.Ir.func) ->
+      Array.iter
+        (fun (b : Minic.Ir.block) ->
+          List.iter
+            (fun i ->
+              let s = Minic.Ir.instr_site i in
+              check Alcotest.bool "site in range" true (s >= 0 && s < n))
+            b.instrs)
+        f.blocks)
+    p.funcs
+
+(* --- dominance & loops --- *)
+
+let test_dominance_diamond () =
+  let p = compile "fn main() { var x = in(0); if (x) { x = 1; } else { x = 2; } return x; }" in
+  let cfg = Minic.Cfg.of_func (Minic.Ir.func_exn p "main") in
+  let dom = Minic.Dominance.compute cfg in
+  (* entry dominates everything; neither branch arm dominates the join *)
+  let n = Minic.Cfg.num_blocks cfg in
+  for v = 0 to n - 1 do
+    check Alcotest.bool "entry dominates" true (Minic.Dominance.dominates dom 0 v)
+  done;
+  let exits = Minic.Cfg.exits cfg in
+  let join = List.hd exits in
+  check Alcotest.int "join idom is entry" 0 (Minic.Dominance.immediate_dominator dom join)
+
+let test_natural_loop_body () =
+  let p =
+    compile
+      "fn main() { var i = 0; var s = 0; while (i < 4) { s = s + i; i = i + 1; } \
+       return s; }"
+  in
+  let cfg = Minic.Cfg.of_func (Minic.Ir.func_exn p "main") in
+  match Minic.Loops.loops cfg with
+  | [ l ] ->
+      check Alcotest.bool "header in body" true (List.mem l.header l.body);
+      check Alcotest.bool "latch in body" true (List.mem (fst l.back_edge) l.body);
+      let depths = Minic.Loops.depths cfg in
+      check Alcotest.int "header depth" 1 depths.(l.header)
+  | _ -> fail "expected exactly one loop"
+
+let test_nested_loop_depths () =
+  let p =
+    compile
+      "fn main() { var i = 0; var j = 0; var s = 0; while (i < 3) { j = 0; while \
+       (j < 3) { s = s + 1; j = j + 1; } i = i + 1; } return s; }"
+  in
+  let cfg = Minic.Cfg.of_func (Minic.Ir.func_exn p "main") in
+  check Alcotest.int "two loops" 2 (List.length (Minic.Loops.loops cfg));
+  let depths = Minic.Loops.depths cfg in
+  let max_depth = Array.fold_left max 0 depths in
+  check Alcotest.int "max nesting" 2 max_depth
+
+(* --- properties --- *)
+
+let prop_generated_pipeline =
+  QCheck.Test.make ~count:200 ~name:"generated programs survive the front-end"
+    Gen.arbitrary_program (fun p ->
+      Minic.Sema.check p;
+      let ir = Minic.Lower.lower p in
+      Array.for_all
+        (fun (f : Minic.Ir.func) ->
+          let cfg = Minic.Cfg.of_func f in
+          (* labels dense, successors valid, reducible *)
+          let n = Minic.Cfg.num_blocks cfg in
+          Array.for_all
+            (fun (b : Minic.Ir.block) ->
+              List.for_all (fun s -> s >= 0 && s < n) (Minic.Ir.successors b.term))
+            f.blocks
+          && Minic.Loops.reducible cfg
+          && List.length (Minic.Cfg.postorder cfg) = n)
+        ir.funcs)
+
+let prop_back_edges_dominated =
+  QCheck.Test.make ~count:200 ~name:"back edge targets dominate sources"
+    Gen.arbitrary_ir (fun ir ->
+      Array.for_all
+        (fun (f : Minic.Ir.func) ->
+          let cfg = Minic.Cfg.of_func f in
+          let dom = Minic.Dominance.compute cfg in
+          List.for_all
+            (fun (v, w) -> Minic.Dominance.dominates dom w v)
+            (Minic.Loops.back_edges cfg))
+        ir.funcs)
+
+let suite =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "basic tokens" `Quick test_lex_basic;
+        Alcotest.test_case "multichar operators" `Quick test_lex_multichar;
+        Alcotest.test_case "comments" `Quick test_lex_comment;
+        Alcotest.test_case "positions" `Quick test_lex_positions;
+        Alcotest.test_case "error position" `Quick test_lex_error;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "if-else chain" `Quick test_parse_if_else_chain;
+        Alcotest.test_case "statements" `Quick test_parse_statements;
+        Alcotest.test_case "store statement" `Quick test_parse_store;
+        Alcotest.test_case "globals" `Quick test_parse_globals;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+      ] );
+    ( "sema",
+      [
+        Alcotest.test_case "accepts valid program" `Quick test_sema_ok;
+        Alcotest.test_case "rejects invalid programs" `Quick test_sema_errors;
+        Alcotest.test_case "collects bug ids" `Quick test_sema_bug_ids;
+      ] );
+    ( "lowering",
+      [
+        Alcotest.test_case "if produces diamond" `Quick test_lower_if_shape;
+        Alcotest.test_case "while produces back edge" `Quick test_lower_while_back_edge;
+        Alcotest.test_case "short-circuit desugared" `Quick test_lower_short_circuit;
+        Alcotest.test_case "dead code pruned" `Quick test_lower_dead_code_pruned;
+        Alcotest.test_case "calls hoisted" `Quick test_lower_call_hoisting;
+        Alcotest.test_case "sites in range" `Quick test_sites_unique_and_dense;
+      ] );
+    ( "dominance-loops",
+      [
+        Alcotest.test_case "diamond dominance" `Quick test_dominance_diamond;
+        Alcotest.test_case "natural loop body" `Quick test_natural_loop_body;
+        Alcotest.test_case "nested loop depths" `Quick test_nested_loop_depths;
+      ] );
+    ( "frontend-properties",
+      List.map QCheck_alcotest.to_alcotest
+        [ prop_generated_pipeline; prop_back_edges_dominated ] );
+  ]

@@ -1,0 +1,369 @@
+(** Fuzzer component tests: RNG, mutators, corpus, triage, campaign and
+    the strategy drivers. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* --- rng --- *)
+
+let test_rng_deterministic () =
+  let a = Fuzz.Rng.create 42 and b = Fuzz.Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Fuzz.Rng.int a 1000) (Fuzz.Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Fuzz.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Fuzz.Rng.int rng 17 in
+    check Alcotest.bool "in bounds" true (v >= 0 && v < 17);
+    let r = Fuzz.Rng.range rng 3 9 in
+    check Alcotest.bool "range" true (r >= 3 && r <= 9)
+  done
+
+let test_rng_chance () =
+  let rng = Fuzz.Rng.create 1 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Fuzz.Rng.chance rng ~num:1 ~den:4 then incr hits
+  done;
+  check Alcotest.bool "roughly a quarter" true (!hits > 2000 && !hits < 3000)
+
+let test_rng_split_independent () =
+  let rng = Fuzz.Rng.create 5 in
+  let c1 = Fuzz.Rng.split rng in
+  let c2 = Fuzz.Rng.split rng in
+  check Alcotest.bool "children differ" true
+    (List.init 10 (fun _ -> Fuzz.Rng.int c1 1000)
+    <> List.init 10 (fun _ -> Fuzz.Rng.int c2 1000))
+
+(* --- mutators --- *)
+
+let test_havoc_bounds () =
+  let rng = Fuzz.Rng.create 3 in
+  for _ = 1 to 500 do
+    let child = Fuzz.Mutator.havoc rng (String.make 10 'a') in
+    check Alcotest.bool "non-empty" true (String.length child > 0);
+    check Alcotest.bool "bounded" true (String.length child <= Fuzz.Mutator.max_len)
+  done
+
+let test_havoc_deterministic () =
+  let run seed =
+    let rng = Fuzz.Rng.create seed in
+    List.init 20 (fun _ -> Fuzz.Mutator.havoc rng "hello world")
+  in
+  check (Alcotest.list Alcotest.string) "same seed same children" (run 9) (run 9);
+  check Alcotest.bool "different seed different children" true (run 9 <> run 10)
+
+let test_havoc_empty_input () =
+  let rng = Fuzz.Rng.create 4 in
+  let child = Fuzz.Mutator.havoc rng "" in
+  check Alcotest.bool "synthesises a byte" true (String.length child >= 1)
+
+let test_i2s_le_substitution () =
+  let rng = Fuzz.Rng.create 1 in
+  (* 1-byte encoding *)
+  let s = Fuzz.Mutator.i2s_apply rng { observed = 65; wanted = 90 } "xAx" in
+  check Alcotest.string "byte replaced" "xZx" s;
+  (* 2-byte little-endian *)
+  let input = "ab\x39\x30cd" (* 0x3039 = 12345 *) in
+  let s2 = Fuzz.Mutator.i2s_apply rng { observed = 12345; wanted = 513 } input in
+  check Alcotest.string "u16 replaced" "ab\x01\x02cd" s2
+
+let test_i2s_ascii_substitution () =
+  let rng = Fuzz.Rng.create 1 in
+  let candidates =
+    List.init 20 (fun _ ->
+        Fuzz.Mutator.i2s_apply rng { observed = 80; wanted = 9999 } "width=80;")
+  in
+  check Alcotest.bool "some rewrite mentions 9999" true
+    (List.exists (fun s -> s = "width=9999;" || s <> "width=80;") candidates)
+
+let test_i2s_no_match () =
+  let rng = Fuzz.Rng.create 1 in
+  let s = Fuzz.Mutator.i2s_apply rng { observed = 123456; wanted = 1 } "zz" in
+  check Alcotest.string "unchanged" "zz" s
+
+let test_deterministic_stage () =
+  let children = Fuzz.Mutator.deterministic "ab" in
+  (* 8 bitflips + 9 interesting bytes per position *)
+  check Alcotest.int "children count" (2 * (8 + 9)) (List.length children);
+  check Alcotest.bool "all same length" true
+    (List.for_all (fun c -> String.length c = 2) children)
+
+(* --- corpus --- *)
+
+let mk_entry corpus data indices blocks =
+  Fuzz.Corpus.add corpus ~data ~indices:(Array.of_list indices) ~exec_blocks:blocks
+    ~depth:0 ~found_at:0
+
+let test_favored_covers_union () =
+  let c = Fuzz.Corpus.create () in
+  ignore (mk_entry c "a" [ 1; 2; 3 ] 10);
+  ignore (mk_entry c "b" [ 3; 4 ] 5);
+  ignore (mk_entry c "c" [ 1; 2; 3; 4 ] 100);
+  let favored = Fuzz.Corpus.favored_subset c in
+  let covered =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (e : Fuzz.Corpus.entry) -> Array.to_list e.indices)
+         favored)
+  in
+  check (Alcotest.list Alcotest.int) "union preserved" [ 1; 2; 3; 4 ] covered;
+  (* expensive entry "c" is redundant: a+b already cover everything cheaper *)
+  check Alcotest.bool "redundant entry trimmed" true
+    (not (List.exists (fun (e : Fuzz.Corpus.entry) -> e.data = "c") favored))
+
+let test_fav_factor_prefers_cheap () =
+  let c = Fuzz.Corpus.create () in
+  ignore (mk_entry c "slow" [ 7 ] 1000);
+  ignore (mk_entry c "fast" [ 7 ] 1);
+  let favored = Fuzz.Corpus.favored_subset c in
+  check Alcotest.int "single favored" 1 (List.length favored);
+  check Alcotest.string "the fast one" "fast" (List.hd favored).data
+
+(* --- triage --- *)
+
+let crash_of src input =
+  match Vm.Interp.crash_of (Minic.Lower.compile src) ~input with
+  | Some c -> c
+  | None -> fail "expected crash"
+
+let test_triage_dedup () =
+  let t = Fuzz.Triage.create () in
+  let c1 = crash_of "fn main() { bug(1); }" "" in
+  Fuzz.Triage.record_crash t ~crash:c1 ~input:"a" ~at_exec:1 ~coverage_novel:true;
+  Fuzz.Triage.record_crash t ~crash:c1 ~input:"b" ~at_exec:2 ~coverage_novel:false;
+  check Alcotest.int "total" 2 t.total_crashes;
+  check Alcotest.int "unique stacks" 1 (Fuzz.Triage.unique_crashes t);
+  check Alcotest.int "unique bugs" 1 (Fuzz.Triage.unique_bugs t);
+  check Alcotest.int "afl-unique" 1 (Fuzz.Triage.afl_unique_crashes t);
+  check
+    (Alcotest.option Alcotest.string)
+    "witness is first" (Some "a")
+    (Fuzz.Triage.bug_witness t (Vm.Crash.Id 1))
+
+let test_triage_merge () =
+  let a = Fuzz.Triage.create () and b = Fuzz.Triage.create () in
+  Fuzz.Triage.record_crash a
+    ~crash:(crash_of "fn main() { bug(1); }" "")
+    ~input:"x" ~at_exec:1 ~coverage_novel:true;
+  Fuzz.Triage.record_crash b
+    ~crash:(crash_of "fn main() { bug(2); }" "")
+    ~input:"y" ~at_exec:1 ~coverage_novel:true;
+  Fuzz.Triage.merge ~into:a b;
+  check Alcotest.int "merged bugs" 2 (Fuzz.Triage.unique_bugs a);
+  check Alcotest.int "merged totals" 2 a.total_crashes
+
+(* --- campaign --- *)
+
+let easy_bug_src =
+  "fn main() { if (in(0) == 104) { if (in(1) == 105) { bug(5); } } return 0; }"
+
+let run_campaign ?(budget = 3000) ?(seed = 1) ?(mode = Pathcov.Feedback.Edge) src seeds =
+  let prog = Minic.Lower.compile src in
+  let config =
+    { Fuzz.Campaign.default_config with mode; budget; rng_seed = seed }
+  in
+  Fuzz.Campaign.run ~config prog ~seeds
+
+let test_campaign_finds_easy_bug () =
+  let r = run_campaign easy_bug_src [ "aa" ] in
+  check Alcotest.bool "bug 5 found" true
+    (List.mem (Vm.Crash.Id 5) (Fuzz.Triage.bugs r.triage))
+
+let test_campaign_budget_respected () =
+  let r = run_campaign ~budget:500 easy_bug_src [ "aa" ] in
+  check Alcotest.bool "execs close to budget" true
+    (r.execs >= 500 && r.execs < 600)
+
+let test_campaign_deterministic () =
+  let r1 = run_campaign ~seed:3 easy_bug_src [ "aa" ] in
+  let r2 = run_campaign ~seed:3 easy_bug_src [ "aa" ] in
+  check Alcotest.int "same execs" r1.execs r2.execs;
+  check Alcotest.int "same queue" (Fuzz.Corpus.size r1.corpus)
+    (Fuzz.Corpus.size r2.corpus);
+  check Alcotest.int "same crashes" r1.triage.total_crashes r2.triage.total_crashes;
+  let r3 = run_campaign ~seed:4 easy_bug_src [ "aa" ] in
+  ignore r3
+
+let test_campaign_seeds_always_retained () =
+  let r = run_campaign ~budget:50 "fn main() { return in(0); }" [ "x"; "yy" ] in
+  check Alcotest.bool "at least the seeds" true (Fuzz.Corpus.size r.corpus >= 1)
+
+let test_campaign_queue_series_monotonic () =
+  let r = run_campaign easy_bug_src [ "aa" ] in
+  let rec mono = function
+    | (x1, q1) :: ((x2, q2) :: _ as rest) ->
+        x1 <= x2 && q1 <= q2 && mono rest
+    | _ -> true
+  in
+  check Alcotest.bool "series monotonic" true (mono r.queue_series)
+
+let test_campaign_survives_crashing_seed () =
+  let r = run_campaign ~budget:200 "fn main() { bug(1); }" [ "a" ] in
+  check Alcotest.bool "ran" true (r.execs > 0);
+  check Alcotest.int "bug found from seed" 1 (Fuzz.Triage.unique_bugs r.triage)
+
+(* --- measure & strategies --- *)
+
+let test_edge_union_and_cull () =
+  let prog = Minic.Lower.compile easy_bug_src in
+  let inputs = [ "aa"; "ha"; "hi"; "aa" ] in
+  let union = Fuzz.Measure.edge_union prog inputs in
+  let culled = Fuzz.Measure.edge_preserving_cull prog inputs in
+  check Alcotest.bool "culled is subset" true
+    (List.for_all (fun i -> List.mem i inputs) culled);
+  let union2 = Fuzz.Measure.edge_union prog culled in
+  check Alcotest.bool "edge coverage preserved" true
+    (Fuzz.Measure.Int_set.equal union union2);
+  check Alcotest.bool "culled is smaller or equal" true
+    (List.length culled <= List.length (List.sort_uniq compare inputs))
+
+let test_path_preserving_cull () =
+  let prog = Minic.Lower.compile easy_bug_src in
+  let inputs = [ "aa"; "ha"; "hi" ] in
+  let culled = Fuzz.Measure.path_preserving_cull prog inputs in
+  check Alcotest.bool "non-empty" true (culled <> [])
+
+let subject_src = Subjects.Motivating.subject.Subjects.Subject.source
+
+let test_strategy_plain_runs () =
+  let prog = Minic.Lower.compile subject_src in
+  let r =
+    Fuzz.Strategy.run ~budget:2000 ~trial_seed:1 Fuzz.Strategy.pcguard prog
+      ~seeds:[ "hello" ]
+  in
+  check Alcotest.bool "executed" true (r.execs >= 2000);
+  check Alcotest.string "name" "pcguard" r.fuzzer
+
+let test_strategy_cull_rounds () =
+  let prog = Minic.Lower.compile subject_src in
+  let r =
+    Fuzz.Strategy.run ~budget:2000 ~trial_seed:1
+      (Fuzz.Strategy.cull ~rounds:4 ())
+      prog ~seeds:[ "hello" ]
+  in
+  (* four rounds of ~500 each *)
+  check Alcotest.bool "budget spread over rounds" true
+    (r.execs >= 2000 && r.execs <= 2600)
+
+let test_strategy_opp_phases () =
+  let prog = Minic.Lower.compile subject_src in
+  let r =
+    Fuzz.Strategy.run ~budget:2000 ~trial_seed:1 Fuzz.Strategy.opp prog
+      ~seeds:[ "hello" ]
+  in
+  check Alcotest.bool "both phases ran" true (r.execs >= 2000)
+
+let test_strategy_deterministic () =
+  let prog = Minic.Lower.compile subject_src in
+  let run () =
+    let r =
+      Fuzz.Strategy.run ~budget:1500 ~trial_seed:7
+        (Fuzz.Strategy.cull_r ~rounds:3 ())
+        prog ~seeds:[ "hello" ]
+    in
+    (r.execs, r.queue_size, Fuzz.Triage.unique_bugs r.triage)
+  in
+  check
+    (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int)
+    "identical runs" (run ()) (run ())
+
+(* --- stats --- *)
+
+let test_stats_median () =
+  check (Alcotest.float 1e-9) "odd" 3. (Fuzz.Stats.median_int [ 1; 5; 3 ]);
+  check (Alcotest.float 1e-9) "even" 2.5 (Fuzz.Stats.median_int [ 1; 2; 3; 4 ]);
+  check Alcotest.bool "empty is nan" true (Float.is_nan (Fuzz.Stats.median_int []))
+
+let test_stats_geomean () =
+  check (Alcotest.float 1e-9) "geomean" 2. (Fuzz.Stats.geomean [ 1.; 4. ]);
+  check (Alcotest.float 1e-6) "triple" 2.2894284851 (Fuzz.Stats.geomean [ 1.; 2.; 6. ])
+
+let test_stats_venn () =
+  let s l = Fuzz.Stats.bug_set (List.map (fun i -> Vm.Crash.Id i) l) in
+  let a = s [ 1; 2; 3 ] and b = s [ 2; 3; 4 ] and c = s [ 3; 4; 5 ] in
+  check Alcotest.int "inter" 2 (Fuzz.Stats.inter a b);
+  check Alcotest.int "diff" 1 (Fuzz.Stats.diff a b);
+  let only_a, only_b, both = Fuzz.Stats.venn2 a b in
+  check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "venn2" (1, 1, 2)
+    (only_a, only_b, both);
+  let oa, ob, oc, ab, ac, bc, abc = Fuzz.Stats.venn3 a b c in
+  check Alcotest.int "only a" 1 oa;
+  check Alcotest.int "only b" 0 ob;
+  check Alcotest.int "only c" 1 oc;
+  check Alcotest.int "ab" 1 ab;
+  check Alcotest.int "ac" 0 ac;
+  check Alcotest.int "bc" 1 bc;
+  check Alcotest.int "abc" 1 abc
+
+let prop_havoc_valid =
+  QCheck.Test.make ~count:300 ~name:"havoc outputs stay in bounds"
+    QCheck.(pair small_int (string_of_size Gen.(int_range 0 100)))
+    (fun (seed, input) ->
+      let rng = Fuzz.Rng.create seed in
+      let child =
+        Fuzz.Mutator.havoc
+          ~cmps:[ { observed = 65; wanted = 66 } ]
+          ~splice_with:"other input" rng input
+      in
+      String.length child >= 1 && String.length child <= Fuzz.Mutator.max_len)
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "chance" `Quick test_rng_chance;
+        Alcotest.test_case "split" `Quick test_rng_split_independent;
+      ] );
+    ( "mutator",
+      [
+        Alcotest.test_case "havoc bounds" `Quick test_havoc_bounds;
+        Alcotest.test_case "havoc deterministic" `Quick test_havoc_deterministic;
+        Alcotest.test_case "havoc empty input" `Quick test_havoc_empty_input;
+        Alcotest.test_case "i2s little-endian" `Quick test_i2s_le_substitution;
+        Alcotest.test_case "i2s ascii" `Quick test_i2s_ascii_substitution;
+        Alcotest.test_case "i2s no match" `Quick test_i2s_no_match;
+        Alcotest.test_case "deterministic stage" `Quick test_deterministic_stage;
+      ] );
+    ( "corpus",
+      [
+        Alcotest.test_case "favored covers union" `Quick test_favored_covers_union;
+        Alcotest.test_case "fav factor prefers cheap" `Quick test_fav_factor_prefers_cheap;
+      ] );
+    ( "triage",
+      [
+        Alcotest.test_case "dedup" `Quick test_triage_dedup;
+        Alcotest.test_case "merge" `Quick test_triage_merge;
+      ] );
+    ( "campaign",
+      [
+        Alcotest.test_case "finds easy bug" `Quick test_campaign_finds_easy_bug;
+        Alcotest.test_case "budget respected" `Quick test_campaign_budget_respected;
+        Alcotest.test_case "deterministic" `Quick test_campaign_deterministic;
+        Alcotest.test_case "seeds retained" `Quick test_campaign_seeds_always_retained;
+        Alcotest.test_case "queue series monotonic" `Quick
+          test_campaign_queue_series_monotonic;
+        Alcotest.test_case "survives crashing seed" `Quick
+          test_campaign_survives_crashing_seed;
+      ] );
+    ( "measure-strategy",
+      [
+        Alcotest.test_case "edge union and cull" `Quick test_edge_union_and_cull;
+        Alcotest.test_case "path-preserving cull" `Quick test_path_preserving_cull;
+        Alcotest.test_case "plain strategy" `Quick test_strategy_plain_runs;
+        Alcotest.test_case "cull rounds" `Quick test_strategy_cull_rounds;
+        Alcotest.test_case "opp phases" `Quick test_strategy_opp_phases;
+        Alcotest.test_case "strategies deterministic" `Quick test_strategy_deterministic;
+      ] );
+    ( "stats",
+      [
+        Alcotest.test_case "median" `Quick test_stats_median;
+        Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "venn" `Quick test_stats_venn;
+      ] );
+    ("fuzz-properties", List.map QCheck_alcotest.to_alcotest [ prop_havoc_valid ]);
+  ]

@@ -1,0 +1,6 @@
+(* Aggregates all suites into one alcotest binary: `dune runtest`. *)
+let () =
+  Alcotest.run "pathcov"
+    (Test_frontend.suite @ Test_ballarus.suite @ Test_vm.suite
+   @ Test_coverage.suite @ Test_fuzz.suite @ Test_subjects.suite
+   @ Test_experiments.suite @ Test_misc.suite)
