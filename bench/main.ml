@@ -2,9 +2,11 @@
 
     Part 1 (Bechamel): one micro-benchmark per table/figure of the paper,
     measuring the dominant runtime cost behind that artefact (see the
-    per-experiment index in DESIGN.md §3). Part 2: the full evaluation
-    matrix, printing every table and figure. Scale knobs: PATHCOV_FAST=1,
-    PATHCOV_BUDGET, PATHCOV_TRIALS, PATHCOV_ROUNDS;
+    per-experiment index in DESIGN.md §3). Part 2: a matrix-scaling
+    measurement (the same small matrix at 1 and N worker domains), then
+    the full evaluation matrix, printing every table and figure. Scale
+    knobs: PATHCOV_FAST=1, PATHCOV_BUDGET, PATHCOV_TRIALS, PATHCOV_ROUNDS,
+    PATHFUZZ_JOBS (worker domains for the matrix);
     PATHCOV_SKIP_TABLES=1 runs only the micro-benchmarks. *)
 
 open Bechamel
@@ -168,12 +170,36 @@ let run_benchmarks () =
     tests;
   Fmt.pr "@."
 
+(* Parallel-runner scaling: wall-clock for the same small matrix at one
+   worker domain versus one per core. (The matrix content is identical by
+   construction; the determinism test in test_experiments.ml asserts it.) *)
+let run_matrix_scaling () =
+  let cfg = { Experiments.Config.fast with budget = 1_500; trials = 2 } in
+  let subjects =
+    List.filter_map Subjects.Registry.find [ "flvmeta"; "imginfo"; "gdk" ]
+  in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    ignore (Experiments.Runner.run ~quiet:true ~jobs ~subjects cfg);
+    Unix.gettimeofday () -. t0
+  in
+  let t1 = time 1 in
+  let n = Exec.Pool.default_jobs () in
+  let tn = time n in
+  Fmt.pr "== Matrix scaling (%d tasks) ==@."
+    (List.length subjects * 7 * cfg.trials);
+  Fmt.pr "jobs=1: %6.2fs    jobs=%d: %6.2fs    speedup: %.2fx@.@." t1 n tn
+    (t1 /. tn)
+
 let () =
   run_benchmarks ();
   if Sys.getenv_opt "PATHCOV_SKIP_TABLES" <> Some "1" then begin
+    run_matrix_scaling ();
     let cfg = Experiments.Config.of_env () in
     Fmt.pr "== Evaluation matrix (%a) ==@." Experiments.Config.pp cfg;
-    let m = Experiments.Runner.run cfg in
+    let m = Experiments.Runner.run ~jobs:cfg.jobs cfg in
+    Fmt.epr "[matrix] %.1fs of fuzzing wall-clock across all cells@."
+      (Experiments.Runner.total_wall_s m);
     print_string (Experiments.Tables.all m);
     Fmt.pr "@.== Ablations (DESIGN.md section 4) ==@.";
     print_string (Experiments.Ablations.all cfg)

@@ -57,6 +57,16 @@ let fuzzer_of_name rounds = function
       Fmt.epr "unknown fuzzer %s@." other;
       exit 2
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains to fan trials out over (0 = take PATHFUZZ_JOBS \
+           from the environment, defaulting to 1). Results are identical \
+           at any job count.")
+
 let fuzz_cmd =
   let fuzzer =
     Arg.(
@@ -71,42 +81,73 @@ let fuzz_cmd =
     Arg.(value & opt int 24_000 & info [ "b"; "budget" ] ~docv:"EXECS" ~doc:"Execution budget.")
   in
   let trial = Arg.(value & opt int 1 & info [ "t"; "trial" ] ~docv:"N" ~doc:"Trial seed.") in
-  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.") in
-  let run subject fuzzer budget trial rounds =
-    let s = lookup_subject subject in
-    let prog = Subjects.Subject.program s in
-    let fz = fuzzer_of_name rounds fuzzer in
-    Fmt.pr "fuzzing %s with %s for %d execs (trial %d)...@." s.name fz.name budget trial;
-    let r = Fuzz.Strategy.run ~budget ~trial_seed:trial fz prog ~seeds:s.seeds in
-    Fmt.pr "executions:      %d@." r.execs;
-    Fmt.pr "queue size:      %d@." r.queue_size;
-    Fmt.pr "total crashes:   %d (hangs: %d)@." r.triage.total_crashes
-      r.triage.total_hangs;
-    Fmt.pr "unique crashes:  %d (stack-hash top-5)@."
-      (Fuzz.Triage.unique_crashes r.triage);
-    Fmt.pr "unique bugs:     %d / %d known@."
-      (Fuzz.Triage.unique_bugs r.triage)
-      (List.length s.bugs);
-    List.iter
-      (fun id ->
-        let witness = Option.value ~default:"" (Fuzz.Triage.bug_witness r.triage id) in
-        let summary =
-          match id with
-          | Vm.Crash.Id n -> begin
-              match
-                List.find_opt (fun (b : Subjects.Subject.bug) -> b.id = n) s.bugs
-              with
-              | Some b -> b.summary
-              | None -> "?"
-            end
-          | Vm.Crash.At_site _ -> "organic crash"
-        in
-        Fmt.pr "  %a: %s (witness %d bytes)@." Vm.Crash.pp_identity id summary
-          (String.length witness))
-      (Fuzz.Triage.bugs r.triage)
+  let trials =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "n"; "trials" ] ~docv:"N"
+          ~doc:"Number of trials (seeds $(b,--trial), $(b,--trial)+1, ...).")
   in
-  Cmd.v (Cmd.info "fuzz" ~doc:"Run one fuzzing campaign")
-    Term.(const run $ subject_arg $ fuzzer $ budget $ trial $ rounds)
+  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.") in
+  let run subject fuzzer budget trial trials rounds jobs =
+    let s = lookup_subject subject in
+    let fz = fuzzer_of_name rounds fuzzer in
+    let trials = max 1 trials in
+    let jobs = if jobs > 0 then jobs else (Experiments.Config.of_env ()).jobs in
+    (* worker count goes to stderr: stdout must be identical at any
+       --jobs value so runs can be diffed *)
+    Fmt.pr "fuzzing %s with %s for %d execs (%d trial%s from seed %d)...@."
+      s.name fz.name budget trials
+      (if trials = 1 then "" else "s")
+      trial;
+    if jobs > 1 then Fmt.epr "[fuzz] %d worker domains@." jobs;
+    let results =
+      Exec.Pool.map ~jobs trials (fun i ->
+          (* per-worker program and plans: see lib/exec *)
+          let prog = Subjects.Subject.compile_fresh s in
+          let plans = Pathcov.Ball_larus.of_program prog in
+          Fuzz.Strategy.run ~plans ~budget ~trial_seed:(trial + i) fz prog
+            ~seeds:s.seeds)
+    in
+    Array.iteri
+      (fun i (r : Fuzz.Strategy.run_result) ->
+        if trials > 1 then Fmt.pr "@.-- trial %d --@." (trial + i);
+        Fmt.pr "executions:      %d@." r.execs;
+        Fmt.pr "queue size:      %d@." r.queue_size;
+        Fmt.pr "total crashes:   %d (hangs: %d)@." r.triage.total_crashes
+          r.triage.total_hangs;
+        Fmt.pr "unique crashes:  %d (stack-hash top-5)@."
+          (Fuzz.Triage.unique_crashes r.triage);
+        Fmt.pr "unique bugs:     %d / %d known@."
+          (Fuzz.Triage.unique_bugs r.triage)
+          (List.length s.bugs);
+        List.iter
+          (fun id ->
+            let witness =
+              Option.value ~default:"" (Fuzz.Triage.bug_witness r.triage id)
+            in
+            let summary =
+              match id with
+              | Vm.Crash.Id n -> begin
+                  match
+                    List.find_opt
+                      (fun (b : Subjects.Subject.bug) -> b.id = n)
+                      s.bugs
+                  with
+                  | Some b -> b.summary
+                  | None -> "?"
+                end
+              | Vm.Crash.At_site _ -> "organic crash"
+            in
+            Fmt.pr "  %a: %s (witness %d bytes)@." Vm.Crash.pp_identity id
+              summary (String.length witness))
+          (Fuzz.Triage.bugs r.triage))
+      results
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run one or more fuzzing campaigns")
+    Term.(
+      const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
+      $ jobs_arg)
 
 (* --- profile --- *)
 
@@ -218,17 +259,20 @@ let cfg_cmd =
 
 let tables_cmd =
   let fast = Arg.(value & flag & info [ "fast" ] ~doc:"Smoke-test scale.") in
-  let run fast =
+  let run fast jobs =
     let cfg =
       if fast then Experiments.Config.fast else Experiments.Config.of_env ()
     in
+    let cfg = if jobs > 0 then { cfg with jobs } else cfg in
     Fmt.pr "running the evaluation matrix (%a)...@." Experiments.Config.pp cfg;
-    let m = Experiments.Runner.run cfg in
+    let m = Experiments.Runner.run ~jobs:cfg.jobs cfg in
+    Fmt.epr "[matrix] %.1fs of fuzzing wall-clock across all cells@."
+      (Experiments.Runner.total_wall_s m);
     print_string (Experiments.Tables.all m)
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate every table and figure of the paper")
-    Term.(const run $ fast)
+    Term.(const run $ fast $ jobs_arg)
 
 let () =
   let doc = "path-aware coverage-guided fuzzing (CGO 2026 reproduction)" in

@@ -112,7 +112,7 @@ let count_set t = t.ntouched
 
 (** Indices hit in a trace, ascending. *)
 let set_indices t =
-  List.sort compare (Array.to_list (Array.sub t.touched 0 t.ntouched))
+  List.sort Int.compare (Array.to_list (Array.sub t.touched 0 t.ntouched))
 
 (** [iteri_set f t] calls [f idx count] for every touched index. *)
 let iteri_set f t =

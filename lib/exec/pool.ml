@@ -1,0 +1,143 @@
+(** A small fixed-size domain pool (OCaml 5 [Domain] + [Mutex]/[Condition],
+    stdlib only) for fanning indexed task lists out across cores.
+
+    The experiment matrix is embarrassingly parallel — every
+    (subject, fuzzer, trial) campaign is a pure function of its inputs —
+    so the pool's one job is to spread those tasks over worker domains
+    without ever letting scheduling order leak into results. [map] stores
+    each result by its task index and returns a plain array in task
+    order: the output is identical for every worker count and schedule.
+
+    Tasks must not share mutable state unless that state is itself
+    domain-safe; the experiment runner rebuilds the per-task program,
+    Ball–Larus plans and interpreter state for exactly this reason. *)
+
+type t = {
+  mutex : Mutex.t;
+  work : Condition.t;  (** signalled when a task is queued or the pool closes *)
+  tasks : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(** Worker count used when the caller does not pick one: one worker per
+    core the runtime recommends. *)
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(** Spawn a pool of [jobs] worker domains consuming submitted thunks. *)
+let create ~jobs : t =
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      tasks = Queue.create ();
+      closing = false;
+      domains = [];
+    }
+  in
+  let rec worker () =
+    Mutex.lock pool.mutex;
+    let rec take () =
+      match Queue.take_opt pool.tasks with
+      | Some task ->
+          Mutex.unlock pool.mutex;
+          (* Submitted thunks are expected to capture their own failures
+             (as [map]'s do); a raise here would kill the worker domain. *)
+          task ();
+          worker ()
+      | None ->
+          if pool.closing then Mutex.unlock pool.mutex
+          else begin
+            Condition.wait pool.work pool.mutex;
+            take ()
+          end
+    in
+    take ()
+  in
+  pool.domains <- List.init (max 1 jobs) (fun _ -> Domain.spawn worker);
+  pool
+
+let submit (pool : t) (task : unit -> unit) : unit =
+  Mutex.lock pool.mutex;
+  if pool.closing then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Pool.submit: pool is closed"
+  end
+  else begin
+    Queue.add task pool.tasks;
+    Condition.signal pool.work;
+    Mutex.unlock pool.mutex
+  end
+
+(** Close the pool: queued tasks drain, then every worker domain exits
+    and is joined. Acts as the completion barrier for [map]. *)
+let shutdown (pool : t) : unit =
+  Mutex.lock pool.mutex;
+  pool.closing <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(** [map ~jobs ?on_done n f] computes [|f 0; ...; f (n-1)|] on up to
+    [jobs] worker domains. Tasks are claimed in index order from a shared
+    queue (dynamic scheduling, so uneven task costs balance), and results
+    land in their task's slot — the returned array is independent of the
+    schedule. [on_done i r] fires once per finished task under the
+    result mutex, so callbacks (e.g. a progress line) never interleave.
+    If any task raises, the exception with the lowest recorded task index
+    is re-raised in the calling domain after all workers stop; remaining
+    queued tasks are skipped. [jobs <= 1] runs sequentially in the
+    calling domain with identical results and callbacks. *)
+let map ?(jobs = 1) ?on_done (n : int) (f : int -> 'a) : 'a array =
+  if n < 0 then invalid_arg "Pool.map: negative task count";
+  let jobs = min (max 1 jobs) n in
+  if n = 0 then [||]
+  else if jobs = 1 then
+    Array.init n (fun i ->
+        let r = f i in
+        (match on_done with Some g -> g i r | None -> ());
+        r)
+  else begin
+    let state = Mutex.create () in
+    let results = Array.make n None in
+    let failure = ref None in
+    (* Keep the failure with the smallest task index: tasks are claimed in
+       index order, so the surfaced exception is stable across runs. *)
+    let record_failure_locked i e bt =
+      match !failure with
+      | Some (j, _, _) when j <= i -> ()
+      | _ -> failure := Some (i, e, bt)
+    in
+    let pool = create ~jobs in
+    for i = 0 to n - 1 do
+      submit pool (fun () ->
+          Mutex.lock state;
+          let skip = !failure <> None in
+          Mutex.unlock state;
+          if not skip then
+            match f i with
+            | r ->
+                Mutex.lock state;
+                results.(i) <- Some r;
+                (match on_done with
+                | Some g -> (
+                    try g i r
+                    with e ->
+                      record_failure_locked i e (Printexc.get_raw_backtrace ()))
+                | None -> ());
+                Mutex.unlock state
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Mutex.lock state;
+                record_failure_locked i e bt;
+                Mutex.unlock state)
+    done;
+    shutdown pool;
+    match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some r -> r | None -> invalid_arg "Pool.map: missing result")
+          results
+  end

@@ -2,7 +2,8 @@
     trials x 48 hours; we keep the same matrix shape but measure budgets in
     executions so runs are deterministic and CI-sized. Environment
     overrides: PATHCOV_BUDGET (execs per run), PATHCOV_TRIALS,
-    PATHCOV_ROUNDS (culling rounds), PATHCOV_FAST=1 (smoke-test scale). *)
+    PATHCOV_ROUNDS (culling rounds), PATHCOV_FAST=1 (smoke-test scale),
+    PATHFUZZ_JOBS (worker domains for the matrix runner). *)
 
 type t = {
   budget : int;  (** executions per fuzzing run (stand-in for 48 h) *)
@@ -10,10 +11,20 @@ type t = {
   cull_rounds : int;  (** culling windows per run (paper: 8 x 6 h) *)
   map_size_log2 : int;
   base_seed : int;  (** trial i uses rng seed [base_seed + i] *)
+  jobs : int;
+      (** worker domains fanning the experiment matrix out; the matrix is
+          bit-identical at any value, so this is purely a wall-clock knob *)
 }
 
 let default =
-  { budget = 24_000; trials = 5; cull_rounds = 3; map_size_log2 = 16; base_seed = 1 }
+  {
+    budget = 24_000;
+    trials = 5;
+    cull_rounds = 3;
+    map_size_log2 = 16;
+    base_seed = 1;
+    jobs = 1;
+  }
 
 let fast = { default with budget = 4_000; trials = 2 }
 
@@ -30,8 +41,11 @@ let of_env () =
     budget = env_int "PATHCOV_BUDGET" base.budget;
     trials = env_int "PATHCOV_TRIALS" base.trials;
     cull_rounds = env_int "PATHCOV_ROUNDS" base.cull_rounds;
+    jobs = env_int "PATHFUZZ_JOBS" base.jobs;
   }
 
+(* [jobs] deliberately stays out of [pp]: the header line is printed with
+   the rendered tables, which must be byte-identical at any worker count. *)
 let pp fmt t =
   Fmt.pf fmt "budget=%d execs, trials=%d, cull_rounds=%d, map=2^%d" t.budget
     t.trials t.cull_rounds t.map_size_log2

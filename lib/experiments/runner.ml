@@ -7,6 +7,10 @@ type cell = {
   subject : Subjects.Subject.t;
   fuzzer : Fuzz.Strategy.fuzzer;
   runs : Fuzz.Strategy.run_result list;  (** one per trial *)
+  wall_s : float;
+      (** wall-clock seconds summed over this cell's trials. Diagnostic
+          only — deliberately absent from every rendered table, so table
+          output stays byte-identical across worker counts. *)
 }
 
 type matrix = {
@@ -28,43 +32,90 @@ let standard_fuzzers (cfg : Config.t) : Fuzz.Strategy.fuzzer list =
     Fuzz.Strategy.afl;
   ]
 
-let run_cell (cfg : Config.t) (subject : Subjects.Subject.t)
-    (fuzzer : Fuzz.Strategy.fuzzer) : cell =
-  let prog = Subjects.Subject.program subject in
+(** Run one (subject, fuzzer, trial) task. Every task builds its own
+    program, Ball–Larus plans and (inside [Campaign.run]) interpreter
+    state: campaigns are pure functions of (program, seeds, config), so
+    per-task rebuilding keeps the matrix bit-identical at any worker
+    count while sharing no mutable structure across domains. *)
+let run_trial (cfg : Config.t) (subject : Subjects.Subject.t)
+    (fuzzer : Fuzz.Strategy.fuzzer) (trial : int) :
+    Fuzz.Strategy.run_result * float =
+  let prog = Subjects.Subject.compile_fresh subject in
   let plans = Pathcov.Ball_larus.of_program prog in
-  let runs =
-    List.init cfg.trials (fun trial ->
-        Fuzz.Strategy.run ~plans ~budget:cfg.budget
-          ~trial_seed:(cfg.base_seed + (trial * 7919))
-          fuzzer prog ~seeds:subject.seeds)
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Fuzz.Strategy.run ~plans ~budget:cfg.budget
+      ~trial_seed:(cfg.base_seed + (trial * 7919))
+      fuzzer prog ~seeds:subject.seeds
   in
-  { subject; fuzzer; runs }
+  (r, Unix.gettimeofday () -. t0)
 
-(** Run the full matrix. [quiet] suppresses progress on stderr. *)
-let run ?(quiet = false) ?fuzzers ?subjects (cfg : Config.t) : matrix =
+(** Run the full matrix, fanning the (subject x fuzzer x trial) task list
+    out over [jobs] worker domains. Results are collected keyed by task
+    index and merged in a fixed order, so the matrix — and every table
+    derived from it — is identical regardless of worker count or
+    scheduling. [quiet] suppresses progress on stderr. *)
+let run ?(quiet = false) ?(jobs = 1) ?fuzzers ?subjects (cfg : Config.t) : matrix =
   let fuzzers = Option.value fuzzers ~default:(standard_fuzzers cfg) in
   let subjects = Option.value subjects ~default:Subjects.Registry.all in
-  let cells = Hashtbl.create 128 in
-  let total = List.length fuzzers * List.length subjects in
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun subject ->
+           List.concat_map
+             (fun (fuzzer : Fuzz.Strategy.fuzzer) ->
+               List.init cfg.trials (fun trial -> (subject, fuzzer, trial)))
+             fuzzers)
+         subjects)
+  in
+  let total = Array.length tasks in
+  if (not quiet) && jobs > 1 then
+    Printf.eprintf "[matrix] %d tasks on %d worker domains\n%!" total jobs;
   let done_ = ref 0 in
-  List.iter
-    (fun subject ->
-      List.iter
-        (fun (fuzzer : Fuzz.Strategy.fuzzer) ->
-          let cell = run_cell cfg subject fuzzer in
-          Hashtbl.replace cells (subject.Subjects.Subject.name, fuzzer.name) cell;
-          incr done_;
-          if not quiet then
-            Printf.eprintf "[matrix %3d/%d] %-10s %-8s bugs/trial: %s\n%!" !done_
-              total subject.Subjects.Subject.name fuzzer.name
-              (String.concat ","
-                 (List.map
-                    (fun (r : Fuzz.Strategy.run_result) ->
-                      string_of_int (Fuzz.Triage.unique_bugs r.triage))
-                    cell.runs)))
+  (* [on_done] runs under the pool's result mutex: one progress line per
+     completed task, never interleaved between workers. *)
+  let on_done i ((r : Fuzz.Strategy.run_result), wall) =
+    incr done_;
+    if not quiet then begin
+      let subject, (fuzzer : Fuzz.Strategy.fuzzer), trial = tasks.(i) in
+      Printf.eprintf "[matrix %3d/%d] %-10s %-8s trial %d  %6.2fs  bugs: %d\n%!"
+        !done_ total subject.Subjects.Subject.name fuzzer.name trial wall
+        (Fuzz.Triage.unique_bugs r.triage)
+    end
+  in
+  let results =
+    Exec.Pool.map ~jobs ~on_done total (fun i ->
+        let subject, fuzzer, trial = tasks.(i) in
+        run_trial cfg subject fuzzer trial)
+  in
+  (* Deterministic merge: regroup trial results into cells by task index,
+     independent of the order workers finished in. *)
+  let cells = Hashtbl.create 128 in
+  let nf = List.length fuzzers in
+  List.iteri
+    (fun si subject ->
+      List.iteri
+        (fun fi (fuzzer : Fuzz.Strategy.fuzzer) ->
+          let base = ((si * nf) + fi) * cfg.trials in
+          let runs = List.init cfg.trials (fun t -> fst results.(base + t)) in
+          let wall_s =
+            List.fold_left
+              (fun acc t -> acc +. snd results.(base + t))
+              0.
+              (List.init cfg.trials Fun.id)
+          in
+          Hashtbl.replace cells
+            (subject.Subjects.Subject.name, fuzzer.name)
+            { subject; fuzzer; runs; wall_s })
         fuzzers)
     subjects;
   { config = cfg; cells; fuzzers; subjects }
+
+(** Total wall-clock seconds spent fuzzing across the whole matrix (the
+    sum of per-trial times, not elapsed time — with [jobs] > 1 the
+    elapsed time is smaller). *)
+let total_wall_s (m : matrix) : float =
+  Hashtbl.fold (fun _ c acc -> acc +. c.wall_s) m.cells 0.
 
 let cell (m : matrix) ~subject ~fuzzer : cell =
   match Hashtbl.find_opt m.cells (subject, fuzzer) with

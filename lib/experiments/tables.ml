@@ -208,10 +208,16 @@ let table4 (m : Runner.matrix) : string =
     ~rows:(rows @ [ total_row ])
 
 (* ------------------------------------------------------------------ *)
-(* Table V (Appendix A): seed-corpus processing time under edge vs path
-   instrumentation. This is a real CPU-time measurement of replaying a
-   large queue once under each listener, like the paper's calibration
-   experiment; the corpus is a short pcguard campaign's final queue. *)
+(* Table V (Appendix A): seed-corpus processing cost under edge vs path
+   instrumentation, like the paper's calibration experiment; the corpus is
+   a short pcguard campaign's final queue. An earlier version measured
+   real CPU time here, which made [Tables.all] non-reproducible (the one
+   table that differed run to run, and between --jobs settings). Instead
+   we replay the corpus once and charge each listener the VM events it
+   actually processes: the edge listener performs one map update per block
+   transition, while the path listener pays an activation push per call, a
+   Ball-Larus plan lookup per CFG edge, and a path commit per return. The
+   ratio is a deterministic proxy for instrumentation overhead. *)
 
 let table5 (m : Runner.matrix) : string =
   let ratios = ref [] in
@@ -226,48 +232,34 @@ let table5 (m : Runner.matrix) : string =
           | r :: _ -> s.seeds @ r.final_queue
           | [] -> s.seeds
         in
-        let time_mode mode =
-          let fb = Pathcov.Feedback.make mode prog in
-          let hooks =
-            {
-              Vm.Interp.no_hooks with
-              h_call = fb.on_call;
-              h_block = fb.on_block;
-              h_edge = fb.on_edge;
-              h_ret = fb.on_ret;
-            }
-          in
-          (* repeat to get above timer resolution *)
-          let reps = max 1 (2000 / max 1 (List.length corpus)) in
-          let t0 = Sys.time () in
-          for _ = 1 to reps do
-            List.iter
-              (fun input ->
-                fb.reset ();
-                Pathcov.Coverage_map.clear fb.trace;
-                ignore (Vm.Interp.run_prepared ~hooks prepared ~input);
-                Pathcov.Coverage_map.classify fb.trace)
-              corpus
-          done;
-          (Sys.time () -. t0) /. float_of_int reps
+        let blocks = ref 0 and edges = ref 0 and acts = ref 0 in
+        let hooks =
+          {
+            Vm.Interp.no_hooks with
+            h_call = (fun _ -> incr acts);
+            h_block = (fun _ _ -> incr blocks);
+            h_edge = (fun _ _ _ -> incr edges);
+            h_ret = (fun _ _ -> incr acts);
+          }
         in
-        let t_edge = time_mode Pathcov.Feedback.Edge in
-        let t_path = time_mode Pathcov.Feedback.Path in
-        let ratio = if t_edge > 0. then t_path /. t_edge else nan in
+        List.iter
+          (fun input -> ignore (Vm.Interp.run_prepared ~hooks prepared ~input))
+          corpus;
+        let c_edge = !blocks in
+        let c_path = !edges + !acts in
+        let ratio =
+          if c_edge > 0 then float_of_int c_path /. float_of_int c_edge
+          else nan
+        in
         ratios := ratio :: !ratios;
-        [
-          s.name;
-          Printf.sprintf "%.4f s" t_edge;
-          Printf.sprintf "%.4f s" t_path;
-          Render.f2 ratio;
-        ])
+        [ s.name; Render.i c_edge; Render.i c_path; Render.f2 ratio ])
       m.subjects
   in
   let total = [ "GEOMEAN"; ""; ""; Render.f2 (geomean !ratios) ] in
   Render.table
     ~title:
-      "Table V (Appendix A): queue processing time, pcguard vs path \
-       instrumentation"
+      "Table V (Appendix A): queue processing cost (probe events), pcguard \
+       vs path instrumentation"
     ~header:[ "Benchmark"; "pcguard"; "path"; "path/pcguard" ]
     ~rows:(rows @ [ total ])
 
@@ -517,6 +509,17 @@ let fig1 () : string =
 (* Figure 2: queue growth over time per technique, on one subject. *)
 
 let fig2_series ?(subject = "gdk") (m : Runner.matrix) : string =
+  (* Partial matrices (tests, ad-hoc runs) may not contain the paper's
+     showcase subject; fall back to the first subject present. *)
+  let subject =
+    if
+      List.exists
+        (fun (s : Subjects.Subject.t) -> s.name = subject)
+        m.subjects
+    then subject
+    else
+      match m.subjects with s :: _ -> s.name | [] -> subject
+  in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf

@@ -106,10 +106,10 @@ let update_top_rated (st : state) (e : Corpus.entry) =
           end)
     e.indices
 
-(* Evaluate one candidate input end to end: execute, triage crashes and
-   hangs, retain on coverage novelty. *)
-let process (st : state) hooks ~depth (input : string) : unit =
-  let out = execute st hooks input in
+(* Crash/hang bookkeeping shared by every execution site — seed import,
+   queue-entry calibration and mutated candidates all triage the same way,
+   so no outcome can be dropped on the floor. *)
+let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : unit =
   match out.status with
   | Vm.Interp.Crashed crash ->
       let coverage_novel =
@@ -118,46 +118,62 @@ let process (st : state) hooks ~depth (input : string) : unit =
       in
       Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel
   | Vm.Interp.Hung -> Triage.record_hang st.triage
+  | Vm.Interp.Finished _ -> ()
+
+(* Evaluate one candidate input end to end: execute, triage crashes and
+   hangs, retain on coverage novelty. *)
+let process (st : state) hooks ~depth (input : string) : unit =
+  let out = execute st hooks input in
+  match out.status with
+  | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
   | Vm.Interp.Finished _ ->
-      let novelty =
-        Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
-      in
-      if novelty <> Pathcov.Coverage_map.Nothing
-         && Corpus.size st.corpus < st.cfg.max_queue
-      then begin
-        let indices =
-          Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
+      (* The capacity check precedes the virgin merge: a full queue must
+         not mark coverage as seen without retaining an input reaching
+         it, or that coverage becomes unreachable for the whole run. *)
+      if Corpus.size st.corpus < st.cfg.max_queue then begin
+        let novelty =
+          Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
         in
-        let e =
-          Corpus.add st.corpus ~data:input ~indices
-            ~exec_blocks:(max 1 out.blocks_executed) ~depth ~found_at:st.execs
-        in
-        update_top_rated st e
+        if novelty <> Pathcov.Coverage_map.Nothing then begin
+          let indices =
+            Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
+          in
+          let e =
+            Corpus.add st.corpus ~data:input ~indices
+              ~exec_blocks:(max 1 out.blocks_executed) ~depth ~found_at:st.execs
+          in
+          update_top_rated st e
+        end
       end
 
 (* Seeds are always retained (afl imports the full seed directory). *)
 let add_seed (st : state) hooks (input : string) : unit =
   let out = execute st hooks input in
-  begin
-    match out.status with
-    | Vm.Interp.Crashed crash ->
-        let coverage_novel =
-          Pathcov.Coverage_map.merge_into ~virgin:st.crash_virgin st.feedback.trace
-          <> Pathcov.Coverage_map.Nothing
-        in
-        Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel
-    | Vm.Interp.Hung -> Triage.record_hang st.triage
-    | Vm.Interp.Finished _ ->
-        ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace);
-        let indices =
-          Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
-        in
-        let e =
-          Corpus.add st.corpus ~data:input ~indices
-            ~exec_blocks:(max 1 out.blocks_executed) ~depth:0 ~found_at:st.execs
-        in
-        update_top_rated st e
-  end
+  match out.status with
+  | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
+  | Vm.Interp.Finished _ ->
+      ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace);
+      let indices =
+        Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
+      in
+      let e =
+        Corpus.add st.corpus ~data:input ~indices
+          ~exec_blocks:(max 1 out.blocks_executed) ~depth:0 ~found_at:st.execs
+      in
+      update_top_rated st e
+
+(** One calibration run of a queue entry, capturing cmplog operand pairs
+    for input-to-state mutation (the colorization stage of AFL++). The
+    outcome flows through the same triage/novelty path as [process]: a
+    crash or hang here — possible for the synthetic fallback entry, whose
+    data never executed cleanly — must be recorded, not discarded. *)
+let calibrate (st : state) hooks (e : Corpus.entry) : Mutator.cmp_pair list =
+  let out = execute st hooks e.data in
+  (match out.status with
+  | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input:e.data
+  | Vm.Interp.Finished _ ->
+      ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace));
+  current_cmps st
 
 (* afl-fuzz's skip probabilities in fuzz_one. *)
 let should_skip (st : state) (e : Corpus.entry) : bool =
@@ -181,31 +197,34 @@ let random_other (st : state) (e : Corpus.entry) : string option =
       let pick = List.nth l (Rng.int st.rng (List.length l)) in
       if pick.id = e.id then None else Some pick.data
 
-(** Run a campaign. [plans] shares a precomputed Ball–Larus artifact.
-    [on_segment_start] is a hook for strategies to observe loop progress. *)
-let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
-    ~(seeds : string list) : result =
+(** Build a fresh campaign state. Exposed (alongside [make_hooks],
+    [execute], [add_seed], [process] and [calibrate]) so tests can drive
+    individual pipeline stages directly. *)
+let make_state ?plans ?(config = default_config) (prog : Minic.Ir.program) : state =
   let feedback =
     Pathcov.Feedback.make ~size_log2:config.map_size_log2 ?plans config.mode prog
   in
-  let st =
-    {
-      prepared = Vm.Interp.prepare prog;
-      cfg = config;
-      feedback;
-      virgin = Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
-      crash_virgin =
-        Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
-      corpus = Corpus.create ();
-      triage = Triage.create ();
-      rng = Rng.create config.rng_seed;
-      execs = 0;
-      blocks = 0;
-      series = [];
-      sample_every = max 1 (config.budget / 64);
-      cmp_buf = Hashtbl.create 64;
-    }
-  in
+  {
+    prepared = Vm.Interp.prepare prog;
+    cfg = config;
+    feedback;
+    virgin = Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
+    crash_virgin =
+      Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
+    corpus = Corpus.create ();
+    triage = Triage.create ();
+    rng = Rng.create config.rng_seed;
+    execs = 0;
+    blocks = 0;
+    series = [];
+    sample_every = max 1 (config.budget / 64);
+    cmp_buf = Hashtbl.create 64;
+  }
+
+(** Run a campaign. [plans] shares a precomputed Ball–Larus artifact. *)
+let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
+    ~(seeds : string list) : result =
+  let st = make_state ?plans ~config prog in
   let hooks = make_hooks st in
   List.iter (add_seed st hooks) seeds;
   (* Never start with an empty queue: synthesise a minimal seed. *)
@@ -221,15 +240,7 @@ let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
     List.iter
       (fun (e : Corpus.entry) ->
         if st.execs < config.budget && not (should_skip st e) then begin
-          (* One calibration run with cmplog capture feeds I2S mutations
-             for this entry (the colorization stage of AFL++). *)
-          let cmps =
-            if config.cmplog then begin
-              ignore (execute st hooks e.data);
-              current_cmps st
-            end
-            else []
-          in
+          let cmps = if config.cmplog then calibrate st hooks e else [] in
           let n = energy st e in
           let i = ref 0 in
           while !i < n && st.execs < config.budget do

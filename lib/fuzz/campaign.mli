@@ -36,3 +36,51 @@ val run :
   Minic.Ir.program ->
   seeds:string list ->
   result
+
+(** {2 Pipeline stages}
+
+    The individual stages of the loop are exposed so tests can drive them
+    directly (e.g. triaging a calibration crash on an entry that was
+    parked in the queue without a clean execution). *)
+
+(** Live campaign state. Fields are exposed read-mostly for tests and
+    diagnostics; mutate only through the stage functions below. *)
+type state = {
+  prepared : Vm.Interp.prepared;
+  cfg : config;
+  feedback : Pathcov.Feedback.t;
+  virgin : Pathcov.Coverage_map.t;
+  crash_virgin : Pathcov.Coverage_map.t;
+  corpus : Corpus.t;
+  triage : Triage.t;
+  rng : Rng.t;
+  mutable execs : int;
+  mutable blocks : int;
+  mutable series : (int * int) list;
+  mutable sample_every : int;
+  cmp_buf : (int * int, unit) Hashtbl.t;
+}
+
+(** Build a fresh campaign state. *)
+val make_state :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  ?config:config ->
+  Minic.Ir.program ->
+  state
+
+val make_hooks : state -> Vm.Interp.hooks
+
+(** Run one input; the trace map is left classified for novelty checks. *)
+val execute : state -> Vm.Interp.hooks -> string -> Vm.Interp.outcome
+
+(** Execute a seed and retain it unconditionally (afl imports the full
+    seed directory); crashes and hangs are triaged. *)
+val add_seed : state -> Vm.Interp.hooks -> string -> unit
+
+(** Evaluate one candidate end to end: execute, triage crashes/hangs,
+    retain on coverage novelty if the queue has capacity. *)
+val process : state -> Vm.Interp.hooks -> depth:int -> string -> unit
+
+(** One calibration run of a queue entry, capturing cmplog operand pairs;
+    the outcome is triaged exactly like {!process}'s. *)
+val calibrate : state -> Vm.Interp.hooks -> Corpus.entry -> Mutator.cmp_pair list

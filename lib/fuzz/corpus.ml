@@ -89,4 +89,4 @@ let covered_indices (t : t) : int list =
   List.iter
     (fun e -> Array.iter (fun i -> Hashtbl.replace tbl i ()) e.indices)
     t.entries;
-  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) tbl [])
+  List.sort Int.compare (Hashtbl.fold (fun i () acc -> i :: acc) tbl [])

@@ -113,8 +113,11 @@ let replace_at s pos repl =
 
 (** Try to rewrite [s] so that the observed operand becomes the wanted
     one: search for little-endian (1/2/4-byte) and ASCII-decimal encodings
-    of [observed] and substitute the encoding of [wanted]. Returns [s]
-    unchanged when no encoding is found. *)
+    of [observed] and substitute the encoding of [wanted]. Negative
+    [wanted] values are emitted too — as truncated two's-complement bytes
+    on the little-endian paths and as the signed decimal form on the
+    ASCII path — so comparisons against negative constants stay solvable.
+    Returns [s] unchanged when no encoding is found. *)
 let i2s_apply rng (p : cmp_pair) (s : string) : string =
   let try_width w =
     if p.observed < 0 || (w < 8 && p.observed >= 1 lsl (8 * w)) then None
@@ -133,7 +136,7 @@ let i2s_apply rng (p : cmp_pair) (s : string) : string =
         match find_sub s pat with
         | Some pos ->
             let n = String.length s in
-            let repl = string_of_int (max 0 p.wanted) in
+            let repl = string_of_int p.wanted in
             Some
               (clamp_len
                  (String.sub s 0 pos ^ repl

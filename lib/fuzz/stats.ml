@@ -2,8 +2,13 @@
     and the set algebra behind the pairwise bug comparisons (∩ and ∖
     columns of Tables II/VI/VII/VIII/X and the Figure 3 Venn regions). *)
 
+(** Median of the non-nan entries. nan never participates: under
+    polymorphic [compare] a nan sorts to an arbitrary position and can
+    poison the picked middle element, and a nan trial (e.g. an empty
+    aggregation upstream) should not erase the information carried by the
+    remaining trials. Empty or all-nan input yields nan. *)
 let median_float (l : float list) : float =
-  match List.sort compare l with
+  match List.sort Float.compare (List.filter (fun x -> not (Float.is_nan x)) l) with
   | [] -> nan
   | sorted ->
       let n = List.length sorted in

@@ -38,16 +38,42 @@ type t = {
 }
 
 (** Compile a subject's source (parse + check + lower); memoised because
-    experiments instantiate subjects repeatedly. *)
+    experiments instantiate subjects repeatedly. The cache is guarded by a
+    mutex since worker domains of the parallel experiment runner may look
+    subjects up concurrently; the compiled IR itself is immutable, so
+    sharing a cached program across domains is safe. *)
 let ir_cache : (string, Minic.Ir.program) Hashtbl.t = Hashtbl.create 32
 
+let ir_cache_lock = Mutex.create ()
+
 let program (t : t) : Minic.Ir.program =
+  Mutex.lock ir_cache_lock;
   match Hashtbl.find_opt ir_cache t.name with
-  | Some p -> p
-  | None ->
-      let p = Minic.Lower.compile t.source in
-      Hashtbl.replace ir_cache t.name p;
+  | Some p ->
+      Mutex.unlock ir_cache_lock;
       p
+  | None ->
+      (* Compile outside the lock: lowering a large subject must not
+         serialise unrelated lookups. A racing domain may compile the same
+         subject; first insert wins and the copies are identical. *)
+      Mutex.unlock ir_cache_lock;
+      let p = Minic.Lower.compile t.source in
+      Mutex.lock ir_cache_lock;
+      let p =
+        match Hashtbl.find_opt ir_cache t.name with
+        | Some winner -> winner
+        | None ->
+            Hashtbl.replace ir_cache t.name p;
+            p
+      in
+      Mutex.unlock ir_cache_lock;
+      p
+
+(** Compile fresh, bypassing the cache. Worker domains that must own
+    their program outright (and everything reachable from it) use this;
+    site identifiers are allocated per compilation, so repeated compiles
+    of the same source yield structurally identical programs. *)
+let compile_fresh (t : t) : Minic.Ir.program = Minic.Lower.compile t.source
 
 (** Number of MiniC functions (the "Functions" column of Table I). *)
 let num_functions (t : t) : int = Array.length (program t).funcs

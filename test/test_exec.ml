@@ -1,0 +1,82 @@
+(** Domain-pool tests: results land in task order at any worker count,
+    progress callbacks fire exactly once per task, and task exceptions
+    propagate to the caller. *)
+
+let check = Alcotest.check
+
+let test_map_order_any_jobs () =
+  let sequential = Exec.Pool.map ~jobs:1 25 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      let parallel = Exec.Pool.map ~jobs 25 (fun i -> i * i) in
+      check
+        (Alcotest.array Alcotest.int)
+        (Printf.sprintf "jobs=%d matches sequential" jobs)
+        sequential parallel)
+    [ 2; 4; 9; 40 ]
+
+let test_map_empty_and_single () =
+  check Alcotest.int "no tasks" 0 (Array.length (Exec.Pool.map ~jobs:4 0 (fun i -> i)));
+  check (Alcotest.array Alcotest.int) "one task" [| 7 |]
+    (Exec.Pool.map ~jobs:4 1 (fun _ -> 7))
+
+let test_uneven_tasks_balance () =
+  (* tasks of very different cost still produce ordered results *)
+  let f i =
+    let spin = if i mod 5 = 0 then 40_000 else 10 in
+    let acc = ref i in
+    for _ = 1 to spin do
+      acc := (!acc * 31) land 0xffff
+    done;
+    (i, !acc)
+  in
+  check
+    (Alcotest.array (Alcotest.pair Alcotest.int Alcotest.int))
+    "balanced run matches sequential"
+    (Exec.Pool.map ~jobs:1 30 f)
+    (Exec.Pool.map ~jobs:3 30 f)
+
+let test_on_done_once_per_task () =
+  let seen = Array.make 30 0 in
+  let results =
+    Exec.Pool.map ~jobs:4
+      ~on_done:(fun i r ->
+        check Alcotest.int "callback gets the result" (i * 3) r;
+        seen.(i) <- seen.(i) + 1)
+      30
+      (fun i -> i * 3)
+  in
+  check Alcotest.int "all results" 30 (Array.length results);
+  Array.iteri
+    (fun i c -> check Alcotest.int (Printf.sprintf "task %d once" i) 1 c)
+    seen
+
+let test_exception_propagates () =
+  match Exec.Pool.map ~jobs:3 8 (fun i -> if i = 5 then failwith "boom" else i) with
+  | _ -> Alcotest.fail "expected the task failure to propagate"
+  | exception Failure m -> check Alcotest.string "message" "boom" m
+
+let test_submit_shutdown_drains () =
+  let pool = Exec.Pool.create ~jobs:3 in
+  let counter = Atomic.make 0 in
+  for _ = 1 to 50 do
+    Exec.Pool.submit pool (fun () -> Atomic.incr counter)
+  done;
+  Exec.Pool.shutdown pool;
+  check Alcotest.int "every task ran" 50 (Atomic.get counter);
+  match Exec.Pool.submit pool (fun () -> ()) with
+  | () -> Alcotest.fail "submit after shutdown must fail"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "exec-pool",
+      [
+        Alcotest.test_case "order at any jobs" `Quick test_map_order_any_jobs;
+        Alcotest.test_case "empty and single" `Quick test_map_empty_and_single;
+        Alcotest.test_case "uneven tasks balance" `Quick test_uneven_tasks_balance;
+        Alcotest.test_case "on_done once per task" `Quick test_on_done_once_per_task;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "submit/shutdown drains" `Quick test_submit_shutdown_drains;
+      ] );
+  ]

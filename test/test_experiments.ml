@@ -18,6 +18,21 @@ let test_matrix_shape () =
   let c = Experiments.Runner.cell m ~subject:"flvmeta" ~fuzzer:"path" in
   check Alcotest.int "trials" 2 (List.length c.runs)
 
+let test_parallel_matrix_identical () =
+  (* The whole point of the domain-pool runner: every rendered table is
+     byte-identical at any worker count. *)
+  let m1 = Lazy.force matrix in
+  let m4 =
+    Experiments.Runner.run ~quiet:true ~jobs:4 ~subjects:(tiny_subjects ())
+      tiny_config
+  in
+  check Alcotest.string "tables byte-identical at jobs=1 and jobs=4"
+    (Experiments.Tables.all m1) (Experiments.Tables.all m4);
+  let c = Experiments.Runner.cell m4 ~subject:"flvmeta" ~fuzzer:"path" in
+  check Alcotest.bool "wall clock recorded" true (c.wall_s > 0.);
+  check Alcotest.bool "matrix wall clock aggregates" true
+    (Experiments.Runner.total_wall_s m4 >= c.wall_s)
+
 let test_matrix_deterministic () =
   let m1 = Lazy.force matrix in
   let m2 = Experiments.Runner.run ~quiet:true ~subjects:(tiny_subjects ()) tiny_config in
@@ -91,6 +106,8 @@ let suite =
       [
         Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
         Alcotest.test_case "matrix deterministic" `Quick test_matrix_deterministic;
+        Alcotest.test_case "parallel matrix identical" `Quick
+          test_parallel_matrix_identical;
         Alcotest.test_case "tables render" `Quick test_tables_render;
         Alcotest.test_case "figure 1 renders" `Quick test_fig1_renders;
         Alcotest.test_case "config from env" `Quick test_config_env;

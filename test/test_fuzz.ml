@@ -79,6 +79,17 @@ let test_i2s_ascii_substitution () =
   check Alcotest.bool "some rewrite mentions 9999" true
     (List.exists (fun s -> s = "width=9999;" || s <> "width=80;") candidates)
 
+let test_i2s_negative_wanted () =
+  let rng = Fuzz.Rng.create 1 in
+  (* ASCII: a comparison against a negative constant must emit the signed
+     decimal form, not clamp to zero ("width=80;" has exactly one
+     candidate rewrite, so the result is deterministic) *)
+  check Alcotest.string "signed decimal" "width=-5;"
+    (Fuzz.Mutator.i2s_apply rng { observed = 80; wanted = -5 } "width=80;");
+  (* little-endian: negative wanted truncates to two's-complement bytes *)
+  check Alcotest.string "two's-complement byte" "x\254x"
+    (Fuzz.Mutator.i2s_apply rng { observed = 65; wanted = -2 } "xAx")
+
 let test_i2s_no_match () =
   let rng = Fuzz.Rng.create 1 in
   let s = Fuzz.Mutator.i2s_apply rng { observed = 123456; wanted = 1 } "zz" in
@@ -205,6 +216,60 @@ let test_campaign_survives_crashing_seed () =
   check Alcotest.bool "ran" true (r.execs > 0);
   check Alcotest.int "bug found from seed" 1 (Fuzz.Triage.unique_bugs r.triage)
 
+let test_calibration_crash_triaged () =
+  (* A queue entry whose data crashes was parked without triage (the
+     synthetic-fallback scenario: retained with no clean execution). Its
+     first re-execution is the cmplog calibration run, whose outcome used
+     to be discarded — the crash must reach Triage with a witness. *)
+  let prog =
+    Minic.Lower.compile "fn main() { if (len() == 0) { return 0; } bug(9); }"
+  in
+  let st = Fuzz.Campaign.make_state prog in
+  let hooks = Fuzz.Campaign.make_hooks st in
+  let e =
+    Fuzz.Corpus.add st.corpus ~data:"X" ~indices:[||] ~exec_blocks:1 ~depth:0
+      ~found_at:0
+  in
+  check Alcotest.int "nothing triaged yet" 0 (Fuzz.Triage.unique_bugs st.triage);
+  ignore (Fuzz.Campaign.calibrate st hooks e);
+  check Alcotest.int "calibration crash triaged" 1
+    (Fuzz.Triage.unique_bugs st.triage);
+  check
+    (Alcotest.option Alcotest.string)
+    "witness recorded" (Some "X")
+    (Fuzz.Triage.bug_witness st.triage (Vm.Crash.Id 9))
+
+let test_calibration_crashes_counted () =
+  (* Every input crashes, so the fallback entry crashes on each
+     calibration run too: every execution of the campaign must show up in
+     total_crashes, not only the mutated candidates. *)
+  let prog = Minic.Lower.compile "fn main() { bug(3); }" in
+  let config = { Fuzz.Campaign.default_config with budget = 300; rng_seed = 1 } in
+  let r = Fuzz.Campaign.run ~config prog ~seeds:[] in
+  check Alcotest.int "every execution crashed and was counted" r.execs
+    r.triage.total_crashes;
+  check Alcotest.bool "bug recorded" true
+    (List.mem (Vm.Crash.Id 3) (Fuzz.Triage.bugs r.triage))
+
+let test_full_queue_preserves_virgin () =
+  (* With the queue at max_queue, a novel trace must not be folded into
+     the virgin map: that would mark its coverage as seen forever without
+     retaining any input that reaches it. *)
+  let prog =
+    Minic.Lower.compile "fn main() { if (in(0) == 104) { return 1; } return 0; }"
+  in
+  let config = { Fuzz.Campaign.default_config with max_queue = 1 } in
+  let st = Fuzz.Campaign.make_state ~config prog in
+  let hooks = Fuzz.Campaign.make_hooks st in
+  Fuzz.Campaign.add_seed st hooks "a";
+  check Alcotest.int "queue at capacity" 1 (Fuzz.Corpus.size st.corpus);
+  Fuzz.Campaign.process st hooks ~depth:1 "h";
+  check Alcotest.int "not retained over capacity" 1 (Fuzz.Corpus.size st.corpus);
+  ignore (Fuzz.Campaign.execute st hooks "h");
+  check Alcotest.bool "its coverage is still virgin" true
+    (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
+    <> Pathcov.Coverage_map.Nothing)
+
 (* --- measure & strategies --- *)
 
 let test_edge_union_and_cull () =
@@ -277,6 +342,16 @@ let test_stats_median () =
   check (Alcotest.float 1e-9) "even" 2.5 (Fuzz.Stats.median_int [ 1; 2; 3; 4 ]);
   check Alcotest.bool "empty is nan" true (Float.is_nan (Fuzz.Stats.median_int []))
 
+let test_stats_median_ignores_nan () =
+  (* nan entries used to sort arbitrarily under polymorphic compare and
+     could be picked as the median; they are filtered instead *)
+  check (Alcotest.float 1e-9) "nan leading" 2.
+    (Fuzz.Stats.median_float [ nan; 1.; 2.; 3. ]);
+  check (Alcotest.float 1e-9) "nan in the middle" 1.5
+    (Fuzz.Stats.median_float [ 1.; nan; 2. ]);
+  check Alcotest.bool "all nan is nan" true
+    (Float.is_nan (Fuzz.Stats.median_float [ nan; nan ]))
+
 let test_stats_geomean () =
   check (Alcotest.float 1e-9) "geomean" 2. (Fuzz.Stats.geomean [ 1.; 4. ]);
   check (Alcotest.float 1e-6) "triple" 2.2894284851 (Fuzz.Stats.geomean [ 1.; 2.; 6. ])
@@ -326,6 +401,7 @@ let suite =
         Alcotest.test_case "havoc empty input" `Quick test_havoc_empty_input;
         Alcotest.test_case "i2s little-endian" `Quick test_i2s_le_substitution;
         Alcotest.test_case "i2s ascii" `Quick test_i2s_ascii_substitution;
+        Alcotest.test_case "i2s negative wanted" `Quick test_i2s_negative_wanted;
         Alcotest.test_case "i2s no match" `Quick test_i2s_no_match;
         Alcotest.test_case "deterministic stage" `Quick test_deterministic_stage;
       ] );
@@ -349,6 +425,12 @@ let suite =
           test_campaign_queue_series_monotonic;
         Alcotest.test_case "survives crashing seed" `Quick
           test_campaign_survives_crashing_seed;
+        Alcotest.test_case "calibration crash triaged" `Quick
+          test_calibration_crash_triaged;
+        Alcotest.test_case "calibration crashes counted" `Quick
+          test_calibration_crashes_counted;
+        Alcotest.test_case "full queue preserves virgin" `Quick
+          test_full_queue_preserves_virgin;
       ] );
     ( "measure-strategy",
       [
@@ -362,6 +444,7 @@ let suite =
     ( "stats",
       [
         Alcotest.test_case "median" `Quick test_stats_median;
+        Alcotest.test_case "median ignores nan" `Quick test_stats_median_ignores_nan;
         Alcotest.test_case "geomean" `Quick test_stats_geomean;
         Alcotest.test_case "venn" `Quick test_stats_venn;
       ] );
