@@ -20,6 +20,8 @@ let prog_jq = Subjects.Subject.program jq
 let plans_gdk = Pathcov.Ball_larus.of_program prog_gdk
 let prepared_gdk = Vm.Interp.prepare prog_gdk
 
+(* Replay benches reuse one pooled execution context per fixture, like a
+   campaign does, so they measure the steady-state hot path. *)
 let replay_input mode prog prepared input =
   let fb = Pathcov.Feedback.make mode prog in
   let hooks =
@@ -31,10 +33,11 @@ let replay_input mode prog prepared input =
       h_ret = fb.Pathcov.Feedback.on_ret;
     }
   in
+  let ctx = Vm.Interp.create_ctx ~hooks prepared in
   fun () ->
     fb.Pathcov.Feedback.reset ();
     Pathcov.Coverage_map.clear fb.trace;
-    ignore (Vm.Interp.run_prepared ~hooks prepared ~input);
+    ignore (Vm.Interp.run_ctx ctx ~input);
     Pathcov.Coverage_map.classify fb.trace
 
 let seed_gdk = List.hd gdk.seeds
@@ -109,8 +112,9 @@ let tests =
     Test.make ~name:"table5-replay-path"
       (Staged.stage (replay_input Pathcov.Feedback.Path prog_gdk prepared_gdk seed_gdk));
     Test.make ~name:"table5-replay-uninstrumented"
-      (Staged.stage (fun () ->
-           ignore (Vm.Interp.run_prepared prepared_gdk ~input:seed_gdk)));
+      (Staged.stage
+         (let ctx = Vm.Interp.create_ctx prepared_gdk in
+          fun () -> ignore (Vm.Interp.run_ctx ctx ~input:seed_gdk)));
     (* T9: crash dedup — stack hashing *)
     Test.make ~name:"table9-crash-top5-hash"
       (Staged.stage
@@ -170,6 +174,15 @@ let run_benchmarks () =
     tests;
   Fmt.pr "@."
 
+(* Steady-state interpreter throughput (the BENCH_throughput.json metric,
+   at bench scale): execs/sec, blocks/sec and minor words/exec per
+   (subject x feedback mode) through a reused execution context. *)
+let run_throughput () =
+  let subjects = List.filter_map Subjects.Registry.find [ "gdk"; "jq" ] in
+  let samples = Experiments.Throughput.grid ~execs:5_000 subjects in
+  print_string (Experiments.Throughput.to_table samples);
+  Fmt.pr "@."
+
 (* Parallel-runner scaling: wall-clock for the same small matrix at one
    worker domain versus one per core. (The matrix content is identical by
    construction; the determinism test in test_experiments.ml asserts it.) *)
@@ -193,6 +206,7 @@ let run_matrix_scaling () =
 
 let () =
   run_benchmarks ();
+  run_throughput ();
   if Sys.getenv_opt "PATHCOV_SKIP_TABLES" <> Some "1" then begin
     run_matrix_scaling ();
     let cfg = Experiments.Config.of_env () in

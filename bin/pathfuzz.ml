@@ -7,7 +7,10 @@
                            profiling use of the encoding);
     - [cfg]                print a function's CFG (optionally Graphviz)
                            with path increments;
-    - [tables]             regenerate every table and figure of the paper. *)
+    - [tables]             regenerate every table and figure of the paper;
+    - [bench-throughput]   measure interpreter throughput per
+                           (subject x feedback) and write the
+                           BENCH_throughput.json telemetry baseline. *)
 
 open Cmdliner
 
@@ -274,9 +277,75 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Regenerate every table and figure of the paper")
     Term.(const run $ fast $ jobs_arg)
 
+(* --- bench-throughput --- *)
+
+let bench_throughput_cmd =
+  let subjects =
+    Arg.(
+      value
+      & opt string "cflow,sqlite3,gdk,jq"
+      & info [ "subjects" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subjects to measure.")
+  in
+  let execs =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "execs" ] ~docv:"N" ~doc:"Executions measured per cell.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_throughput.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output JSON path (\"-\" prints the JSON to stdout).")
+  in
+  let smoke =
+    Arg.(
+      value
+      & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Tiny-budget self-check: one subject, 50 execs per cell — \
+             exercises the telemetry path in seconds (used by dune runtest).")
+  in
+  let run subjects execs out smoke =
+    let names =
+      if smoke then [ "gdk" ]
+      else String.split_on_char ',' subjects |> List.map String.trim
+    in
+    let execs = if smoke then 50 else max 1 execs in
+    let subjects = List.map lookup_subject names in
+    let samples = Experiments.Throughput.grid ~execs subjects in
+    (* table to stderr: stdout stays machine-readable when out = "-" *)
+    Fmt.epr "%s@." (Experiments.Throughput.to_table samples);
+    let json = Experiments.Throughput.to_json samples in
+    if out = "-" then print_string json
+    else begin
+      let oc = open_out out in
+      output_string oc json;
+      close_out oc;
+      Fmt.epr "[bench-throughput] wrote %s (%d cells)@." out
+        (List.length samples)
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-throughput"
+       ~doc:
+         "Measure execs/sec, blocks/sec and allocation per execution across \
+          the (subject x feedback) grid")
+    Term.(const run $ subjects $ execs $ out $ smoke)
+
 let () =
   let doc = "path-aware coverage-guided fuzzing (CGO 2026 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "pathfuzz" ~doc)
-          [ subjects_cmd; fuzz_cmd; profile_cmd; cfg_cmd; tables_cmd ]))
+          [
+            subjects_cmd;
+            fuzz_cmd;
+            profile_cmd;
+            cfg_cmd;
+            tables_cmd;
+            bench_throughput_cmd;
+          ]))

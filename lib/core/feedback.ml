@@ -12,7 +12,13 @@
       [(path_id xor function_salt) mod map_size] (§IV);
     - [Pathafl]: a PathAFL-like sketch — edge coverage plus a rolling hash
       over "key" edges (function entries and branch edges), approximating
-      partial whole-program paths (Appendix C comparison). *)
+      partial whole-program paths (Appendix C comparison).
+
+    Listeners sit on the execution hot path (every VM block/edge event
+    lands here), so [make] precomputes per-(function, block) key tables
+    and the dense Ball–Larus transition tables once, and every handler is
+    allocation-free: events index arrays — no hashing, no hashtable
+    probes, no option or list allocation. *)
 
 type mode = Block | Edge | Ngram of int | Path | Pathafl
 
@@ -36,20 +42,29 @@ type t = {
 (* Stable per-(function, block) location key, spread over the map domain. *)
 let block_key fid block = ((fid * 0x9e3779b1) + (block * 0x85ebca6b)) land max_int
 
+(* The precomputed form: [keys.(fid).(block) = block_key fid block]. *)
+let block_key_table (prog : Minic.Ir.program) : int array array =
+  Array.mapi
+    (fun fid (f : Minic.Ir.func) ->
+      Array.init (Array.length f.blocks) (fun b -> block_key fid b))
+    prog.funcs
+
 let make_block prog map =
-  ignore prog;
+  let keys = block_key_table prog in
   {
     mode = Block;
     trace = map;
     reset = (fun () -> ());
     on_call = (fun _ -> ());
-    on_block = (fun fid b -> Coverage_map.hit map (block_key fid b));
+    on_block =
+      (fun fid b ->
+        Coverage_map.hit map (Array.unsafe_get (Array.unsafe_get keys fid) b));
     on_edge = (fun _ _ _ -> ());
     on_ret = (fun _ _ -> ());
   }
 
 let make_edge prog map =
-  ignore prog;
+  let keys = block_key_table prog in
   let prev = ref 0 in
   {
     mode = Edge;
@@ -58,7 +73,7 @@ let make_edge prog map =
     on_call = (fun _ -> ());
     on_block =
       (fun fid b ->
-        let cur = block_key fid b in
+        let cur = Array.unsafe_get (Array.unsafe_get keys fid) b in
         Coverage_map.hit map (cur lxor !prev);
         prev := cur lsr 1);
     on_edge = (fun _ _ _ -> ());
@@ -66,8 +81,8 @@ let make_edge prog map =
   }
 
 let make_ngram n prog map =
-  ignore prog;
   if n < 2 then invalid_arg "Feedback.make_ngram: n must be >= 2";
+  let keys = block_key_table prog in
   let hist = Array.make n 0 in
   let pos = ref 0 in
   {
@@ -80,7 +95,7 @@ let make_ngram n prog map =
     on_call = (fun _ -> ());
     on_block =
       (fun fid b ->
-        hist.(!pos mod n) <- block_key fid b;
+        hist.(!pos mod n) <- Array.unsafe_get (Array.unsafe_get keys fid) b;
         incr pos;
         let h = ref 0 in
         for i = 0 to n - 1 do
@@ -95,53 +110,73 @@ let make_path (plans : Ball_larus.program_plans) (prog : Minic.Ir.program) map =
   let salts =
     Array.map (fun (f : Minic.Ir.func) -> Hashtbl.hash f.name * 0x9e3779b1) prog.funcs
   in
-  (* One path register per live activation; reset clears leftovers from
-     crashed executions. *)
-  let regs = ref [] in
-  let fids = ref [] in
-  let commit fid pid =
-    Coverage_map.hit map ((pid lxor salts.(fid)) land max_int)
+  (* Dense transition tables: two loads per edge event instead of a
+     hashtable probe allocating an option. *)
+  let dense = Array.map Ball_larus.dense plans.plans in
+  let ret_adds =
+    Array.map (fun (p : Ball_larus.t) -> p.Ball_larus.ret_add) plans.plans
   in
-  let top_add delta =
-    match !regs with [] -> () | r :: rest -> regs := (r + delta) :: rest
+  (* One path register per live activation, kept as a growable int stack
+     (no per-call consing); reset clears leftovers from crashed
+     executions. *)
+  let regs = ref (Array.make 64 0) in
+  let top = ref 0 in
+  let commit fid pid =
+    Coverage_map.hit map ((pid lxor Array.unsafe_get salts fid) land max_int)
   in
   {
     mode = Path;
     trace = map;
-    reset =
-      (fun () ->
-        regs := [];
-        fids := []);
+    reset = (fun () -> top := 0);
     on_call =
-      (fun fid ->
-        regs := 0 :: !regs;
-        fids := fid :: !fids);
+      (fun _fid ->
+        if !top = Array.length !regs then begin
+          let bigger = Array.make (2 * !top) 0 in
+          Array.blit !regs 0 bigger 0 !top;
+          regs := bigger
+        end;
+        Array.unsafe_set !regs !top 0;
+        incr top);
     on_block = (fun _ _ -> ());
     on_edge =
       (fun fid src dst ->
-        match Ball_larus.on_edge plans.plans.(fid) ~src ~dst with
-        | None -> ()
-        | Some (Ball_larus.Add k) -> top_add k
-        | Some (Ball_larus.Commit_back { add; reset }) -> begin
-            match !regs with
-            | [] -> ()
-            | r :: rest ->
-                commit fid (r + add);
-                regs := reset :: rest
-          end);
+        let d = Array.unsafe_get dense fid in
+        let i = (src * d.Ball_larus.d_stride) + dst in
+        match Bytes.unsafe_get d.Ball_larus.d_tag i with
+        | '\000' -> ()
+        | '\001' ->
+            if !top > 0 then begin
+              let r = !regs in
+              let k = !top - 1 in
+              Array.unsafe_set r k
+                (Array.unsafe_get r k + Array.unsafe_get d.Ball_larus.d_add i)
+            end
+        | _ ->
+            if !top > 0 then begin
+              let r = !regs in
+              let k = !top - 1 in
+              commit fid (Array.unsafe_get r k + Array.unsafe_get d.Ball_larus.d_add i);
+              Array.unsafe_set r k (Array.unsafe_get d.Ball_larus.d_reset i)
+            end);
     on_ret =
       (fun fid block ->
-        match (!regs, !fids) with
-        | r :: rrest, _ :: frest ->
-            commit fid (r + Ball_larus.on_ret plans.plans.(fid) ~block);
-            regs := rrest;
-            fids := frest
-        | _ -> ());
+        if !top > 0 then begin
+          let k = !top - 1 in
+          commit fid
+            (Array.unsafe_get !regs k
+            + Array.unsafe_get (Array.unsafe_get ret_adds fid) block);
+          top := k
+        end);
   }
 
 let make_pathafl (prog : Minic.Ir.program) map =
-  (* Branch-edge predicate per function: edges out of multi-successor
-     blocks are "key" edges that feed the rolling whole-program hash. *)
+  let keys = block_key_table prog in
+  (* Per-function entry keys, and the branch-edge predicate: edges out of
+     multi-successor blocks are "key" edges feeding the rolling
+     whole-program hash. *)
+  let entry_keys =
+    Array.init (Array.length prog.funcs) (fun fid -> block_key fid 0 + 1)
+  in
   let nsucc =
     Array.map
       (fun (f : Minic.Ir.func) ->
@@ -163,15 +198,16 @@ let make_pathafl (prog : Minic.Ir.program) map =
       (fun () ->
         prev := 0;
         rolling := 0);
-    on_call = (fun fid -> key_event (block_key fid 0 + 1));
+    on_call = (fun fid -> key_event (Array.unsafe_get entry_keys fid));
     on_block =
       (fun fid b ->
-        let cur = block_key fid b in
+        let cur = Array.unsafe_get (Array.unsafe_get keys fid) b in
         Coverage_map.hit map (cur lxor !prev);
         prev := cur lsr 1);
     on_edge =
       (fun fid src dst ->
-        if nsucc.(fid).(src) >= 2 then key_event (block_key fid src lxor (dst * 31)));
+        if Array.unsafe_get (Array.unsafe_get nsucc fid) src >= 2 then
+          key_event (Array.unsafe_get (Array.unsafe_get keys fid) src lxor (dst * 31)));
     on_ret = (fun _ _ -> ());
   }
 

@@ -33,10 +33,11 @@ let standard_fuzzers (cfg : Config.t) : Fuzz.Strategy.fuzzer list =
   ]
 
 (** Run one (subject, fuzzer, trial) task. Every task builds its own
-    program, Ball–Larus plans and (inside [Campaign.run]) interpreter
-    state: campaigns are pure functions of (program, seeds, config), so
-    per-task rebuilding keeps the matrix bit-identical at any worker
-    count while sharing no mutable structure across domains. *)
+    program, Ball–Larus plans and (inside [Campaign.run]) a pooled
+    {!Vm.Interp.exec_ctx} reused for all of the trial's executions:
+    campaigns are pure functions of (program, seeds, config), so per-task
+    rebuilding keeps the matrix bit-identical at any worker count while
+    sharing no mutable structure across domains. *)
 let run_trial (cfg : Config.t) (subject : Subjects.Subject.t)
     (fuzzer : Fuzz.Strategy.fuzzer) (trial : int) :
     Fuzz.Strategy.run_result * float =

@@ -1,0 +1,158 @@
+(** Execution-throughput telemetry: the perf trajectory behind every table.
+
+    Every number in the evaluation is bought with executions, so execs/sec
+    is the real budget unit behind the paper's wall-clock budgets. This
+    module measures steady-state interpreter throughput per
+    (subject x feedback mode) cell — executions/sec, VM blocks/sec and GC
+    minor words allocated per execution — and renders the result as the
+    [BENCH_throughput.json] baseline that future PRs are compared against.
+
+    One measured "execution" is exactly one iteration of the campaign hot
+    loop: feedback reset, trace clear, VM run, trace classify — i.e. what
+    [Fuzz.Campaign.execute] does minus queue bookkeeping. Seeds are cycled
+    in order, so the work per execution (and therefore minor-words/exec)
+    is deterministic; only the wall-clock rates vary across hosts. *)
+
+type sample = {
+  subject : string;
+  mode : string;  (** feedback mode name, or ["none"] (uninstrumented) *)
+  execs : int;  (** measured executions (after warmup) *)
+  wall_s : float;
+  execs_per_sec : float;
+  blocks_per_sec : float;
+  minor_words_per_exec : float;
+}
+
+(** The measured instrumentation ladder: uninstrumented, then each
+    feedback mode of the sensitivity ladder. *)
+let modes : (string * Pathcov.Feedback.mode option) list =
+  [
+    ("none", None);
+    ("block", Some Pathcov.Feedback.Block);
+    ("edge", Some Pathcov.Feedback.Edge);
+    ("path", Some Pathcov.Feedback.Path);
+    ("pathafl", Some Pathcov.Feedback.Pathafl);
+  ]
+
+(* One throughput cell: replay the subject's seeds round-robin through a
+   reused execution context. Warmup executions let frame pools and the
+   touched-index journals reach steady state before the clock starts. *)
+let measure ?(warmup = 64) ~execs ~(mode : Pathcov.Feedback.mode option)
+    (s : Subjects.Subject.t) : sample =
+  let prog = Subjects.Subject.compile_fresh s in
+  let prepared = Vm.Interp.prepare prog in
+  let fb = Option.map (fun m -> Pathcov.Feedback.make m prog) mode in
+  let hooks =
+    match fb with
+    | None -> Vm.Interp.no_hooks
+    | Some fb ->
+        {
+          Vm.Interp.no_hooks with
+          h_call = fb.Pathcov.Feedback.on_call;
+          h_block = fb.Pathcov.Feedback.on_block;
+          h_edge = fb.Pathcov.Feedback.on_edge;
+          h_ret = fb.Pathcov.Feedback.on_ret;
+        }
+  in
+  let ctx = Vm.Interp.create_ctx ~hooks prepared in
+  let seeds = Array.of_list (if s.seeds = [] then [ "A" ] else s.seeds) in
+  let nseeds = Array.length seeds in
+  let blocks = ref 0 in
+  let one i =
+    (match fb with
+    | Some fb ->
+        fb.Pathcov.Feedback.reset ();
+        Pathcov.Coverage_map.clear fb.trace
+    | None -> ());
+    let out = Vm.Interp.run_ctx ctx ~input:seeds.(i mod nseeds) in
+    blocks := !blocks + out.blocks_executed;
+    match fb with Some fb -> Pathcov.Coverage_map.classify fb.trace | None -> ()
+  in
+  for i = 0 to warmup - 1 do
+    one i
+  done;
+  blocks := 0;
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to execs - 1 do
+    one i
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  let per_sec n = if wall_s > 0. then float_of_int n /. wall_s else 0. in
+  {
+    subject = s.name;
+    mode = (match mode with None -> "none" | Some m -> Pathcov.Feedback.mode_name m);
+    execs;
+    wall_s;
+    execs_per_sec = per_sec execs;
+    blocks_per_sec = per_sec !blocks;
+    minor_words_per_exec = mw /. float_of_int (max 1 execs);
+  }
+
+(** Measure the full (subject x mode) grid. *)
+let grid ?warmup ~execs (subjects : Subjects.Subject.t list) : sample list =
+  List.concat_map
+    (fun s -> List.map (fun (_, m) -> measure ?warmup ~execs ~mode:m s) modes)
+    subjects
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+(* Hand-rolled JSON: the repo deliberately has no JSON dependency. *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let sample_json buf (s : sample) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"subject\": %S, \"mode\": %S, \"execs\": %d, \"wall_s\": %s, \
+        \"execs_per_sec\": %s, \"blocks_per_sec\": %s, \
+        \"minor_words_per_exec\": %s}"
+       s.subject s.mode s.execs (json_float s.wall_s)
+       (json_float s.execs_per_sec)
+       (json_float s.blocks_per_sec)
+       (json_float s.minor_words_per_exec))
+
+(** Render the [BENCH_throughput.json] document. [baseline] optionally
+    embeds a prior measurement (e.g. the pre-optimisation interpreter) so
+    the file itself records the trajectory, not just the endpoint. *)
+let to_json ?(note = "") ?(baseline = []) (samples : sample list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"pathfuzz-throughput/v1\",\n";
+  if note <> "" then
+    Buffer.add_string buf (Printf.sprintf "  \"note\": %S,\n" note);
+  let block name ss =
+    Buffer.add_string buf (Printf.sprintf "  %S: [\n" name);
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        sample_json buf s)
+      ss;
+    Buffer.add_string buf "\n  ]"
+  in
+  block "cells" samples;
+  if baseline <> [] then begin
+    Buffer.add_string buf ",\n";
+    block "baseline_cells" baseline
+  end;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(** Human-readable table (the bench hook and [--smoke] output). *)
+let to_table (samples : sample list) : string =
+  let header = [ "subject"; "mode"; "execs/s"; "blocks/s"; "minor w/exec" ] in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.subject;
+          s.mode;
+          Printf.sprintf "%.0f" s.execs_per_sec;
+          Printf.sprintf "%.0f" s.blocks_per_sec;
+          Printf.sprintf "%.1f" s.minor_words_per_exec;
+        ])
+      samples
+  in
+  Render.table ~title:"Throughput (execs/sec by subject x feedback)" ~header ~rows

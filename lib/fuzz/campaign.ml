@@ -12,6 +12,7 @@ type config = {
   budget : int;  (** total target executions *)
   rng_seed : int;
   fuel : int;  (** VM fuel per execution (the timeout analogue) *)
+  max_depth : int;  (** VM call-depth limit per execution *)
   map_size_log2 : int;
   cmplog : bool;  (** enable comparison-operand capture + I2S mutations *)
   max_queue : int;  (** hard safety bound on queue growth *)
@@ -23,6 +24,7 @@ let default_config =
     budget = 20_000;
     rng_seed = 1;
     fuel = Vm.Interp.default_fuel;
+    max_depth = Vm.Interp.default_max_depth;
     map_size_log2 = 16;
     cmplog = true;
     max_queue = 500_000;
@@ -43,6 +45,7 @@ let queue_inputs (r : result) : string list =
 
 type state = {
   prepared : Vm.Interp.prepared;
+  ctx : Vm.Interp.exec_ctx;  (** pooled execution context, reused per exec *)
   cfg : config;
   feedback : Pathcov.Feedback.t;
   virgin : Pathcov.Coverage_map.t;
@@ -57,25 +60,31 @@ type state = {
   cmp_buf : (int * int, unit) Hashtbl.t;  (** per-exec comparison pairs *)
 }
 
-let make_hooks (st : state) : Vm.Interp.hooks =
-  let fb = st.feedback in
+(* The instrumentation hook set installed in the context at state-creation
+   time. The cmplog probe (and its per-exec buffer bookkeeping) exists
+   only when the config asks for it. *)
+let make_hooks (cfg : config) (fb : Pathcov.Feedback.t)
+    (cmp_buf : (int * int, unit) Hashtbl.t) : Vm.Interp.hooks =
   {
     Vm.Interp.h_call = fb.on_call;
     h_block = fb.on_block;
     h_edge = fb.on_edge;
     h_ret = fb.on_ret;
     h_cmp =
-      (fun a b ->
-        if st.cfg.cmplog && a <> b && Hashtbl.length st.cmp_buf < 64 then
-          Hashtbl.replace st.cmp_buf (a, b) ());
+      (if cfg.cmplog then (fun a b ->
+         if a <> b && Hashtbl.length cmp_buf < 64 then
+           Hashtbl.replace cmp_buf (a, b) ())
+       else fun _ _ -> ());
   }
 
 (* Run one input; the trace map is left classified for novelty checks. *)
-let execute (st : state) hooks (input : string) : Vm.Interp.outcome =
+let execute (st : state) (input : string) : Vm.Interp.outcome =
   st.feedback.reset ();
   Pathcov.Coverage_map.clear st.feedback.trace;
-  Hashtbl.reset st.cmp_buf;
-  let out = Vm.Interp.run_prepared ~fuel:st.cfg.fuel ~hooks st.prepared ~input in
+  if st.cfg.cmplog then Hashtbl.reset st.cmp_buf;
+  let out =
+    Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx ~input
+  in
   st.execs <- st.execs + 1;
   st.blocks <- st.blocks + out.blocks_executed;
   Pathcov.Coverage_map.classify st.feedback.trace;
@@ -122,8 +131,8 @@ let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : un
 
 (* Evaluate one candidate input end to end: execute, triage crashes and
    hangs, retain on coverage novelty. *)
-let process (st : state) hooks ~depth (input : string) : unit =
-  let out = execute st hooks input in
+let process (st : state) ~depth (input : string) : unit =
+  let out = execute st input in
   match out.status with
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
   | Vm.Interp.Finished _ ->
@@ -147,8 +156,8 @@ let process (st : state) hooks ~depth (input : string) : unit =
       end
 
 (* Seeds are always retained (afl imports the full seed directory). *)
-let add_seed (st : state) hooks (input : string) : unit =
-  let out = execute st hooks input in
+let add_seed (st : state) (input : string) : unit =
+  let out = execute st input in
   match out.status with
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
   | Vm.Interp.Finished _ ->
@@ -167,8 +176,8 @@ let add_seed (st : state) hooks (input : string) : unit =
     outcome flows through the same triage/novelty path as [process]: a
     crash or hang here — possible for the synthetic fallback entry, whose
     data never executed cleanly — must be recorded, not discarded. *)
-let calibrate (st : state) hooks (e : Corpus.entry) : Mutator.cmp_pair list =
-  let out = execute st hooks e.data in
+let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair list =
+  let out = execute st e.data in
   (match out.status with
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input:e.data
   | Vm.Interp.Finished _ ->
@@ -197,15 +206,19 @@ let random_other (st : state) (e : Corpus.entry) : string option =
       let pick = List.nth l (Rng.int st.rng (List.length l)) in
       if pick.id = e.id then None else Some pick.data
 
-(** Build a fresh campaign state. Exposed (alongside [make_hooks],
-    [execute], [add_seed], [process] and [calibrate]) so tests can drive
-    individual pipeline stages directly. *)
+(** Build a fresh campaign state. Exposed (alongside [execute],
+    [add_seed], [process] and [calibrate]) so tests can drive individual
+    pipeline stages directly. *)
 let make_state ?plans ?(config = default_config) (prog : Minic.Ir.program) : state =
   let feedback =
     Pathcov.Feedback.make ~size_log2:config.map_size_log2 ?plans config.mode prog
   in
+  let prepared = Vm.Interp.prepare prog in
+  let cmp_buf = Hashtbl.create 64 in
+  let hooks = make_hooks config feedback cmp_buf in
   {
-    prepared = Vm.Interp.prepare prog;
+    prepared;
+    ctx = Vm.Interp.create_ctx ~hooks prepared;
     cfg = config;
     feedback;
     virgin = Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
@@ -218,17 +231,16 @@ let make_state ?plans ?(config = default_config) (prog : Minic.Ir.program) : sta
     blocks = 0;
     series = [];
     sample_every = max 1 (config.budget / 64);
-    cmp_buf = Hashtbl.create 64;
+    cmp_buf;
   }
 
 (** Run a campaign. [plans] shares a precomputed Ball–Larus artifact. *)
 let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
     ~(seeds : string list) : result =
   let st = make_state ?plans ~config prog in
-  let hooks = make_hooks st in
-  List.iter (add_seed st hooks) seeds;
+  List.iter (add_seed st) seeds;
   (* Never start with an empty queue: synthesise a minimal seed. *)
-  if Corpus.size st.corpus = 0 then add_seed st hooks "A";
+  if Corpus.size st.corpus = 0 then add_seed st "A";
   if Corpus.size st.corpus = 0 then
     (* even "A" crashes; fall back to an entry with no coverage *)
     ignore
@@ -240,14 +252,14 @@ let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
     List.iter
       (fun (e : Corpus.entry) ->
         if st.execs < config.budget && not (should_skip st e) then begin
-          let cmps = if config.cmplog then calibrate st hooks e else [] in
+          let cmps = if config.cmplog then calibrate st e else [] in
           let n = energy st e in
           let i = ref 0 in
           while !i < n && st.execs < config.budget do
             let child =
               Mutator.havoc ~cmps ?splice_with:(random_other st e) st.rng e.data
             in
-            process st hooks ~depth:(e.depth + 1) child;
+            process st ~depth:(e.depth + 1) child;
             incr i
           done;
           e.times_fuzzed <- e.times_fuzzed + 1;

@@ -9,6 +9,7 @@ type config = {
   budget : int;  (** total target executions *)
   rng_seed : int;
   fuel : int;  (** VM fuel per execution (the timeout analogue) *)
+  max_depth : int;  (** VM call-depth limit per execution *)
   map_size_log2 : int;
   cmplog : bool;  (** comparison-operand capture + I2S mutations *)
   max_queue : int;  (** hard safety bound on queue growth *)
@@ -44,9 +45,12 @@ val run :
     parked in the queue without a clean execution). *)
 
 (** Live campaign state. Fields are exposed read-mostly for tests and
-    diagnostics; mutate only through the stage functions below. *)
+    diagnostics; mutate only through the stage functions below. The
+    state owns a pooled {!Vm.Interp.exec_ctx} with the instrumentation
+    hooks preinstalled, so every stage executes allocation-free. *)
 type state = {
   prepared : Vm.Interp.prepared;
+  ctx : Vm.Interp.exec_ctx;  (** pooled execution context, reused per exec *)
   cfg : config;
   feedback : Pathcov.Feedback.t;
   virgin : Pathcov.Coverage_map.t;
@@ -68,19 +72,17 @@ val make_state :
   Minic.Ir.program ->
   state
 
-val make_hooks : state -> Vm.Interp.hooks
-
 (** Run one input; the trace map is left classified for novelty checks. *)
-val execute : state -> Vm.Interp.hooks -> string -> Vm.Interp.outcome
+val execute : state -> string -> Vm.Interp.outcome
 
 (** Execute a seed and retain it unconditionally (afl imports the full
     seed directory); crashes and hangs are triaged. *)
-val add_seed : state -> Vm.Interp.hooks -> string -> unit
+val add_seed : state -> string -> unit
 
 (** Evaluate one candidate end to end: execute, triage crashes/hangs,
     retain on coverage novelty if the queue has capacity. *)
-val process : state -> Vm.Interp.hooks -> depth:int -> string -> unit
+val process : state -> depth:int -> string -> unit
 
 (** One calibration run of a queue entry, capturing cmplog operand pairs;
     the outcome is triaged exactly like {!process}'s. *)
-val calibrate : state -> Vm.Interp.hooks -> Corpus.entry -> Mutator.cmp_pair list
+val calibrate : state -> Corpus.entry -> Mutator.cmp_pair list

@@ -1,6 +1,7 @@
 (** Post-campaign measurement utilities: the afl-showmap analogue used by
     the coverage study (Table IV) and the queue-trimming primitives shared
-    by the culling and opportunistic strategies. *)
+    by the culling and opportunistic strategies. Each helper builds one
+    pooled execution context and replays every input through it. *)
 
 module Int_set = Set.Make (Int)
 
@@ -13,36 +14,39 @@ let make_hooks (fb : Pathcov.Feedback.t) : Vm.Interp.hooks =
     h_ret = fb.on_ret;
   }
 
-(* Replay [input] under [fb], returning the raw trace indices it hits and
-   an afl-style cost (work x size). *)
-let replay ?(fuel = Vm.Interp.default_fuel) prepared fb input =
-  let hooks = make_hooks fb in
+(* One reusable replay context per (prepared program, feedback) pair. *)
+let make_ctx prepared fb =
+  Vm.Interp.create_ctx ~hooks:(make_hooks fb) prepared
+
+(* Replay [input] under [fb] through [ctx], returning the raw trace
+   indices it hits and an afl-style cost (work x size). *)
+let replay ?(fuel = Vm.Interp.default_fuel) ctx fb input =
   fb.Pathcov.Feedback.reset ();
   Pathcov.Coverage_map.clear fb.trace;
-  let out = Vm.Interp.run_prepared ~fuel ~hooks prepared ~input in
+  let out = Vm.Interp.run_ctx ~fuel ctx ~input in
   let idxs = Pathcov.Coverage_map.set_indices fb.trace in
   (idxs, out.blocks_executed * (String.length input + 16))
 
 (** Edge-coverage indices hit by one input under the pcguard-style
     listener (raw tuple identities; bucketing is irrelevant here). *)
 let edges_of_input ?fuel prog (input : string) : Int_set.t =
-  let prepared = Vm.Interp.prepare prog in
   let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
-  Int_set.of_list (fst (replay ?fuel prepared fb input))
+  let ctx = make_ctx (Vm.Interp.prepare prog) fb in
+  Int_set.of_list (fst (replay ?fuel ctx fb input))
 
 (** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
 let edge_union ?fuel prog (inputs : string list) : Int_set.t =
-  let prepared = Vm.Interp.prepare prog in
   let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
+  let ctx = make_ctx (Vm.Interp.prepare prog) fb in
   List.fold_left
     (fun acc input ->
-      Int_set.union acc (Int_set.of_list (fst (replay ?fuel prepared fb input))))
+      Int_set.union acc (Int_set.of_list (fst (replay ?fuel ctx fb input))))
     Int_set.empty inputs
 
 (* Greedy favored-corpus construction over an arbitrary feedback: keep,
    for every covered index, the cheapest input covering it. Order-stable. *)
 let preserving_cull ?fuel prog fb (inputs : string list) : string list =
-  let prepared = Vm.Interp.prepare prog in
+  let ctx = make_ctx (Vm.Interp.prepare prog) fb in
   (* order-stable dedup: queue semantics never hold duplicates *)
   let seen = Hashtbl.create 64 in
   let inputs =
@@ -58,7 +62,7 @@ let preserving_cull ?fuel prog fb (inputs : string list) : string list =
   let scored =
     List.map
       (fun input ->
-        let idxs, cost = replay ?fuel prepared fb input in
+        let idxs, cost = replay ?fuel ctx fb input in
         (input, idxs, cost))
       inputs
   in

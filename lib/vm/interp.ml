@@ -9,10 +9,17 @@
     budget (the analogue of AFL's timeout) and a call-depth limit.
 
     Because a fuzzing campaign executes the same program millions of
-    times, [prepare] resolves variable names to frame slots and function
-    names to indices once; [run] then evaluates integers unboxed. MiniC
-    locals are zero-initialised at function entry (as if the target were
-    built with [-ftrivial-auto-var-init=zero]). *)
+    times, the hot path is allocation-free: [prepare] resolves variable
+    names to frame slots and function names to indices once, and
+    [create_ctx] builds a reusable execution context — per-function frame
+    pools with unboxed [int array] locals plus a separate array-slot
+    table, pooled global cells reset through a touched-slot journal, and
+    a preallocated [(fid, site)] call stack that only materialises
+    [Crash.frame] records when a crash actually happens. Steady-state
+    execution through [run_ctx] allocates nothing beyond the program's
+    own [array(n)] requests and the small per-run [outcome] record.
+    MiniC locals are zero-initialised at function entry (as if the
+    target were built with [-ftrivial-auto-var-init=zero]). *)
 
 type hooks = {
   h_call : int -> unit;  (** [fid]: entering a function *)
@@ -58,7 +65,7 @@ type arith = Aadd | Asub | Amul | Adiv | Arem | Aband | Abor | Abxor | Ashl | As
 
 type rexpr =
   | Rconst of int
-  | Rload of slot
+  | Rload of slot * int  (** slot, site of the enclosing instruction *)
   | Rindex of rexpr * rexpr * int  (** base, index, site *)
   | Rarith of arith * rexpr * rexpr * int  (** site for div-by-zero *)
   | Rcmp of cmp * rexpr * rexpr
@@ -74,7 +81,7 @@ type rexpr =
 type rinstr =
   | Rassign of slot * rexpr
   | Rstore of rexpr * rexpr * rexpr * int
-  | Rcall of { dst : slot option; callee : int; args : rexpr list; site : int }
+  | Rcall of { dst : slot option; callee : int; args : rexpr array; site : int }
   | Rbug of int * int  (** bug id, site *)
   | Rcheck of rexpr * int * int  (** cond, bug id, site *)
 
@@ -88,7 +95,8 @@ type rblock = { rinstrs : rinstr array; rterm : rterm }
 type rfunc = {
   rname : string;
   nlocals : int;
-  param_slots : int list;
+  param_slots : slot array;  (** always [Local _]; prebuilt so argument
+                                 passing allocates no constructor *)
   rblocks : rblock array;
 }
 
@@ -120,7 +128,9 @@ let resolve_func (globals : (string, int) Hashtbl.t)
   in
   (* Params first, then the function's declared locals and temporaries;
      loads and stores of anything else resolve to globals. *)
-  let param_slots = List.map local f.params in
+  let param_slots =
+    Array.of_list (List.map (fun p -> Local (local p)) f.params)
+  in
   List.iter (fun name -> ignore (local name)) f.locals;
   let slot name =
     match Hashtbl.find_opt locals name with
@@ -155,7 +165,7 @@ let resolve_func (globals : (string, int) Hashtbl.t)
   let rec rexpr site (e : Minic.Ir.expr) : rexpr =
     match e with
     | Const n -> Rconst n
-    | Load v -> Rload (slot v)
+    | Load v -> Rload (slot v, site)
     | Index (b, i) -> Rindex (rexpr site b, rexpr site i, site)
     | Binop (op, a, b) -> begin
         match arith_of op with
@@ -186,7 +196,7 @@ let resolve_func (globals : (string, int) Hashtbl.t)
           {
             dst = Option.map (fun d -> slot d) dst;
             callee = cid;
-            args = List.map (rexpr site) args;
+            args = Array.of_list (List.map (rexpr site) args);
             site;
           }
     | BugI { bug; site } -> Rbug (bug, site)
@@ -238,53 +248,265 @@ let prepare (prog : Minic.Ir.program) : prepared =
   }
 
 (* ------------------------------------------------------------------ *)
-(* Execution *)
+(* Execution context: pooled frames, globals and call stack *)
 
 exception Crash_exn of Crash.kind * int
 exception Out_of_fuel
 
-type rstate = {
-  p : prepared;
-  input : string;
-  hooks : hooks;
-  gvals : Value.t array;
-  mutable fuel : int;
-  mutable blocks : int;
-  mutable call_stack : Crash.frame list;
+(* Distinguished "this slot holds an int" marker for array-slot tables.
+   Length 1 on purpose: zero-length OCaml arrays all share the atom (so a
+   program-made [array(0)] would compare physically equal to a length-0
+   sentinel), while every program array of length >= 1 is freshly
+   allocated and therefore never physically equal to this private one. *)
+let no_arr : int array = Array.make 1 0
+
+(* A frame is an unboxed int-slot array plus a parallel array-slot table.
+   [arrs_live] is false while every [arrs] entry is [no_arr], letting the
+   (overwhelmingly common) int-only functions skip the pointer-array scan
+   on both zeroing and reads. *)
+type frame = {
+  f_ints : int array;
+  f_arrs : int array array;
+  mutable f_arrs_live : bool;
 }
+
+(* Per-function frame pool: [live] frames are active activations (the
+   function's recursion depth); frames above [live] are free. *)
+type fpool = { mutable frames : frame array; mutable live : int }
+
+type exec_ctx = {
+  p : prepared;
+  hooks : hooks;
+  (* Globals: unboxed int cells, current array bindings, and the pooled
+     per-declaration arrays that bindings are restored to on reset. For
+     int globals [gorig] holds [no_arr], doubling as the dynamic tag. *)
+  gints : int array;
+  garrs : int array array;
+  gorig : int array array;
+  (* Touched-globals journal (mirrors [Coverage_map]'s clear strategy):
+     only slots written during an execution are reset. Array *contents*
+     are mutated through aliases and so are re-zeroed unconditionally. *)
+  gdirty : Bytes.t;
+  mutable gtouched : int array;
+  mutable ngtouched : int;
+  pools : fpool array;  (** indexed by function id *)
+  (* Call stack as parallel int stacks; [Crash.frame] records are only
+     materialised when a crash actually happens. *)
+  mutable cs_fid : int array;
+  mutable cs_site : int array;
+  mutable cs_top : int;
+  (* Per-execution registers. *)
+  mutable input : string;
+  mutable fuel : int;
+  mutable max_depth : int;
+  mutable blocks : int;
+  (* Return-value scratch: [ret_a == no_arr] means the value is the int
+     in [ret_i]. Lets [call] return results without boxing. *)
+  mutable ret_i : int;
+  mutable ret_a : int array;
+}
+
+let make_frame nlocals =
+  {
+    f_ints = Array.make nlocals 0;
+    f_arrs = Array.make nlocals no_arr;
+    f_arrs_live = false;
+  }
+
+(** Build a reusable execution context. One context serves one campaign:
+    frames, globals and the call stack are pooled here and reused by
+    every [run_ctx] call. Contexts are single-threaded; use one per
+    worker domain. *)
+let create_ctx ?(hooks = no_hooks) (p : prepared) : exec_ctx =
+  let ng = Array.length p.global_sizes in
+  let gorig =
+    Array.map
+      (fun size -> if size = 0 then no_arr else Array.make size 0)
+      p.global_sizes
+  in
+  {
+    p;
+    hooks;
+    gints = Array.make ng 0;
+    garrs = Array.copy gorig;
+    gorig;
+    gdirty = Bytes.make (max 1 ng) '\000';
+    gtouched = Array.make (max 16 ng) 0;
+    ngtouched = 0;
+    pools = Array.map (fun _ -> { frames = [||]; live = 0 }) p.rfuncs;
+    cs_fid = Array.make 64 0;
+    cs_site = Array.make 64 0;
+    cs_top = 0;
+    input = "";
+    fuel = 0;
+    max_depth = default_max_depth;
+    blocks = 0;
+    ret_i = 0;
+    ret_a = no_arr;
+  }
+
+(* Reset between executions: undo journaled global-slot writes, re-zero
+   declared array globals (their contents are reachable through aliases,
+   so content dirtiness cannot be slot-journaled), drop leftover frames
+   from crash unwinding, and clear the per-execution registers. *)
+let reset_ctx (ctx : exec_ctx) : unit =
+  for k = 0 to ctx.ngtouched - 1 do
+    let i = Array.unsafe_get ctx.gtouched k in
+    Array.unsafe_set ctx.gints i 0;
+    Array.unsafe_set ctx.garrs i (Array.unsafe_get ctx.gorig i);
+    Bytes.unsafe_set ctx.gdirty i '\000'
+  done;
+  ctx.ngtouched <- 0;
+  Array.iter
+    (fun a -> if a != no_arr then Array.fill a 0 (Array.length a) 0)
+    ctx.gorig;
+  Array.iter (fun (pool : fpool) -> pool.live <- 0) ctx.pools;
+  ctx.cs_top <- 0;
+  ctx.blocks <- 0;
+  ctx.ret_i <- 0;
+  ctx.ret_a <- no_arr
+
+(* Take a zeroed frame for one activation of [fid]. Frames above the
+   pool's high-water mark are created on demand and kept forever. *)
+let acquire (ctx : exec_ctx) (fid : int) : frame =
+  let pool = Array.unsafe_get ctx.pools fid in
+  let n = Array.length pool.frames in
+  if pool.live = n then begin
+    let nlocals = ctx.p.rfuncs.(fid).nlocals in
+    pool.frames <-
+      Array.init
+        (max 4 (2 * n))
+        (fun i -> if i < n then pool.frames.(i) else make_frame nlocals)
+  end;
+  let fr = Array.unsafe_get pool.frames pool.live in
+  pool.live <- pool.live + 1;
+  Array.fill fr.f_ints 0 (Array.length fr.f_ints) 0;
+  if fr.f_arrs_live then begin
+    Array.fill fr.f_arrs 0 (Array.length fr.f_arrs) no_arr;
+    fr.f_arrs_live <- false
+  end;
+  fr
+
+let push_call (ctx : exec_ctx) (fid : int) (site : int) : unit =
+  if ctx.cs_top = Array.length ctx.cs_fid then begin
+    let n = Array.length ctx.cs_fid in
+    let grow a = Array.init (2 * n) (fun i -> if i < n then a.(i) else 0) in
+    ctx.cs_fid <- grow ctx.cs_fid;
+    ctx.cs_site <- grow ctx.cs_site
+  end;
+  Array.unsafe_set ctx.cs_fid ctx.cs_top fid;
+  Array.unsafe_set ctx.cs_site ctx.cs_top site;
+  ctx.cs_top <- ctx.cs_top + 1
+
+(* Materialise the [Crash.frame] list (innermost first) from the int
+   stacks — only reached when a crash actually happened. *)
+let materialize_stack (ctx : exec_ctx) : Crash.frame list =
+  let rec go k acc =
+    if k >= ctx.cs_top then acc
+    else
+      go (k + 1)
+        ({ Crash.fn = ctx.p.rfuncs.(ctx.cs_fid.(k)).rname; site = ctx.cs_site.(k) }
+        :: acc)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Slot access *)
 
 let type_err site what = raise (Crash_exn (Crash.Type_error what, site))
 
-let read st (frame : Value.t array) = function
-  | Local i -> frame.(i)
-  | Global i -> st.gvals.(i)
+let[@inline] set_local_int (fr : frame) i v =
+  Array.unsafe_set fr.f_ints i v;
+  if fr.f_arrs_live && Array.unsafe_get fr.f_arrs i != no_arr then
+    Array.unsafe_set fr.f_arrs i no_arr
 
-let write st (frame : Value.t array) slot v =
-  match slot with Local i -> frame.(i) <- v | Global i -> st.gvals.(i) <- v
+let[@inline] set_local_arr (fr : frame) i a =
+  Array.unsafe_set fr.f_arrs i a;
+  fr.f_arrs_live <- true
 
-let as_int site = function
-  | Value.Vint n -> n
-  | Value.Varr _ -> type_err site "int expected"
+let[@inline] touch_global (ctx : exec_ctx) i =
+  if Bytes.unsafe_get ctx.gdirty i = '\000' then begin
+    Bytes.unsafe_set ctx.gdirty i '\001';
+    if ctx.ngtouched = Array.length ctx.gtouched then begin
+      let bigger = Array.make (2 * Array.length ctx.gtouched) 0 in
+      Array.blit ctx.gtouched 0 bigger 0 ctx.ngtouched;
+      ctx.gtouched <- bigger
+    end;
+    Array.unsafe_set ctx.gtouched ctx.ngtouched i;
+    ctx.ngtouched <- ctx.ngtouched + 1
+  end
 
-let as_arr site = function
-  | Value.Varr a -> a
-  | Value.Vint _ -> type_err site "array expected"
+let[@inline] set_global_int (ctx : exec_ctx) i v =
+  touch_global ctx i;
+  Array.unsafe_set ctx.gints i v;
+  if Array.unsafe_get ctx.garrs i != no_arr then
+    Array.unsafe_set ctx.garrs i no_arr
+
+let[@inline] set_global_arr (ctx : exec_ctx) i a =
+  touch_global ctx i;
+  Array.unsafe_set ctx.garrs i a
+
+let[@inline] write_int ctx fr (dst : slot) v =
+  match dst with
+  | Local i -> set_local_int fr i v
+  | Global i -> set_global_int ctx i v
+
+let[@inline] write_arr ctx fr (dst : slot) a =
+  match dst with
+  | Local i -> set_local_arr fr i a
+  | Global i -> set_global_arr ctx i a
+
+let[@inline] read_int ctx (fr : frame) site (s : slot) =
+  match s with
+  | Local i ->
+      if fr.f_arrs_live && Array.unsafe_get fr.f_arrs i != no_arr then
+        type_err site "int expected"
+      else Array.unsafe_get fr.f_ints i
+  | Global i ->
+      if Array.unsafe_get ctx.garrs i != no_arr then type_err site "int expected"
+      else Array.unsafe_get ctx.gints i
+
+let[@inline] read_arr ctx (fr : frame) site (s : slot) =
+  match s with
+  | Local i ->
+      let a = if fr.f_arrs_live then Array.unsafe_get fr.f_arrs i else no_arr in
+      if a == no_arr then type_err site "array expected" else a
+  | Global i ->
+      let a = Array.unsafe_get ctx.garrs i in
+      if a == no_arr then type_err site "array expected" else a
+
+(* Copy one slot's raw value (int or array) to another without boxing. *)
+let copy_slot ctx (src_fr : frame) (src : slot) (dst_fr : frame) (dst : slot) =
+  match src with
+  | Local i ->
+      let a =
+        if src_fr.f_arrs_live then Array.unsafe_get src_fr.f_arrs i else no_arr
+      in
+      if a != no_arr then write_arr ctx dst_fr dst a
+      else write_int ctx dst_fr dst (Array.unsafe_get src_fr.f_ints i)
+  | Global i ->
+      let a = Array.unsafe_get ctx.garrs i in
+      if a != no_arr then write_arr ctx dst_fr dst a
+      else write_int ctx dst_fr dst (Array.unsafe_get ctx.gints i)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
 
 (* Integer-typed evaluation; array-typed sub-expressions are reached only
    through [eval_arr]. *)
-let rec eval_int st frame (e : rexpr) : int =
+let rec eval_int ctx (fr : frame) (e : rexpr) : int =
   match e with
   | Rconst n -> n
-  | Rload s -> as_int (-1) (read st frame s)
+  | Rload (s, site) -> read_int ctx fr site s
   | Rindex (b, i, site) ->
-      let a = eval_arr st frame site b in
-      let idx = eval_int st frame i in
+      let a = eval_arr ctx fr site b in
+      let idx = eval_int ctx fr i in
       if idx < 0 || idx >= Array.length a then
         raise (Crash_exn (Crash.Out_of_bounds { len = Array.length a; idx }, site))
       else Array.unsafe_get a idx
   | Rarith (op, e1, e2, site) -> begin
-      let a = eval_int st frame e1 in
-      let b = eval_int st frame e2 in
+      let a = eval_int ctx fr e1 in
+      let b = eval_int ctx fr e2 in
       match op with
       | Aadd -> a + b
       | Asub -> a - b
@@ -298,9 +520,9 @@ let rec eval_int st frame (e : rexpr) : int =
       | Ashr -> a asr (min 62 (b land 63))
     end
   | Rcmp (op, e1, e2) -> begin
-      let a = eval_int st frame e1 in
-      let b = eval_int st frame e2 in
-      st.hooks.h_cmp a b;
+      let a = eval_int ctx fr e1 in
+      let b = eval_int ctx fr e2 in
+      ctx.hooks.h_cmp a b;
       match op with
       | Ceq -> if a = b then 1 else 0
       | Cne -> if a <> b then 1 else 0
@@ -309,132 +531,182 @@ let rec eval_int st frame (e : rexpr) : int =
       | Cgt -> if a > b then 1 else 0
       | Cge -> if a >= b then 1 else 0
     end
-  | Rneg e -> -eval_int st frame e
-  | Rnot e -> if eval_int st frame e = 0 then 1 else 0
-  | Rbnot e -> lnot (eval_int st frame e)
+  | Rneg e -> -eval_int ctx fr e
+  | Rnot e -> if eval_int ctx fr e = 0 then 1 else 0
+  | Rbnot e -> lnot (eval_int ctx fr e)
   | Rin e ->
-      let i = eval_int st frame e in
-      if i < 0 || i >= String.length st.input then -1
-      else Char.code (String.unsafe_get st.input i)
-  | Rlen -> String.length st.input
-  | Rabs e -> abs (eval_int st frame e)
+      let i = eval_int ctx fr e in
+      if i < 0 || i >= String.length ctx.input then -1
+      else Char.code (String.unsafe_get ctx.input i)
+  | Rlen -> String.length ctx.input
+  | Rabs e -> abs (eval_int ctx fr e)
   | Rarray_make (_, site) -> type_err site "array in int context"
-  | Rarray_len (e, site) -> Array.length (eval_arr st frame site e)
+  | Rarray_len (e, site) -> Array.length (eval_arr ctx fr site e)
 
-and eval_arr st frame site (e : rexpr) : int array =
+and eval_arr ctx (fr : frame) site (e : rexpr) : int array =
   match e with
-  | Rload s -> as_arr site (read st frame s)
+  | Rload (s, _) -> read_arr ctx fr site s
   | Rarray_make (n, site') ->
-      let n = eval_int st frame n in
+      let n = eval_int ctx fr n in
       if n < 0 || n > max_alloc then raise (Crash_exn (Crash.Bad_alloc n, site'))
       else Array.make n 0
   | _ -> type_err site "array expected"
 
-(* Values for call arguments and assignments: arrays stay arrays. *)
-and eval_val st frame (e : rexpr) : Value.t =
+(* Evaluate [e] in [src_fr] and store the result (int or array, no
+   boxing) into [dst] of [dst_fr]. The two frames differ only when
+   passing call arguments directly into the callee frame. *)
+let eval_into ctx (src_fr : frame) (dst_fr : frame) (dst : slot) (e : rexpr) :
+    unit =
   match e with
-  | Rload s -> read st frame s
+  | Rload (s, _) -> copy_slot ctx src_fr s dst_fr dst
   | Rarray_make (n, site) ->
-      let n = eval_int st frame n in
+      let n = eval_int ctx src_fr n in
       if n < 0 || n > max_alloc then raise (Crash_exn (Crash.Bad_alloc n, site))
-      else Value.Varr (Array.make n 0)
-  | _ -> Value.Vint (eval_int st frame e)
+      else write_arr ctx dst_fr dst (Array.make n 0)
+  | _ -> write_int ctx dst_fr dst (eval_int ctx src_fr e)
 
-let burn st =
-  st.fuel <- st.fuel - 1;
-  if st.fuel <= 0 then raise Out_of_fuel
+(* Evaluate a return expression into the context's return scratch. *)
+let eval_ret ctx (fr : frame) (e : rexpr) : unit =
+  match e with
+  | Rload (s, _) -> begin
+      match s with
+      | Local i ->
+          let a =
+            if fr.f_arrs_live then Array.unsafe_get fr.f_arrs i else no_arr
+          in
+          if a != no_arr then ctx.ret_a <- a
+          else begin
+            ctx.ret_a <- no_arr;
+            ctx.ret_i <- Array.unsafe_get fr.f_ints i
+          end
+      | Global i ->
+          let a = Array.unsafe_get ctx.garrs i in
+          if a != no_arr then ctx.ret_a <- a
+          else begin
+            ctx.ret_a <- no_arr;
+            ctx.ret_i <- Array.unsafe_get ctx.gints i
+          end
+    end
+  | Rarray_make (n, site) ->
+      let n = eval_int ctx fr n in
+      if n < 0 || n > max_alloc then raise (Crash_exn (Crash.Bad_alloc n, site))
+      else ctx.ret_a <- Array.make n 0
+  | _ ->
+      ctx.ret_a <- no_arr;
+      ctx.ret_i <- eval_int ctx fr e
 
-let rec call st (fid : int) (args : Value.t list) (depth : int) : Value.t =
-  if depth > default_max_depth then raise (Crash_exn (Crash.Stack_overflow, -1));
-  let f = st.p.rfuncs.(fid) in
-  st.hooks.h_call fid;
-  let frame = Array.make (max 1 f.nlocals) (Value.Vint 0) in
-  List.iter2 (fun slot v -> frame.(slot) <- v) f.param_slots args;
+let[@inline] burn ctx =
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel <= 0 then raise Out_of_fuel
+
+(* Execute one activation of [fid] in the (already zeroed and
+   argument-filled) frame [fr]. The result lands in the return scratch. *)
+let rec call ctx (fid : int) (fr : frame) (depth : int) : unit =
+  if depth > ctx.max_depth then raise (Crash_exn (Crash.Stack_overflow, -1));
+  let f = Array.unsafe_get ctx.p.rfuncs fid in
+  ctx.hooks.h_call fid;
   let rec run_block label =
-    burn st;
-    st.blocks <- st.blocks + 1;
-    st.hooks.h_block fid label;
-    let b = f.rblocks.(label) in
+    burn ctx;
+    ctx.blocks <- ctx.blocks + 1;
+    ctx.hooks.h_block fid label;
+    let b = Array.unsafe_get f.rblocks label in
     let n = Array.length b.rinstrs in
     for i = 0 to n - 1 do
-      exec_instr st frame fid depth (Array.unsafe_get b.rinstrs i)
+      exec_instr ctx fr fid depth (Array.unsafe_get b.rinstrs i)
     done;
     match b.rterm with
     | Rgoto l ->
-        st.hooks.h_edge fid label l;
+        ctx.hooks.h_edge fid label l;
         run_block l
     | Rbranch (cond, if_true, if_false, _site) ->
-        let dst = if eval_int st frame cond <> 0 then if_true else if_false in
-        st.hooks.h_edge fid label dst;
+        let dst = if eval_int ctx fr cond <> 0 then if_true else if_false in
+        ctx.hooks.h_edge fid label dst;
         run_block dst
     | Rret (e, _site) ->
-        let v =
-          match e with Some e -> eval_val st frame e | None -> Value.Vint 0
-        in
-        st.hooks.h_ret fid label;
-        v
+        (match e with
+        | Some e -> eval_ret ctx fr e
+        | None ->
+            ctx.ret_a <- no_arr;
+            ctx.ret_i <- 0);
+        ctx.hooks.h_ret fid label
   in
   run_block 0
 
-and exec_instr st frame fid depth (i : rinstr) : unit =
-  burn st;
+and exec_instr ctx (fr : frame) fid depth (i : rinstr) : unit =
+  burn ctx;
   match i with
-  | Rassign (slot, e) -> write st frame slot (eval_val st frame e)
+  | Rassign (slot, e) -> eval_into ctx fr fr slot e
   | Rstore (base, idx, v, site) ->
-      let a = eval_arr st frame site base in
-      let i = eval_int st frame idx in
-      let x = eval_int st frame v in
+      let a = eval_arr ctx fr site base in
+      let i = eval_int ctx fr idx in
+      let x = eval_int ctx fr v in
       if i < 0 || i >= Array.length a then
         raise (Crash_exn (Crash.Out_of_bounds { len = Array.length a; idx = i }, site))
       else Array.unsafe_set a i x
   | Rcall { dst; callee; args; site } ->
-      let argv = List.map (eval_val st frame) args in
-      let fname = st.p.rfuncs.(fid).rname in
-      st.call_stack <- { Crash.fn = fname; site } :: st.call_stack;
-      let result = call st callee argv (depth + 1) in
-      st.call_stack <- List.tl st.call_stack;
-      (match dst with Some d -> write st frame d result | None -> ())
+      (* Arguments evaluate (in the caller frame) directly into the
+         callee's pooled frame: no intermediate value list. *)
+      let cf = acquire ctx callee in
+      let params = (Array.unsafe_get ctx.p.rfuncs callee).param_slots in
+      for k = 0 to Array.length args - 1 do
+        eval_into ctx fr cf (Array.unsafe_get params k) (Array.unsafe_get args k)
+      done;
+      push_call ctx fid site;
+      call ctx callee cf (depth + 1);
+      ctx.cs_top <- ctx.cs_top - 1;
+      (Array.unsafe_get ctx.pools callee).live <-
+        (Array.unsafe_get ctx.pools callee).live - 1;
+      (match dst with
+      | Some d ->
+          if ctx.ret_a != no_arr then write_arr ctx fr d ctx.ret_a
+          else write_int ctx fr d ctx.ret_i
+      | None -> ())
   | Rbug (bug, site) -> raise (Crash_exn (Crash.Seeded bug, site))
   | Rcheck (cond, bug, site) ->
-      if eval_int st frame cond = 0 then raise (Crash_exn (Crash.Check_failed bug, site))
+      if eval_int ctx fr cond = 0 then raise (Crash_exn (Crash.Check_failed bug, site))
 
 let site_function (prog : Minic.Ir.program) site =
   if site >= 0 && site < Array.length prog.sites then prog.sites.(site).sfunc
   else "?"
 
-(** Execute a prepared program from [main] on [input]. Never raises for
-    program-under-test misbehaviour — crashes, hangs and type confusion
-    all come back as [status]. *)
-let run_prepared ?(fuel = default_fuel) ?(hooks = no_hooks) (p : prepared)
-    ~(input : string) : outcome =
-  let gvals =
-    Array.map
-      (fun size -> if size = 0 then Value.Vint 0 else Value.Varr (Array.make size 0))
-      p.global_sizes
-  in
-  let st = { p; input; hooks; gvals; fuel; blocks = 0; call_stack = [] } in
+(** Execute the context's program from [main] on [input]. Never raises
+    for program-under-test misbehaviour — crashes, hangs and type
+    confusion all come back as [status]. Steady-state this allocates only
+    the [outcome] record and whatever [array(n)] the program requests. *)
+let run_ctx ?(fuel = default_fuel) ?(max_depth = default_max_depth)
+    (ctx : exec_ctx) ~(input : string) : outcome =
+  reset_ctx ctx;
+  ctx.input <- input;
+  ctx.fuel <- fuel;
+  ctx.max_depth <- max_depth;
   let status =
     try
-      match call st p.main_id [] 0 with
-      | Value.Vint n -> Finished (Some n)
-      | Value.Varr _ -> Finished None
+      let fr = acquire ctx ctx.p.main_id in
+      call ctx ctx.p.main_id fr 0;
+      if ctx.ret_a != no_arr then Finished None else Finished (Some ctx.ret_i)
     with
     | Crash_exn (kind, site) ->
-        let top = { Crash.fn = site_function p.prog site; site } in
-        Crashed { Crash.kind; stack = top :: st.call_stack }
+        let top = { Crash.fn = site_function ctx.p.prog site; site } in
+        Crashed { Crash.kind; stack = top :: materialize_stack ctx }
     | Out_of_fuel -> Hung
     | Stack_overflow ->
-        Crashed { Crash.kind = Crash.Stack_overflow; stack = st.call_stack }
+        Crashed { Crash.kind = Crash.Stack_overflow; stack = materialize_stack ctx }
   in
-  { status; blocks_executed = st.blocks }
+  { status; blocks_executed = ctx.blocks }
+
+(** Execute a prepared program from [main] on [input] through a fresh
+    context (use [create_ctx] + [run_ctx] in loops to reuse the pools). *)
+let run_prepared ?fuel ?hooks ?max_depth (p : prepared) ~(input : string) :
+    outcome =
+  run_ctx ?fuel ?max_depth (create_ctx ?hooks p) ~input
 
 (** One-shot convenience (prepares on each call; use [prepare] +
-    [run_prepared] in loops). *)
-let run ?fuel ?hooks (prog : Minic.Ir.program) ~input : outcome =
-  run_prepared ?fuel ?hooks (prepare prog) ~input
+    [create_ctx] + [run_ctx] in loops). *)
+let run ?fuel ?hooks ?max_depth (prog : Minic.Ir.program) ~input : outcome =
+  run_prepared ?fuel ?hooks ?max_depth (prepare prog) ~input
 
 (** Convenience: run and return the crash, if any. *)
-let crash_of ?fuel ?hooks prog ~input : Crash.t option =
-  match (run ?fuel ?hooks prog ~input).status with
+let crash_of ?fuel ?hooks ?max_depth prog ~input : Crash.t option =
+  match (run ?fuel ?hooks ?max_depth prog ~input).status with
   | Crashed c -> Some c
   | Finished _ | Hung -> None

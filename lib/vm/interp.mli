@@ -43,14 +43,26 @@ exception Unknown_name of string
 
 val prepare : Minic.Ir.program -> prepared
 
-(** Execute a prepared program from [main] on [input]. Never raises for
-    program-under-test misbehaviour — crashes, hangs and type confusion
-    all come back as [status]. *)
-val run_prepared : ?fuel:int -> ?hooks:hooks -> prepared -> input:string -> outcome
+(** Execute a prepared program from [main] on [input] through a fresh
+    context. Never raises for program-under-test misbehaviour — crashes,
+    hangs and type confusion all come back as [status]. *)
+val run_prepared :
+  ?fuel:int -> ?hooks:hooks -> ?max_depth:int -> prepared -> input:string -> outcome
+
+(** A reusable execution context over a prepared program: owns the frame
+    pools, global slots and call stack, reused across executions so the
+    steady-state hot path allocates nothing beyond the program's own
+    [array(n)] requests. Single-threaded; use one per worker domain. *)
+type exec_ctx
+
+val create_ctx : ?hooks:hooks -> prepared -> exec_ctx
+val run_ctx : ?fuel:int -> ?max_depth:int -> exec_ctx -> input:string -> outcome
 
 (** One-shot convenience (prepares on each call; use {!prepare} +
-    {!run_prepared} in loops). *)
-val run : ?fuel:int -> ?hooks:hooks -> Minic.Ir.program -> input:string -> outcome
+    {!create_ctx} + {!run_ctx} in loops). *)
+val run :
+  ?fuel:int -> ?hooks:hooks -> ?max_depth:int -> Minic.Ir.program -> input:string -> outcome
 
 (** Run and return the crash, if any. *)
-val crash_of : ?fuel:int -> ?hooks:hooks -> Minic.Ir.program -> input:string -> Crash.t option
+val crash_of :
+  ?fuel:int -> ?hooks:hooks -> ?max_depth:int -> Minic.Ir.program -> input:string -> Crash.t option

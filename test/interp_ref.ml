@@ -1,0 +1,237 @@
+(** Reference interpreter: a deliberately naive, boxed-value evaluator
+    over [Minic.Ir], kept as the differential-testing oracle for the
+    pooled allocation-free VM ([Vm.Interp]). It allocates freely (boxed
+    {!Vm.Value.t} everywhere, fresh environments per call, a live crash
+    stack) and shares no code with the production hot path, but must
+    agree with it exactly: same [status] (including crash kinds, sites
+    and stacks), same [blocks_executed], and — via the hooks — the same
+    event stream, hence identical coverage traces. Event and fuel
+    ordering deliberately mirror [Vm.Interp]: fuel burns at block entry
+    and before each instruction, [h_cmp] fires after comparison operand
+    evaluation, arguments evaluate left-to-right in the caller before the
+    stack frame is pushed, and the callee's depth check precedes its
+    [h_call]. *)
+
+open Minic
+
+exception Crash_exn of Vm.Crash.kind * int
+exception Out_of_fuel
+
+type env = {
+  prog : Ir.program;
+  hooks : Vm.Interp.hooks;
+  globals : (string, Vm.Value.t) Hashtbl.t;
+  input : string;
+  mutable fuel : int;
+  max_depth : int;
+  mutable blocks : int;
+  mutable stack : Vm.Crash.frame list;  (** newest first *)
+}
+
+let type_err site what = raise (Crash_exn (Vm.Crash.Type_error what, site))
+
+let as_int site = function
+  | Vm.Value.Vint n -> n
+  | Vm.Value.Varr _ -> type_err site "int expected"
+
+let as_arr site = function
+  | Vm.Value.Varr a -> a
+  | Vm.Value.Vint _ -> type_err site "array expected"
+
+let read env frame site name =
+  match Hashtbl.find_opt frame name with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some v -> v
+      | None ->
+          ignore site;
+          raise (Vm.Interp.Unknown_name name))
+
+let write env frame name v =
+  if Hashtbl.mem frame name then Hashtbl.replace frame name v
+  else if Hashtbl.mem env.globals name then Hashtbl.replace env.globals name v
+  else raise (Vm.Interp.Unknown_name name)
+
+let burn env =
+  env.fuel <- env.fuel - 1;
+  if env.fuel <= 0 then raise Out_of_fuel
+
+let is_cmp : Ast.binop -> bool = function
+  | Eq | Ne | Lt | Le | Gt | Ge -> true
+  | _ -> false
+
+let rec eval_int env frame site (e : Ir.expr) : int =
+  match e with
+  | Const n -> n
+  | Load v -> as_int site (read env frame site v)
+  | Index (b, i) ->
+      let a = eval_arr env frame site b in
+      let idx = eval_int env frame site i in
+      if idx < 0 || idx >= Array.length a then
+        raise
+          (Crash_exn (Vm.Crash.Out_of_bounds { len = Array.length a; idx }, site))
+      else a.(idx)
+  | Binop (op, e1, e2) when is_cmp op ->
+      let a = eval_int env frame site e1 in
+      let b = eval_int env frame site e2 in
+      env.hooks.h_cmp a b;
+      let r =
+        match op with
+        | Eq -> a = b
+        | Ne -> a <> b
+        | Lt -> a < b
+        | Le -> a <= b
+        | Gt -> a > b
+        | Ge -> a >= b
+        | _ -> assert false
+      in
+      if r then 1 else 0
+  | Binop (op, e1, e2) -> begin
+      let a = eval_int env frame site e1 in
+      let b = eval_int env frame site e2 in
+      match op with
+      | Add -> a + b
+      | Sub -> a - b
+      | Mul -> a * b
+      | Div ->
+          if b = 0 then raise (Crash_exn (Vm.Crash.Div_by_zero, site)) else a / b
+      | Rem ->
+          if b = 0 then raise (Crash_exn (Vm.Crash.Div_by_zero, site)) else a mod b
+      | Band -> a land b
+      | Bor -> a lor b
+      | Bxor -> a lxor b
+      | Shl -> a lsl min 62 (b land 63)
+      | Shr -> a asr min 62 (b land 63)
+      | Eq | Ne | Lt | Le | Gt | Ge | Land | Lor -> assert false
+    end
+  | Unop (Neg, e) -> -eval_int env frame site e
+  | Unop (Not, e) -> if eval_int env frame site e = 0 then 1 else 0
+  | Unop (Bnot, e) -> lnot (eval_int env frame site e)
+  | InByte e ->
+      let i = eval_int env frame site e in
+      if i < 0 || i >= String.length env.input then -1
+      else Char.code env.input.[i]
+  | InputLen -> String.length env.input
+  | Abs e -> abs (eval_int env frame site e)
+  | ArrayMake _ -> type_err site "array in int context"
+  | ArrayLen e -> Array.length (eval_arr env frame site e)
+
+and eval_arr env frame site (e : Ir.expr) : int array =
+  match e with
+  | Load v -> as_arr site (read env frame site v)
+  | ArrayMake n ->
+      let n = eval_int env frame site n in
+      if n < 0 || n > Vm.Interp.max_alloc then
+        raise (Crash_exn (Vm.Crash.Bad_alloc n, site))
+      else Array.make n 0
+  | _ -> type_err site "array expected"
+
+and eval_val env frame site (e : Ir.expr) : Vm.Value.t =
+  match e with
+  | Load v -> read env frame site v
+  | ArrayMake _ -> Vm.Value.Varr (eval_arr env frame site e)
+  | _ -> Vm.Value.Vint (eval_int env frame site e)
+
+let func_index (prog : Ir.program) (name : string) : int =
+  let rec go i =
+    if i >= Array.length prog.funcs then raise (Vm.Interp.Unknown_name name)
+    else if prog.funcs.(i).name = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let rec call env (fid : int) (args : Vm.Value.t list) (depth : int) :
+    Vm.Value.t =
+  if depth > env.max_depth then
+    raise (Crash_exn (Vm.Crash.Stack_overflow, -1));
+  let f = env.prog.funcs.(fid) in
+  env.hooks.h_call fid;
+  let frame : (string, Vm.Value.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace frame p (Vm.Value.Vint 0)) f.params;
+  List.iter (fun l -> Hashtbl.replace frame l (Vm.Value.Vint 0)) f.locals;
+  (try List.iter2 (fun p v -> Hashtbl.replace frame p v) f.params args
+   with Invalid_argument _ -> assert false);
+  let rec run_block label : Vm.Value.t =
+    burn env;
+    env.blocks <- env.blocks + 1;
+    env.hooks.h_block fid label;
+    let b = f.blocks.(label) in
+    List.iter (exec_instr env frame fid depth) b.instrs;
+    match b.term with
+    | Goto l ->
+        env.hooks.h_edge fid label l;
+        run_block l
+    | Branch { cond; if_true; if_false; site } ->
+        let dst =
+          if eval_int env frame site cond <> 0 then if_true else if_false
+        in
+        env.hooks.h_edge fid label dst;
+        run_block dst
+    | Ret { e; site } ->
+        let v =
+          match e with
+          | Some e -> eval_val env frame site e
+          | None -> Vm.Value.Vint 0
+        in
+        env.hooks.h_ret fid label;
+        v
+  in
+  run_block 0
+
+and exec_instr env frame fid depth (i : Ir.instr) : unit =
+  burn env;
+  match i with
+  | Assign { dst; e; site } -> write env frame dst (eval_val env frame site e)
+  | Store { base; idx; v; site } ->
+      let a = eval_arr env frame site base in
+      let i = eval_int env frame site idx in
+      let x = eval_int env frame site v in
+      if i < 0 || i >= Array.length a then
+        raise
+          (Crash_exn (Vm.Crash.Out_of_bounds { len = Array.length a; idx = i }, site))
+      else a.(i) <- x
+  | CallI { dst; callee; args; site } ->
+      let cid = func_index env.prog callee in
+      let argv = List.map (eval_val env frame site) args in
+      env.stack <-
+        { Vm.Crash.fn = env.prog.funcs.(fid).name; site } :: env.stack;
+      let v = call env cid argv (depth + 1) in
+      env.stack <- List.tl env.stack;
+      (match dst with Some d -> write env frame d v | None -> ())
+  | BugI { bug; site } -> raise (Crash_exn (Vm.Crash.Seeded bug, site))
+  | CheckI { cond; bug; site } ->
+      if eval_int env frame site cond = 0 then
+        raise (Crash_exn (Vm.Crash.Check_failed bug, site))
+
+let site_function (prog : Ir.program) site =
+  if site >= 0 && site < Array.length prog.sites then prog.sites.(site).sfunc
+  else "?"
+
+let run ?(fuel = Vm.Interp.default_fuel) ?(hooks = Vm.Interp.no_hooks)
+    ?(max_depth = Vm.Interp.default_max_depth) (prog : Ir.program)
+    ~(input : string) : Vm.Interp.outcome =
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with
+      | Gint n -> Hashtbl.replace globals n (Vm.Value.Vint 0)
+      | Garr (n, s) -> Hashtbl.replace globals n (Vm.Value.Varr (Array.make s 0)))
+    prog.globals;
+  let env =
+    { prog; hooks; globals; input; fuel; max_depth; blocks = 0; stack = [] }
+  in
+  let status =
+    try
+      match call env (func_index prog "main") [] 0 with
+      | Vm.Value.Vint n -> Vm.Interp.Finished (Some n)
+      | Vm.Value.Varr _ -> Vm.Interp.Finished None
+    with
+    | Crash_exn (kind, site) ->
+        let top = { Vm.Crash.fn = site_function prog site; site } in
+        Vm.Interp.Crashed { Vm.Crash.kind; stack = top :: env.stack }
+    | Out_of_fuel -> Vm.Interp.Hung
+    | Stack_overflow ->
+        Vm.Interp.Crashed { Vm.Crash.kind = Vm.Crash.Stack_overflow; stack = env.stack }
+  in
+  { Vm.Interp.status; blocks_executed = env.blocks }

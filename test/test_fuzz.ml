@@ -225,13 +225,12 @@ let test_calibration_crash_triaged () =
     Minic.Lower.compile "fn main() { if (len() == 0) { return 0; } bug(9); }"
   in
   let st = Fuzz.Campaign.make_state prog in
-  let hooks = Fuzz.Campaign.make_hooks st in
   let e =
     Fuzz.Corpus.add st.corpus ~data:"X" ~indices:[||] ~exec_blocks:1 ~depth:0
       ~found_at:0
   in
   check Alcotest.int "nothing triaged yet" 0 (Fuzz.Triage.unique_bugs st.triage);
-  ignore (Fuzz.Campaign.calibrate st hooks e);
+  ignore (Fuzz.Campaign.calibrate st e);
   check Alcotest.int "calibration crash triaged" 1
     (Fuzz.Triage.unique_bugs st.triage);
   check
@@ -251,6 +250,25 @@ let test_calibration_crashes_counted () =
   check Alcotest.bool "bug recorded" true
     (List.mem (Vm.Crash.Id 3) (Fuzz.Triage.bugs r.triage))
 
+let test_campaign_max_depth () =
+  (* max_depth flows from the campaign config into the VM: a recursive
+     subject bounded at depth 8 crashes with a stack overflow. *)
+  let prog =
+    Minic.Lower.compile
+      "fn f(n) { if (n == 0) { return 0; } return f(n - 1); } fn main() { \
+       return f(64); }"
+  in
+  let config = { Fuzz.Campaign.default_config with max_depth = 8 } in
+  let st = Fuzz.Campaign.make_state ~config prog in
+  (match (Fuzz.Campaign.execute st "x").status with
+  | Vm.Interp.Crashed { kind = Vm.Crash.Stack_overflow; _ } -> ()
+  | _ -> Alcotest.fail "expected stack overflow under max_depth 8");
+  let deep = { Fuzz.Campaign.default_config with max_depth = 100 } in
+  let st2 = Fuzz.Campaign.make_state ~config:deep prog in
+  match (Fuzz.Campaign.execute st2 "x").status with
+  | Vm.Interp.Finished (Some 0) -> ()
+  | _ -> Alcotest.fail "expected clean finish under max_depth 100"
+
 let test_full_queue_preserves_virgin () =
   (* With the queue at max_queue, a novel trace must not be folded into
      the virgin map: that would mark its coverage as seen forever without
@@ -260,12 +278,11 @@ let test_full_queue_preserves_virgin () =
   in
   let config = { Fuzz.Campaign.default_config with max_queue = 1 } in
   let st = Fuzz.Campaign.make_state ~config prog in
-  let hooks = Fuzz.Campaign.make_hooks st in
-  Fuzz.Campaign.add_seed st hooks "a";
+  Fuzz.Campaign.add_seed st "a";
   check Alcotest.int "queue at capacity" 1 (Fuzz.Corpus.size st.corpus);
-  Fuzz.Campaign.process st hooks ~depth:1 "h";
+  Fuzz.Campaign.process st ~depth:1 "h";
   check Alcotest.int "not retained over capacity" 1 (Fuzz.Corpus.size st.corpus);
-  ignore (Fuzz.Campaign.execute st hooks "h");
+  ignore (Fuzz.Campaign.execute st "h");
   check Alcotest.bool "its coverage is still virgin" true
     (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
     <> Pathcov.Coverage_map.Nothing)
@@ -431,6 +448,8 @@ let suite =
           test_calibration_crashes_counted;
         Alcotest.test_case "full queue preserves virgin" `Quick
           test_full_queue_preserves_virgin;
+        Alcotest.test_case "max_depth plumbed through config" `Quick
+          test_campaign_max_depth;
       ] );
     ( "measure-strategy",
       [

@@ -2,5 +2,6 @@
 let () =
   Alcotest.run "pathcov"
     (Test_frontend.suite @ Test_ballarus.suite @ Test_vm.suite
-   @ Test_coverage.suite @ Test_exec.suite @ Test_fuzz.suite
-   @ Test_subjects.suite @ Test_experiments.suite @ Test_misc.suite)
+   @ Test_differential.suite @ Test_coverage.suite @ Test_exec.suite
+   @ Test_fuzz.suite @ Test_subjects.suite @ Test_experiments.suite
+   @ Test_misc.suite)

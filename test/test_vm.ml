@@ -152,6 +152,77 @@ let test_top5_hash_stability () =
   let c = Vm.Crash.top5_hash (crash src2 "") in
   check Alcotest.bool "different stack, different hash" true (a <> c)
 
+let test_type_confusion_site () =
+  (* Regression: [Rload] used to report site -1 on array-used-as-int type
+     confusion, so the crash blamed function "?" with an unstable dedup
+     frame. The real faulting site (and thus function) must be reported. *)
+  let src =
+    "fn f() { var a = array(2); return a + 1; } fn main() { f(); return 0; }"
+  in
+  let c = crash src "" in
+  (match c.kind with
+  | Vm.Crash.Type_error _ -> ()
+  | _ -> fail "expected type confusion");
+  match c.stack with
+  | top :: rest ->
+      check Alcotest.string "faulting function" "f" top.fn;
+      check Alcotest.bool "real site" true (top.site >= 0);
+      check
+        (Alcotest.list Alcotest.string)
+        "callers" [ "main" ]
+        (List.map (fun (f : Vm.Crash.frame) -> f.fn) rest)
+  | [] -> fail "empty crash stack"
+
+let test_max_depth_configurable () =
+  let src =
+    "fn f(n) { if (n == 0) { return 0; } return f(n - 1); } fn main() { \
+     return f(50); }"
+  in
+  let prog = Minic.Lower.compile src in
+  (match (Vm.Interp.run prog ~input:"").status with
+  | Vm.Interp.Finished (Some 0) -> ()
+  | _ -> fail "default depth should accommodate 50 frames");
+  match (Vm.Interp.run ~max_depth:10 prog ~input:"").status with
+  | Vm.Interp.Crashed { kind = Vm.Crash.Stack_overflow; _ } -> ()
+  | _ -> fail "expected stack overflow at max_depth 10"
+
+let test_steady_state_allocation () =
+  (* Guards the pooled execution context against future re-boxing: after
+     warmup, a loop-heavy subject must run with only the outcome record
+     and the program's own array(n) requests allocated per execution. *)
+  let s = Subjects.Registry.find_exn "cflow" in
+  let prog = Subjects.Subject.compile_fresh s in
+  let fb = Pathcov.Feedback.make Pathcov.Feedback.Path prog in
+  let hooks =
+    {
+      Vm.Interp.no_hooks with
+      h_call = fb.Pathcov.Feedback.on_call;
+      h_block = fb.Pathcov.Feedback.on_block;
+      h_edge = fb.Pathcov.Feedback.on_edge;
+      h_ret = fb.Pathcov.Feedback.on_ret;
+    }
+  in
+  let ctx = Vm.Interp.create_ctx ~hooks (Vm.Interp.prepare prog) in
+  let input = List.hd s.seeds in
+  let one () =
+    fb.reset ();
+    Pathcov.Coverage_map.clear fb.trace;
+    ignore (Vm.Interp.run_ctx ctx ~input);
+    Pathcov.Coverage_map.classify fb.trace
+  in
+  for _ = 1 to 64 do
+    one ()
+  done;
+  let n = 512 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    one ()
+  done;
+  let per_exec = (Gc.minor_words () -. w0) /. float_of_int n in
+  check Alcotest.bool
+    (Printf.sprintf "minor words per exec bounded (got %.1f)" per_exec)
+    true (per_exec < 256.)
+
 let test_hooks_fire () =
   let src = "fn main() { var i = 0; while (i < 3) { i = i + 1; } return i; }" in
   let calls = ref 0 and blocks = ref 0 and edges = ref 0 and rets = ref 0 in
@@ -221,6 +292,12 @@ let suite =
         Alcotest.test_case "crash: stack overflow" `Quick test_crash_stack_overflow;
         Alcotest.test_case "hang on fuel" `Quick test_hang;
         Alcotest.test_case "crash stack trace" `Quick test_crash_stack_trace;
+        Alcotest.test_case "type confusion reports real site" `Quick
+          test_type_confusion_site;
+        Alcotest.test_case "max_depth is configurable" `Quick
+          test_max_depth_configurable;
+        Alcotest.test_case "steady-state allocation bounded" `Quick
+          test_steady_state_allocation;
         Alcotest.test_case "top-5 hash stability" `Quick test_top5_hash_stability;
         Alcotest.test_case "hooks fire" `Quick test_hooks_fire;
         Alcotest.test_case "cmp hook" `Quick test_cmp_hook;
