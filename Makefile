@@ -1,0 +1,27 @@
+.PHONY: all build test bench micro tables clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Refresh both checked-in benchmark artifacts. Each run carries the
+# embedded baseline cells forward (see README "Benchmarks"), so the
+# pre-optimisation trajectory is never erased by a refresh.
+bench: build
+	./_build/default/bin/pathfuzz.exe bench-throughput -o BENCH_throughput.json
+	./_build/default/bin/pathfuzz.exe bench-campaign -o BENCH_campaign.json
+
+# Bechamel micro-benchmarks (one per table/figure of the paper).
+micro: build
+	dune exec bench/main.exe
+
+# The paper's result tables (fast profile).
+tables: build
+	./_build/default/bin/pathfuzz.exe tables --fast
+
+clean:
+	dune clean

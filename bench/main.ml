@@ -141,11 +141,13 @@ let tests =
     Test.make ~name:"ablation-bl-naive-placement"
       (Staged.stage (fun () ->
            ignore (Pathcov.Ball_larus.of_program ~optimize:false prog_jq)));
-    (* ablation: mutation engine throughput *)
+    (* ablation: mutation engine throughput (pooled scratch, as in the
+       campaign hot loop — [havoc] proper allocates a scratch per call) *)
     Test.make ~name:"ablation-havoc-throughput"
       (Staged.stage
          (let rng = Fuzz.Rng.create 5 in
-          fun () -> ignore (Fuzz.Mutator.havoc rng seed_gdk)));
+          let sc = Fuzz.Mutator.create_scratch () in
+          fun () -> ignore (Fuzz.Mutator.havoc_into sc rng seed_gdk)));
   ]
 
 let run_benchmarks () =

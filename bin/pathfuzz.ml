@@ -10,7 +10,11 @@
     - [tables]             regenerate every table and figure of the paper;
     - [bench-throughput]   measure interpreter throughput per
                            (subject x feedback) and write the
-                           BENCH_throughput.json telemetry baseline. *)
+                           BENCH_throughput.json telemetry baseline;
+    - [bench-campaign]     measure full-campaign throughput (execs/sec,
+                           allocation, mutation-vs-VM split) per
+                           (subject x feedback) and write
+                           BENCH_campaign.json. *)
 
 open Cmdliner
 
@@ -319,7 +323,13 @@ let bench_throughput_cmd =
     let samples = Experiments.Throughput.grid ~execs subjects in
     (* table to stderr: stdout stays machine-readable when out = "-" *)
     Fmt.epr "%s@." (Experiments.Throughput.to_table samples);
-    let json = Experiments.Throughput.to_json samples in
+    (* regeneration keeps the recorded baseline trajectory of the
+       existing file, so `make bench` never erases it *)
+    let baseline_raw =
+      if out = "-" then None
+      else Experiments.Throughput.extract_cells ~key:"baseline_cells" out
+    in
+    let json = Experiments.Throughput.to_json ?baseline_raw samples in
     if out = "-" then print_string json
     else begin
       let oc = open_out out in
@@ -336,6 +346,88 @@ let bench_throughput_cmd =
           the (subject x feedback) grid")
     Term.(const run $ subjects $ execs $ out $ smoke)
 
+(* --- bench-campaign --- *)
+
+let bench_campaign_cmd =
+  let subjects =
+    Arg.(
+      value
+      & opt string "cflow,sqlite3,gdk,jq"
+      & info [ "subjects" ] ~docv:"NAMES"
+          ~doc:"Comma-separated subjects to measure.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "b"; "budget" ] ~docv:"EXECS"
+          ~doc:"Execution budget per campaign cell.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_campaign.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Output JSON path (\"-\" prints the JSON to stdout).")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Embed FILE's \"cells\" as this run's \"baseline_cells\" (a \
+             prior pathfuzz-campaign/v1 measurement). Without this flag, \
+             an existing output file's baseline_cells are carried forward.")
+  in
+  let note =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "note" ] ~docv:"TEXT" ~doc:"Free-form note embedded in the JSON.")
+  in
+  let smoke =
+    Arg.(
+      value
+      & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Tiny-budget self-check: one subject, 400-exec campaigns — \
+             exercises the full campaign telemetry path in seconds (used \
+             by dune runtest).")
+  in
+  let run subjects budget out baseline note smoke =
+    let names =
+      if smoke then [ "gdk" ]
+      else String.split_on_char ',' subjects |> List.map String.trim
+    in
+    let budget = if smoke then 400 else max 1 budget in
+    let subjects = List.map lookup_subject names in
+    let samples = Experiments.Campaign_bench.grid ~budget subjects in
+    Fmt.epr "%s@." (Experiments.Campaign_bench.to_table samples);
+    let baseline_raw =
+      if baseline <> "" then
+        Experiments.Throughput.extract_cells ~key:"cells" baseline
+      else if out <> "-" then
+        Experiments.Throughput.extract_cells ~key:"baseline_cells" out
+      else None
+    in
+    let json = Experiments.Campaign_bench.to_json ~note ?baseline_raw samples in
+    if out = "-" then print_string json
+    else begin
+      let oc = open_out out in
+      output_string oc json;
+      close_out oc;
+      Fmt.epr "[bench-campaign] wrote %s (%d cells)@." out (List.length samples)
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-campaign"
+       ~doc:
+         "Measure full-campaign execs/sec, allocation per execution and the \
+          mutation-vs-VM time split across the (subject x feedback) grid")
+    Term.(const run $ subjects $ budget $ out $ baseline $ note $ smoke)
+
 let () =
   let doc = "path-aware coverage-guided fuzzing (CGO 2026 reproduction)" in
   exit
@@ -348,4 +440,5 @@ let () =
             cfg_cmd;
             tables_cmd;
             bench_throughput_cmd;
+            bench_campaign_cmd;
           ]))

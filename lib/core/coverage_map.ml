@@ -110,9 +110,17 @@ let create_virgin ?size_log2 () =
 (** Number of indices hit in a trace (AFL's [count_bytes]). *)
 let count_set t = t.ntouched
 
-(** Indices hit in a trace, ascending. *)
-let set_indices t =
-  List.sort Int.compare (Array.to_list (Array.sub t.touched 0 t.ntouched))
+(** Indices hit in a trace, ascending, as a fresh array: the journal
+    slice is copied once and sorted in place — no list-sort-then-array
+    detour on the retention path. *)
+let sorted_indices t =
+  let a = Array.sub t.touched 0 t.ntouched in
+  Array.sort Int.compare a;
+  a
+
+(** Indices hit in a trace, ascending (list wrapper over
+    {!sorted_indices}, kept for renderers and tests). *)
+let set_indices t = Array.to_list (sorted_indices t)
 
 (** [iteri_set f t] calls [f idx count] for every touched index. *)
 let iteri_set f t =
@@ -134,9 +142,9 @@ let get t idx = Char.code (Bytes.get t.bits (idx land t.mask))
 
 (** FNV-1a hash of the trace contents (order-independent via sorting). *)
 let hash t =
-  let idxs = set_indices t in
+  let idxs = sorted_indices t in
   let h = ref 0x3bf29ce484222325 in
-  List.iter
+  Array.iter
     (fun i ->
       let c = Char.code (Bytes.unsafe_get t.bits i) in
       h := !h lxor ((i lsl 8) lor c);

@@ -40,7 +40,13 @@ val merge_into : virgin:t -> t -> novelty
 (** Number of indices hit (AFL's [count_bytes]). *)
 val count_set : t -> int
 
-(** Indices hit, ascending. *)
+(** Indices hit, ascending, as a fresh array (the journal slice sorted
+    in place — the allocation-lean form used on the fuzzer's retention
+    path). *)
+val sorted_indices : t -> int array
+
+(** Indices hit, ascending (list wrapper over {!sorted_indices}, kept
+    for renderers and tests). *)
 val set_indices : t -> int list
 
 (** [iteri_set f t] calls [f idx byte] for every touched index. *)

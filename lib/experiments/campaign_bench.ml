@@ -1,0 +1,148 @@
+(** Campaign-level throughput telemetry: the fuzzer-side companion to
+    {!Throughput}.
+
+    [Throughput] measures the bare execution hot path (reset, run,
+    classify) — the VM's share of the budget. This module measures what a
+    campaign actually buys per second: full [Fuzz.Campaign.run] loops per
+    (subject x feedback mode), including mutation, queue scheduling,
+    novelty merging and triage. Alongside execs/sec and minor-words/exec
+    it reports the mutation-vs-VM wall-clock split (via the campaign's
+    telemetry clock) and the mutation layer's own minor-words per
+    candidate — the two numbers the scratch-buffer mutation engine and
+    the indexed corpus are accountable to. Results render as the
+    [BENCH_campaign.json] baseline (schema pathfuzz-campaign/v1).
+
+    Campaigns are deterministic (fixed rng_seed), so the work per cell —
+    and therefore queue size, havocs and minor-words — is reproducible;
+    only the wall-clock rates vary across hosts. *)
+
+type sample = {
+  subject : string;
+  mode : string;  (** feedback mode name *)
+  budget : int;  (** configured execution budget *)
+  execs : int;  (** executions actually performed *)
+  queue : int;  (** final queue size *)
+  havocs : int;  (** mutated candidates generated *)
+  wall_s : float;
+  execs_per_sec : float;
+  minor_words_per_exec : float;  (** whole campaign loop *)
+  mut_frac : float;  (** share of wall-clock inside the mutator *)
+  vm_frac : float;  (** share of wall-clock inside the VM *)
+  mut_minor_words_per_cand : float;  (** mutator minor words per candidate *)
+}
+
+(** The measured feedback ladder (campaigns need a listener, so there is
+    no "none" row here; cmplog is on everywhere, as in the paper). *)
+let modes : (string * Pathcov.Feedback.mode) list =
+  [
+    ("block", Pathcov.Feedback.Block);
+    ("edge", Pathcov.Feedback.Edge);
+    ("path", Pathcov.Feedback.Path);
+    ("pathafl", Pathcov.Feedback.Pathafl);
+  ]
+
+(* One campaign cell: a full deterministic Campaign.run under the
+   telemetry clock, bracketed by GC and wall-clock counters. Program
+   compilation and Ball-Larus planning happen outside the bracket. *)
+let measure ~budget ~(mode : Pathcov.Feedback.mode) (s : Subjects.Subject.t) :
+    sample =
+  let prog = Subjects.Subject.compile_fresh s in
+  let plans = Pathcov.Ball_larus.of_program prog in
+  let config =
+    { Fuzz.Campaign.default_config with mode; budget; rng_seed = 1 }
+  in
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Fuzz.Campaign.run ~plans ~clock:Unix.gettimeofday ~config prog
+      ~seeds:s.seeds
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  let frac x = if wall_s > 0. then x /. wall_s else 0. in
+  {
+    subject = s.name;
+    mode = Pathcov.Feedback.mode_name mode;
+    budget;
+    execs = r.execs;
+    queue = Fuzz.Corpus.size r.corpus;
+    havocs = r.havocs;
+    wall_s;
+    execs_per_sec =
+      (if wall_s > 0. then float_of_int r.execs /. wall_s else 0.);
+    minor_words_per_exec = mw /. float_of_int (max 1 r.execs);
+    mut_frac = frac r.mut_s;
+    vm_frac = frac r.vm_s;
+    mut_minor_words_per_cand =
+      r.mut_minor_words /. float_of_int (max 1 r.havocs);
+  }
+
+(** Measure the full (subject x mode) grid. *)
+let grid ~budget (subjects : Subjects.Subject.t list) : sample list =
+  List.concat_map
+    (fun s -> List.map (fun (_, m) -> measure ~budget ~mode:m s) modes)
+    subjects
+
+(* ------------------------------------------------------------------ *)
+(* Rendering *)
+
+let json_float = Throughput.json_float
+
+let sample_json buf (s : sample) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    {\"subject\": %S, \"mode\": %S, \"budget\": %d, \"execs\": %d, \
+        \"queue\": %d, \"havocs\": %d, \"wall_s\": %s, \"execs_per_sec\": %s, \
+        \"minor_words_per_exec\": %s, \"mut_frac\": %s, \"vm_frac\": %s, \
+        \"mut_minor_words_per_cand\": %s}"
+       s.subject s.mode s.budget s.execs s.queue s.havocs (json_float s.wall_s)
+       (json_float s.execs_per_sec)
+       (json_float s.minor_words_per_exec)
+       (json_float s.mut_frac) (json_float s.vm_frac)
+       (json_float s.mut_minor_words_per_cand))
+
+(** Render the [BENCH_campaign.json] document (pathfuzz-campaign/v1).
+    [baseline_raw] re-embeds a previously rendered cell block verbatim
+    (see {!Throughput.extract_cells}) so the file records the perf
+    trajectory, not just the endpoint. *)
+let to_json ?(note = "") ?baseline_raw (samples : sample list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"pathfuzz-campaign/v1\",\n";
+  if note <> "" then
+    Buffer.add_string buf (Printf.sprintf "  \"note\": %S,\n" note);
+  Buffer.add_string buf "  \"cells\": [\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      sample_json buf s)
+    samples;
+  Buffer.add_string buf "\n  ]";
+  (match baseline_raw with
+  | Some raw when raw <> "" ->
+      Buffer.add_string buf ",\n  \"baseline_cells\": [\n";
+      Buffer.add_string buf raw;
+      Buffer.add_string buf "\n  ]"
+  | _ -> ());
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf
+
+(** Human-readable table (the bench hook and [--smoke] output). *)
+let to_table (samples : sample list) : string =
+  let header =
+    [ "subject"; "mode"; "execs/s"; "minor w/exec"; "mut%"; "vm%"; "mut w/cand" ]
+  in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.subject;
+          s.mode;
+          Printf.sprintf "%.0f" s.execs_per_sec;
+          Printf.sprintf "%.1f" s.minor_words_per_exec;
+          Printf.sprintf "%.1f" (100. *. s.mut_frac);
+          Printf.sprintf "%.1f" (100. *. s.vm_frac);
+          Printf.sprintf "%.1f" s.mut_minor_words_per_cand;
+        ])
+      samples
+  in
+  Render.table ~title:"Campaign throughput (full fuzzing loop)" ~header ~rows

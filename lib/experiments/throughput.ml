@@ -115,10 +115,50 @@ let sample_json buf (s : sample) =
        (json_float s.blocks_per_sec)
        (json_float s.minor_words_per_exec))
 
+(** Extract the raw (verbatim) cell lines of a [key] array block from a
+    previously written BENCH_*.json file, e.g. [~key:"baseline_cells"].
+    Used to carry a recorded baseline forward when the file is
+    regenerated ([make bench]) and to seed a new baseline from an old
+    file's [cells]. Returns [None] when the file or block is missing.
+    This is a format-anchored line scan, not a JSON parser: it only
+    understands the layout our own writers emit. *)
+let extract_cells ~(key : string) (path : string) : string option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let lines = List.rev !lines in
+    let marker = Printf.sprintf "  \"%s\": [" key in
+    let rec skip = function
+      | [] -> None
+      | l :: rest -> if l = marker then Some rest else skip rest
+    in
+    match skip lines with
+    | None -> None
+    | Some rest ->
+        let rec take acc = function
+          | [] -> None  (* unterminated block: treat as absent *)
+          | l :: rest ->
+              if l = "  ]" || l = "  ]," then
+                Some (String.concat "\n" (List.rev acc))
+              else take (l :: acc) rest
+        in
+        take [] rest
+  end
+
 (** Render the [BENCH_throughput.json] document. [baseline] optionally
     embeds a prior measurement (e.g. the pre-optimisation interpreter) so
-    the file itself records the trajectory, not just the endpoint. *)
-let to_json ?(note = "") ?(baseline = []) (samples : sample list) : string =
+    the file itself records the trajectory, not just the endpoint;
+    [baseline_raw] does the same from a previously rendered cell block
+    (see {!extract_cells}), taking precedence over [baseline]. *)
+let to_json ?(note = "") ?(baseline = []) ?baseline_raw (samples : sample list)
+    : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"schema\": \"pathfuzz-throughput/v1\",\n";
   if note <> "" then
@@ -133,10 +173,16 @@ let to_json ?(note = "") ?(baseline = []) (samples : sample list) : string =
     Buffer.add_string buf "\n  ]"
   in
   block "cells" samples;
-  if baseline <> [] then begin
-    Buffer.add_string buf ",\n";
-    block "baseline_cells" baseline
-  end;
+  (match baseline_raw with
+  | Some raw when raw <> "" ->
+      Buffer.add_string buf ",\n  \"baseline_cells\": [\n";
+      Buffer.add_string buf raw;
+      Buffer.add_string buf "\n  ]"
+  | _ ->
+      if baseline <> [] then begin
+        Buffer.add_string buf ",\n";
+        block "baseline_cells" baseline
+      end);
   Buffer.add_string buf "\n}\n";
   Buffer.contents buf
 

@@ -37,11 +37,53 @@ type result = {
   execs : int;  (** executions actually performed *)
   queue_series : (int * int) list;  (** (execs, queue size) samples *)
   sum_exec_blocks : int;  (** total VM blocks executed, throughput proxy *)
+  havocs : int;  (** mutated candidates generated *)
+  vm_s : float;  (** wall-clock inside the VM (0 unless [clock] given) *)
+  mut_s : float;  (** wall-clock inside the mutator (0 unless [clock] given) *)
+  mut_minor_words : float;  (** GC minor words allocated by the mutator *)
 }
 
 (** Final queue inputs, in discovery order. *)
 let queue_inputs (r : result) : string list =
   List.map (fun (e : Corpus.entry) -> e.data) (Corpus.to_list r.corpus)
+
+(** Wall-clock / allocation split between the mutation layer and the VM,
+    accumulated only when a [clock] is supplied (the bench-campaign mode).
+    An all-float record, so stores stay unboxed in the hot loop. *)
+type telemetry = {
+  mutable vm_s : float;
+  mutable mut_s : float;
+  mutable mut_minor_words : float;
+}
+
+(** Per-exec comparison-operand capture: a flat, insertion-ordered,
+    deduplicated buffer bounded at {!cmp_capacity} pairs. The previous
+    [(int * int, unit) Hashtbl.t] allocated a key tuple per probe hit and
+    — worse — handed its pairs to the mutator in [Hashtbl.fold] order, an
+    implementation detail of the hash function; program order is the
+    deterministic contract. *)
+type cmp_buf = {
+  ops_a : int array;
+  ops_b : int array;
+  mutable n_cmps : int;
+}
+
+let cmp_capacity = 64
+
+let make_cmp_buf () =
+  {
+    ops_a = Array.make cmp_capacity 0;
+    ops_b = Array.make cmp_capacity 0;
+    n_cmps = 0;
+  }
+
+let cmp_seen (b : cmp_buf) a bv =
+  let rec go i =
+    i < b.n_cmps
+    && ((Array.unsafe_get b.ops_a i = a && Array.unsafe_get b.ops_b i = bv)
+       || go (i + 1))
+  in
+  go 0
 
 type state = {
   prepared : Vm.Interp.prepared;
@@ -55,16 +97,20 @@ type state = {
   rng : Rng.t;
   mutable execs : int;
   mutable blocks : int;
+  mutable havocs : int;
   mutable series : (int * int) list;
   mutable sample_every : int;
-  cmp_buf : (int * int, unit) Hashtbl.t;  (** per-exec comparison pairs *)
+  cmp_buf : cmp_buf;  (** per-exec comparison pairs, program order *)
+  scratch : Mutator.scratch;  (** pooled mutation buffer, reused per child *)
+  clock : (unit -> float) option;  (** telemetry clock (bench mode only) *)
+  tele : telemetry;
 }
 
 (* The instrumentation hook set installed in the context at state-creation
    time. The cmplog probe (and its per-exec buffer bookkeeping) exists
    only when the config asks for it. *)
-let make_hooks (cfg : config) (fb : Pathcov.Feedback.t)
-    (cmp_buf : (int * int, unit) Hashtbl.t) : Vm.Interp.hooks =
+let make_hooks (cfg : config) (fb : Pathcov.Feedback.t) (cmp_buf : cmp_buf) :
+    Vm.Interp.hooks =
   {
     Vm.Interp.h_call = fb.on_call;
     h_block = fb.on_block;
@@ -72,31 +118,79 @@ let make_hooks (cfg : config) (fb : Pathcov.Feedback.t)
     h_ret = fb.on_ret;
     h_cmp =
       (if cfg.cmplog then (fun a b ->
-         if a <> b && Hashtbl.length cmp_buf < 64 then
-           Hashtbl.replace cmp_buf (a, b) ())
+         if a <> b && cmp_buf.n_cmps < cmp_capacity && not (cmp_seen cmp_buf a b)
+         then begin
+           Array.unsafe_set cmp_buf.ops_a cmp_buf.n_cmps a;
+           Array.unsafe_set cmp_buf.ops_b cmp_buf.n_cmps b;
+           cmp_buf.n_cmps <- cmp_buf.n_cmps + 1
+         end)
        else fun _ _ -> ());
   }
 
-(* Run one input; the trace map is left classified for novelty checks. *)
-let execute (st : state) (input : string) : Vm.Interp.outcome =
+(* Pre/post brackets around one VM run, shared by the string path and
+   the scratch-buffer fast path. The trace map is left classified for
+   novelty checks. *)
+let pre_exec (st : state) : unit =
   st.feedback.reset ();
   Pathcov.Coverage_map.clear st.feedback.trace;
-  if st.cfg.cmplog then Hashtbl.reset st.cmp_buf;
-  let out =
-    Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx ~input
-  in
+  if st.cfg.cmplog then st.cmp_buf.n_cmps <- 0
+
+let post_exec (st : state) (out : Vm.Interp.outcome) : unit =
   st.execs <- st.execs + 1;
   st.blocks <- st.blocks + out.blocks_executed;
   Pathcov.Coverage_map.classify st.feedback.trace;
   if st.execs mod st.sample_every = 0 then
-    st.series <- (st.execs, Corpus.size st.corpus) :: st.series;
+    st.series <- (st.execs, Corpus.size st.corpus) :: st.series
+
+(* Run one input. *)
+let execute (st : state) (input : string) : Vm.Interp.outcome =
+  pre_exec st;
+  let out =
+    match st.clock with
+    | None ->
+        Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx
+          ~input
+    | Some now ->
+        let t0 = now () in
+        let out =
+          Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx
+            ~input
+        in
+        st.tele.vm_s <- st.tele.vm_s +. (now () -. t0);
+        out
+  in
+  post_exec st out;
   out
 
-let current_cmps (st : state) : Mutator.cmp_pair list =
-  Hashtbl.fold
-    (fun (a, b) () acc ->
-      { Mutator.observed = a; wanted = b } :: { Mutator.observed = b; wanted = a } :: acc)
-    st.cmp_buf []
+(* Run the candidate sitting in the mutation scratch, zero-copy. *)
+let execute_scratch (st : state) : Vm.Interp.outcome =
+  pre_exec st;
+  let sc = st.scratch in
+  let out =
+    match st.clock with
+    | None ->
+        Vm.Interp.run_ctx_sub ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth
+          st.ctx ~buf:sc.buf ~len:sc.len
+    | Some now ->
+        let t0 = now () in
+        let out =
+          Vm.Interp.run_ctx_sub ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth
+            st.ctx ~buf:sc.buf ~len:sc.len
+        in
+        st.tele.vm_s <- st.tele.vm_s +. (now () -. t0);
+        out
+  in
+  post_exec st out;
+  out
+
+(* Both substitution directions per captured pair, in capture order. *)
+let current_cmps (st : state) : Mutator.cmp_pair array =
+  let b = st.cmp_buf in
+  Array.init (2 * b.n_cmps) (fun k ->
+      let i = k lsr 1 in
+      if k land 1 = 0 then
+        { Mutator.observed = b.ops_a.(i); wanted = b.ops_b.(i) }
+      else { Mutator.observed = b.ops_b.(i); wanted = b.ops_a.(i) })
 
 (* Incremental update_bitmap_score: claim top_rated slots that this entry
    covers more cheaply; favored flags are refreshed in full at cycle
@@ -129,31 +223,46 @@ let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : un
   | Vm.Interp.Hung -> Triage.record_hang st.triage
   | Vm.Interp.Finished _ -> ()
 
+(* Coverage-novelty verdict for the execution just finished. The capacity
+   check precedes the virgin merge: a full queue must not mark coverage
+   as seen without retaining an input reaching it, or that coverage
+   becomes unreachable for the whole run. *)
+let novel (st : state) : bool =
+  Corpus.size st.corpus < st.cfg.max_queue
+  && Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
+     <> Pathcov.Coverage_map.Nothing
+
+let retain (st : state) ~depth (out : Vm.Interp.outcome) (data : string) : unit
+    =
+  let indices = Pathcov.Coverage_map.sorted_indices st.feedback.trace in
+  let e =
+    Corpus.add st.corpus ~data ~indices
+      ~exec_blocks:(max 1 out.blocks_executed) ~depth ~found_at:st.execs
+  in
+  update_top_rated st e
+
 (* Evaluate one candidate input end to end: execute, triage crashes and
    hangs, retain on coverage novelty. *)
 let process (st : state) ~depth (input : string) : unit =
   let out = execute st input in
   match out.status with
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
+  | Vm.Interp.Finished _ -> if novel st then retain st ~depth out input
+
+(* Hot-path variant of [process]: the candidate lives in the mutation
+   scratch and its string is materialised only when triage or retention
+   actually needs one — the common (boring) candidate allocates nothing
+   beyond the VM's own requests. *)
+let scratch_child (st : state) : string =
+  Bytes.sub_string st.scratch.buf 0 st.scratch.len
+
+let process_scratch (st : state) ~depth : unit =
+  let out = execute_scratch st in
+  match out.status with
+  | Vm.Interp.Crashed _ | Vm.Interp.Hung ->
+      triage_outcome st out ~input:(scratch_child st)
   | Vm.Interp.Finished _ ->
-      (* The capacity check precedes the virgin merge: a full queue must
-         not mark coverage as seen without retaining an input reaching
-         it, or that coverage becomes unreachable for the whole run. *)
-      if Corpus.size st.corpus < st.cfg.max_queue then begin
-        let novelty =
-          Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
-        in
-        if novelty <> Pathcov.Coverage_map.Nothing then begin
-          let indices =
-            Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
-          in
-          let e =
-            Corpus.add st.corpus ~data:input ~indices
-              ~exec_blocks:(max 1 out.blocks_executed) ~depth ~found_at:st.execs
-          in
-          update_top_rated st e
-        end
-      end
+      if novel st then retain st ~depth out (scratch_child st)
 
 (* Seeds are always retained (afl imports the full seed directory). *)
 let add_seed (st : state) (input : string) : unit =
@@ -161,22 +270,16 @@ let add_seed (st : state) (input : string) : unit =
   match out.status with
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
   | Vm.Interp.Finished _ ->
-      ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace);
-      let indices =
-        Array.of_list (Pathcov.Coverage_map.set_indices st.feedback.trace)
-      in
-      let e =
-        Corpus.add st.corpus ~data:input ~indices
-          ~exec_blocks:(max 1 out.blocks_executed) ~depth:0 ~found_at:st.execs
-      in
-      update_top_rated st e
+      ignore
+        (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace);
+      retain st ~depth:0 out input
 
 (** One calibration run of a queue entry, capturing cmplog operand pairs
     for input-to-state mutation (the colorization stage of AFL++). The
     outcome flows through the same triage/novelty path as [process]: a
     crash or hang here — possible for the synthetic fallback entry, whose
     data never executed cleanly — must be recorded, not discarded. *)
-let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair list =
+let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair array =
   let out = execute st e.data in
   (match out.status with
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input:e.data
@@ -199,22 +302,26 @@ let energy (st : state) (e : Corpus.entry) : int =
   let base = if e.depth > 4 then base * 5 / 4 else base in
   min base (max 8 (st.cfg.budget / 64))
 
+(* O(1) random splice peer. The RNG draw is mapped to the same entry the
+   List.nth-over-newest-first walk used to select (draw [k] is the [k]-th
+   newest), so campaign trajectories are unchanged. *)
 let random_other (st : state) (e : Corpus.entry) : string option =
-  match st.corpus.entries with
-  | [] | [ _ ] -> None
-  | l ->
-      let pick = List.nth l (Rng.int st.rng (List.length l)) in
-      if pick.id = e.id then None else Some pick.data
+  let n = Corpus.size st.corpus in
+  if n <= 1 then None
+  else
+    let pick = Corpus.get st.corpus (n - 1 - Rng.int st.rng n) in
+    if pick.id = e.id then None else Some pick.data
 
 (** Build a fresh campaign state. Exposed (alongside [execute],
     [add_seed], [process] and [calibrate]) so tests can drive individual
     pipeline stages directly. *)
-let make_state ?plans ?(config = default_config) (prog : Minic.Ir.program) : state =
+let make_state ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program)
+    : state =
   let feedback =
     Pathcov.Feedback.make ~size_log2:config.map_size_log2 ?plans config.mode prog
   in
   let prepared = Vm.Interp.prepare prog in
-  let cmp_buf = Hashtbl.create 64 in
+  let cmp_buf = make_cmp_buf () in
   let hooks = make_hooks config feedback cmp_buf in
   {
     prepared;
@@ -229,15 +336,34 @@ let make_state ?plans ?(config = default_config) (prog : Minic.Ir.program) : sta
     rng = Rng.create config.rng_seed;
     execs = 0;
     blocks = 0;
+    havocs = 0;
     series = [];
     sample_every = max 1 (config.budget / 64);
     cmp_buf;
+    scratch = Mutator.create_scratch ();
+    clock;
+    tele = { vm_s = 0.; mut_s = 0.; mut_minor_words = 0. };
   }
 
-(** Run a campaign. [plans] shares a precomputed Ball–Larus artifact. *)
-let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
+(* One havoc-mutated candidate built into the scratch, counted and (in
+   bench mode) timed. *)
+let mutate (st : state) ~cmps ?splice_with (data : string) : unit =
+  st.havocs <- st.havocs + 1;
+  match st.clock with
+  | None -> Mutator.havoc_in_place st.scratch ~cmps ?splice_with st.rng data
+  | Some now ->
+      let w0 = Gc.minor_words () in
+      let t0 = now () in
+      Mutator.havoc_in_place st.scratch ~cmps ?splice_with st.rng data;
+      st.tele.mut_s <- st.tele.mut_s +. (now () -. t0);
+      st.tele.mut_minor_words <-
+        st.tele.mut_minor_words +. (Gc.minor_words () -. w0)
+
+(** Run a campaign. [plans] shares a precomputed Ball–Larus artifact;
+    [clock] (bench mode) enables the mutation-vs-VM telemetry split. *)
+let run ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program)
     ~(seeds : string list) : result =
-  let st = make_state ?plans ~config prog in
+  let st = make_state ?plans ?clock ~config prog in
   List.iter (add_seed st) seeds;
   (* Never start with an empty queue: synthesise a minimal seed. *)
   if Corpus.size st.corpus = 0 then add_seed st "A";
@@ -248,25 +374,26 @@ let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
          ~found_at:st.execs);
   while st.execs < config.budget do
     Corpus.recompute_favored st.corpus;
-    let snapshot = Corpus.to_list st.corpus in
-    List.iter
-      (fun (e : Corpus.entry) ->
-        if st.execs < config.budget && not (should_skip st e) then begin
-          let cmps = if config.cmplog then calibrate st e else [] in
-          let n = energy st e in
-          let i = ref 0 in
-          while !i < n && st.execs < config.budget do
-            let child =
-              Mutator.havoc ~cmps ?splice_with:(random_other st e) st.rng e.data
-            in
-            process st ~depth:(e.depth + 1) child;
-            incr i
-          done;
-          e.times_fuzzed <- e.times_fuzzed + 1;
-          if e.favored && e.times_fuzzed = 1 then
-            st.corpus.pending_favored <- max 0 (st.corpus.pending_favored - 1)
-        end)
-      snapshot
+    (* index-preserving snapshot: entries are append-only, so the queue
+       length bounds this cycle's pass and entries found mid-cycle wait
+       for the next one — exactly the semantics of the old list copy *)
+    let cycle_len = Corpus.size st.corpus in
+    for qi = 0 to cycle_len - 1 do
+      let e = Corpus.get st.corpus qi in
+      if st.execs < config.budget && not (should_skip st e) then begin
+        let cmps = if config.cmplog then calibrate st e else [||] in
+        let n = energy st e in
+        let i = ref 0 in
+        while !i < n && st.execs < config.budget do
+          mutate st ~cmps ?splice_with:(random_other st e) e.data;
+          process_scratch st ~depth:(e.depth + 1);
+          incr i
+        done;
+        e.times_fuzzed <- e.times_fuzzed + 1;
+        if e.favored && e.times_fuzzed = 1 then
+          st.corpus.pending_favored <- max 0 (st.corpus.pending_favored - 1)
+      end
+    done
   done;
   {
     config;
@@ -275,4 +402,8 @@ let run ?plans ?(config = default_config) (prog : Minic.Ir.program)
     execs = st.execs;
     queue_series = List.rev ((st.execs, Corpus.size st.corpus) :: st.series);
     sum_exec_blocks = st.blocks;
+    havocs = st.havocs;
+    vm_s = st.tele.vm_s;
+    mut_s = st.tele.mut_s;
+    mut_minor_words = st.tele.mut_minor_words;
   }

@@ -24,15 +24,23 @@ type result = {
   execs : int;  (** executions actually performed *)
   queue_series : (int * int) list;  (** (execs, queue size) samples *)
   sum_exec_blocks : int;  (** total VM blocks executed, throughput proxy *)
+  havocs : int;  (** mutated candidates generated *)
+  vm_s : float;  (** wall-clock inside the VM (0 unless [clock] given) *)
+  mut_s : float;  (** wall-clock inside the mutator (0 unless [clock] given) *)
+  mut_minor_words : float;  (** GC minor words allocated by the mutator *)
 }
 
 (** Final queue inputs, in discovery order. *)
 val queue_inputs : result -> string list
 
 (** Run a campaign. [plans] shares a precomputed Ball–Larus artifact
-    across campaigns on the same program. *)
+    across campaigns on the same program. [clock] (a wall-clock reader,
+    e.g. [Unix.gettimeofday]) enables the mutation-vs-VM telemetry split
+    that [pathfuzz bench-campaign] reports; fuzzing behaviour is
+    identical with or without it. *)
 val run :
   ?plans:Pathcov.Ball_larus.program_plans ->
+  ?clock:(unit -> float) ->
   ?config:config ->
   Minic.Ir.program ->
   seeds:string list ->
@@ -43,6 +51,22 @@ val run :
     The individual stages of the loop are exposed so tests can drive them
     directly (e.g. triaging a calibration crash on an entry that was
     parked in the queue without a clean execution). *)
+
+(** Mutation-vs-VM wall-clock/allocation split (bench mode only). *)
+type telemetry = {
+  mutable vm_s : float;
+  mutable mut_s : float;
+  mutable mut_minor_words : float;
+}
+
+(** Per-exec comparison-operand capture: flat, insertion-ordered,
+    deduplicated, bounded — pairs reach the mutator in program order
+    rather than [Hashtbl.fold] order. *)
+type cmp_buf = {
+  ops_a : int array;
+  ops_b : int array;
+  mutable n_cmps : int;
+}
 
 (** Live campaign state. Fields are exposed read-mostly for tests and
     diagnostics; mutate only through the stage functions below. The
@@ -60,14 +84,19 @@ type state = {
   rng : Rng.t;
   mutable execs : int;
   mutable blocks : int;
+  mutable havocs : int;
   mutable series : (int * int) list;
   mutable sample_every : int;
-  cmp_buf : (int * int, unit) Hashtbl.t;
+  cmp_buf : cmp_buf;  (** per-exec comparison pairs, program order *)
+  scratch : Mutator.scratch;  (** pooled mutation buffer, reused per child *)
+  clock : (unit -> float) option;
+  tele : telemetry;
 }
 
 (** Build a fresh campaign state. *)
 val make_state :
   ?plans:Pathcov.Ball_larus.program_plans ->
+  ?clock:(unit -> float) ->
   ?config:config ->
   Minic.Ir.program ->
   state
@@ -85,4 +114,4 @@ val process : state -> depth:int -> string -> unit
 
 (** One calibration run of a queue entry, capturing cmplog operand pairs;
     the outcome is triaged exactly like {!process}'s. *)
-val calibrate : state -> Corpus.entry -> Mutator.cmp_pair list
+val calibrate : state -> Corpus.entry -> Mutator.cmp_pair array

@@ -7,7 +7,15 @@
     top-rated, and an entry is *favored* if it is top-rated for at least
     one index. The paper's culling strategy (§III-B1) and the opportunistic
     queue trim (§III-B2) both reuse exactly this machinery, as does the
-    scheduler's favored-skip logic. *)
+    scheduler's favored-skip logic.
+
+    The queue is a growable array in discovery order rather than a list:
+    entries are never removed, so an index is a stable identity, random
+    peers are O(1) lookups instead of [List.nth] walks (quadratic over a
+    campaign as the queue grows), and the cycle scheduler snapshots the
+    queue by remembering its length. [fav_factor] is cached per entry at
+    admission — data and cost never change — so the greedy set-cover pass
+    stops recomputing it per covered index. *)
 
 type entry = {
   id : int;
@@ -16,12 +24,13 @@ type entry = {
   exec_blocks : int;  (** work proxy standing in for execution time *)
   depth : int;  (** mutation chain length from the seed *)
   found_at : int;  (** global execution counter at discovery *)
+  fav : int;  (** cached fav_factor: exec_blocks x (length + 16) *)
   mutable favored : bool;
   mutable times_fuzzed : int;
 }
 
 type t = {
-  mutable entries : entry list;  (** newest first *)
+  mutable arr : entry array;  (** slots [0, size), discovery order *)
   mutable size : int;
   mutable next_id : int;
   top_rated : (int, entry) Hashtbl.t;  (** map index -> cheapest entry *)
@@ -29,31 +38,49 @@ type t = {
 }
 
 let create () =
-  { entries = []; size = 0; next_id = 0; top_rated = Hashtbl.create 1024; pending_favored = 0 }
+  {
+    arr = [||];
+    size = 0;
+    next_id = 0;
+    top_rated = Hashtbl.create 1024;
+    pending_favored = 0;
+  }
 
-(* afl's fav_factor: exec time * input length. *)
-let fav_factor e = e.exec_blocks * (String.length e.data + 16)
+(* afl's fav_factor: exec time * input length (cached at admission). *)
+let fav_factor e = e.fav
+
+let size t = t.size
+
+(** The [i]-th entry in discovery order, O(1). *)
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Corpus.get";
+  Array.unsafe_get t.arr i
+
+(** Iterate entries in discovery order. *)
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f (Array.unsafe_get t.arr i)
+  done
 
 let recompute_favored (t : t) : unit =
   Hashtbl.reset t.top_rated;
-  List.iter
+  iter
     (fun e ->
       Array.iter
         (fun idx ->
           match Hashtbl.find_opt t.top_rated idx with
-          | Some best when fav_factor best <= fav_factor e -> ()
+          | Some best when best.fav <= e.fav -> ()
           | _ -> Hashtbl.replace t.top_rated idx e)
         e.indices)
-    (List.rev t.entries);
-  let favored = Hashtbl.create 64 in
-  Hashtbl.iter (fun _ e -> Hashtbl.replace favored e.id ()) t.top_rated;
+    t;
+  iter (fun e -> e.favored <- false) t;
+  Hashtbl.iter (fun _ e -> e.favored <- true) t.top_rated;
   t.pending_favored <- 0;
-  List.iter
+  iter
     (fun e ->
-      e.favored <- Hashtbl.mem favored e.id;
       if e.favored && e.times_fuzzed = 0 then
         t.pending_favored <- t.pending_favored + 1)
-    t.entries
+    t
 
 let add (t : t) ~data ~indices ~exec_blocks ~depth ~found_at : entry =
   let e =
@@ -64,17 +91,24 @@ let add (t : t) ~data ~indices ~exec_blocks ~depth ~found_at : entry =
       exec_blocks;
       depth;
       found_at;
+      fav = exec_blocks * (String.length data + 16);
       favored = false;
       times_fuzzed = 0;
     }
   in
   t.next_id <- t.next_id + 1;
-  t.entries <- e :: t.entries;
+  if t.size = Array.length t.arr then begin
+    let bigger = Array.make (max 16 (2 * t.size)) e in
+    Array.blit t.arr 0 bigger 0 t.size;
+    t.arr <- bigger
+  end;
+  t.arr.(t.size) <- e;
   t.size <- t.size + 1;
   e
 
-let to_list t = List.rev t.entries
-let size t = t.size
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (t.arr.(i) :: acc) in
+  go (t.size - 1) []
 
 (** Entries whose union of indices equals the whole queue's union, chosen
     greedily by fav_factor — the "minimal coverage-preserving queue" the
@@ -83,10 +117,19 @@ let favored_subset (t : t) : entry list =
   recompute_favored t;
   List.filter (fun e -> e.favored) (to_list t)
 
-(** Union of all covered indices across the queue. *)
-let covered_indices (t : t) : int list =
+(** Union of all covered indices across the queue, ascending. *)
+let covered_indices_arr (t : t) : int array =
   let tbl = Hashtbl.create 1024 in
-  List.iter
-    (fun e -> Array.iter (fun i -> Hashtbl.replace tbl i ()) e.indices)
-    t.entries;
-  List.sort Int.compare (Hashtbl.fold (fun i () acc -> i :: acc) tbl [])
+  iter (fun e -> Array.iter (fun i -> Hashtbl.replace tbl i ()) e.indices) t;
+  let out = Array.make (Hashtbl.length tbl) 0 in
+  let k = ref 0 in
+  Hashtbl.iter
+    (fun i () ->
+      out.(!k) <- i;
+      incr k)
+    tbl;
+  Array.sort Int.compare out;
+  out
+
+(** List wrapper over {!covered_indices_arr} (renderer convenience). *)
+let covered_indices (t : t) : int list = Array.to_list (covered_indices_arr t)

@@ -3,7 +3,12 @@
     cheapest entry covering it is top-rated, and an entry is *favored* if
     it is top-rated somewhere. The paper's culling strategy (§III-B1) and
     opportunistic queue trim (§III-B2) reuse this machinery, as does the
-    scheduler's favored-skip logic. *)
+    scheduler's favored-skip logic.
+
+    The queue is a growable array in discovery order: entries are never
+    removed, so an index is a stable identity and {!get} is O(1) — the
+    scheduler snapshots a cycle by remembering the queue length and the
+    splice stage picks random peers without list walks. *)
 
 type entry = {
   id : int;
@@ -12,12 +17,13 @@ type entry = {
   exec_blocks : int;  (** work proxy standing in for execution time *)
   depth : int;  (** mutation chain length from the seed *)
   found_at : int;  (** global execution counter at discovery *)
+  fav : int;  (** cached fav_factor: exec_blocks x (length + 16) *)
   mutable favored : bool;
   mutable times_fuzzed : int;
 }
 
 type t = {
-  mutable entries : entry list;  (** newest first *)
+  mutable arr : entry array;  (** slots [0, size), discovery order *)
   mutable size : int;
   mutable next_id : int;
   top_rated : (int, entry) Hashtbl.t;  (** map index -> cheapest entry *)
@@ -26,7 +32,7 @@ type t = {
 
 val create : unit -> t
 
-(** afl's fav_factor: execution work x input length. *)
+(** afl's fav_factor: execution work x input length (cached per entry). *)
 val fav_factor : entry -> int
 
 (** Full favored recomputation (afl's cull_queue, run at cycle starts). *)
@@ -41,6 +47,12 @@ val add :
   found_at:int ->
   entry
 
+(** The [i]-th entry in discovery order, O(1); raises on out-of-range. *)
+val get : t -> int -> entry
+
+(** Iterate entries in discovery order. *)
+val iter : (entry -> unit) -> t -> unit
+
 (** Entries in discovery order. *)
 val to_list : t -> entry list
 
@@ -52,4 +64,7 @@ val size : t -> int
 val favored_subset : t -> entry list
 
 (** Union of all covered indices across the queue, ascending. *)
+val covered_indices_arr : t -> int array
+
+(** List wrapper over {!covered_indices_arr} (renderer convenience). *)
 val covered_indices : t -> int list

@@ -19,20 +19,22 @@ let make_ctx prepared fb =
   Vm.Interp.create_ctx ~hooks:(make_hooks fb) prepared
 
 (* Replay [input] under [fb] through [ctx], returning the raw trace
-   indices it hits and an afl-style cost (work x size). *)
+   indices it hits (ascending array) and an afl-style cost (work x size). *)
 let replay ?(fuel = Vm.Interp.default_fuel) ctx fb input =
   fb.Pathcov.Feedback.reset ();
   Pathcov.Coverage_map.clear fb.trace;
   let out = Vm.Interp.run_ctx ~fuel ctx ~input in
-  let idxs = Pathcov.Coverage_map.set_indices fb.trace in
+  let idxs = Pathcov.Coverage_map.sorted_indices fb.trace in
   (idxs, out.blocks_executed * (String.length input + 16))
+
+let set_of_array a = Array.fold_left (fun acc i -> Int_set.add i acc) Int_set.empty a
 
 (** Edge-coverage indices hit by one input under the pcguard-style
     listener (raw tuple identities; bucketing is irrelevant here). *)
 let edges_of_input ?fuel prog (input : string) : Int_set.t =
   let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
   let ctx = make_ctx (Vm.Interp.prepare prog) fb in
-  Int_set.of_list (fst (replay ?fuel ctx fb input))
+  set_of_array (fst (replay ?fuel ctx fb input))
 
 (** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
 let edge_union ?fuel prog (inputs : string list) : Int_set.t =
@@ -40,7 +42,10 @@ let edge_union ?fuel prog (inputs : string list) : Int_set.t =
   let ctx = make_ctx (Vm.Interp.prepare prog) fb in
   List.fold_left
     (fun acc input ->
-      Int_set.union acc (Int_set.of_list (fst (replay ?fuel ctx fb input))))
+      Array.fold_left
+        (fun acc i -> Int_set.add i acc)
+        acc
+        (fst (replay ?fuel ctx fb input)))
     Int_set.empty inputs
 
 (* Greedy favored-corpus construction over an arbitrary feedback: keep,
@@ -69,7 +74,7 @@ let preserving_cull ?fuel prog fb (inputs : string list) : string list =
   let top : (int, string * int) Hashtbl.t = Hashtbl.create 1024 in
   List.iter
     (fun (input, idxs, cost) ->
-      List.iter
+      Array.iter
         (fun idx ->
           match Hashtbl.find_opt top idx with
           | Some (_, best) when best <= cost -> ()

@@ -3,7 +3,16 @@
     by the VM (the stand-in for AFL++'s cmplog/Redqueen, which the paper
     enables for all fuzzer configurations). The mutators are byte-oriented
     and deliberately mirror afl-fuzz's repertoire so that the feedback
-    mechanisms — not the mutators — differentiate the configurations. *)
+    mechanisms — not the mutators — differentiate the configurations.
+
+    The havoc stack mutates a pooled {!scratch} buffer in place — one
+    growable [Bytes.t] plus a length cursor per campaign, mirroring the
+    VM's [exec_ctx] design — and materialises exactly one string per
+    child ([Bytes.sub_string] at the end). Every operator draws from the
+    RNG in the same order, with the same bounds, as the historical
+    string-round-trip implementation (kept as the differential oracle in
+    [test/mutator_ref.ml]), so campaign trajectories are byte-identical
+    to the allocating engine. *)
 
 let interesting8 = [| -128; -1; 0; 1; 16; 32; 64; 100; 127 |]
 
@@ -13,82 +22,6 @@ let interesting16 =
 let max_len = 4096
 
 let clamp_len s = if String.length s > max_len then String.sub s 0 max_len else s
-
-(* --- individual havoc operations on a mutable byte buffer --- *)
-
-let flip_bit rng b =
-  if Bytes.length b > 0 then begin
-    let i = Rng.int rng (Bytes.length b) in
-    let bit = Rng.int rng 8 in
-    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
-  end
-
-let set_random_byte rng b =
-  if Bytes.length b > 0 then
-    Bytes.set b (Rng.int rng (Bytes.length b)) (Rng.byte rng)
-
-let add_sub_byte rng b =
-  if Bytes.length b > 0 then begin
-    let i = Rng.int rng (Bytes.length b) in
-    let delta = Rng.range rng 1 35 in
-    let delta = if Rng.bool rng then delta else -delta in
-    Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 255))
-  end
-
-let set_interesting8 rng b =
-  if Bytes.length b > 0 then begin
-    let i = Rng.int rng (Bytes.length b) in
-    Bytes.set b i (Char.chr (Rng.choose rng interesting8 land 255))
-  end
-
-let set_interesting16 rng b =
-  if Bytes.length b >= 2 then begin
-    let i = Rng.int rng (Bytes.length b - 1) in
-    let v = Rng.choose rng interesting16 land 0xffff in
-    Bytes.set b i (Char.chr (v land 255));
-    Bytes.set b (i + 1) (Char.chr ((v lsr 8) land 255))
-  end
-
-let copy_chunk rng b =
-  let n = Bytes.length b in
-  if n >= 2 then begin
-    let len = Rng.range rng 1 (max 1 (n / 2)) in
-    let src = Rng.int rng (n - len + 1) in
-    let dst = Rng.int rng (n - len + 1) in
-    Bytes.blit b src b dst len
-  end
-
-(* Length-changing operations work on strings. *)
-
-let insert_random rng s =
-  let n = String.length s in
-  if n >= max_len then s
-  else begin
-    let pos = Rng.int rng (n + 1) in
-    let len = Rng.range rng 1 8 in
-    let ins = String.init len (fun _ -> Rng.byte rng) in
-    String.sub s 0 pos ^ ins ^ String.sub s pos (n - pos)
-  end
-
-let duplicate_chunk rng s =
-  let n = String.length s in
-  if n = 0 || n >= max_len then s
-  else begin
-    let len = Rng.range rng 1 (max 1 (n / 2)) in
-    let src = Rng.int rng (n - len + 1) in
-    let pos = Rng.int rng (n + 1) in
-    let chunk = String.sub s src len in
-    clamp_len (String.sub s 0 pos ^ chunk ^ String.sub s pos (n - pos))
-  end
-
-let delete_chunk rng s =
-  let n = String.length s in
-  if n <= 1 then s
-  else begin
-    let len = Rng.range rng 1 (max 1 (n / 2)) in
-    let pos = Rng.int rng (n - len + 1) in
-    String.sub s 0 pos ^ String.sub s (pos + len) (n - pos - len)
-  end
 
 (* --- input-to-state substitution (cmplog) --- *)
 
@@ -155,62 +88,323 @@ let i2s_apply rng (p : cmp_pair) (s : string) : string =
   | [] -> s
   | l -> Rng.choose_list rng l
 
+(* --- the pooled mutation buffer --- *)
+
+(** Reusable per-campaign mutation state: the child under construction
+    ([buf] up to [len]) and a staging area for chunk duplication. Both
+    grow on demand and are retained across candidates. *)
+type scratch = {
+  mutable buf : Bytes.t;
+  mutable len : int;
+  mutable tmp : Bytes.t;  (** staging for duplicate-chunk sources *)
+}
+
+(* Capacity head-room: lengths stay <= max_len + 8 between operators
+   (insert does not clamp, matching the historical engine), and the
+   worst transient during duplicate-chunk is len * 3/2; double max_len
+   covers both without reallocation in steady state. *)
+let create_scratch () =
+  { buf = Bytes.create (2 * max_len); len = 0; tmp = Bytes.create max_len }
+
+let ensure_buf (sc : scratch) n =
+  if Bytes.length sc.buf < n then begin
+    let bigger = Bytes.create (max n (2 * Bytes.length sc.buf)) in
+    Bytes.blit sc.buf 0 bigger 0 sc.len;
+    sc.buf <- bigger
+  end
+
+let ensure_tmp (sc : scratch) n =
+  if Bytes.length sc.tmp < n then sc.tmp <- Bytes.create (max n (2 * Bytes.length sc.tmp))
+
+(* --- individual havoc operations, in place on the scratch buffer ---
+   Each draws from the RNG in exactly the order and with exactly the
+   bounds of the string-round-trip engine (see test/mutator_ref.ml). *)
+
+let flip_bit sc rng =
+  if sc.len > 0 then begin
+    let i = Rng.int rng sc.len in
+    let bit = Rng.int rng 8 in
+    Bytes.set sc.buf i (Char.chr (Char.code (Bytes.get sc.buf i) lxor (1 lsl bit)))
+  end
+
+let set_random_byte sc rng =
+  if sc.len > 0 then Bytes.set sc.buf (Rng.int rng sc.len) (Rng.byte rng)
+
+let add_sub_byte sc rng =
+  if sc.len > 0 then begin
+    let i = Rng.int rng sc.len in
+    let delta = Rng.range rng 1 35 in
+    let delta = if Rng.bool rng then delta else -delta in
+    Bytes.set sc.buf i (Char.chr ((Char.code (Bytes.get sc.buf i) + delta) land 255))
+  end
+
+let set_interesting8 sc rng =
+  if sc.len > 0 then begin
+    let i = Rng.int rng sc.len in
+    Bytes.set sc.buf i (Char.chr (Rng.choose rng interesting8 land 255))
+  end
+
+let set_interesting16 sc rng =
+  if sc.len >= 2 then begin
+    let i = Rng.int rng (sc.len - 1) in
+    let v = Rng.choose rng interesting16 land 0xffff in
+    Bytes.set sc.buf i (Char.chr (v land 255));
+    Bytes.set sc.buf (i + 1) (Char.chr ((v lsr 8) land 255))
+  end
+
+let copy_chunk sc rng =
+  let n = sc.len in
+  if n >= 2 then begin
+    let len = Rng.range rng 1 (max 1 (n / 2)) in
+    let src = Rng.int rng (n - len + 1) in
+    let dst = Rng.int rng (n - len + 1) in
+    Bytes.blit sc.buf src sc.buf dst len
+  end
+
+(* Length-changing operations shift the tail in place. *)
+
+let insert_random sc rng =
+  let n = sc.len in
+  if n < max_len then begin
+    let pos = Rng.int rng (n + 1) in
+    let len = Rng.range rng 1 8 in
+    ensure_buf sc (n + len);
+    Bytes.blit sc.buf pos sc.buf (pos + len) (n - pos);
+    for i = pos to pos + len - 1 do
+      Bytes.set sc.buf i (Rng.byte rng)
+    done;
+    sc.len <- n + len
+  end
+
+let duplicate_chunk sc rng =
+  let n = sc.len in
+  if n > 0 && n < max_len then begin
+    let len = Rng.range rng 1 (max 1 (n / 2)) in
+    let src = Rng.int rng (n - len + 1) in
+    let pos = Rng.int rng (n + 1) in
+    ensure_buf sc (n + len);
+    ensure_tmp sc len;
+    Bytes.blit sc.buf src sc.tmp 0 len;
+    Bytes.blit sc.buf pos sc.buf (pos + len) (n - pos);
+    Bytes.blit sc.tmp 0 sc.buf pos len;
+    sc.len <- min (n + len) max_len
+  end
+
+let delete_chunk sc rng =
+  let n = sc.len in
+  if n > 1 then begin
+    let len = Rng.range rng 1 (max 1 (n / 2)) in
+    let pos = Rng.int rng (n - len + 1) in
+    Bytes.blit sc.buf (pos + len) sc.buf pos (n - pos - len);
+    sc.len <- n - len
+  end
+
+let splice sc rng (other : string) =
+  if String.length other > 1 && sc.len > 1 then begin
+    let cut_a = Rng.int rng sc.len in
+    let cut_b = Rng.int rng (String.length other) in
+    let total = min (cut_a + String.length other - cut_b) max_len in
+    ensure_buf sc total;
+    (* total < cut_a is possible when len transiently exceeds max_len
+       (insert does not clamp): the child is then just our clamped
+       prefix, which is already in place. *)
+    if total > cut_a then
+      Bytes.blit_string other cut_b sc.buf cut_a (total - cut_a);
+    sc.len <- total
+  end
+
+(* In-place input-to-state: locate candidate encodings of [observed]
+   (little-endian w=1/2/4, then ASCII decimal — the same fixed probe
+   order as the string engine), draw among the hits, rewrite in place. *)
+
+(* The search loops carry all state as parameters: inner [let rec]
+   helpers would capture their environment and allocate a closure per
+   probe, which dominated the i2s hot path. *)
+let rec le_eq b pos v width j =
+  j = width
+  || Char.code (Bytes.unsafe_get b (pos + j)) = (v asr (8 * j)) land 255
+     && le_eq b pos v width (j + 1)
+
+let rec find_le_from b n v width pos =
+  if pos + width > n then -1
+  else if le_eq b pos v width 0 then pos
+  else find_le_from b n v width (pos + 1)
+
+let find_le b n ~width v = find_le_from b n v width 0
+
+let rec bytes_eq buf pos pat poff m j =
+  j = m
+  || Bytes.unsafe_get buf (pos + j) = Bytes.unsafe_get pat (poff + j)
+     && bytes_eq buf pos pat poff m (j + 1)
+
+let rec find_bytes_from buf n pat poff m pos =
+  if pos + m > n then -1
+  else if bytes_eq buf pos pat poff m 0 then pos
+  else find_bytes_from buf n pat poff m (pos + 1)
+
+let find_bytes buf n pat poff m =
+  if m = 0 then -1 else find_bytes_from buf n pat poff m 0
+
+let write_le b pos width v =
+  for j = 0 to width - 1 do
+    Bytes.set b (pos + j) (Char.unsafe_chr ((v asr (8 * j)) land 255))
+  done
+
+(* Decimal rendering into a staging buffer, byte-for-byte what
+   [string_of_int] produces — hand-rolled because string_of_int's format
+   machinery allocates per call. Digits iterate on the negated
+   (non-positive) value so [min_int] renders exactly. *)
+let rec dec_ndigits n acc = if n = 0 then acc else dec_ndigits (n / 10) (acc + 1)
+
+let rec dec_fill b base n i =
+  if n <> 0 then begin
+    Bytes.set b (base + i) (Char.unsafe_chr (48 - (n mod 10)));
+    dec_fill b base (n / 10) (i - 1)
+  end
+
+(* Returns the length written at [off]. *)
+let write_decimal (b : Bytes.t) off (v : int) : int =
+  if v = 0 then begin
+    Bytes.set b off '0';
+    1
+  end
+  else begin
+    let neg = v < 0 in
+    let n = if neg then v else -v in
+    let nd = dec_ndigits n 0 in
+    let sign = if neg then 1 else 0 in
+    dec_fill b (off + sign) n (nd - 1);
+    if neg then Bytes.set b off '-';
+    sign + nd
+  end
+
+let le_candidate buf n observed w =
+  if observed < 0 || (w < 8 && observed >= 1 lsl (8 * w)) then -1
+  else find_le buf n ~width:w observed
+
+let i2s_in_place sc rng (p : cmp_pair) =
+  let n = sc.len in
+  let c1 = le_candidate sc.buf n p.observed 1 in
+  let c2 = le_candidate sc.buf n p.observed 2 in
+  let c4 = le_candidate sc.buf n p.observed 4 in
+  (* decimal pattern of [observed] staged at tmp[0, m); tmp is never
+     live across operators, so sharing it with duplicate-chunk is fine *)
+  ensure_tmp sc 64;
+  let m = if p.observed < 0 then 0 else write_decimal sc.tmp 0 p.observed in
+  let ca = find_bytes sc.buf n sc.tmp 0 m in
+  let ncand =
+    (if c1 >= 0 then 1 else 0)
+    + (if c2 >= 0 then 1 else 0)
+    + (if c4 >= 0 then 1 else 0)
+    + if ca >= 0 then 1 else 0
+  in
+  if ncand > 0 then begin
+    (* the single draw Rng.choose_list made over the candidate list,
+       which was built in this width-then-ascii order *)
+    let k = Rng.int rng ncand in
+    let k =
+      if c1 >= 0 then
+        if k = 0 then begin
+          write_le sc.buf c1 1 p.wanted;
+          -1
+        end
+        else k - 1
+      else k
+    in
+    let k =
+      if k >= 0 && c2 >= 0 then
+        if k = 0 then begin
+          write_le sc.buf c2 2 p.wanted;
+          -1
+        end
+        else k - 1
+      else k
+    in
+    let k =
+      if k >= 0 && c4 >= 0 then
+        if k = 0 then begin
+          write_le sc.buf c4 4 p.wanted;
+          -1
+        end
+        else k - 1
+      else k
+    in
+    if k >= 0 && ca >= 0 then begin
+      (* replace the pattern at [ca] by the decimal of [wanted], staged
+         at tmp[32, 32 + r) *)
+      let r = write_decimal sc.tmp 32 p.wanted in
+      let new_n = n - m + r in
+      ensure_buf sc new_n;
+      Bytes.blit sc.buf (ca + m) sc.buf (ca + r) (n - ca - m);
+      Bytes.blit sc.tmp 32 sc.buf ca r;
+      sc.len <- min new_n max_len
+    end
+  end
+
 (* --- havoc --- *)
 
-(** One havoc-mutated child of [s]: applies a random stack of 1–8
-    operations. [cmps] supplies captured comparison operands for the
-    input-to-state operator; [splice_with] (when provided) allows the
-    crossover operator into a second corpus entry. *)
-let havoc ?(cmps = []) ?splice_with rng (s : string) : string =
-  let s = ref (if s = "" then String.make 1 (Rng.byte rng) else s) in
+(** One havoc-mutated child of [s], built in place in [scratch] (read it
+    from [sc.buf] up to [sc.len]): a random stack of 1–8 operations.
+    [cmps] supplies captured comparison operands for the input-to-state
+    operator; [splice_with] (when provided) allows the crossover operator
+    into a second corpus entry. Allocates nothing in steady state — the
+    campaign executes the child straight out of the buffer
+    ({!Vm.Interp.run_ctx_sub}) and materialises a string only on
+    retention. *)
+let havoc_in_place (sc : scratch) ?(cmps = [||]) ?splice_with rng (s : string)
+    : unit =
+  let slen = String.length s in
+  if slen = 0 then begin
+    ensure_buf sc 1;
+    Bytes.set sc.buf 0 (Rng.byte rng);
+    sc.len <- 1
+  end
+  else begin
+    ensure_buf sc slen;
+    Bytes.blit_string s 0 sc.buf 0 slen;
+    sc.len <- slen
+  end;
   let stack = 1 lsl Rng.range rng 0 3 in
+  let ncmps = Array.length cmps in
+  let n_ops = 10 in
+  let bound =
+    n_ops
+    + (if ncmps = 0 then 0 else 3)
+    + (match splice_with with None -> 0 | Some _ -> 1)
+  in
   for _ = 1 to stack do
-    let n_ops = 10 in
-    let op = Rng.int rng (n_ops + (if cmps = [] then 0 else 3) + (match splice_with with None -> 0 | Some _ -> 1)) in
+    let op = Rng.int rng bound in
     match op with
-    | 0 | 1 ->
-        let b = Bytes.of_string !s in
-        flip_bit rng b;
-        s := Bytes.to_string b
-    | 2 ->
-        let b = Bytes.of_string !s in
-        set_random_byte rng b;
-        s := Bytes.to_string b
-    | 3 | 4 ->
-        let b = Bytes.of_string !s in
-        add_sub_byte rng b;
-        s := Bytes.to_string b
-    | 5 ->
-        let b = Bytes.of_string !s in
-        set_interesting8 rng b;
-        s := Bytes.to_string b
-    | 6 ->
-        let b = Bytes.of_string !s in
-        set_interesting16 rng b;
-        s := Bytes.to_string b
-    | 7 ->
-        let b = Bytes.of_string !s in
-        copy_chunk rng b;
-        s := Bytes.to_string b
-    | 8 -> s := insert_random rng !s
-    | 9 -> s := if Rng.bool rng then duplicate_chunk rng !s else delete_chunk rng !s
-    | (10 | 11 | 12) when cmps <> [] ->
+    | 0 | 1 -> flip_bit sc rng
+    | 2 -> set_random_byte sc rng
+    | 3 | 4 -> add_sub_byte sc rng
+    | 5 -> set_interesting8 sc rng
+    | 6 -> set_interesting16 sc rng
+    | 7 -> copy_chunk sc rng
+    | 8 -> insert_random sc rng
+    | 9 ->
+        if Rng.bool rng then duplicate_chunk sc rng else delete_chunk sc rng
+    | (10 | 11 | 12) when ncmps > 0 ->
         (* input-to-state: solve an observed comparison *)
-        s := i2s_apply rng (Rng.choose_list rng cmps) !s
+        i2s_in_place sc rng cmps.(Rng.int rng ncmps)
     | _ -> begin
         (* splice: take a prefix of us and a suffix of the other entry *)
         match splice_with with
-        | Some other when String.length other > 1 && String.length !s > 1 ->
-            let cut_a = Rng.int rng (String.length !s) in
-            let cut_b = Rng.int rng (String.length other) in
-            s :=
-              clamp_len
-                (String.sub !s 0 cut_a
-                ^ String.sub other cut_b (String.length other - cut_b))
-        | _ -> ()
+        | Some other -> splice sc rng other
+        | None -> ()
       end
-  done;
-  !s
+  done
+
+(** {!havoc_in_place} plus one [Bytes.sub_string] for the child. *)
+let havoc_into (sc : scratch) ?cmps ?splice_with rng (s : string) : string =
+  havoc_in_place sc ?cmps ?splice_with rng s;
+  Bytes.sub_string sc.buf 0 sc.len
+
+(** Convenience wrapper allocating a fresh scratch per call — cold paths
+    and tests only; campaigns hold one scratch and use {!havoc_in_place}
+    or {!havoc_into}. *)
+let havoc ?cmps ?splice_with rng (s : string) : string =
+  havoc_into (create_scratch ()) ?cmps ?splice_with rng s
 
 (** The deterministic stage (walking bit flips and interesting bytes) used
     by tests and the classic-AFL profile; returns all children. *)

@@ -1,7 +1,13 @@
 (** Input mutation engine: the AFL havoc stack, splicing, and an
     input-to-state substitution stage fed by comparison operands captured
     by the VM (the stand-in for AFL++'s cmplog/Redqueen, enabled for all
-    fuzzer configurations in the paper's evaluation). *)
+    fuzzer configurations in the paper's evaluation).
+
+    The havoc stack works in place on a pooled {!scratch} buffer; the
+    campaign executes children straight out of it (zero-copy) and only
+    materialises a string on retention. Every operator consumes RNG
+    draws in the same order and with the same bounds as the historical
+    string-round-trip engine, so campaign trajectories are unchanged. *)
 
 (** Hard cap on generated input length. *)
 val max_len : int
@@ -16,11 +22,34 @@ type cmp_pair = { observed : int; wanted : int }
     returns the input unchanged when no encoding is found. *)
 val i2s_apply : Rng.t -> cmp_pair -> string -> string
 
-(** One havoc-mutated child: a random stack of 1–8 operations (bit flips,
-    arithmetic, interesting values, block copy/insert/delete, optional
-    input-to-state substitution from [cmps], optional splice with a second
-    corpus entry). Never returns an empty string. *)
-val havoc : ?cmps:cmp_pair list -> ?splice_with:string -> Rng.t -> string -> string
+(** Reusable per-campaign mutation buffer: the child under construction
+    lives in [buf] up to [len] (plus a staging area for chunk
+    duplication). Create once, thread through {!havoc_in_place} /
+    {!havoc_into}; treat the fields as read-only outside this module. *)
+type scratch = {
+  mutable buf : Bytes.t;
+  mutable len : int;
+  mutable tmp : Bytes.t;
+}
+
+val create_scratch : unit -> scratch
+
+(** One havoc-mutated child built in place in [scratch]: a random stack
+    of 1–8 operations (bit flips, arithmetic, interesting values, block
+    copy/insert/delete, optional input-to-state substitution from [cmps],
+    optional splice with a second corpus entry). The child is
+    [sc.buf[0, sc.len)] — never empty — and stays valid until the next
+    call on the same scratch. Allocation-free in steady state. *)
+val havoc_in_place :
+  scratch -> ?cmps:cmp_pair array -> ?splice_with:string -> Rng.t -> string -> unit
+
+(** {!havoc_in_place} plus one [Bytes.sub_string] for the child. *)
+val havoc_into :
+  scratch -> ?cmps:cmp_pair array -> ?splice_with:string -> Rng.t -> string -> string
+
+(** {!havoc_into} with a throwaway scratch — cold paths and tests only. *)
+val havoc :
+  ?cmps:cmp_pair array -> ?splice_with:string -> Rng.t -> string -> string
 
 (** The deterministic stage (walking bit flips and interesting bytes),
     used by tests and the classic-AFL profile; returns all children. *)

@@ -295,8 +295,11 @@ type exec_ctx = {
   mutable cs_fid : int array;
   mutable cs_site : int array;
   mutable cs_top : int;
-  (* Per-execution registers. *)
+  (* Per-execution registers. [input_len] is authoritative: the scratch
+     fast path ([run_ctx_sub]) views a pooled buffer as a string whose
+     physical length exceeds the candidate's. *)
   mutable input : string;
+  mutable input_len : int;
   mutable fuel : int;
   mutable max_depth : int;
   mutable blocks : int;
@@ -338,6 +341,7 @@ let create_ctx ?(hooks = no_hooks) (p : prepared) : exec_ctx =
     cs_site = Array.make 64 0;
     cs_top = 0;
     input = "";
+    input_len = 0;
     fuel = 0;
     max_depth = default_max_depth;
     blocks = 0;
@@ -536,9 +540,9 @@ let rec eval_int ctx (fr : frame) (e : rexpr) : int =
   | Rbnot e -> lnot (eval_int ctx fr e)
   | Rin e ->
       let i = eval_int ctx fr e in
-      if i < 0 || i >= String.length ctx.input then -1
+      if i < 0 || i >= ctx.input_len then -1
       else Char.code (String.unsafe_get ctx.input i)
-  | Rlen -> String.length ctx.input
+  | Rlen -> ctx.input_len
   | Rabs e -> abs (eval_int ctx fr e)
   | Rarray_make (_, site) -> type_err site "array in int context"
   | Rarray_len (e, site) -> Array.length (eval_arr ctx fr site e)
@@ -669,14 +673,9 @@ let site_function (prog : Minic.Ir.program) site =
   if site >= 0 && site < Array.length prog.sites then prog.sites.(site).sfunc
   else "?"
 
-(** Execute the context's program from [main] on [input]. Never raises
-    for program-under-test misbehaviour — crashes, hangs and type
-    confusion all come back as [status]. Steady-state this allocates only
-    the [outcome] record and whatever [array(n)] the program requests. *)
-let run_ctx ?(fuel = default_fuel) ?(max_depth = default_max_depth)
-    (ctx : exec_ctx) ~(input : string) : outcome =
+(* Run [main] on whatever input registers are already set. *)
+let run_current (ctx : exec_ctx) ~fuel ~max_depth : outcome =
   reset_ctx ctx;
-  ctx.input <- input;
   ctx.fuel <- fuel;
   ctx.max_depth <- max_depth;
   let status =
@@ -693,6 +692,27 @@ let run_ctx ?(fuel = default_fuel) ?(max_depth = default_max_depth)
         Crashed { Crash.kind = Crash.Stack_overflow; stack = materialize_stack ctx }
   in
   { status; blocks_executed = ctx.blocks }
+
+(** Execute the context's program from [main] on [input]. Never raises
+    for program-under-test misbehaviour — crashes, hangs and type
+    confusion all come back as [status]. Steady-state this allocates only
+    the [outcome] record and whatever [array(n)] the program requests. *)
+let run_ctx ?(fuel = default_fuel) ?(max_depth = default_max_depth)
+    (ctx : exec_ctx) ~(input : string) : outcome =
+  ctx.input <- input;
+  ctx.input_len <- String.length input;
+  run_current ctx ~fuel ~max_depth
+
+(** Execute on the first [len] bytes of [buf] without copying them into a
+    string — the zero-copy path for pooled mutation buffers. The VM never
+    writes to its input, so viewing the buffer as a string is safe; the
+    caller must not mutate [buf] during the run. *)
+let run_ctx_sub ?(fuel = default_fuel) ?(max_depth = default_max_depth)
+    (ctx : exec_ctx) ~(buf : Bytes.t) ~(len : int) : outcome =
+  if len < 0 || len > Bytes.length buf then invalid_arg "Interp.run_ctx_sub";
+  ctx.input <- Bytes.unsafe_to_string buf;
+  ctx.input_len <- len;
+  run_current ctx ~fuel ~max_depth
 
 (** Execute a prepared program from [main] on [input] through a fresh
     context (use [create_ctx] + [run_ctx] in loops to reuse the pools). *)

@@ -58,6 +58,13 @@ type exec_ctx
 val create_ctx : ?hooks:hooks -> prepared -> exec_ctx
 val run_ctx : ?fuel:int -> ?max_depth:int -> exec_ctx -> input:string -> outcome
 
+(** Execute on the first [len] bytes of [buf] without copying them into a
+    string — the zero-copy path for pooled mutation buffers. The caller
+    must not mutate [buf] during the run; raises [Invalid_argument] if
+    [len] exceeds the buffer. *)
+val run_ctx_sub :
+  ?fuel:int -> ?max_depth:int -> exec_ctx -> buf:Bytes.t -> len:int -> outcome
+
 (** One-shot convenience (prepares on each call; use {!prepare} +
     {!create_ctx} + {!run_ctx} in loops). *)
 val run :

@@ -1,0 +1,202 @@
+(* Reference mutation engine: the historical string-round-trip havoc
+   implementation, kept verbatim as the differential oracle for the pooled
+   scratch-buffer engine in [Fuzz.Mutator]. Every operator here allocates
+   fresh strings/bytes per step; the production engine must produce
+   byte-identical children while consuming RNG draws in the same order
+   (see [Test_mutator_diff]). Do not "improve" this file. *)
+
+open Fuzz
+
+let interesting8 = [| -128; -1; 0; 1; 16; 32; 64; 100; 127 |]
+
+let interesting16 =
+  [| -32768; -129; 128; 255; 256; 512; 1000; 1024; 4096; 32767 |]
+
+let max_len = 4096
+
+let clamp_len s = if String.length s > max_len then String.sub s 0 max_len else s
+
+(* --- individual havoc operations on a mutable byte buffer --- *)
+
+let flip_bit rng b =
+  if Bytes.length b > 0 then begin
+    let i = Rng.int rng (Bytes.length b) in
+    let bit = Rng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+  end
+
+let set_random_byte rng b =
+  if Bytes.length b > 0 then
+    Bytes.set b (Rng.int rng (Bytes.length b)) (Rng.byte rng)
+
+let add_sub_byte rng b =
+  if Bytes.length b > 0 then begin
+    let i = Rng.int rng (Bytes.length b) in
+    let delta = Rng.range rng 1 35 in
+    let delta = if Rng.bool rng then delta else -delta in
+    Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 255))
+  end
+
+let set_interesting8 rng b =
+  if Bytes.length b > 0 then begin
+    let i = Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Rng.choose rng interesting8 land 255))
+  end
+
+let set_interesting16 rng b =
+  if Bytes.length b >= 2 then begin
+    let i = Rng.int rng (Bytes.length b - 1) in
+    let v = Rng.choose rng interesting16 land 0xffff in
+    Bytes.set b i (Char.chr (v land 255));
+    Bytes.set b (i + 1) (Char.chr ((v lsr 8) land 255))
+  end
+
+let copy_chunk rng b =
+  let n = Bytes.length b in
+  if n >= 2 then begin
+    let len = Rng.range rng 1 (max 1 (n / 2)) in
+    let src = Rng.int rng (n - len + 1) in
+    let dst = Rng.int rng (n - len + 1) in
+    Bytes.blit b src b dst len
+  end
+
+(* Length-changing operations work on strings. *)
+
+let insert_random rng s =
+  let n = String.length s in
+  if n >= max_len then s
+  else begin
+    let pos = Rng.int rng (n + 1) in
+    let len = Rng.range rng 1 8 in
+    let ins = String.init len (fun _ -> Rng.byte rng) in
+    String.sub s 0 pos ^ ins ^ String.sub s pos (n - pos)
+  end
+
+let duplicate_chunk rng s =
+  let n = String.length s in
+  if n = 0 || n >= max_len then s
+  else begin
+    let len = Rng.range rng 1 (max 1 (n / 2)) in
+    let src = Rng.int rng (n - len + 1) in
+    let pos = Rng.int rng (n + 1) in
+    let chunk = String.sub s src len in
+    clamp_len (String.sub s 0 pos ^ chunk ^ String.sub s pos (n - pos))
+  end
+
+let delete_chunk rng s =
+  let n = String.length s in
+  if n <= 1 then s
+  else begin
+    let len = Rng.range rng 1 (max 1 (n / 2)) in
+    let pos = Rng.int rng (n - len + 1) in
+    String.sub s 0 pos ^ String.sub s (pos + len) (n - pos - len)
+  end
+
+(* --- input-to-state substitution (cmplog) --- *)
+
+type cmp_pair = Fuzz.Mutator.cmp_pair = { observed : int; wanted : int }
+
+let encode_le width v = String.init width (fun i -> Char.chr ((v asr (8 * i)) land 255))
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then None else go 0
+
+let replace_at s pos repl =
+  let n = String.length s and m = String.length repl in
+  if pos + m > n then s
+  else String.sub s 0 pos ^ repl ^ String.sub s (pos + m) (n - pos - m)
+
+let i2s_apply rng (p : cmp_pair) (s : string) : string =
+  let try_width w =
+    if p.observed < 0 || (w < 8 && p.observed >= 1 lsl (8 * w)) then None
+    else
+      let pat = encode_le w p.observed in
+      match find_sub s pat with
+      | Some pos -> Some (replace_at s pos (encode_le w p.wanted))
+      | None -> None
+  in
+  let try_ascii () =
+    if p.observed < 0 then None
+    else
+      let pat = string_of_int p.observed in
+      if String.length pat = 0 then None
+      else
+        match find_sub s pat with
+        | Some pos ->
+            let n = String.length s in
+            let repl = string_of_int p.wanted in
+            Some
+              (clamp_len
+                 (String.sub s 0 pos ^ repl
+                 ^ String.sub s (pos + String.length pat)
+                     (n - pos - String.length pat)))
+        | None -> None
+  in
+  let candidates = List.filter_map (fun f -> f ()) [
+    (fun () -> try_width 1);
+    (fun () -> try_width 2);
+    (fun () -> try_width 4);
+    try_ascii;
+  ]
+  in
+  match candidates with
+  | [] -> s
+  | l -> Rng.choose_list rng l
+
+(* --- havoc --- *)
+
+let havoc ?(cmps = []) ?splice_with rng (s : string) : string =
+  let s = ref (if s = "" then String.make 1 (Rng.byte rng) else s) in
+  let stack = 1 lsl Rng.range rng 0 3 in
+  for _ = 1 to stack do
+    let n_ops = 10 in
+    let op = Rng.int rng (n_ops + (if cmps = [] then 0 else 3) + (match splice_with with None -> 0 | Some _ -> 1)) in
+    match op with
+    | 0 | 1 ->
+        let b = Bytes.of_string !s in
+        flip_bit rng b;
+        s := Bytes.to_string b
+    | 2 ->
+        let b = Bytes.of_string !s in
+        set_random_byte rng b;
+        s := Bytes.to_string b
+    | 3 | 4 ->
+        let b = Bytes.of_string !s in
+        add_sub_byte rng b;
+        s := Bytes.to_string b
+    | 5 ->
+        let b = Bytes.of_string !s in
+        set_interesting8 rng b;
+        s := Bytes.to_string b
+    | 6 ->
+        let b = Bytes.of_string !s in
+        set_interesting16 rng b;
+        s := Bytes.to_string b
+    | 7 ->
+        let b = Bytes.of_string !s in
+        copy_chunk rng b;
+        s := Bytes.to_string b
+    | 8 -> s := insert_random rng !s
+    | 9 -> s := if Rng.bool rng then duplicate_chunk rng !s else delete_chunk rng !s
+    | (10 | 11 | 12) when cmps <> [] ->
+        (* input-to-state: solve an observed comparison *)
+        s := i2s_apply rng (Rng.choose_list rng cmps) !s
+    | _ -> begin
+        (* splice: take a prefix of us and a suffix of the other entry *)
+        match splice_with with
+        | Some other when String.length other > 1 && String.length !s > 1 ->
+            let cut_a = Rng.int rng (String.length !s) in
+            let cut_b = Rng.int rng (String.length other) in
+            s :=
+              clamp_len
+                (String.sub !s 0 cut_a
+                ^ String.sub other cut_b (String.length other - cut_b))
+        | _ -> ()
+      end
+  done;
+  !s

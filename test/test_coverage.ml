@@ -24,6 +24,8 @@ let test_hit_and_clear () =
   Cm.hit m 300 (* wraps to 300 land 255 = 44 *);
   check Alcotest.int "two set" 2 (Cm.count_set m);
   check (Alcotest.list Alcotest.int) "indices" [ 5; 44 ] (Cm.set_indices m);
+  check (Alcotest.array Alcotest.int) "indices array" [| 5; 44 |]
+    (Cm.sorted_indices m);
   check Alcotest.int "raw count" 2 (Cm.get m 5);
   Cm.clear m;
   check Alcotest.int "cleared" 0 (Cm.count_set m);
@@ -95,6 +97,7 @@ let prop_journal_matches_bytes =
       List.iter (Cm.hit m) idxs;
       let expected = List.sort_uniq compare idxs in
       Cm.set_indices m = expected
+      && Array.to_list (Cm.sorted_indices m) = expected
       && Cm.count_set m = List.length expected)
 
 (* --- feedback listeners --- *)

@@ -397,7 +397,7 @@ let prop_havoc_valid =
       let rng = Fuzz.Rng.create seed in
       let child =
         Fuzz.Mutator.havoc
-          ~cmps:[ { observed = 65; wanted = 66 } ]
+          ~cmps:[| { observed = 65; wanted = 66 } |]
           ~splice_with:"other input" rng input
       in
       String.length child >= 1 && String.length child <= Fuzz.Mutator.max_len)

@@ -1,0 +1,188 @@
+(* Fuzzer hot-path guarantees: (1) the pooled scratch-buffer havoc engine
+   is byte-identical to the historical string-round-trip engine kept in
+   [Mutator_ref] — same children AND the same number of RNG draws, which
+   is what makes whole campaigns byte-identical; (2) the mutation layer
+   and the campaign loop stay allocation-lean in steady state. *)
+
+open Alcotest
+
+let check_bool = check Alcotest.bool
+
+(* --- differential: scratch havoc vs the reference engine --- *)
+
+let diff_inputs =
+  [
+    "";
+    "A";
+    "hello world";
+    "width=80;height=24;";
+    "12345 67890 0";
+    String.make 64 '\x00';
+    String.init 40 (fun i -> Char.chr (i * 7 land 255));
+    (* contains LE encodings of 65 (1-byte) and 12345 (2-byte) *)
+    "\x41\x00\x00\x00 magic \x39\x30";
+    String.make Fuzz.Mutator.max_len 'z';
+    String.make (Fuzz.Mutator.max_len - 3) 'q';
+    String.init 200 (fun i -> Char.chr (i land 255));
+    "neg -5 and 305419896 end";
+  ]
+
+let diff_cmps =
+  [
+    [];
+    [ { Fuzz.Mutator.observed = 65; wanted = 90 } ];
+    [
+      { Fuzz.Mutator.observed = 12345; wanted = 513 };
+      { observed = 305419896; wanted = 1 };
+      { observed = 80; wanted = -5 };
+    ];
+    [
+      { Fuzz.Mutator.observed = 0; wanted = 255 };
+      { observed = 122; wanted = 0 };
+      { observed = 7; wanted = 1 lsl 30 };
+      { observed = 1 lsl 20; wanted = 42 };
+    ];
+  ]
+
+let diff_splices =
+  [ None; Some "xy"; Some (String.init 300 (fun i -> Char.chr (i * 3 land 255))) ]
+
+(* Every (input x cmps x splice x seed) case chains three havocs — children
+   feed back as inputs, exercising transiently-over-max_len lengths — and
+   then compares one extra draw from each stream, pinning that both engines
+   consumed exactly the same number of RNG draws. One scratch is reused
+   across all cases, as a campaign does. *)
+let test_differential () =
+  let sc = Fuzz.Mutator.create_scratch () in
+  let cases = ref 0 in
+  List.iteri
+    (fun ii input ->
+      List.iteri
+        (fun ci cmps ->
+          let cmps_arr = Array.of_list cmps in
+          List.iteri
+            (fun si splice_with ->
+              for seed = 1 to 10 do
+                incr cases;
+                let r_ref = Fuzz.Rng.create (seed * 7919) in
+                let r_new = Fuzz.Rng.create (seed * 7919) in
+                let s_ref = ref input and s_new = ref input in
+                for round = 1 to 3 do
+                  s_ref := Mutator_ref.havoc ~cmps ?splice_with r_ref !s_ref;
+                  s_new :=
+                    Fuzz.Mutator.havoc_into sc ~cmps:cmps_arr ?splice_with
+                      r_new !s_new;
+                  if !s_ref <> !s_new then
+                    failf
+                      "child mismatch: input %d, cmps %d, splice %d, seed %d, \
+                       round %d (ref %d bytes, scratch %d bytes)"
+                      ii ci si seed round (String.length !s_ref)
+                      (String.length !s_new)
+                done;
+                check Alcotest.int "rng draw-count parity"
+                  (Fuzz.Rng.int r_ref 1_000_003)
+                  (Fuzz.Rng.int r_new 1_000_003)
+              done)
+            diff_splices)
+        diff_cmps)
+    diff_inputs;
+  check_bool ">= 1000 differential cases" true (!cases >= 1000)
+
+(* --- steady-state allocation: the mutation engine alone --- *)
+
+let test_mutator_allocation () =
+  let sc = Fuzz.Mutator.create_scratch () in
+  let rng = Fuzz.Rng.create 42 in
+  let input = String.init 256 (fun i -> Char.chr (i land 255)) in
+  let cmps = [| { Fuzz.Mutator.observed = 65; wanted = 90 } |] in
+  let one () =
+    ignore (Fuzz.Mutator.havoc_into sc ~cmps ~splice_with:"peer data" rng input)
+  in
+  for _ = 1 to 64 do
+    one ()
+  done;
+  let n = 2048 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    one ()
+  done;
+  let per_child = (Gc.minor_words () -. w0) /. float_of_int n in
+  (* a 256-byte input yields children of at most ~320 bytes (insert adds
+     <= 8 bytes per op, stacks are <= 8 deep), i.e. <= ~41 words for the
+     one child string the engine is allowed to allocate *)
+  check_bool
+    (Printf.sprintf "mutator minor words per child bounded (got %.1f)"
+       per_child)
+    true (per_child < 96.)
+
+(* --- steady-state allocation: the full campaign loop --- *)
+
+let test_campaign_allocation () =
+  (* The telemetry clock brackets [Mutator.havoc_in_place] in the real
+     loop; a null clock keeps the measurement allocation-free itself. The
+     old string-round-trip engine measured 150-310 minor words per
+     candidate on this path; the in-place engine allocates nothing per
+     candidate (children execute straight out of the scratch buffer and
+     are only materialised on retention, outside this bracket). *)
+  let s = Subjects.Registry.find_exn "cflow" in
+  let prog = Subjects.Subject.compile_fresh s in
+  let config =
+    { Fuzz.Campaign.default_config with budget = 6_000; rng_seed = 3 }
+  in
+  let r =
+    Fuzz.Campaign.run ~clock:(fun () -> 0.) ~config prog ~seeds:s.seeds
+  in
+  check_bool "campaign generated candidates" true (r.havocs > 1_000);
+  let per_cand = r.mut_minor_words /. float_of_int r.havocs in
+  check_bool
+    (Printf.sprintf "campaign minor words per candidate bounded (got %.1f)"
+       per_cand)
+    true
+    (per_cand >= 0. && per_cand < 20.)
+
+(* --- indexed corpus invariants --- *)
+
+let test_corpus_indexing () =
+  let c = Fuzz.Corpus.create () in
+  for i = 0 to 40 do
+    ignore
+      (Fuzz.Corpus.add c
+         ~data:(String.make (1 + (i mod 5)) 'a')
+         ~indices:[| i; i + 100 |]
+         ~exec_blocks:(1 + i) ~depth:0 ~found_at:i)
+  done;
+  check Alcotest.int "size" 41 (Fuzz.Corpus.size c);
+  List.iteri
+    (fun i (e : Fuzz.Corpus.entry) ->
+      check Alcotest.int "get agrees with discovery order" e.id
+        (Fuzz.Corpus.get c i).id)
+    (Fuzz.Corpus.to_list c);
+  let seen = ref 0 in
+  Fuzz.Corpus.iter (fun _ -> incr seen) c;
+  check Alcotest.int "iter visits all" 41 !seen;
+  let arr = Fuzz.Corpus.covered_indices_arr c in
+  check
+    (Alcotest.list Alcotest.int)
+    "array/list agree" (Fuzz.Corpus.covered_indices c) (Array.to_list arr);
+  check Alcotest.int "covered union" 82 (Array.length arr);
+  Array.iteri
+    (fun i v -> if i > 0 then check_bool "ascending" true (arr.(i - 1) < v))
+    arr;
+  check_bool "out-of-range get raises" true
+    (match Fuzz.Corpus.get c 41 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    ( "hotpath",
+      [
+        test_case "scratch havoc matches reference engine" `Quick
+          test_differential;
+        test_case "indexed corpus invariants" `Quick test_corpus_indexing;
+        test_case "mutator steady-state allocation" `Quick
+          test_mutator_allocation;
+        test_case "campaign steady-state allocation" `Quick
+          test_campaign_allocation;
+      ] );
+  ]
