@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro tables clean
+.PHONY: all build test bench micro tables history clean
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 bench: build
 	./_build/default/bin/pathfuzz.exe bench-throughput -o BENCH_throughput.json
 	./_build/default/bin/pathfuzz.exe bench-campaign -o BENCH_campaign.json
+
+# Append the current benchmark artifacts to the checked-in trend file
+# BENCH_history.jsonl and fail on >20% regressions vs the trailing
+# window. Run after `make bench`; set LABEL to tag the row.
+history: build
+	./_build/default/bin/pathfuzz.exe bench-history --label "$(LABEL)"
 
 # Bechamel micro-benchmarks (one per table/figure of the paper).
 micro: build

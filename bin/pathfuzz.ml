@@ -14,7 +14,13 @@
     - [bench-campaign]     measure full-campaign throughput (execs/sec,
                            allocation, mutation-vs-VM split) per
                            (subject x feedback) and write
-                           BENCH_campaign.json. *)
+                           BENCH_campaign.json;
+    - [stats]              run one observed campaign and render its
+                           counter block, snapshot trajectory and event
+                           log (the fuzzer_stats / plot_data analogue);
+    - [bench-history]      append the current BENCH_*.json cells as dated
+                           rows of BENCH_history.jsonl and flag execs/sec
+                           regressions against the trailing window. *)
 
 open Cmdliner
 
@@ -96,7 +102,26 @@ let fuzz_cmd =
           ~doc:"Number of trials (seeds $(b,--trial), $(b,--trial)+1, ...).")
   in
   let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.") in
-  let run subject fuzzer budget trial trials rounds jobs =
+  let stats =
+    Arg.(
+      value
+      & flag
+      & info [ "stats" ]
+          ~doc:
+            "Monitor mode: print a periodic status line per stats snapshot \
+             on stderr. The fuzzing trajectory is unchanged (the observer \
+             never perturbs the campaign).")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Stream observer events (snapshots, retains, crashes, pool \
+             trials) as JSON lines into FILE (\"-\" for stderr).")
+  in
+  let run subject fuzzer budget trial trials rounds jobs stats jsonl =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
     let trials = max 1 trials in
@@ -108,14 +133,40 @@ let fuzz_cmd =
       (if trials = 1 then "" else "s")
       trial;
     if jobs > 1 then Fmt.epr "[fuzz] %d worker domains@." jobs;
+    (* Observability: status/JSONL sinks never touch stdout, so observed
+       and unobserved runs produce the same diffable report. The sink is
+       mutex-wrapped and shared; each trial gets its own counter block. *)
+    let jsonl_oc =
+      match jsonl with
+      | "" -> None
+      | "-" -> Some stderr
+      | path -> Some (open_out path)
+    in
+    let base_sink =
+      let sinks =
+        (if stats then [ Obs.Sink.status prerr_endline ] else [])
+        @ match jsonl_oc with Some oc -> [ Obs.Sink.jsonl oc ] | None -> []
+      in
+      match sinks with
+      | [] -> None
+      | s :: rest -> Some (Obs.Sink.locked (List.fold_left Obs.Sink.tee s rest))
+    in
     let results =
-      Exec.Pool.map ~jobs trials (fun i ->
+      Exec.Pool.map ~jobs ?sink:base_sink trials (fun i ->
           (* per-worker program and plans: see lib/exec *)
           let prog = Subjects.Subject.compile_fresh s in
           let plans = Pathcov.Ball_larus.of_program prog in
-          Fuzz.Strategy.run ~plans ~budget ~trial_seed:(trial + i) fz prog
+          let obs =
+            Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
+          in
+          Fuzz.Strategy.run ~plans ?obs ~budget ~trial_seed:(trial + i) fz prog
             ~seeds:s.seeds)
     in
+    (match jsonl_oc with
+    | Some oc ->
+        flush oc;
+        if jsonl <> "-" then close_out oc
+    | None -> ());
     Array.iteri
       (fun i (r : Fuzz.Strategy.run_result) ->
         if trials > 1 then Fmt.pr "@.-- trial %d --@." (trial + i);
@@ -154,7 +205,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one or more fuzzing campaigns")
     Term.(
       const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
-      $ jobs_arg)
+      $ jobs_arg $ stats $ jsonl)
 
 (* --- profile --- *)
 
@@ -428,6 +479,202 @@ let bench_campaign_cmd =
           mutation-vs-VM time split across the (subject x feedback) grid")
     Term.(const run $ subjects $ budget $ out $ baseline $ note $ smoke)
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let fuzzer =
+    Arg.(
+      value
+      & opt string "path"
+      & info [ "f"; "fuzzer" ] ~docv:"FUZZER"
+          ~doc:"Fuzzer configuration (see `pathfuzz fuzz`).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 8_000
+      & info [ "b"; "budget" ] ~docv:"EXECS" ~doc:"Execution budget.")
+  in
+  let trial =
+    Arg.(value & opt int 1 & info [ "t"; "trial" ] ~docv:"N" ~doc:"Trial seed.")
+  in
+  let rounds =
+    Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.")
+  in
+  let events =
+    Arg.(
+      value
+      & opt int 40
+      & info [ "events" ] ~docv:"N" ~doc:"Newest non-snapshot events to show.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Also dump the retained event stream as JSON lines into FILE \
+             (\"-\" for stdout, after the tables).")
+  in
+  let run subject fuzzer budget trial rounds events jsonl =
+    let s = lookup_subject subject in
+    let fz = fuzzer_of_name rounds fuzzer in
+    let prog = Subjects.Subject.compile_fresh s in
+    let plans = Pathcov.Ball_larus.of_program prog in
+    (* A ring sink retains the event log in memory; no clock, so the
+       report is deterministic for (subject, fuzzer, budget, trial). *)
+    let ring = Obs.Sink.create_ring ~capacity:8192 () in
+    let obs = Obs.Observer.create ~sink:(Obs.Sink.ring ring) () in
+    Fmt.pr "stats: %s / %s, budget %d, trial seed %d@." s.name fz.name budget
+      trial;
+    let r =
+      Fuzz.Strategy.run ~plans ~obs ~budget ~trial_seed:trial fz prog
+        ~seeds:s.seeds
+    in
+    print_string (Experiments.Obs_render.counters_table obs.counters);
+    print_string
+      (Experiments.Obs_render.snapshots_table (Obs.Observer.snapshots obs));
+    print_string
+      (Experiments.Obs_render.events_table ~limit:events
+         (Obs.Sink.ring_events ring));
+    if Obs.Sink.ring_dropped ring > 0 then
+      Fmt.pr "(%d events dropped by the ring buffer)@."
+        (Obs.Sink.ring_dropped ring);
+    Fmt.pr "@.bugs found: %d, unique crashes: %d, queue: %d@."
+      (Fuzz.Triage.unique_bugs r.triage)
+      (Fuzz.Triage.unique_crashes r.triage)
+      r.queue_size;
+    match jsonl with
+    | "" -> ()
+    | "-" -> Experiments.Obs_render.dump_jsonl stdout (Obs.Sink.ring_events ring)
+    | path ->
+        let oc = open_out path in
+        Experiments.Obs_render.dump_jsonl oc (Obs.Sink.ring_events ring);
+        close_out oc;
+        Fmt.epr "[stats] wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one observed campaign and render its counters, snapshot \
+          trajectory and event log")
+    Term.(
+      const run $ subject_arg $ fuzzer $ budget $ trial $ rounds $ events
+      $ jsonl)
+
+(* --- bench-history --- *)
+
+let bench_history_cmd =
+  let history =
+    Arg.(
+      value
+      & opt string "BENCH_history.jsonl"
+      & info [ "history" ] ~docv:"FILE" ~doc:"Trend history file (JSONL).")
+  in
+  let throughput =
+    Arg.(
+      value
+      & opt string "BENCH_throughput.json"
+      & info [ "throughput" ] ~docv:"FILE"
+          ~doc:"Throughput bench to ingest (skipped when missing).")
+  in
+  let campaign =
+    Arg.(
+      value
+      & opt string "BENCH_campaign.json"
+      & info [ "campaign" ] ~docv:"FILE"
+          ~doc:"Campaign bench to ingest (skipped when missing).")
+  in
+  let date =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "date" ] ~docv:"YYYY-MM-DD"
+          ~doc:"Date stamp for the appended rows (default: today, UTC).")
+  in
+  let label =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "label" ] ~docv:"TEXT"
+          ~doc:"Free-form tag recorded with the appended rows (e.g. a PR).")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float 20.
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Regression threshold: flag cells whose execs/sec fall more \
+             than PCT percent below the trailing-window mean.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Trailing history rows (per source) to compare against.")
+  in
+  let check_only =
+    Arg.(
+      value
+      & flag
+      & info [ "check-only" ]
+          ~doc:"Run the regression check without appending to the history.")
+  in
+  let run history throughput campaign date label threshold window check_only =
+    let date =
+      if date <> "" then date
+      else
+        let tm = Unix.gmtime (Unix.time ()) in
+        Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    in
+    let sources =
+      List.filter_map
+        (fun (source, path) ->
+          match Experiments.Bench_history.cells_of_bench path with
+          | None -> None
+          | Some cells ->
+              Some { Experiments.Bench_history.date; source; label; cells })
+        [ ("throughput", throughput); ("campaign", campaign) ]
+    in
+    if sources = [] then begin
+      Fmt.epr
+        "bench-history: neither %s nor %s has a readable \"cells\" block@."
+        throughput campaign;
+      exit 2
+    end;
+    let past = Experiments.Bench_history.load history in
+    let regressions =
+      List.concat_map
+        (fun row ->
+          Experiments.Bench_history.check ~window ~threshold_pct:threshold past
+            row)
+        sources
+    in
+    if not check_only then
+      List.iter (Experiments.Bench_history.append history) sources;
+    let all = past @ sources in
+    print_string (Experiments.Bench_history.to_table all);
+    if not check_only then
+      Fmt.epr "[bench-history] appended %d row%s to %s@." (List.length sources)
+        (if List.length sources = 1 then "" else "s")
+        history;
+    if regressions <> [] then begin
+      Fmt.epr "%s@." (Experiments.Bench_history.regressions_report regressions);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-history"
+       ~doc:
+         "Append the current bench cells as dated trend rows and flag \
+          execs/sec regressions against the trailing window")
+    Term.(
+      const run $ history $ throughput $ campaign $ date $ label $ threshold
+      $ window $ check_only)
+
 let () =
   let doc = "path-aware coverage-guided fuzzing (CGO 2026 reproduction)" in
   exit
@@ -441,4 +688,6 @@ let () =
             tables_cmd;
             bench_throughput_cmd;
             bench_campaign_cmd;
+            stats_cmd;
+            bench_history_cmd;
           ]))

@@ -140,6 +140,32 @@ let copy t =
 (** Read the raw byte at a map index (tests and diagnostics). *)
 let get t idx = Char.code (Bytes.get t.bits (idx land t.mask))
 
+(** Number of virgin-map indices still fully untouched (byte = 0xFF) —
+    the "virgin bits residual" sampled into stats snapshots. A virgin
+    map's journal is unused, so this scans the raw bytes; the scan is
+    word-wise (one 64-bit compare per 8 indices) because virgin maps
+    stay almost entirely 0xFF, making the per-snapshot cost ~map/8
+    loads rather than map bytes. *)
+let residual t =
+  let bits = t.bits in
+  let n = Bytes.length bits in
+  let all_ff = -1L in
+  let count = ref 0 in
+  let k = ref 0 in
+  while !k + 8 <= n do
+    if Bytes.get_int64_ne bits !k = all_ff then count := !count + 8
+    else
+      for j = !k to !k + 7 do
+        if Bytes.unsafe_get bits j = '\255' then incr count
+      done;
+    k := !k + 8
+  done;
+  while !k < n do
+    if Bytes.unsafe_get bits !k = '\255' then incr count;
+    incr k
+  done;
+  !count
+
 (** FNV-1a hash of the trace contents (order-independent via sorting). *)
 let hash t =
   let idxs = sorted_indices t in

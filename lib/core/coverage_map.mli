@@ -57,5 +57,10 @@ val copy : t -> t
 (** Raw byte at a (wrapped) map index — tests and diagnostics. *)
 val get : t -> int -> int
 
+(** Number of virgin-map indices still fully untouched (byte = 0xFF) —
+    the "virgin bits residual" sampled into stats snapshots. Word-wise
+    scan: cheap enough for a per-snapshot cadence, not for per-exec. *)
+val residual : t -> int
+
 (** Order-independent FNV-1a hash of the trace contents. *)
 val hash : t -> int

@@ -29,6 +29,17 @@ let mode_name = function
   | Path -> "path"
   | Pathafl -> "pathafl"
 
+let mode_of_name = function
+  | "block" -> Some Block
+  | "edge" -> Some Edge
+  | "path" -> Some Path
+  | "pathafl" -> Some Pathafl
+  | s when String.length s > 5 && String.sub s 0 5 = "ngram" -> (
+      match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+      | Some n when n >= 2 -> Some (Ngram n)
+      | _ -> None)
+  | _ -> None
+
 type t = {
   mode : mode;
   trace : Coverage_map.t;

@@ -17,6 +17,11 @@ type mode = Block | Edge | Ngram of int | Path | Pathafl
 
 val mode_name : mode -> string
 
+(** Inverse of {!mode_name} ("block", "edge", "ngram<n>", "path",
+    "pathafl") — the CLI/stats surface parses mode names with this so
+    the two can never drift apart. *)
+val mode_of_name : string -> mode option
+
 type t = {
   mode : mode;
   trace : Coverage_map.t;

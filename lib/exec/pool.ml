@@ -8,6 +8,11 @@
     each result by its task index and returns a plain array in task
     order: the output is identical for every worker count and schedule.
 
+    Scheduling is observable without being influential: [map] can emit
+    [Trial_begin]/[Trial_end] events (task index, worker id, wall-clock)
+    into an {!Obs.Sink.t}, serialised under the result mutex so sinks
+    need no locking of their own. Results never depend on the sink.
+
     Tasks must not share mutable state unless that state is itself
     domain-safe; the experiment runner rebuilds the per-task program,
     Ball–Larus plans and interpreter state for exactly this reason. *)
@@ -15,7 +20,7 @@
 type t = {
   mutex : Mutex.t;
   work : Condition.t;  (** signalled when a task is queued or the pool closes *)
-  tasks : (unit -> unit) Queue.t;
+  tasks : (int -> unit) Queue.t;  (** thunks receive the claiming worker's id *)
   mutable closing : bool;
   mutable domains : unit Domain.t list;
 }
@@ -24,7 +29,8 @@ type t = {
     core the runtime recommends. *)
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-(** Spawn a pool of [jobs] worker domains consuming submitted thunks. *)
+(** Spawn a pool of [jobs] worker domains consuming submitted thunks.
+    Each worker passes its id (0-based) to the tasks it claims. *)
 let create ~jobs : t =
   let pool =
     {
@@ -35,7 +41,7 @@ let create ~jobs : t =
       domains = [];
     }
   in
-  let rec worker () =
+  let rec worker wid =
     Mutex.lock pool.mutex;
     let rec take () =
       match Queue.take_opt pool.tasks with
@@ -43,8 +49,8 @@ let create ~jobs : t =
           Mutex.unlock pool.mutex;
           (* Submitted thunks are expected to capture their own failures
              (as [map]'s do); a raise here would kill the worker domain. *)
-          task ();
-          worker ()
+          task wid;
+          worker wid
       | None ->
           if pool.closing then Mutex.unlock pool.mutex
           else begin
@@ -54,10 +60,11 @@ let create ~jobs : t =
     in
     take ()
   in
-  pool.domains <- List.init (max 1 jobs) (fun _ -> Domain.spawn worker);
+  pool.domains <-
+    List.init (max 1 jobs) (fun wid -> Domain.spawn (fun () -> worker wid));
   pool
 
-let submit (pool : t) (task : unit -> unit) : unit =
+let submit (pool : t) (task : int -> unit) : unit =
   Mutex.lock pool.mutex;
   if pool.closing then begin
     Mutex.unlock pool.mutex;
@@ -79,23 +86,36 @@ let shutdown (pool : t) : unit =
   List.iter Domain.join pool.domains;
   pool.domains <- []
 
-(** [map ~jobs ?on_done n f] computes [|f 0; ...; f (n-1)|] on up to
+(** [map ~jobs ?sink ?on_done n f] computes [|f 0; ...; f (n-1)|] on up to
     [jobs] worker domains. Tasks are claimed in index order from a shared
     queue (dynamic scheduling, so uneven task costs balance), and results
     land in their task's slot — the returned array is independent of the
-    schedule. [on_done i r] fires once per finished task under the
-    result mutex, so callbacks (e.g. a progress line) never interleave.
-    If any task raises, the exception with the lowest recorded task index
-    is re-raised in the calling domain after all workers stop; remaining
+    schedule. [sink] receives [Trial_begin] at claim and [Trial_end]
+    (with per-trial wall-clock) at completion; both are emitted under the
+    result mutex, so a plain ring or JSONL sink is safe to share.
+    [on_done i r] fires once per finished task under the same mutex, so
+    callbacks (e.g. a progress line) never interleave. If any task
+    raises, the exception with the lowest recorded task index is
+    re-raised in the calling domain after all workers stop — preceded by
+    a stderr diagnostic naming the task, its worker and the captured
+    backtrace, which otherwise dies with the worker domain. Remaining
     queued tasks are skipped. [jobs <= 1] runs sequentially in the
-    calling domain with identical results and callbacks. *)
-let map ?(jobs = 1) ?on_done (n : int) (f : int -> 'a) : 'a array =
+    calling domain (worker id 0) with identical results and callbacks. *)
+let map ?(jobs = 1) ?sink ?on_done (n : int) (f : int -> 'a) : 'a array =
   if n < 0 then invalid_arg "Pool.map: negative task count";
   let jobs = min (max 1 jobs) n in
+  let emit ev =
+    match sink with Some (s : Obs.Sink.t) -> s.emit ev | None -> ()
+  in
   if n = 0 then [||]
   else if jobs = 1 then
     Array.init n (fun i ->
+        emit (Obs.Event.Trial_begin { task = i; worker = 0 });
+        let t0 = Unix.gettimeofday () in
         let r = f i in
+        emit
+          (Obs.Event.Trial_end
+             { task = i; worker = 0; wall_s = Unix.gettimeofday () -. t0 });
         (match on_done with Some g -> g i r | None -> ());
         r)
   else begin
@@ -104,38 +124,51 @@ let map ?(jobs = 1) ?on_done (n : int) (f : int -> 'a) : 'a array =
     let failure = ref None in
     (* Keep the failure with the smallest task index: tasks are claimed in
        index order, so the surfaced exception is stable across runs. *)
-    let record_failure_locked i e bt =
+    let record_failure_locked i w e bt =
       match !failure with
-      | Some (j, _, _) when j <= i -> ()
-      | _ -> failure := Some (i, e, bt)
+      | Some (j, _, _, _) when j <= i -> ()
+      | _ -> failure := Some (i, w, e, bt)
     in
     let pool = create ~jobs in
     for i = 0 to n - 1 do
-      submit pool (fun () ->
+      submit pool (fun worker ->
           Mutex.lock state;
           let skip = !failure <> None in
+          if not skip then emit (Obs.Event.Trial_begin { task = i; worker });
           Mutex.unlock state;
-          if not skip then
+          if not skip then begin
+            let t0 = Unix.gettimeofday () in
             match f i with
             | r ->
+                let wall_s = Unix.gettimeofday () -. t0 in
                 Mutex.lock state;
                 results.(i) <- Some r;
+                emit (Obs.Event.Trial_end { task = i; worker; wall_s });
                 (match on_done with
                 | Some g -> (
                     try g i r
                     with e ->
-                      record_failure_locked i e (Printexc.get_raw_backtrace ()))
+                      record_failure_locked i worker e
+                        (Printexc.get_raw_backtrace ()))
                 | None -> ());
                 Mutex.unlock state
             | exception e ->
                 let bt = Printexc.get_raw_backtrace () in
                 Mutex.lock state;
-                record_failure_locked i e bt;
-                Mutex.unlock state)
+                record_failure_locked i worker e bt;
+                Mutex.unlock state
+          end)
     done;
     shutdown pool;
     match !failure with
-    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | Some (i, worker, e, bt) ->
+        (* The raw backtrace re-raised below only covers the calling
+           domain; print the worker-side frames while we still have them. *)
+        let frames = Printexc.raw_backtrace_to_string bt in
+        Printf.eprintf "pathfuzz: task %d failed on worker %d: %s\n%s%!" i
+          worker (Printexc.to_string e)
+          (if frames = "" then "" else frames);
+        Printexc.raise_with_backtrace e bt
     | None ->
         Array.map
           (function Some r -> r | None -> invalid_arg "Pool.map: missing result")

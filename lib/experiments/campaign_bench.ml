@@ -54,8 +54,9 @@ let measure ~budget ~(mode : Pathcov.Feedback.mode) (s : Subjects.Subject.t) :
   let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let r =
-    Fuzz.Campaign.run ~plans ~clock:Unix.gettimeofday ~config prog
-      ~seeds:s.seeds
+    Fuzz.Campaign.run ~plans
+      ~obs:(Obs.Observer.create ~clock:Unix.gettimeofday ())
+      ~config prog ~seeds:s.seeds
   in
   let wall_s = Unix.gettimeofday () -. t0 in
   let mw = Gc.minor_words () -. mw0 in

@@ -1,0 +1,102 @@
+(** Text rendering for the observability layer: the [pathfuzz stats]
+    tables over an {!Obs.Observer.t}'s counter block, snapshot log and
+    retained events, plus the JSONL dump. Pure formatting — nothing here
+    touches a live campaign. *)
+
+(** The [fuzzer_stats]-style counters table. Wall-split floats appear
+    only when a clock was installed (they are identically 0 otherwise,
+    and [pathfuzz stats] runs unclocked so its output is deterministic). *)
+let counters_table ?(with_wall = false) (c : Obs.Counters.t) : string =
+  let rows =
+    List.map (fun (k, v) -> [ k; string_of_int v ]) (Obs.Counters.to_fields c)
+  in
+  let rows =
+    if with_wall then
+      rows
+      @ [
+          [ "vm_s"; Printf.sprintf "%.3f" c.vm_s ];
+          [ "mut_s"; Printf.sprintf "%.3f" c.mut_s ];
+          [ "mut_minor_words"; Printf.sprintf "%.0f" c.mut_minor_words ];
+        ]
+    else rows
+  in
+  Render.table ~title:"Campaign counters (fuzzer_stats analogue)"
+    ~header:[ "counter"; "value" ] ~rows
+
+(** The snapshot trajectory table (the [plot_data] analogue). *)
+let snapshots_table (rows : Obs.Snapshot.row list) : string =
+  let header =
+    [
+      "at_exec";
+      "queue";
+      "favored";
+      "pending";
+      "cycles";
+      "retained";
+      "crashes";
+      "uniq";
+      "novel";
+      "hangs";
+      "virgin";
+    ]
+  in
+  let render (r : Obs.Snapshot.row) =
+    [
+      string_of_int r.at_exec;
+      string_of_int r.queue;
+      string_of_int r.favored;
+      string_of_int r.pending_favored;
+      string_of_int r.cycles;
+      string_of_int r.retained;
+      string_of_int r.crashes;
+      string_of_int r.crashes_stack_unique;
+      string_of_int r.crashes_cov_novel;
+      string_of_int r.hangs;
+      string_of_int r.virgin_residual;
+    ]
+  in
+  Render.table ~title:"Snapshots (plot_data analogue)" ~header
+    ~rows:(List.map render rows)
+
+(** The retained-events table ([limit] newest; a ring sink already
+    bounds what we hold). Snapshot events are omitted — they have their
+    own table. *)
+let events_table ?(limit = 40) (events : Obs.Event.t list) : string =
+  let events =
+    List.filter
+      (function Obs.Event.Snapshot _ -> false | _ -> true)
+      events
+  in
+  let n = List.length events in
+  let events =
+    (* keep the newest [limit] without losing discovery order *)
+    if n <= limit then events
+    else List.filteri (fun i _ -> i >= n - limit) events
+  in
+  let render e =
+    let at = Obs.Event.at_exec e in
+    [
+      (if at < 0 then "-" else string_of_int at);
+      Obs.Event.name e;
+      Obs.Event.detail e;
+    ]
+  in
+  let title =
+    if n > limit then
+      Printf.sprintf "Events (newest %d of %d retained)" limit n
+    else "Events"
+  in
+  (* detail is free-form prose: left-align it by making it the last of
+     exactly three columns and padding manually via Render.table *)
+  Render.table ~title ~header:[ "at_exec"; "event"; "detail" ]
+    ~rows:(List.map render events)
+
+(** Dump snapshots and events as JSONL onto [oc] (events already include
+    snapshot rows when they came through a recording sink; this helper
+    writes exactly what it is given, in order). *)
+let dump_jsonl (oc : out_channel) (events : Obs.Event.t list) : unit =
+  List.iter
+    (fun e ->
+      output_string oc (Obs.Event.to_jsonl e);
+      output_char oc '\n')
+    events

@@ -73,19 +73,31 @@ let run ?(quiet = false) ?(jobs = 1) ?fuzzers ?subjects (cfg : Config.t) : matri
   if (not quiet) && jobs > 1 then
     Printf.eprintf "[matrix] %d tasks on %d worker domains\n%!" total jobs;
   let done_ = ref 0 in
+  (* Worker attribution comes from the pool's own [Trial_end] events:
+     the sink fires under the result mutex just before [on_done i], so
+     [attrib.(i)] is always current when the progress line reads it. *)
+  let attrib = Array.make (max 1 total) (0, 0.) in
+  let sink =
+    Obs.Sink.make (function
+      | Obs.Event.Trial_end { task; worker; wall_s } ->
+          attrib.(task) <- (worker, wall_s)
+      | _ -> ())
+  in
   (* [on_done] runs under the pool's result mutex: one progress line per
      completed task, never interleaved between workers. *)
-  let on_done i ((r : Fuzz.Strategy.run_result), wall) =
+  let on_done i ((r : Fuzz.Strategy.run_result), _wall) =
     incr done_;
     if not quiet then begin
       let subject, (fuzzer : Fuzz.Strategy.fuzzer), trial = tasks.(i) in
-      Printf.eprintf "[matrix %3d/%d] %-10s %-8s trial %d  %6.2fs  bugs: %d\n%!"
-        !done_ total subject.Subjects.Subject.name fuzzer.name trial wall
+      let worker, wall = attrib.(i) in
+      Printf.eprintf
+        "[matrix %3d/%d] %-10s %-8s trial %d  w%d %6.2fs  bugs: %d\n%!" !done_
+        total subject.Subjects.Subject.name fuzzer.name trial worker wall
         (Fuzz.Triage.unique_bugs r.triage)
     end
   in
   let results =
-    Exec.Pool.map ~jobs ~on_done total (fun i ->
+    Exec.Pool.map ~jobs ~sink ~on_done total (fun i ->
         let subject, fuzzer, trial = tasks.(i) in
         run_trial cfg subject fuzzer trial)
   in

@@ -5,7 +5,16 @@
     triage record. Its budget is an execution count — the deterministic
     stand-in for the paper's wall-clock budgets — and all randomness flows
     from one [Rng.t], so a run is a pure function of
-    (program, seeds, config). *)
+    (program, seeds, config).
+
+    Every campaign carries an {!Obs.Observer.t} (a fresh counters-only
+    one when the caller passes none): the preallocated counter block is
+    bumped inline, snapshot rows are sampled every [budget / 64] execs,
+    and structured events flow to the observer's sink from the cold
+    paths (retention, crashes, cycle boundaries, calibration). Observers
+    obey the zero-perturbation rule — they never consume RNG draws and
+    fuzzing decisions never branch on observer state — so observed and
+    unobserved campaigns run byte-identical trajectories (test-enforced). *)
 
 type config = {
   mode : Pathcov.Feedback.mode;
@@ -38,23 +47,15 @@ type result = {
   queue_series : (int * int) list;  (** (execs, queue size) samples *)
   sum_exec_blocks : int;  (** total VM blocks executed, throughput proxy *)
   havocs : int;  (** mutated candidates generated *)
-  vm_s : float;  (** wall-clock inside the VM (0 unless [clock] given) *)
-  mut_s : float;  (** wall-clock inside the mutator (0 unless [clock] given) *)
+  snapshots : Obs.Snapshot.row list;  (** this run's periodic stats rows *)
+  vm_s : float;  (** wall inside the VM (0 unless the observer has a clock) *)
+  mut_s : float;  (** wall inside the mutator (0 unless clocked) *)
   mut_minor_words : float;  (** GC minor words allocated by the mutator *)
 }
 
 (** Final queue inputs, in discovery order. *)
 let queue_inputs (r : result) : string list =
   List.map (fun (e : Corpus.entry) -> e.data) (Corpus.to_list r.corpus)
-
-(** Wall-clock / allocation split between the mutation layer and the VM,
-    accumulated only when a [clock] is supplied (the bench-campaign mode).
-    An all-float record, so stores stay unboxed in the hot loop. *)
-type telemetry = {
-  mutable vm_s : float;
-  mutable mut_s : float;
-  mutable mut_minor_words : float;
-}
 
 (** Per-exec comparison-operand capture: a flat, insertion-ordered,
     deduplicated buffer bounded at {!cmp_capacity} pairs. The previous
@@ -95,15 +96,14 @@ type state = {
   corpus : Corpus.t;
   triage : Triage.t;
   rng : Rng.t;
-  mutable execs : int;
+  mutable execs : int;  (** this campaign's executions (budget clock) *)
   mutable blocks : int;
   mutable havocs : int;
-  mutable series : (int * int) list;
-  mutable sample_every : int;
+  mutable sample_every : int;  (** snapshot cadence in executions *)
   cmp_buf : cmp_buf;  (** per-exec comparison pairs, program order *)
   scratch : Mutator.scratch;  (** pooled mutation buffer, reused per child *)
-  clock : (unit -> float) option;  (** telemetry clock (bench mode only) *)
-  tele : telemetry;
+  obs : Obs.Observer.t;
+      (** counters + snapshots + event sink; may be shared across phases *)
 }
 
 (* The instrumentation hook set installed in the context at state-creation
@@ -127,6 +127,15 @@ let make_hooks (cfg : config) (fb : Pathcov.Feedback.t) (cmp_buf : cmp_buf) :
        else fun _ _ -> ());
   }
 
+(* One periodic stats row: the counter block plus the two facts only the
+   campaign can see (queue size, virgin residual). The residual scan is
+   word-wise over the virgin map — cheap at snapshot cadence. *)
+let take_snapshot (st : state) : unit =
+  Obs.Observer.snapshot st.obs
+    (Obs.Snapshot.of_counters st.obs.counters
+       ~queue:(Corpus.size st.corpus)
+       ~virgin_residual:(Pathcov.Coverage_map.residual st.virgin))
+
 (* Pre/post brackets around one VM run, shared by the string path and
    the scratch-buffer fast path. The trace map is left classified for
    novelty checks. *)
@@ -138,15 +147,17 @@ let pre_exec (st : state) : unit =
 let post_exec (st : state) (out : Vm.Interp.outcome) : unit =
   st.execs <- st.execs + 1;
   st.blocks <- st.blocks + out.blocks_executed;
+  let c = st.obs.counters in
+  c.execs <- c.execs + 1;
+  c.blocks <- c.blocks + out.blocks_executed;
   Pathcov.Coverage_map.classify st.feedback.trace;
-  if st.execs mod st.sample_every = 0 then
-    st.series <- (st.execs, Corpus.size st.corpus) :: st.series
+  if st.execs mod st.sample_every = 0 then take_snapshot st
 
 (* Run one input. *)
 let execute (st : state) (input : string) : Vm.Interp.outcome =
   pre_exec st;
   let out =
-    match st.clock with
+    match st.obs.clock with
     | None ->
         Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx
           ~input
@@ -156,7 +167,8 @@ let execute (st : state) (input : string) : Vm.Interp.outcome =
           Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx
             ~input
         in
-        st.tele.vm_s <- st.tele.vm_s +. (now () -. t0);
+        let c = st.obs.counters in
+        c.vm_s <- c.vm_s +. (now () -. t0);
         out
   in
   post_exec st out;
@@ -167,7 +179,7 @@ let execute_scratch (st : state) : Vm.Interp.outcome =
   pre_exec st;
   let sc = st.scratch in
   let out =
-    match st.clock with
+    match st.obs.clock with
     | None ->
         Vm.Interp.run_ctx_sub ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth
           st.ctx ~buf:sc.buf ~len:sc.len
@@ -177,7 +189,8 @@ let execute_scratch (st : state) : Vm.Interp.outcome =
           Vm.Interp.run_ctx_sub ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth
             st.ctx ~buf:sc.buf ~len:sc.len
         in
-        st.tele.vm_s <- st.tele.vm_s +. (now () -. t0);
+        let c = st.obs.counters in
+        c.vm_s <- c.vm_s +. (now () -. t0);
         out
   in
   post_exec st out;
@@ -211,7 +224,8 @@ let update_top_rated (st : state) (e : Corpus.entry) =
 
 (* Crash/hang bookkeeping shared by every execution site — seed import,
    queue-entry calibration and mutated candidates all triage the same way,
-   so no outcome can be dropped on the floor. *)
+   so no outcome can be dropped on the floor. Counter bumps and Crash/Hang
+   events ride on the triage record (see Triage). *)
 let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : unit =
   match out.status with
   | Vm.Interp.Crashed crash ->
@@ -220,7 +234,7 @@ let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : un
         <> Pathcov.Coverage_map.Nothing
       in
       Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel
-  | Vm.Interp.Hung -> Triage.record_hang st.triage
+  | Vm.Interp.Hung -> Triage.record_hang ~at_exec:st.execs st.triage
   | Vm.Interp.Finished _ -> ()
 
 (* Coverage-novelty verdict for the execution just finished. The capacity
@@ -228,9 +242,19 @@ let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : un
    as seen without retaining an input reaching it, or that coverage
    becomes unreachable for the whole run. *)
 let novel (st : state) : bool =
-  Corpus.size st.corpus < st.cfg.max_queue
-  && Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
-     <> Pathcov.Coverage_map.Nothing
+  if Corpus.size st.corpus >= st.cfg.max_queue then begin
+    (* drop counted per evaluated exec; the event fires once per campaign
+       (branching on a counter never feeds back into fuzzing decisions) *)
+    let c = st.obs.counters in
+    c.queue_full_drops <- c.queue_full_drops + 1;
+    if c.queue_full_drops = 1 then
+      Obs.Observer.event st.obs
+        (Obs.Event.Queue_full { at_exec = c.execs; queue = Corpus.size st.corpus });
+    false
+  end
+  else
+    Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
+    <> Pathcov.Coverage_map.Nothing
 
 let retain (st : state) ~depth (out : Vm.Interp.outcome) (data : string) : unit
     =
@@ -239,7 +263,12 @@ let retain (st : state) ~depth (out : Vm.Interp.outcome) (data : string) : unit
     Corpus.add st.corpus ~data ~indices
       ~exec_blocks:(max 1 out.blocks_executed) ~depth ~found_at:st.execs
   in
-  update_top_rated st e
+  update_top_rated st e;
+  let c = st.obs.counters in
+  c.retained <- c.retained + 1;
+  Obs.Observer.event st.obs
+    (Obs.Event.Retain
+       { at_exec = c.execs; id = e.id; len = String.length data; depth })
 
 (* Evaluate one candidate input end to end: execute, triage crashes and
    hangs, retain on coverage novelty. *)
@@ -272,6 +301,10 @@ let add_seed (st : state) (input : string) : unit =
   | Vm.Interp.Finished _ ->
       ignore
         (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace);
+      let c = st.obs.counters in
+      c.seeds_imported <- c.seeds_imported + 1;
+      Obs.Observer.event st.obs
+        (Obs.Event.Seed_import { at_exec = c.execs; len = String.length input });
       retain st ~depth:0 out input
 
 (** One calibration run of a queue entry, capturing cmplog operand pairs
@@ -285,6 +318,11 @@ let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair array =
   | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input:e.data
   | Vm.Interp.Finished _ ->
       ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace));
+  let c = st.obs.counters in
+  c.calibrations <- c.calibrations + 1;
+  Obs.Observer.event st.obs
+    (Obs.Event.Calibration
+       { at_exec = c.execs; entry = e.id; cmps = st.cmp_buf.n_cmps });
   current_cmps st
 
 (* afl-fuzz's skip probabilities in fuzz_one. *)
@@ -315,8 +353,9 @@ let random_other (st : state) (e : Corpus.entry) : string option =
 (** Build a fresh campaign state. Exposed (alongside [execute],
     [add_seed], [process] and [calibrate]) so tests can drive individual
     pipeline stages directly. *)
-let make_state ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program)
+let make_state ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
     : state =
+  let obs = match obs with Some o -> o | None -> Obs.Observer.null () in
   let feedback =
     Pathcov.Feedback.make ~size_log2:config.map_size_log2 ?plans config.mode prog
   in
@@ -332,38 +371,49 @@ let make_state ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program
     crash_virgin =
       Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();
     corpus = Corpus.create ();
-    triage = Triage.create ();
+    triage = Triage.create ~obs ();
     rng = Rng.create config.rng_seed;
     execs = 0;
     blocks = 0;
     havocs = 0;
-    series = [];
     sample_every = max 1 (config.budget / 64);
     cmp_buf;
     scratch = Mutator.create_scratch ();
-    clock;
-    tele = { vm_s = 0.; mut_s = 0.; mut_minor_words = 0. };
+    obs;
   }
 
-(* One havoc-mutated candidate built into the scratch, counted and (in
-   bench mode) timed. *)
+(* One havoc-mutated candidate built into the scratch, counted and (when
+   the observer carries a clock) timed. *)
 let mutate (st : state) ~cmps ?splice_with (data : string) : unit =
   st.havocs <- st.havocs + 1;
-  match st.clock with
+  let c = st.obs.counters in
+  c.havocs <- c.havocs + 1;
+  (match splice_with with Some _ -> c.splices <- c.splices + 1 | None -> ());
+  if Array.length cmps > 0 then c.i2s_cands <- c.i2s_cands + 1;
+  match st.obs.clock with
   | None -> Mutator.havoc_in_place st.scratch ~cmps ?splice_with st.rng data
   | Some now ->
       let w0 = Gc.minor_words () in
       let t0 = now () in
       Mutator.havoc_in_place st.scratch ~cmps ?splice_with st.rng data;
-      st.tele.mut_s <- st.tele.mut_s +. (now () -. t0);
-      st.tele.mut_minor_words <-
-        st.tele.mut_minor_words +. (Gc.minor_words () -. w0)
+      c.mut_s <- c.mut_s +. (now () -. t0);
+      c.mut_minor_words <- c.mut_minor_words +. (Gc.minor_words () -. w0)
 
 (** Run a campaign. [plans] shares a precomputed Ball–Larus artifact;
-    [clock] (bench mode) enables the mutation-vs-VM telemetry split. *)
-let run ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program)
+    [obs] supplies the observer (counters, snapshot log, event sink and
+    the optional wall clock that enables the mutation-vs-VM split the
+    benches report). Fuzzing behaviour is identical with or without it. *)
+let run ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
     ~(seeds : string list) : result =
-  let st = make_state ?plans ?clock ~config prog in
+  let st = make_state ?plans ?obs ~config prog in
+  let c = st.obs.counters in
+  (* deltas vs the observer's state at entry: a shared observer (culling
+     rounds, the opportunistic driver, benches) accumulates globally
+     while each run reports its own share *)
+  let exec_base = c.execs in
+  let snap_base = st.obs.n_snapshots in
+  let vm_s0 = c.vm_s and mut_s0 = c.mut_s in
+  let mut_minor_words0 = c.mut_minor_words in
   List.iter (add_seed st) seeds;
   (* Never start with an empty queue: synthesise a minimal seed. *)
   if Corpus.size st.corpus = 0 then add_seed st "A";
@@ -374,6 +424,19 @@ let run ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program)
          ~found_at:st.execs);
   while st.execs < config.budget do
     Corpus.recompute_favored st.corpus;
+    c.cycles <- c.cycles + 1;
+    let fav = ref 0 in
+    Corpus.iter (fun e -> if e.favored then incr fav) st.corpus;
+    c.favored <- !fav;
+    c.pending_favored <- st.corpus.pending_favored;
+    Obs.Observer.event st.obs
+      (Obs.Event.Favored_cycle
+         {
+           at_exec = c.execs;
+           queue = Corpus.size st.corpus;
+           favored = !fav;
+           pending = st.corpus.pending_favored;
+         });
     (* index-preserving snapshot: entries are append-only, so the queue
        length bounds this cycle's pass and entries found mid-cycle wait
        for the next one — exactly the semantics of the old list copy *)
@@ -395,15 +458,25 @@ let run ?plans ?clock ?(config = default_config) (prog : Minic.Ir.program)
       end
     done
   done;
+  (* final snapshot row: budget exhausted (kept even when it duplicates a
+     cadence row, matching the historical queue_series tail sample) *)
+  take_snapshot st;
+  let snapshots = Obs.Observer.snapshots_from st.obs ~from:snap_base in
   {
     config;
     corpus = st.corpus;
     triage = st.triage;
     execs = st.execs;
-    queue_series = List.rev ((st.execs, Corpus.size st.corpus) :: st.series);
+    (* derived view over this run's snapshot rows, in the historical
+       (campaign-local execs, queue size) shape *)
+    queue_series =
+      List.map
+        (fun (r : Obs.Snapshot.row) -> (r.at_exec - exec_base, r.queue))
+        snapshots;
     sum_exec_blocks = st.blocks;
     havocs = st.havocs;
-    vm_s = st.tele.vm_s;
-    mut_s = st.tele.mut_s;
-    mut_minor_words = st.tele.mut_minor_words;
+    snapshots;
+    vm_s = c.vm_s -. vm_s0;
+    mut_s = c.mut_s -. mut_s0;
+    mut_minor_words = c.mut_minor_words -. mut_minor_words0;
   }

@@ -2,7 +2,13 @@
     MiniC VM, parameterised by the feedback listener (§IV "Integration").
     Budgets are execution counts — the deterministic stand-in for the
     paper's wall-clock budgets — and all randomness flows from one
-    {!Rng.t}, so a run is a pure function of (program, seeds, config). *)
+    {!Rng.t}, so a run is a pure function of (program, seeds, config).
+
+    Campaigns are observable: pass an {!Obs.Observer.t} to collect the
+    counter block, periodic snapshot rows and structured events. The
+    observer obeys the zero-perturbation rule (no RNG draws, no fuzzing
+    decision reads observer state), so observed and unobserved runs are
+    byte-identical — see DESIGN.md §7. *)
 
 type config = {
   mode : Pathcov.Feedback.mode;
@@ -22,11 +28,14 @@ type result = {
   corpus : Corpus.t;
   triage : Triage.t;
   execs : int;  (** executions actually performed *)
-  queue_series : (int * int) list;  (** (execs, queue size) samples *)
+  queue_series : (int * int) list;
+      (** (execs, queue size) samples — a derived view over [snapshots] *)
   sum_exec_blocks : int;  (** total VM blocks executed, throughput proxy *)
   havocs : int;  (** mutated candidates generated *)
-  vm_s : float;  (** wall-clock inside the VM (0 unless [clock] given) *)
-  mut_s : float;  (** wall-clock inside the mutator (0 unless [clock] given) *)
+  snapshots : Obs.Snapshot.row list;
+      (** this run's periodic stats rows (the [plot_data] analogue) *)
+  vm_s : float;  (** wall inside the VM (0 unless the observer has a clock) *)
+  mut_s : float;  (** wall inside the mutator (0 unless clocked) *)
   mut_minor_words : float;  (** GC minor words allocated by the mutator *)
 }
 
@@ -34,13 +43,15 @@ type result = {
 val queue_inputs : result -> string list
 
 (** Run a campaign. [plans] shares a precomputed Ball–Larus artifact
-    across campaigns on the same program. [clock] (a wall-clock reader,
-    e.g. [Unix.gettimeofday]) enables the mutation-vs-VM telemetry split
-    that [pathfuzz bench-campaign] reports; fuzzing behaviour is
-    identical with or without it. *)
+    across campaigns on the same program. [obs] supplies the observer —
+    counters, snapshot log, event sink, and the optional wall clock that
+    enables the mutation-vs-VM split [pathfuzz bench-campaign] reports.
+    A shared observer accumulates across runs (multi-phase strategies,
+    benches); each run's [result] reports its own deltas. Fuzzing
+    behaviour is identical with or without an observer. *)
 val run :
   ?plans:Pathcov.Ball_larus.program_plans ->
-  ?clock:(unit -> float) ->
+  ?obs:Obs.Observer.t ->
   ?config:config ->
   Minic.Ir.program ->
   seeds:string list ->
@@ -51,13 +62,6 @@ val run :
     The individual stages of the loop are exposed so tests can drive them
     directly (e.g. triaging a calibration crash on an entry that was
     parked in the queue without a clean execution). *)
-
-(** Mutation-vs-VM wall-clock/allocation split (bench mode only). *)
-type telemetry = {
-  mutable vm_s : float;
-  mutable mut_s : float;
-  mutable mut_minor_words : float;
-}
 
 (** Per-exec comparison-operand capture: flat, insertion-ordered,
     deduplicated, bounded — pairs reach the mutator in program order
@@ -82,21 +86,20 @@ type state = {
   corpus : Corpus.t;
   triage : Triage.t;
   rng : Rng.t;
-  mutable execs : int;
+  mutable execs : int;  (** this campaign's executions (budget clock) *)
   mutable blocks : int;
   mutable havocs : int;
-  mutable series : (int * int) list;
-  mutable sample_every : int;
+  mutable sample_every : int;  (** snapshot cadence in executions *)
   cmp_buf : cmp_buf;  (** per-exec comparison pairs, program order *)
   scratch : Mutator.scratch;  (** pooled mutation buffer, reused per child *)
-  clock : (unit -> float) option;
-  tele : telemetry;
+  obs : Obs.Observer.t;
+      (** counters + snapshots + event sink; may be shared across phases *)
 }
 
 (** Build a fresh campaign state. *)
 val make_state :
   ?plans:Pathcov.Ball_larus.program_plans ->
-  ?clock:(unit -> float) ->
+  ?obs:Obs.Observer.t ->
   ?config:config ->
   Minic.Ir.program ->
   state

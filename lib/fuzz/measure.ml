@@ -19,8 +19,12 @@ let make_ctx prepared fb =
   Vm.Interp.create_ctx ~hooks:(make_hooks fb) prepared
 
 (* Replay [input] under [fb] through [ctx], returning the raw trace
-   indices it hits (ascending array) and an afl-style cost (work x size). *)
-let replay ?(fuel = Vm.Interp.default_fuel) ctx fb input =
+   indices it hits (ascending array) and an afl-style cost (work x size).
+   Replays are off-budget executions; [obs] only counts them. *)
+let replay ?(fuel = Vm.Interp.default_fuel) ?obs ctx fb input =
+  (match obs with
+  | Some (o : Obs.Observer.t) -> o.counters.replays <- o.counters.replays + 1
+  | None -> ());
   fb.Pathcov.Feedback.reset ();
   Pathcov.Coverage_map.clear fb.trace;
   let out = Vm.Interp.run_ctx ~fuel ctx ~input in
@@ -37,7 +41,7 @@ let edges_of_input ?fuel prog (input : string) : Int_set.t =
   set_of_array (fst (replay ?fuel ctx fb input))
 
 (** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
-let edge_union ?fuel prog (inputs : string list) : Int_set.t =
+let edge_union ?fuel ?obs prog (inputs : string list) : Int_set.t =
   let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
   let ctx = make_ctx (Vm.Interp.prepare prog) fb in
   List.fold_left
@@ -45,12 +49,12 @@ let edge_union ?fuel prog (inputs : string list) : Int_set.t =
       Array.fold_left
         (fun acc i -> Int_set.add i acc)
         acc
-        (fst (replay ?fuel ctx fb input)))
+        (fst (replay ?fuel ?obs ctx fb input)))
     Int_set.empty inputs
 
 (* Greedy favored-corpus construction over an arbitrary feedback: keep,
    for every covered index, the cheapest input covering it. Order-stable. *)
-let preserving_cull ?fuel prog fb (inputs : string list) : string list =
+let preserving_cull ?fuel ?obs prog fb (inputs : string list) : string list =
   let ctx = make_ctx (Vm.Interp.prepare prog) fb in
   (* order-stable dedup: queue semantics never hold duplicates *)
   let seen = Hashtbl.create 64 in
@@ -67,7 +71,7 @@ let preserving_cull ?fuel prog fb (inputs : string list) : string list =
   let scored =
     List.map
       (fun input ->
-        let idxs, cost = replay ?fuel ctx fb input in
+        let idxs, cost = replay ?fuel ?obs ctx fb input in
         (input, idxs, cost))
       inputs
   in
@@ -83,18 +87,31 @@ let preserving_cull ?fuel prog fb (inputs : string list) : string list =
     scored;
   let keep = Hashtbl.create 256 in
   Hashtbl.iter (fun _ (input, _) -> Hashtbl.replace keep input ()) top;
-  List.filter (fun i -> Hashtbl.mem keep i) inputs
+  let kept = List.filter (fun i -> Hashtbl.mem keep i) inputs in
+  (match obs with
+  | Some (o : Obs.Observer.t) ->
+      Obs.Observer.event o
+        (Obs.Event.Cull
+           {
+             at_exec = o.counters.execs;
+             before = List.length inputs;
+             after = List.length kept;
+           })
+  | None -> ());
+  kept
 
 (** Greedy edge-coverage-preserving trim (the favored-corpus construction
     the paper uses as its culling criterion, §III-B1, and as the
     opportunistic queue pre-processing, §III-B2). *)
-let edge_preserving_cull ?fuel prog (inputs : string list) : string list =
-  preserving_cull ?fuel prog (Pathcov.Feedback.make Pathcov.Feedback.Edge prog) inputs
+let edge_preserving_cull ?fuel ?obs prog (inputs : string list) : string list =
+  preserving_cull ?fuel ?obs prog
+    (Pathcov.Feedback.make Pathcov.Feedback.Edge prog)
+    inputs
 
 (** Same trim but preserving *path* coverage — the alternative culling
     criterion the paper tested and rejected (§III-B1 footnote). Exposed
     for the ablation bench. *)
-let path_preserving_cull ?fuel ?plans prog (inputs : string list) : string list =
-  preserving_cull ?fuel prog
+let path_preserving_cull ?fuel ?plans ?obs prog (inputs : string list) : string list =
+  preserving_cull ?fuel ?obs prog
     (Pathcov.Feedback.make ?plans Pathcov.Feedback.Path prog)
     inputs

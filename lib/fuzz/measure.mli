@@ -8,14 +8,19 @@ module Int_set : Set.S with type elt = int
     listener (raw tuple identities; bucketing is irrelevant here). *)
 val edges_of_input : ?fuel:int -> Minic.Ir.program -> string -> Int_set.t
 
-(** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
-val edge_union : ?fuel:int -> Minic.Ir.program -> string list -> Int_set.t
+(** Union of edge coverage over a corpus — "afl-showmap over the queue".
+    [obs] counts the replays (off-budget executions) without affecting
+    the result. *)
+val edge_union :
+  ?fuel:int -> ?obs:Obs.Observer.t -> Minic.Ir.program -> string list -> Int_set.t
 
 (** Greedy edge-coverage-preserving trim (the favored-corpus construction
     the paper uses as its culling criterion, §III-B1, and as the
     opportunistic queue pre-processing, §III-B2). Order-stable,
-    duplicate-free. *)
-val edge_preserving_cull : ?fuel:int -> Minic.Ir.program -> string list -> string list
+    duplicate-free. [obs] counts replays and receives a [Cull] event with
+    the before/after sizes; the trim itself is observer-independent. *)
+val edge_preserving_cull :
+  ?fuel:int -> ?obs:Obs.Observer.t -> Minic.Ir.program -> string list -> string list
 
 (** Same trim but preserving *path* coverage — the alternative criterion
     the paper tested and rejected (§III-B1 footnote); kept for the
@@ -23,6 +28,7 @@ val edge_preserving_cull : ?fuel:int -> Minic.Ir.program -> string list -> strin
 val path_preserving_cull :
   ?fuel:int ->
   ?plans:Pathcov.Ball_larus.program_plans ->
+  ?obs:Obs.Observer.t ->
   Minic.Ir.program ->
   string list ->
   string list

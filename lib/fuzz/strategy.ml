@@ -91,13 +91,16 @@ let random_trim rng inputs =
   end
 
 (** Run [fuzzer] on [prog] with [seeds] for [budget] executions. [plans]
-    shares the Ball–Larus artifact across configurations of a trial. *)
-let run ?plans ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.program)
+    shares the Ball–Larus artifact across configurations of a trial.
+    [obs] is shared across every phase of a multi-phase strategy, so its
+    counters and snapshots accumulate over the whole campaign (culling
+    replays included); fuzzing behaviour is identical without it. *)
+let run ?plans ?obs ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.program)
     ~(seeds : string list) : run_result =
   match fuzzer.spec with
   | Plain mode ->
       let config = base_config ~budget ~trial_seed ~cmplog:fuzzer.cmplog mode in
-      of_campaign fuzzer.name (Campaign.run ?plans ~config prog ~seeds)
+      of_campaign fuzzer.name (Campaign.run ?plans ?obs ~config prog ~seeds)
   | Cull { rounds; criterion } ->
       let rounds = max 1 rounds in
       let per_round = max 1 (budget / rounds) in
@@ -109,7 +112,7 @@ let run ?plans ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.program)
             ~trial_seed:(trial_seed + (round * 101))
             ~cmplog:fuzzer.cmplog Pathcov.Feedback.Path
         in
-        let r = Campaign.run ?plans ~config prog ~seeds:seeds_now in
+        let r = Campaign.run ?plans ?obs ~config prog ~seeds:seeds_now in
         Triage.merge ~into:triage r.triage;
         let execs_total = execs_so_far + r.execs in
         let series =
@@ -121,8 +124,8 @@ let run ?plans ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.program)
           let queue = Campaign.queue_inputs r in
           let culled =
             match criterion with
-            | `Edges -> Measure.edge_preserving_cull prog queue
-            | `Paths -> Measure.path_preserving_cull ?plans prog queue
+            | `Edges -> Measure.edge_preserving_cull ?obs prog queue
+            | `Paths -> Measure.path_preserving_cull ?plans ?obs prog queue
             | `Random -> random_trim rng queue
           in
           ignore last;
@@ -145,18 +148,18 @@ let run ?plans ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.program)
         base_config ~budget:half ~trial_seed:(trial_seed + 17) ~cmplog:true
           Pathcov.Feedback.Edge
       in
-      let phase1 = Campaign.run ?plans ~config:config1 prog ~seeds in
+      let phase1 = Campaign.run ?plans ?obs ~config:config1 prog ~seeds in
       (* The paper strips crashing inputs (our queue never holds them) and
          trims the donor queue to an edge-preserving subset. *)
       let donor =
-        Measure.edge_preserving_cull prog (Campaign.queue_inputs phase1)
+        Measure.edge_preserving_cull ?obs prog (Campaign.queue_inputs phase1)
       in
       let donor = if donor = [] then seeds else donor in
       let config2 =
         base_config ~budget:(budget - half) ~trial_seed ~cmplog:fuzzer.cmplog
           Pathcov.Feedback.Path
       in
-      let phase2 = Campaign.run ?plans ~config:config2 prog ~seeds:donor in
+      let phase2 = Campaign.run ?plans ?obs ~config:config2 prog ~seeds:donor in
       {
         fuzzer = fuzzer.name;
         final_queue = Campaign.queue_inputs phase2;

@@ -55,9 +55,13 @@ type run_result = {
 }
 
 (** Run [fuzzer] on a program for [budget] executions. [plans] shares the
-    Ball–Larus artifact across configurations of a trial. *)
+    Ball–Larus artifact across configurations of a trial. [obs] is shared
+    across every phase of a multi-phase strategy (cull rounds, the two
+    opportunistic halves), so counters and snapshots accumulate over the
+    whole campaign; fuzzing behaviour is identical without it. *)
 val run :
   ?plans:Pathcov.Ball_larus.program_plans ->
+  ?obs:Obs.Observer.t ->
   budget:int ->
   trial_seed:int ->
   fuzzer ->

@@ -22,15 +22,18 @@ type t = {
   by_stack : (int, record) Hashtbl.t;  (** top-5-frame hash -> first record *)
   by_bug : (Vm.Crash.identity, record) Hashtbl.t;
   mutable afl_unique : record list;  (** coverage-novel crashes, newest first *)
+  obs : Obs.Observer.t option;
+      (** crash-class counters + Crash/Hang events flow here when set *)
 }
 
-let create () =
+let create ?obs () =
   {
     total_crashes = 0;
     total_hangs = 0;
     by_stack = Hashtbl.create 64;
     by_bug = Hashtbl.create 64;
     afl_unique = [];
+    obs;
   }
 
 (** Record a crash. [coverage_novel] says whether the crash's trace had new
@@ -39,12 +42,28 @@ let record_crash (t : t) ~(crash : Vm.Crash.t) ~input ~at_exec ~coverage_novel :
   t.total_crashes <- t.total_crashes + 1;
   let r = { crash; input; at_exec } in
   let h = Vm.Crash.top5_hash crash in
-  if not (Hashtbl.mem t.by_stack h) then Hashtbl.replace t.by_stack h r;
+  let stack_unique = not (Hashtbl.mem t.by_stack h) in
+  if stack_unique then Hashtbl.replace t.by_stack h r;
   let id = Vm.Crash.bug_identity crash in
   if not (Hashtbl.mem t.by_bug id) then Hashtbl.replace t.by_bug id r;
-  if coverage_novel then t.afl_unique <- r :: t.afl_unique
+  if coverage_novel then t.afl_unique <- r :: t.afl_unique;
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      let c = o.counters in
+      c.crashes <- c.crashes + 1;
+      if stack_unique then c.crashes_stack_unique <- c.crashes_stack_unique + 1;
+      if coverage_novel then c.crashes_cov_novel <- c.crashes_cov_novel + 1;
+      Obs.Observer.event o
+        (Obs.Event.Crash { at_exec; stack_unique; cov_novel = coverage_novel })
 
-let record_hang (t : t) = t.total_hangs <- t.total_hangs + 1
+let record_hang ?(at_exec = -1) (t : t) =
+  t.total_hangs <- t.total_hangs + 1;
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      o.counters.hangs <- o.counters.hangs + 1;
+      Obs.Observer.event o (Obs.Event.Hang { at_exec })
 
 let unique_crashes t = Hashtbl.length t.by_stack
 let afl_unique_crashes t = List.length t.afl_unique

@@ -16,16 +16,22 @@ type t = {
   by_stack : (int, record) Hashtbl.t;  (** top-5-frame hash -> first record *)
   by_bug : (Vm.Crash.identity, record) Hashtbl.t;
   mutable afl_unique : record list;  (** coverage-novel crashes, newest first *)
+  obs : Obs.Observer.t option;
+      (** crash-class counters + Crash/Hang events flow here when set *)
 }
 
-val create : unit -> t
+(** [obs] wires crash-class counters and Crash/Hang events into an
+    observer; recording behaviour is otherwise identical (the
+    zero-perturbation rule). *)
+val create : ?obs:Obs.Observer.t -> unit -> t
 
 (** Record a crash. [coverage_novel] says whether the crash's trace had
     new bits against the campaign's crash-virgin map (the AFL notion). *)
 val record_crash :
   t -> crash:Vm.Crash.t -> input:string -> at_exec:int -> coverage_novel:bool -> unit
 
-val record_hang : t -> unit
+(** Record a hang; [at_exec] anchors the observer event (default -1). *)
+val record_hang : ?at_exec:int -> t -> unit
 val unique_crashes : t -> int
 val afl_unique_crashes : t -> int
 

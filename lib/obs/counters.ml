@@ -1,0 +1,110 @@
+(** The campaign-wide counter block: one preallocated record of mutable
+    scalars, bumped inline from the fuzzer's hot loop and sampled into
+    immutable {!Snapshot.row}s on an exec-count cadence.
+
+    The block generalises the ad-hoc [Campaign.telemetry] record the
+    bench used to carry (vm/mutator wall split, mutator allocation) into
+    the full set of live-stats AFL exposes via [fuzzer_stats]. Updates
+    are plain int/float stores — no allocation, no branching on observer
+    state — so a counted campaign runs the same trajectory, byte for
+    byte, as an uncounted one (the zero-perturbation rule; see
+    DESIGN.md §7). *)
+
+type t = {
+  (* execution *)
+  mutable execs : int;  (** VM executions completed *)
+  mutable blocks : int;  (** VM basic blocks executed (throughput proxy) *)
+  (* mutation *)
+  mutable havocs : int;  (** mutated candidates generated *)
+  mutable splices : int;  (** candidates built with a splice peer *)
+  mutable i2s_cands : int;  (** candidates built with cmplog pairs in scope *)
+  mutable calibrations : int;  (** calibration runs (cmplog colorization) *)
+  (* queue *)
+  mutable seeds_imported : int;  (** seed-directory imports retained *)
+  mutable retained : int;  (** coverage-novel candidates admitted *)
+  mutable favored : int;  (** favored entries at the last cycle boundary *)
+  mutable pending_favored : int;  (** never-fuzzed favored at last boundary *)
+  mutable cycles : int;  (** queue cycles started *)
+  mutable queue_full_drops : int;  (** finished execs evaluated with a full queue *)
+  (* outcomes *)
+  mutable crashes : int;  (** raw crash count *)
+  mutable crashes_stack_unique : int;  (** new top-5-frame stack hashes *)
+  mutable crashes_cov_novel : int;  (** AFL-2.52b coverage-novel crashes *)
+  mutable hangs : int;  (** fuel-exhausted executions *)
+  (* replay work outside the campaign loop (culling, showmap) *)
+  mutable replays : int;
+  (* per-stage wall splits + mutator allocation (observer clock only) *)
+  mutable vm_s : float;
+  mutable mut_s : float;
+  mutable mut_minor_words : float;
+}
+
+let create () =
+  {
+    execs = 0;
+    blocks = 0;
+    havocs = 0;
+    splices = 0;
+    i2s_cands = 0;
+    calibrations = 0;
+    seeds_imported = 0;
+    retained = 0;
+    favored = 0;
+    pending_favored = 0;
+    cycles = 0;
+    queue_full_drops = 0;
+    crashes = 0;
+    crashes_stack_unique = 0;
+    crashes_cov_novel = 0;
+    hangs = 0;
+    replays = 0;
+    vm_s = 0.;
+    mut_s = 0.;
+    mut_minor_words = 0.;
+  }
+
+let reset (c : t) : unit =
+  c.execs <- 0;
+  c.blocks <- 0;
+  c.havocs <- 0;
+  c.splices <- 0;
+  c.i2s_cands <- 0;
+  c.calibrations <- 0;
+  c.seeds_imported <- 0;
+  c.retained <- 0;
+  c.favored <- 0;
+  c.pending_favored <- 0;
+  c.cycles <- 0;
+  c.queue_full_drops <- 0;
+  c.crashes <- 0;
+  c.crashes_stack_unique <- 0;
+  c.crashes_cov_novel <- 0;
+  c.hangs <- 0;
+  c.replays <- 0;
+  c.vm_s <- 0.;
+  c.mut_s <- 0.;
+  c.mut_minor_words <- 0.
+
+(** (name, value) pairs in a fixed render order — the [fuzzer_stats]
+    analogue consumed by [pathfuzz stats]. Wall-split floats are rendered
+    separately by callers that enabled a clock. *)
+let to_fields (c : t) : (string * int) list =
+  [
+    ("execs", c.execs);
+    ("blocks", c.blocks);
+    ("havocs", c.havocs);
+    ("splices", c.splices);
+    ("i2s_cands", c.i2s_cands);
+    ("calibrations", c.calibrations);
+    ("seeds_imported", c.seeds_imported);
+    ("retained", c.retained);
+    ("favored", c.favored);
+    ("pending_favored", c.pending_favored);
+    ("cycles", c.cycles);
+    ("queue_full_drops", c.queue_full_drops);
+    ("crashes", c.crashes);
+    ("crashes_stack_unique", c.crashes_stack_unique);
+    ("crashes_cov_novel", c.crashes_cov_novel);
+    ("hangs", c.hangs);
+    ("replays", c.replays);
+  ]

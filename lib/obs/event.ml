@@ -1,0 +1,125 @@
+(** Structured campaign events.
+
+    Events fire on the fuzzer's *cold* paths — retention, crashes, cycle
+    boundaries, calibration, pool trial scheduling — never per
+    execution, so emitting them costs one constructor and one sink call
+    on paths that already allocate. Everything an event carries is data
+    the campaign computed anyway: observers never consume RNG draws and
+    never feed back into fuzzing decisions (the zero-perturbation rule,
+    test-enforced). *)
+
+type t =
+  | Seed_import of { at_exec : int; len : int }
+      (** a seed-directory input was executed and retained *)
+  | Retain of { at_exec : int; id : int; len : int; depth : int }
+      (** a coverage-novel candidate was admitted to the queue *)
+  | Favored_cycle of {
+      at_exec : int;
+      queue : int;
+      favored : int;
+      pending : int;
+    }  (** a queue cycle began; favored flags were recomputed *)
+  | Calibration of { at_exec : int; entry : int; cmps : int }
+      (** a queue entry was calibrated, capturing [cmps] operand pairs *)
+  | Crash of { at_exec : int; stack_unique : bool; cov_novel : bool }
+  | Hang of { at_exec : int }
+  | Queue_full of { at_exec : int; queue : int }
+      (** first finished execution evaluated against a full queue *)
+  | Cull of { at_exec : int; before : int; after : int }
+      (** a queue trim (culling/opportunistic strategies) *)
+  | Snapshot of Snapshot.row  (** periodic stats sample *)
+  | Trial_begin of { task : int; worker : int }
+      (** a pool worker claimed trial [task] *)
+  | Trial_end of { task : int; worker : int; wall_s : float }
+
+let name = function
+  | Seed_import _ -> "seed_import"
+  | Retain _ -> "retain"
+  | Favored_cycle _ -> "favored_cycle"
+  | Calibration _ -> "calibration"
+  | Crash _ -> "crash"
+  | Hang _ -> "hang"
+  | Queue_full _ -> "queue_full"
+  | Cull _ -> "cull"
+  | Snapshot _ -> "snapshot"
+  | Trial_begin _ -> "trial_begin"
+  | Trial_end _ -> "trial_end"
+
+(** Execution counter the event is anchored to (-1 for pool events,
+    which live outside any one campaign's exec clock). *)
+let at_exec = function
+  | Seed_import { at_exec; _ }
+  | Retain { at_exec; _ }
+  | Favored_cycle { at_exec; _ }
+  | Calibration { at_exec; _ }
+  | Crash { at_exec; _ }
+  | Hang { at_exec }
+  | Queue_full { at_exec; _ }
+  | Cull { at_exec; _ } ->
+      at_exec
+  | Snapshot r -> r.Snapshot.at_exec
+  | Trial_begin _ | Trial_end _ -> -1
+
+(** Human-readable payload (everything but the name and exec anchor). *)
+let detail = function
+  | Seed_import { len; _ } -> Printf.sprintf "len %d" len
+  | Retain { id; len; depth; _ } ->
+      Printf.sprintf "entry %d, len %d, depth %d" id len depth
+  | Favored_cycle { queue; favored; pending; _ } ->
+      Printf.sprintf "queue %d, favored %d, pending %d" queue favored pending
+  | Calibration { entry; cmps; _ } ->
+      Printf.sprintf "entry %d, cmps %d" entry cmps
+  | Crash { stack_unique; cov_novel; _ } ->
+      Printf.sprintf "stack_unique %b, cov_novel %b" stack_unique cov_novel
+  | Hang _ -> ""
+  | Queue_full { queue; _ } -> Printf.sprintf "queue %d" queue
+  | Cull { before; after; _ } -> Printf.sprintf "%d -> %d" before after
+  | Snapshot r -> Snapshot.to_status r
+  | Trial_begin { task; worker } ->
+      Printf.sprintf "task %d, worker %d" task worker
+  | Trial_end { task; worker; wall_s } ->
+      Printf.sprintf "task %d, worker %d, %.2fs" task worker wall_s
+
+(** One JSONL line (no trailing newline); snapshots delegate to
+    {!Snapshot.to_jsonl} so both streams share one schema. *)
+let to_jsonl (e : t) : string =
+  match e with
+  | Snapshot r -> Snapshot.to_jsonl r
+  | Seed_import { at_exec; len } ->
+      Printf.sprintf "{\"ev\": \"seed_import\", \"at\": %d, \"len\": %d}"
+        at_exec len
+  | Retain { at_exec; id; len; depth } ->
+      Printf.sprintf
+        "{\"ev\": \"retain\", \"at\": %d, \"id\": %d, \"len\": %d, \"depth\": \
+         %d}"
+        at_exec id len depth
+  | Favored_cycle { at_exec; queue; favored; pending } ->
+      Printf.sprintf
+        "{\"ev\": \"favored_cycle\", \"at\": %d, \"queue\": %d, \"favored\": \
+         %d, \"pending\": %d}"
+        at_exec queue favored pending
+  | Calibration { at_exec; entry; cmps } ->
+      Printf.sprintf
+        "{\"ev\": \"calibration\", \"at\": %d, \"entry\": %d, \"cmps\": %d}"
+        at_exec entry cmps
+  | Crash { at_exec; stack_unique; cov_novel } ->
+      Printf.sprintf
+        "{\"ev\": \"crash\", \"at\": %d, \"stack_unique\": %b, \
+         \"cov_novel\": %b}"
+        at_exec stack_unique cov_novel
+  | Hang { at_exec } -> Printf.sprintf "{\"ev\": \"hang\", \"at\": %d}" at_exec
+  | Queue_full { at_exec; queue } ->
+      Printf.sprintf "{\"ev\": \"queue_full\", \"at\": %d, \"queue\": %d}"
+        at_exec queue
+  | Cull { at_exec; before; after } ->
+      Printf.sprintf
+        "{\"ev\": \"cull\", \"at\": %d, \"before\": %d, \"after\": %d}" at_exec
+        before after
+  | Trial_begin { task; worker } ->
+      Printf.sprintf "{\"ev\": \"trial_begin\", \"task\": %d, \"worker\": %d}"
+        task worker
+  | Trial_end { task; worker; wall_s } ->
+      Printf.sprintf
+        "{\"ev\": \"trial_end\", \"task\": %d, \"worker\": %d, \"wall_s\": %s}"
+        task worker
+        (Snapshot.json_float wall_s)

@@ -1,0 +1,88 @@
+(** Immutable periodic stats rows — the [plot_data] analogue.
+
+    A campaign samples its {!Counters.t} block (plus the queue and
+    virgin-map state only it can see) into one [row] every
+    [budget / 64] executions and once more at budget exhaustion, so a
+    finished run carries its whole coverage/queue/crash trajectory, not
+    just end-of-run aggregates. Rows are plain data: they can be
+    rendered as tables ([pathfuzz stats]), streamed as JSONL, or folded
+    back into the legacy [Campaign.result.queue_series] view. *)
+
+type row = {
+  at_exec : int;  (** observer-global execution counter at sample time *)
+  queue : int;  (** queue size *)
+  favored : int;  (** favored entries at the last cycle boundary *)
+  pending_favored : int;
+  cycles : int;
+  retained : int;
+  havocs : int;
+  splices : int;
+  i2s_cands : int;
+  calibrations : int;
+  crashes : int;
+  crashes_stack_unique : int;
+  crashes_cov_novel : int;
+  hangs : int;
+  queue_full_drops : int;
+  blocks : int;
+  virgin_residual : int;  (** virgin-map indices still untouched *)
+  vm_s : float;  (** cumulative wall inside the VM (0 without a clock) *)
+  mut_s : float;  (** cumulative wall inside the mutator *)
+  mut_minor_words : float;  (** cumulative mutator minor words *)
+}
+
+(** Sample the sharable part of a row from the counter block; the caller
+    fills in what only it can see (queue size, virgin residual). *)
+let of_counters (c : Counters.t) ~queue ~virgin_residual : row =
+  {
+    at_exec = c.execs;
+    queue;
+    favored = c.favored;
+    pending_favored = c.pending_favored;
+    cycles = c.cycles;
+    retained = c.retained;
+    havocs = c.havocs;
+    splices = c.splices;
+    i2s_cands = c.i2s_cands;
+    calibrations = c.calibrations;
+    crashes = c.crashes;
+    crashes_stack_unique = c.crashes_stack_unique;
+    crashes_cov_novel = c.crashes_cov_novel;
+    hangs = c.hangs;
+    queue_full_drops = c.queue_full_drops;
+    blocks = c.blocks;
+    virgin_residual;
+    vm_s = c.vm_s;
+    mut_s = c.mut_s;
+    mut_minor_words = c.mut_minor_words;
+  }
+
+(* Compact float rendering shared with Event's JSONL writer. *)
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+(** One JSONL line (no trailing newline). *)
+let to_jsonl (r : row) : string =
+  Printf.sprintf
+    "{\"ev\": \"snapshot\", \"at\": %d, \"queue\": %d, \"favored\": %d, \
+     \"pending_favored\": %d, \"cycles\": %d, \"retained\": %d, \"havocs\": \
+     %d, \"splices\": %d, \"i2s_cands\": %d, \"calibrations\": %d, \
+     \"crashes\": %d, \"crashes_stack_unique\": %d, \"crashes_cov_novel\": \
+     %d, \"hangs\": %d, \"queue_full_drops\": %d, \"blocks\": %d, \
+     \"virgin_residual\": %d, \"vm_s\": %s, \"mut_s\": %s, \
+     \"mut_minor_words\": %s}"
+    r.at_exec r.queue r.favored r.pending_favored r.cycles r.retained r.havocs
+    r.splices r.i2s_cands r.calibrations r.crashes r.crashes_stack_unique
+    r.crashes_cov_novel r.hangs r.queue_full_drops r.blocks r.virgin_residual
+    (json_float r.vm_s) (json_float r.mut_s)
+    (json_float r.mut_minor_words)
+
+(** One-line human status (the [pathfuzz fuzz --stats] monitor line). *)
+let to_status (r : row) : string =
+  Printf.sprintf
+    "execs %d | queue %d (fav %d, pend %d) | retained %d | crashes %d (%d \
+     uniq, %d novel) | hangs %d | cycles %d | virgin %d"
+    r.at_exec r.queue r.favored r.pending_favored r.retained r.crashes
+    r.crashes_stack_unique r.crashes_cov_novel r.hangs r.cycles
+    r.virgin_residual

@@ -59,12 +59,17 @@ let test_exception_propagates () =
 let test_submit_shutdown_drains () =
   let pool = Exec.Pool.create ~jobs:3 in
   let counter = Atomic.make 0 in
+  let workers_seen = Atomic.make 0 in
   for _ = 1 to 50 do
-    Exec.Pool.submit pool (fun () -> Atomic.incr counter)
+    Exec.Pool.submit pool (fun wid ->
+        (* worker ids are 0-based and dense *)
+        if wid < 0 || wid >= 3 then Alcotest.fail "worker id out of range";
+        Atomic.set workers_seen (Atomic.get workers_seen lor (1 lsl wid));
+        Atomic.incr counter)
   done;
   Exec.Pool.shutdown pool;
   check Alcotest.int "every task ran" 50 (Atomic.get counter);
-  match Exec.Pool.submit pool (fun () -> ()) with
+  match Exec.Pool.submit pool (fun _ -> ()) with
   | () -> Alcotest.fail "submit after shutdown must fail"
   | exception Invalid_argument _ -> ()
 

@@ -118,7 +118,7 @@ let test_mutator_allocation () =
 (* --- steady-state allocation: the full campaign loop --- *)
 
 let test_campaign_allocation () =
-  (* The telemetry clock brackets [Mutator.havoc_in_place] in the real
+  (* The observer clock brackets [Mutator.havoc_in_place] in the real
      loop; a null clock keeps the measurement allocation-free itself. The
      old string-round-trip engine measured 150-310 minor words per
      candidate on this path; the in-place engine allocates nothing per
@@ -129,9 +129,8 @@ let test_campaign_allocation () =
   let config =
     { Fuzz.Campaign.default_config with budget = 6_000; rng_seed = 3 }
   in
-  let r =
-    Fuzz.Campaign.run ~clock:(fun () -> 0.) ~config prog ~seeds:s.seeds
-  in
+  let obs = Obs.Observer.create ~clock:(fun () -> 0.) () in
+  let r = Fuzz.Campaign.run ~obs ~config prog ~seeds:s.seeds in
   check_bool "campaign generated candidates" true (r.havocs > 1_000);
   let per_cand = r.mut_minor_words /. float_of_int r.havocs in
   check_bool
