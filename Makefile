@@ -1,4 +1,4 @@
-.PHONY: all build test bench micro tables history clean
+.PHONY: all build test bench shard-bench micro tables history clean
 
 all: build
 
@@ -14,6 +14,15 @@ test:
 bench: build
 	./_build/default/bin/pathfuzz.exe bench-throughput -o BENCH_throughput.json
 	./_build/default/bin/pathfuzz.exe bench-campaign -o BENCH_campaign.json
+
+# Sharded-campaign benchmark: measures --shards 1 and --shards $(SHARDS)
+# (default 4) per cell, checks the merged coverage/queue/crash
+# fingerprints are byte-identical across shard counts, and reports the
+# execs/sec speedup geomean. Writes the combined cells (distinguished by
+# their "shards" field) into BENCH_campaign.json like `make bench`.
+SHARDS ?= 4
+shard-bench: build
+	./_build/default/bin/pathfuzz.exe bench-campaign --shards $(SHARDS) -o BENCH_campaign.json
 
 # Append the current benchmark artifacts to the checked-in trend file
 # BENCH_history.jsonl and fail on >20% regressions vs the trailing

@@ -73,12 +73,54 @@ let fuzzer_of_name rounds = function
 let jobs_arg =
   Arg.(
     value
-    & opt int 0
+    & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains to fan trials out over (0 = take PATHFUZZ_JOBS \
-           from the environment, defaulting to 1). Results are identical \
-           at any job count.")
+          "Worker domains to fan trials out over (default: PATHFUZZ_JOBS \
+           from the environment, else 1). Must be positive. Results are \
+           identical at any job count.")
+
+(* 0 or a negative job count used to silently collapse to one worker;
+   it is a configuration error and must say so. *)
+let resolve_jobs = function
+  | None -> (Experiments.Config.of_env ()).jobs
+  | Some n when n > 0 -> n
+  | Some n ->
+      Fmt.epr "pathfuzz: --jobs must be a positive integer, got %d@." n;
+      exit 2
+
+let shards_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard each campaign across N worker domains with a \
+           deterministic sync schedule (0 = the sequential loop). The \
+           merged trajectory is a function of the seed and \
+           $(b,--sync-interval) only — byte-identical for every N >= 1.")
+
+let sync_interval_arg =
+  Arg.(
+    value
+    & opt int Fuzz.Shard.default_sync_interval
+    & info [ "sync-interval" ] ~docv:"EXECS"
+        ~doc:
+          "Executions scheduled between shard sync barriers. Part of the \
+           sharded trajectory's identity (independent of wall-clock).")
+
+(* Sharding reuses the plain single-phase campaign loop; multi-phase
+   strategies (cull*, opp) re-seed corpora between phases and have no
+   sharded equivalent yet. *)
+let shard_mode_of_fuzzer (fz : Fuzz.Strategy.fuzzer) : Pathcov.Feedback.mode =
+  match fz.spec with
+  | Fuzz.Strategy.Plain mode -> mode
+  | _ ->
+      Fmt.epr
+        "pathfuzz: --shards supports plain fuzzers only (path, pcguard, \
+         pathafl, afl, block, ngram*), not %s@."
+        fz.name;
+      exit 2
 
 let fuzz_cmd =
   let fuzzer =
@@ -121,18 +163,26 @@ let fuzz_cmd =
             "Stream observer events (snapshots, retains, crashes, pool \
              trials) as JSON lines into FILE (\"-\" for stderr).")
   in
-  let run subject fuzzer budget trial trials rounds jobs stats jsonl =
+  let run subject fuzzer budget trial trials rounds jobs shards sync_interval
+      stats jsonl =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
     let trials = max 1 trials in
-    let jobs = if jobs > 0 then jobs else (Experiments.Config.of_env ()).jobs in
-    (* worker count goes to stderr: stdout must be identical at any
-       --jobs value so runs can be diffed *)
+    let jobs = resolve_jobs jobs in
+    if shards < 0 then begin
+      Fmt.epr "pathfuzz: --shards must be >= 0, got %d@." shards;
+      exit 2
+    end;
+    let shard_mode = if shards > 0 then Some (shard_mode_of_fuzzer fz) else None in
+    (* worker/shard counts go to stderr: stdout must be identical at any
+       --jobs or --shards value so runs can be diffed *)
     Fmt.pr "fuzzing %s with %s for %d execs (%d trial%s from seed %d)...@."
       s.name fz.name budget trials
       (if trials = 1 then "" else "s")
       trial;
     if jobs > 1 then Fmt.epr "[fuzz] %d worker domains@." jobs;
+    if shards > 0 then
+      Fmt.epr "[fuzz] %d shards, sync every %d execs@." shards sync_interval;
     (* Observability: status/JSONL sinks never touch stdout, so observed
        and unobserved runs produce the same diffable report. The sink is
        mutex-wrapped and shared; each trial gets its own counter block. *)
@@ -152,15 +202,46 @@ let fuzz_cmd =
       | s :: rest -> Some (Obs.Sink.locked (List.fold_left Obs.Sink.tee s rest))
     in
     let results =
-      Exec.Pool.map ~jobs ?sink:base_sink trials (fun i ->
-          (* per-worker program and plans: see lib/exec *)
-          let prog = Subjects.Subject.compile_fresh s in
-          let plans = Pathcov.Ball_larus.of_program prog in
-          let obs =
-            Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
-          in
-          Fuzz.Strategy.run ~plans ?obs ~budget ~trial_seed:(trial + i) fz prog
-            ~seeds:s.seeds)
+      match shard_mode with
+      | Some mode ->
+          (* sharded campaigns parallelise inside each trial, so trials
+             run sequentially; the worker width comes from --shards *)
+          Array.init trials (fun i ->
+              let prog = Subjects.Subject.compile_fresh s in
+              let plans = Pathcov.Ball_larus.of_program prog in
+              let obs =
+                Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
+              in
+              let cfg =
+                {
+                  Fuzz.Shard.base =
+                    {
+                      Fuzz.Campaign.default_config with
+                      mode;
+                      budget;
+                      rng_seed = trial + i;
+                      cmplog = fz.cmplog;
+                    };
+                  shards;
+                  sync_interval;
+                }
+              in
+              let r = Fuzz.Shard.run ~plans ?obs cfg prog ~seeds:s.seeds in
+              Fmt.epr
+                "[shard] trial %d: %d epochs, %d items, %d duplicates \
+                 dropped at barriers@."
+                (trial + i) r.epochs r.items r.dup_dropped;
+              Fuzz.Strategy.of_campaign fz.name r.campaign)
+      | None ->
+          Exec.Pool.map ~jobs ?sink:base_sink trials (fun i ->
+              (* per-worker program and plans: see lib/exec *)
+              let prog = Subjects.Subject.compile_fresh s in
+              let plans = Pathcov.Ball_larus.of_program prog in
+              let obs =
+                Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
+              in
+              Fuzz.Strategy.run ~plans ?obs ~budget ~trial_seed:(trial + i) fz
+                prog ~seeds:s.seeds)
     in
     (match jsonl_oc with
     | Some oc ->
@@ -205,7 +286,7 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one or more fuzzing campaigns")
     Term.(
       const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
-      $ jobs_arg $ stats $ jsonl)
+      $ jobs_arg $ shards_arg $ sync_interval_arg $ stats $ jsonl)
 
 (* --- profile --- *)
 
@@ -321,7 +402,9 @@ let tables_cmd =
     let cfg =
       if fast then Experiments.Config.fast else Experiments.Config.of_env ()
     in
-    let cfg = if jobs > 0 then { cfg with jobs } else cfg in
+    let cfg =
+      match jobs with None -> cfg | Some _ -> { cfg with jobs = resolve_jobs jobs }
+    in
     Fmt.pr "running the evaluation matrix (%a)...@." Experiments.Config.pp cfg;
     let m = Experiments.Runner.run ~jobs:cfg.jobs cfg in
     Fmt.epr "[matrix] %.1fs of fuzzing wall-clock across all cells@."
@@ -447,14 +530,64 @@ let bench_campaign_cmd =
              exercises the full campaign telemetry path in seconds (used \
              by dune runtest).")
   in
-  let run subjects budget out baseline note smoke =
+  let run subjects budget out baseline note smoke shards sync_interval =
     let names =
       if smoke then [ "gdk" ]
       else String.split_on_char ',' subjects |> List.map String.trim
     in
     let budget = if smoke then 400 else max 1 budget in
     let subjects = List.map lookup_subject names in
-    let samples = Experiments.Campaign_bench.grid ~budget subjects in
+    if shards < 0 then begin
+      Fmt.epr "pathfuzz: --shards must be >= 0, got %d@." shards;
+      exit 2
+    end;
+    let samples =
+      if shards = 0 then Experiments.Campaign_bench.grid ~budget subjects
+      else begin
+        (* sharded bench: measure --shards 1 as the reference, then the
+           requested width, and hold the determinism contract between
+           them (merged coverage map, queue and crash set fingerprints
+           must be byte-identical) *)
+        let base =
+          Experiments.Campaign_bench.shard_grid ~budget ~shards:1
+            ~sync_interval subjects
+        in
+        let wide =
+          if shards = 1 then base
+          else
+            Experiments.Campaign_bench.shard_grid ~budget ~shards
+              ~sync_interval subjects
+        in
+        let mismatches =
+          List.filter
+            (fun ((s1, f1), (_, fn)) ->
+              ignore (s1 : Experiments.Campaign_bench.sample);
+              f1 <> fn)
+            (List.combine base wide)
+        in
+        List.iter
+          (fun (((s1 : Experiments.Campaign_bench.sample), _), _) ->
+            Fmt.epr
+              "[bench-campaign] DETERMINISM MISMATCH %s/%s: --shards %d \
+               diverged from --shards 1@."
+              s1.subject s1.mode shards)
+          mismatches;
+        let base_s = List.map fst base and wide_s = List.map fst wide in
+        Fmt.epr
+          "[bench-campaign] determinism: merged coverage/queue/crash \
+           fingerprints %s across --shards 1 and --shards %d (%d cells)@."
+          (if mismatches = [] then "identical" else "DIVERGED")
+          shards (List.length base_s);
+        if shards > 1 then
+          Fmt.epr
+            "[bench-campaign] speedup: %.2fx execs/sec geomean at --shards \
+             %d over --shards 1 (sync every %d execs)@."
+            (Experiments.Campaign_bench.speedup_geomean ~base:base_s wide_s)
+            shards sync_interval;
+        if mismatches <> [] then exit 1;
+        if shards = 1 then base_s else base_s @ wide_s
+      end
+    in
     Fmt.epr "%s@." (Experiments.Campaign_bench.to_table samples);
     let baseline_raw =
       if baseline <> "" then
@@ -477,7 +610,9 @@ let bench_campaign_cmd =
        ~doc:
          "Measure full-campaign execs/sec, allocation per execution and the \
           mutation-vs-VM time split across the (subject x feedback) grid")
-    Term.(const run $ subjects $ budget $ out $ baseline $ note $ smoke)
+    Term.(
+      const run $ subjects $ budget $ out $ baseline $ note $ smoke
+      $ shards_arg $ sync_interval_arg)
 
 (* --- stats --- *)
 

@@ -100,12 +100,68 @@ let merge_into ~(virgin : t) (trace : t) : novelty =
   done;
   !res
 
-(* A virgin map is all-0xFF and is only ever written through [merge_into];
-   its journal is unused. *)
+(* A virgin map is all-0xFF and is only ever written through [merge_into]
+   or [merge_sparse_into]; its journal is unused. *)
 let create_virgin ?size_log2 () =
   let t = create ?size_log2 () in
   Bytes.fill t.bits 0 (Bytes.length t.bits) '\255';
   t
+
+(** Overwrite [dst]'s bytes with [src]'s — the per-work-item virgin
+    snapshot primitive of sharded campaigns: one blit re-seeds a shard's
+    scratch virgin map from the epoch-start global map. Journals are not
+    copied (virgin maps never use theirs); [dst]'s is reset so the map
+    behaves like a fresh virgin map. Sizes must match. *)
+let copy_into ~(dst : t) (src : t) : unit =
+  if Bytes.length dst.bits <> Bytes.length src.bits then
+    invalid_arg "Coverage_map.copy_into";
+  Bytes.blit src.bits 0 dst.bits 0 (Bytes.length src.bits);
+  dst.ntouched <- 0
+
+(** The merge half of {!merge_into} over a sparse capture instead of a
+    live trace: [idxs.(k)] carries classified byte [vals.(k)]. Sharded
+    campaigns record each retained candidate's classified trace as such a
+    pair of arrays in the parallel phase and replay the merges against
+    the shared virgin map, in deterministic order, at the sync barrier. *)
+let merge_sparse_into ~(virgin : t) ~(idxs : int array) ~(vals : int array) :
+    novelty =
+  if Array.length idxs <> Array.length vals then
+    invalid_arg "Coverage_map.merge_sparse_into";
+  let res = ref Nothing in
+  for k = 0 to Array.length idxs - 1 do
+    let i = Array.unsafe_get idxs k land virgin.mask in
+    let tr = Array.unsafe_get vals k in
+    if tr <> 0 then begin
+      let vg = Char.code (Bytes.unsafe_get virgin.bits i) in
+      if tr land vg <> 0 then begin
+        if vg = 255 then res := New_tuple
+        else if !res = Nothing then res := New_bucket;
+        Bytes.unsafe_set virgin.bits i (Char.unsafe_chr (vg land lnot tr land 255))
+      end
+    end
+  done;
+  !res
+
+(** Classified bytes of a trace at the given indices (the sparse capture
+    paired with {!sorted_indices} on the sharded retention path). *)
+let values_at (t : t) (idxs : int array) : int array =
+  Array.map (fun i -> Char.code (Bytes.unsafe_get t.bits (i land t.mask))) idxs
+
+(** Byte-for-byte map equality — the determinism check of the sharded
+    differential suite ([merge_into] only ever writes [bits], so
+    comparing the payload compares the maps). *)
+let equal (a : t) (b : t) : bool = Bytes.equal a.bits b.bits
+
+(** FNV-1a over the raw map bytes. Unlike {!hash} this does not consult
+    the journal, so it fingerprints virgin maps (whose journals are
+    unused) as well as traces. *)
+let bytes_hash (t : t) : int =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to Bytes.length t.bits - 1 do
+    h := !h lxor Char.code (Bytes.unsafe_get t.bits i);
+    h := !h * 0x100000001b3
+  done;
+  !h land max_int
 
 (** Number of indices hit in a trace (AFL's [count_bytes]). *)
 let count_set t = t.ntouched

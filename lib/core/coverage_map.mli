@@ -37,6 +37,29 @@ val classify : t -> unit
     [trace land virgin <> 0] at some index. *)
 val merge_into : virgin:t -> t -> novelty
 
+(** Overwrite [dst]'s bytes with [src]'s (same size required) — the
+    per-work-item virgin snapshot primitive of sharded campaigns: one
+    blit re-seeds a shard's scratch virgin map from the epoch-start
+    global map. *)
+val copy_into : dst:t -> t -> unit
+
+(** The merge half of {!merge_into} over a sparse (index, classified
+    byte) capture instead of a live trace — sharded campaigns replay
+    their shards' recorded discoveries against the shared virgin map in
+    deterministic order at the sync barrier. *)
+val merge_sparse_into : virgin:t -> idxs:int array -> vals:int array -> novelty
+
+(** Classified bytes of a trace at the given indices (pairs with
+    {!sorted_indices} to form the sparse capture above). *)
+val values_at : t -> int array -> int array
+
+(** Byte-for-byte map equality (determinism checks). *)
+val equal : t -> t -> bool
+
+(** FNV-1a over the raw map bytes; unlike {!hash} it fingerprints virgin
+    maps (whose journals are unused) as well as traces. *)
+val bytes_hash : t -> int
+
 (** Number of indices hit (AFL's [count_bytes]). *)
 val count_set : t -> int
 

@@ -15,7 +15,15 @@
     format-anchored scan of our own writers' output (the
     {!Throughput.extract_cells} idiom), not a general JSON parser. *)
 
-type cell = { subject : string; mode : string; execs_per_sec : float }
+type cell = {
+  subject : string;
+  mode : string;
+  shards : int;
+      (** sharded-campaign width; 0 = the unsharded sequential loop
+          (also the schema-tolerant default for pre-sharding history
+          lines, so legacy cells and [--shards 1] cells never collide) *)
+  execs_per_sec : float;
+}
 
 type row = {
   date : string;  (** YYYY-MM-DD *)
@@ -63,6 +71,11 @@ let float_field (obj : string) (key : string) : float option =
       done;
       float_of_string_opt (String.sub obj start (!stop - start))
 
+let int_field (obj : string) (key : string) : int option =
+  match float_field obj key with
+  | Some f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
 (* Parse every flat {...} object at or after [from] into a cell;
    malformed objects are skipped. *)
 let cells_of_string ?(from = 0) (s : string) : cell list =
@@ -81,7 +94,12 @@ let cells_of_string ?(from = 0) (s : string) : cell list =
                   float_field obj "execs_per_sec" )
               with
               | Some subject, Some mode, Some execs_per_sec ->
-                  { subject; mode; execs_per_sec } :: acc
+                  (* "shards" appeared with the sharded-campaign bench;
+                     older lines simply lack it *)
+                  let shards =
+                    Option.value ~default:0 (int_field obj "shards")
+                  in
+                  { subject; mode; shards; execs_per_sec } :: acc
               | _ -> acc
             in
             go (c + 1) acc)
@@ -146,8 +164,10 @@ let row_to_jsonl (r : row) : string =
     (fun i (c : cell) ->
       if i > 0 then Buffer.add_string buf ", ";
       Buffer.add_string buf
-        (Printf.sprintf "{\"subject\": %S, \"mode\": %S, \"execs_per_sec\": %s}"
-           c.subject c.mode
+        (Printf.sprintf
+           "{\"subject\": %S, \"mode\": %S, \"shards\": %d, \
+            \"execs_per_sec\": %s}"
+           c.subject c.mode c.shards
            (Throughput.json_float c.execs_per_sec)))
     r.cells;
   Buffer.add_string buf "]}";
@@ -164,7 +184,7 @@ let append (path : string) (r : row) : unit =
 (* Regression check *)
 
 type regression = {
-  key : string;  (** "subject/mode" *)
+  key : string;  (** "subject/mode", with "@sN" appended for sharded cells *)
   baseline : float;  (** trailing-window mean execs/sec *)
   current : float;
   drop_pct : float;  (** positive = slower than baseline *)
@@ -189,7 +209,9 @@ let check ?(window = 4) ~threshold_pct (history : row list) (candidate : row) :
         List.filter_map
           (fun r ->
             List.find_opt
-              (fun (p : cell) -> p.subject = c.subject && p.mode = c.mode)
+              (fun (p : cell) ->
+                p.subject = c.subject && p.mode = c.mode
+                && p.shards = c.shards)
               r.cells)
           trailing
       in
@@ -204,7 +226,10 @@ let check ?(window = 4) ~threshold_pct (history : row list) (candidate : row) :
           then
             Some
               {
-                key = c.subject ^ "/" ^ c.mode;
+                key =
+                  c.subject ^ "/" ^ c.mode
+                  ^ (if c.shards > 0 then Printf.sprintf "@s%d" c.shards
+                     else "");
                 baseline = mean;
                 current = c.execs_per_sec;
                 drop_pct = 100. *. (1. -. (c.execs_per_sec /. mean));

@@ -19,6 +19,8 @@
 type sample = {
   subject : string;
   mode : string;  (** feedback mode name *)
+  shards : int;
+      (** sharded-campaign width; 0 = the unsharded sequential loop *)
   budget : int;  (** configured execution budget *)
   execs : int;  (** executions actually performed *)
   queue : int;  (** final queue size *)
@@ -64,6 +66,7 @@ let measure ~budget ~(mode : Pathcov.Feedback.mode) (s : Subjects.Subject.t) :
   {
     subject = s.name;
     mode = Pathcov.Feedback.mode_name mode;
+    shards = 0;
     budget;
     execs = r.execs;
     queue = Fuzz.Corpus.size r.corpus;
@@ -85,6 +88,116 @@ let grid ~budget (subjects : Subjects.Subject.t list) : sample list =
     subjects
 
 (* ------------------------------------------------------------------ *)
+(* Sharded campaigns *)
+
+(** Everything the sharded determinism contract promises to hold fixed
+    across shard counts, condensed per cell: merged coverage-map bytes,
+    crash-virgin bytes, queue contents and the crash set. *)
+type fingerprint = {
+  virgin_hash : int;  (** FNV-1a over the merged virgin map's bytes *)
+  crash_virgin_hash : int;
+  queue_size : int;
+  queue_hash : int;  (** over queue inputs, in discovery order *)
+  total_crashes : int;
+  stack_hashes : int list;  (** stack-unique crash identities, sorted *)
+}
+
+let fingerprint_of (r : Fuzz.Shard.result) : fingerprint =
+  let queue_hash =
+    List.fold_left
+      (fun h input -> (h * 1_000_003) lxor Hashtbl.hash input)
+      0x811c9dc5
+      (Fuzz.Campaign.queue_inputs r.campaign)
+  in
+  {
+    virgin_hash = Pathcov.Coverage_map.bytes_hash r.virgin;
+    crash_virgin_hash = Pathcov.Coverage_map.bytes_hash r.crash_virgin;
+    queue_size = Fuzz.Corpus.size r.campaign.corpus;
+    queue_hash;
+    total_crashes = r.campaign.triage.total_crashes;
+    stack_hashes =
+      Hashtbl.fold (fun k _ acc -> k :: acc) r.campaign.triage.by_stack []
+      |> List.sort compare;
+  }
+
+(** One sharded campaign cell under the telemetry clock — the sharded
+    twin of {!measure}, plus the determinism fingerprint the bench
+    compares across shard counts. *)
+let measure_sharded ~budget ~shards ~sync_interval
+    ~(mode : Pathcov.Feedback.mode) (s : Subjects.Subject.t) :
+    sample * fingerprint =
+  let prog = Subjects.Subject.compile_fresh s in
+  let plans = Pathcov.Ball_larus.of_program prog in
+  let cfg =
+    {
+      Fuzz.Shard.base =
+        { Fuzz.Campaign.default_config with mode; budget; rng_seed = 1 };
+      shards;
+      sync_interval;
+    }
+  in
+  let mw0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Fuzz.Shard.run ~plans
+      ~obs:(Obs.Observer.create ~clock:Unix.gettimeofday ())
+      cfg prog ~seeds:s.seeds
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let mw = Gc.minor_words () -. mw0 in
+  let c = r.campaign in
+  let frac x = if wall_s > 0. then x /. wall_s else 0. in
+  ( {
+      subject = s.name;
+      mode = Pathcov.Feedback.mode_name mode;
+      shards;
+      budget;
+      execs = c.execs;
+      queue = Fuzz.Corpus.size c.corpus;
+      havocs = c.havocs;
+      wall_s;
+      execs_per_sec = (if wall_s > 0. then float_of_int c.execs /. wall_s else 0.);
+      minor_words_per_exec = mw /. float_of_int (max 1 c.execs);
+      mut_frac = frac c.mut_s;
+      vm_frac = frac c.vm_s;
+      mut_minor_words_per_cand =
+        c.mut_minor_words /. float_of_int (max 1 c.havocs);
+    },
+    fingerprint_of r )
+
+(** The sharded (subject x mode) grid at one shard count. Allocation per
+    exec is measured on the coordinating domain only ([Gc.minor_words]
+    is domain-local), so that column understates multi-domain runs —
+    the execs/sec and determinism columns are the ones this grid is
+    for. *)
+let shard_grid ~budget ~shards ~sync_interval
+    (subjects : Subjects.Subject.t list) : (sample * fingerprint) list =
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun (_, m) -> measure_sharded ~budget ~shards ~sync_interval ~mode:m s)
+        modes)
+    subjects
+
+(** Geometric mean of per-cell execs/sec ratios (sample lists must be
+    the same grid in the same order). *)
+let speedup_geomean ~(base : sample list) (samples : sample list) : float =
+  let ratios =
+    List.filter_map
+      (fun (b, s) ->
+        if b.execs_per_sec > 0. && s.execs_per_sec > 0. then
+          Some (s.execs_per_sec /. b.execs_per_sec)
+        else None)
+      (List.combine base samples)
+  in
+  match ratios with
+  | [] -> 0.
+  | _ ->
+      exp
+        (List.fold_left (fun a r -> a +. log r) 0. ratios
+        /. float_of_int (List.length ratios))
+
+(* ------------------------------------------------------------------ *)
 (* Rendering *)
 
 let json_float = Throughput.json_float
@@ -92,11 +205,12 @@ let json_float = Throughput.json_float
 let sample_json buf (s : sample) =
   Buffer.add_string buf
     (Printf.sprintf
-       "    {\"subject\": %S, \"mode\": %S, \"budget\": %d, \"execs\": %d, \
-        \"queue\": %d, \"havocs\": %d, \"wall_s\": %s, \"execs_per_sec\": %s, \
-        \"minor_words_per_exec\": %s, \"mut_frac\": %s, \"vm_frac\": %s, \
-        \"mut_minor_words_per_cand\": %s}"
-       s.subject s.mode s.budget s.execs s.queue s.havocs (json_float s.wall_s)
+       "    {\"subject\": %S, \"mode\": %S, \"shards\": %d, \"budget\": %d, \
+        \"execs\": %d, \"queue\": %d, \"havocs\": %d, \"wall_s\": %s, \
+        \"execs_per_sec\": %s, \"minor_words_per_exec\": %s, \"mut_frac\": \
+        %s, \"vm_frac\": %s, \"mut_minor_words_per_cand\": %s}"
+       s.subject s.mode s.shards s.budget s.execs s.queue s.havocs
+       (json_float s.wall_s)
        (json_float s.execs_per_sec)
        (json_float s.minor_words_per_exec)
        (json_float s.mut_frac) (json_float s.vm_frac)
@@ -130,7 +244,16 @@ let to_json ?(note = "") ?baseline_raw (samples : sample list) : string =
 (** Human-readable table (the bench hook and [--smoke] output). *)
 let to_table (samples : sample list) : string =
   let header =
-    [ "subject"; "mode"; "execs/s"; "minor w/exec"; "mut%"; "vm%"; "mut w/cand" ]
+    [
+      "subject";
+      "mode";
+      "shards";
+      "execs/s";
+      "minor w/exec";
+      "mut%";
+      "vm%";
+      "mut w/cand";
+    ]
   in
   let rows =
     List.map
@@ -138,6 +261,7 @@ let to_table (samples : sample list) : string =
         [
           s.subject;
           s.mode;
+          (if s.shards = 0 then "-" else string_of_int s.shards);
           Printf.sprintf "%.0f" s.execs_per_sec;
           Printf.sprintf "%.1f" s.minor_words_per_exec;
           Printf.sprintf "%.1f" (100. *. s.mut_frac);

@@ -28,9 +28,20 @@ let default =
 
 let fast = { default with budget = 4_000; trials = 2 }
 
+(* Invalid values are a configuration error, not a preference: silently
+   falling back used to turn PATHFUZZ_JOBS=0 (or "four") into a
+   single-worker run with no sign anything was ignored. *)
 let env_int name fallback =
   match Sys.getenv_opt name with
-  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> fallback)
+  | Some v -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n > 0 -> n
+      | Some n ->
+          Fmt.epr "pathfuzz: %s must be a positive integer, got %d@." name n;
+          exit 2
+      | None ->
+          Fmt.epr "pathfuzz: %s must be a positive integer, got %S@." name v;
+          exit 2)
   | None -> fallback
 
 (** Resolve the configuration from the environment. *)

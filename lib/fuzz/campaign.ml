@@ -196,31 +196,21 @@ let execute_scratch (st : state) : Vm.Interp.outcome =
   post_exec st out;
   out
 
-(* Both substitution directions per captured pair, in capture order. *)
-let current_cmps (st : state) : Mutator.cmp_pair array =
-  let b = st.cmp_buf in
+(** Both substitution directions per captured pair, in capture order —
+    shared by the sequential calibration path and sharded work items. *)
+let cmps_of_buf (b : cmp_buf) : Mutator.cmp_pair array =
   Array.init (2 * b.n_cmps) (fun k ->
       let i = k lsr 1 in
       if k land 1 = 0 then
         { Mutator.observed = b.ops_a.(i); wanted = b.ops_b.(i) }
       else { Mutator.observed = b.ops_b.(i); wanted = b.ops_a.(i) })
 
-(* Incremental update_bitmap_score: claim top_rated slots that this entry
-   covers more cheaply; favored flags are refreshed in full at cycle
-   boundaries by [Corpus.recompute_favored]. *)
+let current_cmps (st : state) : Mutator.cmp_pair array = cmps_of_buf st.cmp_buf
+
+(* Incremental update_bitmap_score (afl's on-retention half, now owned by
+   Corpus so the sharded merge scheduler shares it verbatim). *)
 let update_top_rated (st : state) (e : Corpus.entry) =
-  Array.iter
-    (fun idx ->
-      match Hashtbl.find_opt st.corpus.top_rated idx with
-      | Some best when Corpus.fav_factor best <= Corpus.fav_factor e -> ()
-      | _ ->
-          Hashtbl.replace st.corpus.top_rated idx e;
-          if not e.favored then begin
-            e.favored <- true;
-            if e.times_fuzzed = 0 then
-              st.corpus.pending_favored <- st.corpus.pending_favored + 1
-          end)
-    e.indices
+  Corpus.claim_top_rated st.corpus e
 
 (* Crash/hang bookkeeping shared by every execution site — seed import,
    queue-entry calibration and mutated candidates all triage the same way,
@@ -325,20 +315,30 @@ let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair array =
        { at_exec = c.execs; entry = e.id; cmps = st.cmp_buf.n_cmps });
   current_cmps st
 
-(* afl-fuzz's skip probabilities in fuzz_one. *)
-let should_skip (st : state) (e : Corpus.entry) : bool =
+(** afl-fuzz's skip probabilities in fuzz_one, over an explicit RNG and
+    queue state — the sequential scheduler draws from the campaign
+    stream, the sharded planner from its dedicated planning stream. *)
+let entry_skip (rng : Rng.t) ~(pending_favored : int) (e : Corpus.entry) : bool
+    =
   if e.favored then false
-  else if st.corpus.pending_favored > 0 then Rng.chance st.rng ~num:99 ~den:100
-  else if e.times_fuzzed > 0 then Rng.chance st.rng ~num:95 ~den:100
-  else Rng.chance st.rng ~num:75 ~den:100
+  else if pending_favored > 0 then Rng.chance rng ~num:99 ~den:100
+  else if e.times_fuzzed > 0 then Rng.chance rng ~num:95 ~den:100
+  else Rng.chance rng ~num:75 ~den:100
 
-(* Havoc energy for one queue entry (a simplified perf_score). *)
-let energy (st : state) (e : Corpus.entry) : int =
+let should_skip (st : state) (e : Corpus.entry) : bool =
+  entry_skip st.rng ~pending_favored:st.corpus.pending_favored e
+
+(** Havoc energy for one queue entry (a simplified perf_score) — a pure
+    function of the entry and the budget, shared with the shard planner. *)
+let entry_energy ~(budget : int) (e : Corpus.entry) : int =
   let base = 48 in
   let base = if e.favored then base * 2 else base in
   let base = if e.times_fuzzed = 0 then base * 2 else base in
   let base = if e.depth > 4 then base * 5 / 4 else base in
-  min base (max 8 (st.cfg.budget / 64))
+  min base (max 8 (budget / 64))
+
+let energy (st : state) (e : Corpus.entry) : int =
+  entry_energy ~budget:st.cfg.budget e
 
 (* O(1) random splice peer. The RNG draw is mapped to the same entry the
    List.nth-over-newest-first walk used to select (draw [k] is the [k]-th

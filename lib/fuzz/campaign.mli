@@ -72,6 +72,24 @@ type cmp_buf = {
   mutable n_cmps : int;
 }
 
+val make_cmp_buf : unit -> cmp_buf
+
+(** Both substitution directions per captured pair, in capture order. *)
+val cmps_of_buf : cmp_buf -> Mutator.cmp_pair array
+
+(** The instrumentation hook set a campaign installs in its execution
+    context (the cmplog probe exists only when the config asks for it) —
+    sharded campaigns build one per shard. *)
+val make_hooks : config -> Pathcov.Feedback.t -> cmp_buf -> Vm.Interp.hooks
+
+(** afl-fuzz's fuzz_one skip probabilities over an explicit RNG and
+    queue state (the sharded planner draws from its own stream). *)
+val entry_skip : Rng.t -> pending_favored:int -> Corpus.entry -> bool
+
+(** Havoc energy for one queue entry (simplified perf_score): a pure
+    function of the entry and the budget. *)
+val entry_energy : budget:int -> Corpus.entry -> int
+
 (** Live campaign state. Fields are exposed read-mostly for tests and
     diagnostics; mutate only through the stage functions below. The
     state owns a pooled {!Vm.Interp.exec_ctx} with the instrumentation

@@ -110,6 +110,45 @@ let to_list t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (t.arr.(i) :: acc) in
   go (t.size - 1) []
 
+(** Incremental update_bitmap_score (afl's on-retention half of the
+    favored machinery): the new entry claims every top_rated slot it
+    covers more cheaply; favored flags are refreshed in full at cycle
+    boundaries by {!recompute_favored}. Newly-favored never-fuzzed
+    entries bump [pending_favored], exactly as the cycle recompute
+    would. *)
+let claim_top_rated (t : t) (e : entry) : unit =
+  Array.iter
+    (fun idx ->
+      match Hashtbl.find_opt t.top_rated idx with
+      | Some best when best.fav <= e.fav -> ()
+      | _ ->
+          Hashtbl.replace t.top_rated idx e;
+          if not e.favored then begin
+            e.favored <- true;
+            if e.times_fuzzed = 0 then t.pending_favored <- t.pending_favored + 1
+          end)
+    e.indices
+
+(* ------------------------------------------------------------------ *)
+(* Shard views *)
+
+(** A fixed-length prefix snapshot of the queue, safe to read from worker
+    domains while the coordinator is quiescent: the backing array is
+    captured at creation, so growth (and array reallocation) on the
+    coordinator side between epochs never moves a live view. Entries are
+    shared, not copied — shards treat them as read-only. *)
+type view = { varr : entry array; vsize : int }
+
+(** Snapshot the first [limit] entries (clamped to the current size). *)
+let view (t : t) ~(limit : int) : view =
+  { varr = t.arr; vsize = min (max 0 limit) t.size }
+
+let view_size (v : view) = v.vsize
+
+let view_get (v : view) i =
+  if i < 0 || i >= v.vsize then invalid_arg "Corpus.view_get";
+  Array.unsafe_get v.varr i
+
 (** Entries whose union of indices equals the whole queue's union, chosen
     greedily by fav_factor — the "minimal coverage-preserving queue" the
     culling strategy retains. *)

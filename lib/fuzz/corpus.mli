@@ -58,6 +58,30 @@ val to_list : t -> entry list
 
 val size : t -> int
 
+(** Incremental update_bitmap_score: the (just-retained) entry claims
+    every top_rated slot it covers more cheaply, bumping
+    [pending_favored] for newly-favored never-fuzzed entries. Full
+    favored refresh stays with {!recompute_favored} at cycle starts. *)
+val claim_top_rated : t -> entry -> unit
+
+(** {2 Shard views}
+
+    Fixed-length prefix snapshots of the queue, safe to read from worker
+    domains while the coordinator is quiescent: the backing array is
+    captured at creation so coordinator-side growth between sync epochs
+    never moves a live view. Entries are shared, not copied — shards
+    must treat them as read-only. *)
+
+type view
+
+(** Snapshot the first [limit] entries (clamped to the current size). *)
+val view : t -> limit:int -> view
+
+val view_size : view -> int
+
+(** The [i]-th entry of the snapshot, O(1); raises on out-of-range. *)
+val view_get : view -> int -> entry
+
 (** Entries whose union of indices equals the whole queue's union, chosen
     greedily by {!fav_factor} — the "minimal coverage-preserving queue"
     the culling strategy retains. *)

@@ -41,3 +41,13 @@ let range t lo hi =
 
 (** Derive an independent child generator (for per-trial streams). *)
 let split t = create (next t)
+
+(** The [index]-th independent stream of [seed], without consuming any
+    draws from a parent generator: a pure function of [(seed, index)].
+    Sharded campaigns key their per-work-item streams this way so the
+    stream an item sees depends only on its position in the deterministic
+    global schedule — never on which shard or domain ran it. *)
+let substream ~seed index =
+  let t = create seed in
+  t.s <- (t.s + ((index + 1) * 0x1e3779b97f4a7c15)) land max_int;
+  create (next t)

@@ -27,3 +27,9 @@ val range : t -> int -> int -> int
 
 (** Derive an independent child generator (per-trial streams). *)
 val split : t -> t
+
+(** The [index]-th independent stream of [seed] — a pure function of
+    [(seed, index)] consuming no parent draws. Sharded campaigns key
+    per-work-item streams by schedule position with this, making the
+    streams independent of shard assignment and worker count. *)
+val substream : seed:int -> int -> t

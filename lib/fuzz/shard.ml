@@ -1,0 +1,648 @@
+(** Deterministic intra-campaign sharding: one fuzzing campaign spread
+    over N OCaml 5 domains with a fixed synchronization schedule.
+
+    The sequential {!Campaign} loop feeds every discovery back into the
+    very next candidate decision, which is exactly what a parallel run
+    cannot reproduce. The sharded runner trades that instant feedback for
+    a bounded-staleness schedule built from three pieces:
+
+    - {b a deterministic planner} (coordinator-only): walks the queue in
+      cycle order exactly like the sequential scheduler — skip
+      probabilities from a dedicated planning RNG stream, afl energy,
+      cycle boundaries with full favored recomputation — and emits a list
+      of {e work items}, each pinned to (queue entry, private RNG stream,
+      energy, exec-counter base). Item RNG streams are keyed by the item's
+      position in the global schedule ({!Rng.substream}), never by shard
+      or worker id. Planning stops when [sync_interval] executions are
+      scheduled (or the budget is exhausted) — the sync schedule is
+      measured in executions, independent of wall-clock;
+
+    - {b per-shard step loops} (parallel phase): items are assigned
+      round-robin (item [i] to shard [i mod shards]); each shard owns a
+      private {!Vm.Interp.exec_ctx}, feedback listener, cmplog buffer and
+      mutation scratch, and evaluates its items against a private virgin
+      overlay re-seeded per item from the epoch-start global map
+      ({!Pathcov.Coverage_map.copy_into}) — so what an item retains
+      depends only on the epoch-start state and its own discoveries,
+      never on what ran concurrently. Retained candidates and crashes are
+      recorded as sparse (index, classified byte) captures; nothing
+      shared is written during the phase;
+
+    - {b a merge barrier} (coordinator-only): after the phase completes,
+      item results are replayed against the shared virgin/crash-virgin
+      maps in global item order — admitting candidates that still add
+      coverage, dropping cross-item duplicates, triaging crashes and
+      hangs, claiming top-rated slots, aggregating per-shard counter
+      blocks into the campaign observer and sampling one snapshot row.
+
+    Because the planner, the item streams and the merge order are all
+    functions of the schedule position alone, the merged trajectory —
+    queue contents and order, virgin map bytes, crash set, counters — is
+    a deterministic function of [(seed, sync_interval)] and {e identical
+    for every shard count and worker count}: [shards] only chooses how
+    much of each epoch runs concurrently. The differential suite
+    enforces byte-identity across shards ∈ {1, 2, 4}; re-runs are
+    trivially identical. Observability keeps the zero-perturbation rule:
+    shard counter blocks are private until the barrier, and no fuzzing
+    decision reads observer state. *)
+
+type config = {
+  base : Campaign.config;
+  shards : int;  (** parallel width of each epoch (>= 1) *)
+  sync_interval : int;  (** executions scheduled between merge barriers *)
+}
+
+let default_sync_interval = 2048
+
+let default_config =
+  { base = Campaign.default_config; shards = 1; sync_interval = default_sync_interval }
+
+(* ------------------------------------------------------------------ *)
+(* Work items and their results *)
+
+(* One planned unit of fuzzing work: calibrate (cmplog) and havoc one
+   queue entry with a private RNG stream. [base_exec] anchors the item's
+   executions on the campaign's deterministic exec clock. *)
+type item = {
+  entry_idx : int;  (** queue position of the entry *)
+  entry_id : int;
+  rng : Rng.t;  (** private stream, keyed by global item counter *)
+  calib : bool;
+  energy : int;  (** havoc candidates to evaluate *)
+  base_exec : int;  (** campaign execs before this item's first one *)
+}
+
+(* Sparse captures recorded by shards and replayed at the barrier. *)
+type retained_rec = {
+  r_data : string;
+  r_idxs : int array;  (** classified trace indices, ascending *)
+  r_vals : int array;  (** classified trace bytes at [r_idxs] *)
+  r_exec_blocks : int;
+  r_depth : int;
+  r_at_exec : int;
+}
+
+type crash_rec = {
+  c_crash : Vm.Crash.t;
+  c_input : string;
+  c_at_exec : int;
+  c_idxs : int array;
+  c_vals : int array;
+}
+
+type item_result = {
+  mutable execs : int;
+  mutable n_cmps : int;  (** calibration pairs captured (event payload) *)
+  mutable retained : retained_rec list;  (** newest first *)
+  mutable crashes : crash_rec list;  (** newest first *)
+  mutable hangs : int list;  (** at_exec anchors, newest first *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shards *)
+
+(** One shard's private execution resources, created once per campaign
+    and reused across every epoch. The counter block is bumped lock-free
+    on the shard's own domain and drained into the campaign observer at
+    each barrier. *)
+type shard = {
+  ctx : Vm.Interp.exec_ctx;
+  feedback : Pathcov.Feedback.t;
+  cmp_buf : Campaign.cmp_buf;
+  scratch : Mutator.scratch;
+  item_virgin : Pathcov.Coverage_map.t;  (** per-item overlay of the global map *)
+  counters : Obs.Counters.t;
+  clock : (unit -> float) option;
+}
+
+let make_shard ?plans (base : Campaign.config) prepared clock prog : shard =
+  let feedback =
+    Pathcov.Feedback.make ~size_log2:base.map_size_log2 ?plans base.mode prog
+  in
+  let cmp_buf = Campaign.make_cmp_buf () in
+  let hooks = Campaign.make_hooks base feedback cmp_buf in
+  {
+    ctx = Vm.Interp.create_ctx ~hooks prepared;
+    feedback;
+    cmp_buf;
+    scratch = Mutator.create_scratch ();
+    item_virgin =
+      Pathcov.Coverage_map.create_virgin ~size_log2:base.map_size_log2 ();
+    counters = Obs.Counters.create ();
+    clock;
+  }
+
+(* Pre/post brackets around one VM run on a shard — the parallel twin of
+   Campaign.pre_exec/post_exec, writing only shard-private state. *)
+let sh_pre (base : Campaign.config) (sh : shard) : unit =
+  sh.feedback.reset ();
+  Pathcov.Coverage_map.clear sh.feedback.trace;
+  if base.cmplog then sh.cmp_buf.n_cmps <- 0
+
+let sh_post (sh : shard) (out : Vm.Interp.outcome) : unit =
+  let c = sh.counters in
+  c.execs <- c.execs + 1;
+  c.blocks <- c.blocks + out.blocks_executed;
+  Pathcov.Coverage_map.classify sh.feedback.trace
+
+let sh_exec (base : Campaign.config) (sh : shard) (input : string) :
+    Vm.Interp.outcome =
+  sh_pre base sh;
+  let out =
+    match sh.clock with
+    | None ->
+        Vm.Interp.run_ctx ~fuel:base.fuel ~max_depth:base.max_depth sh.ctx
+          ~input
+    | Some now ->
+        let t0 = now () in
+        let out =
+          Vm.Interp.run_ctx ~fuel:base.fuel ~max_depth:base.max_depth sh.ctx
+            ~input
+        in
+        sh.counters.vm_s <- sh.counters.vm_s +. (now () -. t0);
+        out
+  in
+  sh_post sh out;
+  out
+
+let sh_exec_scratch (base : Campaign.config) (sh : shard) : Vm.Interp.outcome =
+  sh_pre base sh;
+  let sc = sh.scratch in
+  let out =
+    match sh.clock with
+    | None ->
+        Vm.Interp.run_ctx_sub ~fuel:base.fuel ~max_depth:base.max_depth sh.ctx
+          ~buf:sc.buf ~len:sc.len
+    | Some now ->
+        let t0 = now () in
+        let out =
+          Vm.Interp.run_ctx_sub ~fuel:base.fuel ~max_depth:base.max_depth
+            sh.ctx ~buf:sc.buf ~len:sc.len
+        in
+        sh.counters.vm_s <- sh.counters.vm_s +. (now () -. t0);
+        out
+  in
+  sh_post sh out;
+  out
+
+let scratch_child (sh : shard) : string =
+  Bytes.sub_string sh.scratch.buf 0 sh.scratch.len
+
+(* O(1) random splice peer over the epoch-start queue snapshot — the
+   same draw-to-entry mapping as Campaign.random_other, against the view
+   so every shard sees the same corpus regardless of merge-time growth. *)
+let random_other_view (rng : Rng.t) (view : Corpus.view) (e : Corpus.entry) :
+    string option =
+  let n = Corpus.view_size view in
+  if n <= 1 then None
+  else
+    let pick = Corpus.view_get view (n - 1 - Rng.int rng n) in
+    if pick.Corpus.id = e.Corpus.id then None else Some pick.Corpus.data
+
+(** The per-shard step loop: evaluate one work item end to end against a
+    private virgin overlay, recording retentions/crashes/hangs as sparse
+    captures for the merge barrier. Touches only shard-private state
+    plus read-only views of the epoch-start corpus and virgin map. *)
+let run_item (base : Campaign.config) (sh : shard) (view : Corpus.view)
+    (global_virgin : Pathcov.Coverage_map.t) (it : item) : item_result =
+  let e = Corpus.view_get view it.entry_idx in
+  Pathcov.Coverage_map.copy_into ~dst:sh.item_virgin global_virgin;
+  let res = { execs = 0; n_cmps = 0; retained = []; crashes = []; hangs = [] } in
+  let local = ref 0 in
+  let capture_outcome (out : Vm.Interp.outcome) ~(input : unit -> string)
+      ~(depth : int) : unit =
+    let tr = sh.feedback.trace in
+    match out.status with
+    | Vm.Interp.Crashed crash ->
+        let idxs = Pathcov.Coverage_map.sorted_indices tr in
+        res.crashes <-
+          {
+            c_crash = crash;
+            c_input = input ();
+            c_at_exec = it.base_exec + !local;
+            c_idxs = idxs;
+            c_vals = Pathcov.Coverage_map.values_at tr idxs;
+          }
+          :: res.crashes
+    | Vm.Interp.Hung -> res.hangs <- (it.base_exec + !local) :: res.hangs
+    | Vm.Interp.Finished _ ->
+        if
+          Pathcov.Coverage_map.merge_into ~virgin:sh.item_virgin tr
+          <> Pathcov.Coverage_map.Nothing
+        then
+          let idxs = Pathcov.Coverage_map.sorted_indices tr in
+          res.retained <-
+            {
+              r_data = input ();
+              r_idxs = idxs;
+              r_vals = Pathcov.Coverage_map.values_at tr idxs;
+              r_exec_blocks = max 1 out.blocks_executed;
+              r_depth = depth;
+              r_at_exec = it.base_exec + !local;
+            }
+            :: res.retained
+  in
+  (* calibration run: capture cmplog pairs; its coverage never counts as
+     novel (the entry is already in the queue), mirroring the sequential
+     calibrate stage *)
+  let cmps =
+    if it.calib then begin
+      let out = sh_exec base sh e.Corpus.data in
+      incr local;
+      (match out.status with
+      | Vm.Interp.Crashed _ | Vm.Interp.Hung ->
+          (* rewind the retention check: calibration outcomes are triaged
+             but never retained *)
+          let tr = sh.feedback.trace in
+          (match out.status with
+          | Vm.Interp.Crashed crash ->
+              let idxs = Pathcov.Coverage_map.sorted_indices tr in
+              res.crashes <-
+                {
+                  c_crash = crash;
+                  c_input = e.Corpus.data;
+                  c_at_exec = it.base_exec + !local;
+                  c_idxs = idxs;
+                  c_vals = Pathcov.Coverage_map.values_at tr idxs;
+                }
+                :: res.crashes
+          | _ -> res.hangs <- (it.base_exec + !local) :: res.hangs)
+      | Vm.Interp.Finished _ ->
+          ignore
+            (Pathcov.Coverage_map.merge_into ~virgin:sh.item_virgin
+               sh.feedback.trace));
+      sh.counters.calibrations <- sh.counters.calibrations + 1;
+      res.n_cmps <- sh.cmp_buf.n_cmps;
+      Campaign.cmps_of_buf sh.cmp_buf
+    end
+    else [||]
+  in
+  let c = sh.counters in
+  for _ = 1 to it.energy do
+    let splice_with = random_other_view it.rng view e in
+    c.havocs <- c.havocs + 1;
+    (match splice_with with Some _ -> c.splices <- c.splices + 1 | None -> ());
+    if Array.length cmps > 0 then c.i2s_cands <- c.i2s_cands + 1;
+    (match sh.clock with
+    | None ->
+        Mutator.havoc_in_place sh.scratch ~cmps ?splice_with it.rng
+          e.Corpus.data
+    | Some now ->
+        let w0 = Gc.minor_words () in
+        let t0 = now () in
+        Mutator.havoc_in_place sh.scratch ~cmps ?splice_with it.rng
+          e.Corpus.data;
+        c.mut_s <- c.mut_s +. (now () -. t0);
+        c.mut_minor_words <- c.mut_minor_words +. (Gc.minor_words () -. w0));
+    let out = sh_exec_scratch base sh in
+    incr local;
+    capture_outcome out
+      ~input:(fun () -> scratch_child sh)
+      ~depth:(e.Corpus.depth + 1)
+  done;
+  res.execs <- !local;
+  res.retained <- List.rev res.retained;
+  res.crashes <- List.rev res.crashes;
+  res.hangs <- List.rev res.hangs;
+  res
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator *)
+
+type result = {
+  campaign : Campaign.result;  (** the familiar campaign-level report *)
+  shards : int;
+  sync_interval : int;
+  epochs : int;  (** sync barriers executed *)
+  items : int;  (** work items scheduled over the whole run *)
+  dup_dropped : int;
+      (** shard-retained candidates another item beat to the barrier *)
+  virgin : Pathcov.Coverage_map.t;  (** final merged virgin map *)
+  crash_virgin : Pathcov.Coverage_map.t;
+}
+
+type t = {
+  cfg : config;
+  obs : Obs.Observer.t;
+  corpus : Corpus.t;
+  virgin : Pathcov.Coverage_map.t;
+  crash_virgin : Pathcov.Coverage_map.t;
+  triage : Triage.t;
+  plan_rng : Rng.t;  (** skip-probability draws, planning order *)
+  mutable execs : int;  (** campaign-local exec clock (budget) *)
+  mutable items_total : int;  (** global item counter, keys RNG substreams *)
+  mutable cycle_len : int;
+  mutable next_qi : int;
+  mutable epochs : int;
+  mutable dup_dropped : int;
+  exec_base : int;  (** observer exec counter at campaign start *)
+}
+
+(* Plan one epoch: walk the queue in cycle order, exactly like the
+   sequential scheduler, until [sync_interval] executions are scheduled
+   or the budget is spent. Consumes skip draws from the planning stream
+   and mutates times_fuzzed/pending_favored at plan time (the sequential
+   loop does so between entries; both orders are deterministic). *)
+let plan_epoch (t : t) : item array =
+  let base = t.cfg.base in
+  let c = t.obs.counters in
+  let items = ref [] in
+  let n_items = ref 0 in
+  let planned = ref 0 in
+  while !planned < t.cfg.sync_interval && t.execs + !planned < base.budget do
+    if t.next_qi >= t.cycle_len then begin
+      Corpus.recompute_favored t.corpus;
+      c.cycles <- c.cycles + 1;
+      let fav = ref 0 in
+      Corpus.iter (fun e -> if e.Corpus.favored then incr fav) t.corpus;
+      c.favored <- !fav;
+      c.pending_favored <- t.corpus.pending_favored;
+      Obs.Observer.event t.obs
+        (Obs.Event.Favored_cycle
+           {
+             at_exec = t.exec_base + t.execs + !planned;
+             queue = Corpus.size t.corpus;
+             favored = !fav;
+             pending = t.corpus.pending_favored;
+           });
+      t.cycle_len <- Corpus.size t.corpus;
+      t.next_qi <- 0
+    end;
+    let e = Corpus.get t.corpus t.next_qi in
+    t.next_qi <- t.next_qi + 1;
+    if not (Campaign.entry_skip t.plan_rng ~pending_favored:t.corpus.pending_favored e)
+    then begin
+      let calib_cost = if base.cmplog then 1 else 0 in
+      let remaining = base.budget - (t.execs + !planned) in
+      let energy =
+        min (Campaign.entry_energy ~budget:base.budget e)
+          (max 0 (remaining - calib_cost))
+      in
+      items :=
+        {
+          entry_idx = t.next_qi - 1;
+          entry_id = e.Corpus.id;
+          rng = Rng.substream ~seed:base.rng_seed (t.items_total + 1);
+          calib = base.cmplog;
+          energy;
+          base_exec = t.execs + !planned;
+        }
+        :: !items;
+      t.items_total <- t.items_total + 1;
+      incr n_items;
+      planned := !planned + calib_cost + energy;
+      e.Corpus.times_fuzzed <- e.Corpus.times_fuzzed + 1;
+      if e.Corpus.favored && e.Corpus.times_fuzzed = 1 then
+        t.corpus.pending_favored <- max 0 (t.corpus.pending_favored - 1)
+    end
+  done;
+  let arr = Array.of_list (List.rev !items) in
+  arr
+
+(* Replay one epoch's item results against the shared state, in global
+   item order — the only place shared campaign state is written. *)
+let merge_epoch (t : t) (items : item array) (results : item_result array) :
+    int =
+  let base = t.cfg.base in
+  let c = t.obs.counters in
+  let retained_now = ref 0 in
+  Array.iteri
+    (fun k (it : item) ->
+      let r = results.(k) in
+      if it.calib then
+        Obs.Observer.event t.obs
+          (Obs.Event.Calibration
+             {
+               at_exec = t.exec_base + it.base_exec + 1;
+               entry = it.entry_id;
+               cmps = r.n_cmps;
+             });
+      List.iter
+        (fun (cr : crash_rec) ->
+          let coverage_novel =
+            Pathcov.Coverage_map.merge_sparse_into ~virgin:t.crash_virgin
+              ~idxs:cr.c_idxs ~vals:cr.c_vals
+            <> Pathcov.Coverage_map.Nothing
+          in
+          Triage.record_crash t.triage ~crash:cr.c_crash ~input:cr.c_input
+            ~at_exec:cr.c_at_exec ~coverage_novel)
+        r.crashes;
+      List.iter (fun at -> Triage.record_hang ~at_exec:at t.triage) r.hangs;
+      List.iter
+        (fun (rr : retained_rec) ->
+          if Corpus.size t.corpus >= base.max_queue then begin
+            c.queue_full_drops <- c.queue_full_drops + 1;
+            if c.queue_full_drops = 1 then
+              Obs.Observer.event t.obs
+                (Obs.Event.Queue_full
+                   {
+                     at_exec = t.exec_base + rr.r_at_exec;
+                     queue = Corpus.size t.corpus;
+                   })
+          end
+          else if
+            Pathcov.Coverage_map.merge_sparse_into ~virgin:t.virgin
+              ~idxs:rr.r_idxs ~vals:rr.r_vals
+            <> Pathcov.Coverage_map.Nothing
+          then begin
+            let e =
+              Corpus.add t.corpus ~data:rr.r_data ~indices:rr.r_idxs
+                ~exec_blocks:rr.r_exec_blocks ~depth:rr.r_depth
+                ~found_at:rr.r_at_exec
+            in
+            Corpus.claim_top_rated t.corpus e;
+            c.retained <- c.retained + 1;
+            incr retained_now;
+            Obs.Observer.event t.obs
+              (Obs.Event.Retain
+                 {
+                   at_exec = t.exec_base + rr.r_at_exec;
+                   id = e.Corpus.id;
+                   len = String.length rr.r_data;
+                   depth = rr.r_depth;
+                 })
+          end
+          else t.dup_dropped <- t.dup_dropped + 1)
+        r.retained)
+    items;
+  !retained_now
+
+let take_snapshot (t : t) : unit =
+  Obs.Observer.snapshot t.obs
+    (Obs.Snapshot.of_counters t.obs.counters ~queue:(Corpus.size t.corpus)
+       ~virgin_residual:(Pathcov.Coverage_map.residual t.virgin))
+
+(* Seed import on shard 0's resources, before any parallel phase — the
+   sequential add_seed semantics: seeds always retained, crashes/hangs
+   triaged, coverage merged into the shared virgin map directly. *)
+let import_seed (t : t) (sh : shard) (input : string) : unit =
+  let base = t.cfg.base in
+  let out = sh_exec base sh input in
+  t.execs <- t.execs + 1;
+  let c = t.obs.counters in
+  match out.status with
+  | Vm.Interp.Crashed crash ->
+      let coverage_novel =
+        Pathcov.Coverage_map.merge_into ~virgin:t.crash_virgin
+          sh.feedback.trace
+        <> Pathcov.Coverage_map.Nothing
+      in
+      Triage.record_crash t.triage ~crash ~input ~at_exec:t.execs
+        ~coverage_novel
+  | Vm.Interp.Hung -> Triage.record_hang ~at_exec:t.execs t.triage
+  | Vm.Interp.Finished _ ->
+      ignore
+        (Pathcov.Coverage_map.merge_into ~virgin:t.virgin sh.feedback.trace);
+      c.seeds_imported <- c.seeds_imported + 1;
+      Obs.Observer.event t.obs
+        (Obs.Event.Seed_import
+           { at_exec = t.exec_base + t.execs; len = String.length input });
+      let indices = Pathcov.Coverage_map.sorted_indices sh.feedback.trace in
+      let e =
+        Corpus.add t.corpus ~data:input ~indices
+          ~exec_blocks:(max 1 out.blocks_executed) ~depth:0 ~found_at:t.execs
+      in
+      Corpus.claim_top_rated t.corpus e;
+      c.retained <- c.retained + 1;
+      Obs.Observer.event t.obs
+        (Obs.Event.Retain
+           {
+             at_exec = t.exec_base + t.execs;
+             id = e.Corpus.id;
+             len = String.length input;
+             depth = 0;
+           })
+
+(** Run one sharded campaign. [workers] caps the domain-pool width (the
+    default runs one worker per shard; any value yields byte-identical
+    results — it is purely a wall-clock knob, like [--jobs] for trial
+    fan-out). [plans] and [obs] behave as in {!Campaign.run}; the
+    observer's clock enables the same vm/mutator wall split, accumulated
+    per shard and aggregated at each barrier. *)
+let run ?plans ?obs ?workers (cfg : config) (prog : Minic.Ir.program)
+    ~(seeds : string list) : result =
+  if cfg.shards < 1 then invalid_arg "Shard.run: shards must be >= 1";
+  if cfg.sync_interval < 1 then
+    invalid_arg "Shard.run: sync_interval must be >= 1";
+  let obs = match obs with Some o -> o | None -> Obs.Observer.null () in
+  let base = cfg.base in
+  let prepared = Vm.Interp.prepare prog in
+  let shards =
+    Array.init cfg.shards (fun _ ->
+        make_shard ?plans base prepared obs.clock prog)
+  in
+  let c = obs.counters in
+  let exec_base = c.execs in
+  let snap_base = obs.n_snapshots in
+  let vm_s0 = c.vm_s and mut_s0 = c.mut_s in
+  let mut_minor_words0 = c.mut_minor_words in
+  let blocks0 = c.blocks and havocs0 = c.havocs in
+  let t =
+    {
+      cfg;
+      obs;
+      corpus = Corpus.create ();
+      virgin =
+        Pathcov.Coverage_map.create_virgin ~size_log2:base.map_size_log2 ();
+      crash_virgin =
+        Pathcov.Coverage_map.create_virgin ~size_log2:base.map_size_log2 ();
+      triage = Triage.create ~obs ();
+      plan_rng = Rng.substream ~seed:base.rng_seed 0;
+      execs = 0;
+      items_total = 0;
+      cycle_len = 0;
+      next_qi = 0;
+      epochs = 0;
+      dup_dropped = 0;
+      exec_base;
+    }
+  in
+  List.iter (import_seed t shards.(0)) seeds;
+  if Corpus.size t.corpus = 0 then import_seed t shards.(0) "A";
+  if Corpus.size t.corpus = 0 then
+    ignore
+      (Corpus.add t.corpus ~data:"A" ~indices:[||] ~exec_blocks:1 ~depth:0
+         ~found_at:t.execs);
+  (* drain seed-import execution counts out of shard 0's block so the
+     observer is current before the first barrier *)
+  Obs.Counters.add_into ~into:c shards.(0).counters;
+  Obs.Counters.reset shards.(0).counters;
+  let workers =
+    min cfg.shards (match workers with Some w -> max 1 w | None -> cfg.shards)
+  in
+  let pool = if workers > 1 then Some (Exec.Pool.create ~jobs:workers) else None in
+  Fun.protect
+    ~finally:(fun () ->
+      match pool with Some p -> Exec.Pool.shutdown p | None -> ())
+    (fun () ->
+      while t.execs < base.budget do
+        let items = plan_epoch t in
+        let n = Array.length items in
+        let results = Array.make n None in
+        let view = Corpus.view t.corpus ~limit:(Corpus.size t.corpus) in
+        let slice s ~worker:_ =
+          let sh = shards.(s) in
+          let k = ref s in
+          while !k < n do
+            results.(!k) <- Some (run_item base sh view t.virgin items.(!k));
+            k := !k + cfg.shards
+          done
+        in
+        (match pool with
+        | Some p -> Exec.Pool.run_phase p cfg.shards slice
+        | None ->
+            for s = 0 to cfg.shards - 1 do
+              slice s ~worker:0
+            done);
+        let results =
+          Array.map
+            (function
+              | Some r -> r | None -> invalid_arg "Shard.run: missing result")
+            results
+        in
+        Array.iter
+          (fun sh ->
+            Obs.Counters.add_into ~into:c sh.counters;
+            Obs.Counters.reset sh.counters)
+          shards;
+        let retained_now = merge_epoch t items results in
+        Array.iter (fun (r : item_result) -> t.execs <- t.execs + r.execs) results;
+        t.epochs <- t.epochs + 1;
+        Obs.Observer.event t.obs
+          (Obs.Event.Shard_sync
+             {
+               at_exec = t.exec_base + t.execs;
+               epoch = t.epochs;
+               queue = Corpus.size t.corpus;
+               retained = retained_now;
+               dup_dropped = t.dup_dropped;
+             });
+        take_snapshot t
+      done);
+  let snapshots = Obs.Observer.snapshots_from obs ~from:snap_base in
+  {
+    campaign =
+      {
+        Campaign.config = base;
+        corpus = t.corpus;
+        triage = t.triage;
+        execs = t.execs;
+        queue_series =
+          List.map
+            (fun (r : Obs.Snapshot.row) -> (r.at_exec - exec_base, r.queue))
+            snapshots;
+        sum_exec_blocks = c.blocks - blocks0;
+        havocs = c.havocs - havocs0;
+        snapshots;
+        vm_s = c.vm_s -. vm_s0;
+        mut_s = c.mut_s -. mut_s0;
+        mut_minor_words = c.mut_minor_words -. mut_minor_words0;
+      };
+    shards = cfg.shards;
+    sync_interval = cfg.sync_interval;
+    epochs = t.epochs;
+    items = t.items_total;
+    dup_dropped = t.dup_dropped;
+    virgin = t.virgin;
+    crash_virgin = t.crash_virgin;
+  }

@@ -1,0 +1,56 @@
+(** Deterministic intra-campaign sharding: one campaign spread across N
+    OCaml 5 domains with an execution-count synchronization schedule.
+
+    A sharded run is organised as a sequence of {e epochs}. The
+    coordinator plans each epoch deterministically — walking the queue in
+    cycle order with the sequential scheduler's skip/energy rules, one
+    private RNG stream per work item keyed by the item's position in the
+    global schedule — then fans the items out round-robin over the shard
+    pool. Each shard evaluates its items against a private virgin overlay
+    seeded from the epoch-start global map and records discoveries as
+    sparse captures; the barrier replays them against the shared state in
+    global item order. The merged trajectory (queue contents and order,
+    virgin-map bytes, crash set, counters) is therefore a deterministic
+    function of [(seed, sync_interval)] alone — byte-identical across
+    re-runs {e and across shard/worker counts}, which is what the
+    differential suite and the CI determinism smoke check enforce.
+    DESIGN.md §8 gives the full schedule and determinism argument. *)
+
+type config = {
+  base : Campaign.config;
+  shards : int;  (** parallel width of each epoch (>= 1) *)
+  sync_interval : int;  (** executions scheduled between merge barriers *)
+}
+
+val default_sync_interval : int
+
+(** [Campaign.default_config] with [shards = 1] and the default sync
+    interval. *)
+val default_config : config
+
+type result = {
+  campaign : Campaign.result;  (** the familiar campaign-level report *)
+  shards : int;
+  sync_interval : int;
+  epochs : int;  (** sync barriers executed *)
+  items : int;  (** work items scheduled over the whole run *)
+  dup_dropped : int;
+      (** shard-retained candidates another item beat to the barrier *)
+  virgin : Pathcov.Coverage_map.t;  (** final merged virgin map *)
+  crash_virgin : Pathcov.Coverage_map.t;
+}
+
+(** Run one sharded campaign. [workers] caps the domain-pool width
+    (default: one worker per shard); it is purely a wall-clock knob —
+    any value yields byte-identical results. [plans] and [obs] behave as
+    in {!Campaign.run}; the observer's optional clock enables the same
+    vm/mutator wall split, accumulated per shard and aggregated at each
+    barrier under the zero-perturbation rule. *)
+val run :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  ?obs:Obs.Observer.t ->
+  ?workers:int ->
+  config ->
+  Minic.Ir.program ->
+  seeds:string list ->
+  result

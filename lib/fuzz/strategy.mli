@@ -54,6 +54,10 @@ type run_result = {
   sum_exec_blocks : int;
 }
 
+(** Wrap one finished campaign in the run-level report shape (the
+    sharded CLI path reports a {!Shard.result.campaign} through this). *)
+val of_campaign : string -> Campaign.result -> run_result
+
 (** Run [fuzzer] on a program for [budget] executions. [plans] shares the
     Ball–Larus artifact across configurations of a trial. [obs] is shared
     across every phase of a multi-phase strategy (cull rounds, the two

@@ -85,6 +85,33 @@ let reset (c : t) : unit =
   c.mut_s <- 0.;
   c.mut_minor_words <- 0.
 
+(** Fold [src] into [into] field-wise. Sharded campaigns give every
+    shard a private block bumped lock-free on its own domain, then
+    aggregate into the campaign observer's block at each sync barrier —
+    the zero-perturbation rule extends across domains because shard
+    blocks are only ever read at the barrier. *)
+let add_into ~(into : t) (src : t) : unit =
+  into.execs <- into.execs + src.execs;
+  into.blocks <- into.blocks + src.blocks;
+  into.havocs <- into.havocs + src.havocs;
+  into.splices <- into.splices + src.splices;
+  into.i2s_cands <- into.i2s_cands + src.i2s_cands;
+  into.calibrations <- into.calibrations + src.calibrations;
+  into.seeds_imported <- into.seeds_imported + src.seeds_imported;
+  into.retained <- into.retained + src.retained;
+  into.favored <- into.favored + src.favored;
+  into.pending_favored <- into.pending_favored + src.pending_favored;
+  into.cycles <- into.cycles + src.cycles;
+  into.queue_full_drops <- into.queue_full_drops + src.queue_full_drops;
+  into.crashes <- into.crashes + src.crashes;
+  into.crashes_stack_unique <- into.crashes_stack_unique + src.crashes_stack_unique;
+  into.crashes_cov_novel <- into.crashes_cov_novel + src.crashes_cov_novel;
+  into.hangs <- into.hangs + src.hangs;
+  into.replays <- into.replays + src.replays;
+  into.vm_s <- into.vm_s +. src.vm_s;
+  into.mut_s <- into.mut_s +. src.mut_s;
+  into.mut_minor_words <- into.mut_minor_words +. src.mut_minor_words
+
 (** (name, value) pairs in a fixed render order — the [fuzzer_stats]
     analogue consumed by [pathfuzz stats]. Wall-split floats are rendered
     separately by callers that enabled a clock. *)

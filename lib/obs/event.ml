@@ -27,6 +27,13 @@ type t =
       (** first finished execution evaluated against a full queue *)
   | Cull of { at_exec : int; before : int; after : int }
       (** a queue trim (culling/opportunistic strategies) *)
+  | Shard_sync of {
+      at_exec : int;
+      epoch : int;
+      queue : int;
+      retained : int;  (** candidates admitted at this barrier *)
+      dup_dropped : int;  (** shard-novel candidates another item beat to it *)
+    }  (** a sharded campaign's sync barrier merged shard discoveries *)
   | Snapshot of Snapshot.row  (** periodic stats sample *)
   | Trial_begin of { task : int; worker : int }
       (** a pool worker claimed trial [task] *)
@@ -41,6 +48,7 @@ let name = function
   | Hang _ -> "hang"
   | Queue_full _ -> "queue_full"
   | Cull _ -> "cull"
+  | Shard_sync _ -> "shard_sync"
   | Snapshot _ -> "snapshot"
   | Trial_begin _ -> "trial_begin"
   | Trial_end _ -> "trial_end"
@@ -55,7 +63,8 @@ let at_exec = function
   | Crash { at_exec; _ }
   | Hang { at_exec }
   | Queue_full { at_exec; _ }
-  | Cull { at_exec; _ } ->
+  | Cull { at_exec; _ }
+  | Shard_sync { at_exec; _ } ->
       at_exec
   | Snapshot r -> r.Snapshot.at_exec
   | Trial_begin _ | Trial_end _ -> -1
@@ -74,6 +83,9 @@ let detail = function
   | Hang _ -> ""
   | Queue_full { queue; _ } -> Printf.sprintf "queue %d" queue
   | Cull { before; after; _ } -> Printf.sprintf "%d -> %d" before after
+  | Shard_sync { epoch; queue; retained; dup_dropped; _ } ->
+      Printf.sprintf "epoch %d, queue %d, retained %d, dup %d" epoch queue
+        retained dup_dropped
   | Snapshot r -> Snapshot.to_status r
   | Trial_begin { task; worker } ->
       Printf.sprintf "task %d, worker %d" task worker
@@ -115,6 +127,10 @@ let to_jsonl (e : t) : string =
       Printf.sprintf
         "{\"ev\": \"cull\", \"at\": %d, \"before\": %d, \"after\": %d}" at_exec
         before after
+  | Shard_sync { at_exec; epoch; queue; retained; dup_dropped } ->
+      Printf.sprintf
+        "{\"ev\": \"shard_sync\", \"at\": %d, \"epoch\": %d, \"queue\": %d,          \"retained\": %d, \"dup_dropped\": %d}"
+        at_exec epoch queue retained dup_dropped
   | Trial_begin { task; worker } ->
       Printf.sprintf "{\"ev\": \"trial_begin\", \"task\": %d, \"worker\": %d}"
         task worker

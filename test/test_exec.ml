@@ -73,6 +73,70 @@ let test_submit_shutdown_drains () =
   | () -> Alcotest.fail "submit after shutdown must fail"
   | exception Invalid_argument _ -> ()
 
+(* A raising task must not kill its worker or wedge shutdown: the queue
+   drains, every domain is joined, and the earliest failure is re-raised
+   only after the join. *)
+let test_failure_drains_and_joins () =
+  let pool = Exec.Pool.create ~jobs:3 in
+  let ran = Atomic.make 0 in
+  for i = 0 to 19 do
+    Exec.Pool.submit pool (fun _ ->
+        if i = 4 then failwith "task-4" else Atomic.incr ran)
+  done;
+  (match Exec.Pool.shutdown pool with
+  | () -> Alcotest.fail "expected the task failure to re-raise"
+  | exception Failure m -> check Alcotest.string "failure message" "task-4" m);
+  (* the failing task did not take the rest of the queue down with it *)
+  check Alcotest.int "other tasks still ran" 19 (Atomic.get ran)
+
+(* With several failing tasks the surfaced exception is the one with the
+   smallest submission index, independent of schedule. *)
+let test_earliest_failure_wins () =
+  let pool = Exec.Pool.create ~jobs:4 in
+  for i = 0 to 15 do
+    Exec.Pool.submit pool (fun _ ->
+        if i mod 3 = 2 then failwith (Printf.sprintf "task-%d" i))
+  done;
+  match Exec.Pool.shutdown pool with
+  | () -> Alcotest.fail "expected a failure"
+  | exception Failure m -> check Alcotest.string "lowest index" "task-2" m
+
+(* run_phase is a reusable barrier: phases never overlap, the pool
+   survives many phases, and a failing phase re-raises from wait while
+   leaving the pool usable for the next phase. *)
+let test_run_phase_reuse () =
+  let pool = Exec.Pool.create ~jobs:3 in
+  let acc = Array.make 12 (-1) in
+  for phase = 0 to 9 do
+    Exec.Pool.run_phase pool 12 (fun i ~worker:_ -> acc.(i) <- (phase * 100) + i);
+    Array.iteri
+      (fun i v ->
+        check Alcotest.int
+          (Printf.sprintf "phase %d slot %d" phase i)
+          ((phase * 100) + i)
+          v)
+      acc
+  done;
+  (match Exec.Pool.run_phase pool 6 (fun i ~worker:_ -> if i = 3 then failwith "mid") with
+  | () -> Alcotest.fail "expected phase failure"
+  | exception Failure m -> check Alcotest.string "phase failure" "mid" m);
+  (* wait cleared the failure; the pool is still usable *)
+  let ok = Atomic.make 0 in
+  Exec.Pool.run_phase pool 8 (fun _ ~worker:_ -> Atomic.incr ok);
+  check Alcotest.int "pool reusable after failed phase" 8 (Atomic.get ok);
+  Exec.Pool.shutdown pool
+
+(* failed is observable mid-flight and wait consumes the failure. *)
+let test_failed_flag_and_wait () =
+  let pool = Exec.Pool.create ~jobs:2 in
+  Exec.Pool.submit pool (fun _ -> failwith "early");
+  (match Exec.Pool.wait pool with
+  | () -> Alcotest.fail "expected wait to re-raise"
+  | exception Failure m -> check Alcotest.string "wait message" "early" m);
+  check Alcotest.bool "wait cleared the failure" false (Exec.Pool.failed pool);
+  Exec.Pool.wait pool;
+  Exec.Pool.shutdown pool
+
 let suite =
   [
     ( "exec-pool",
@@ -83,5 +147,13 @@ let suite =
         Alcotest.test_case "on_done once per task" `Quick test_on_done_once_per_task;
         Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
         Alcotest.test_case "submit/shutdown drains" `Quick test_submit_shutdown_drains;
+        Alcotest.test_case "failure drains and joins" `Quick
+          test_failure_drains_and_joins;
+        Alcotest.test_case "earliest failure wins" `Quick
+          test_earliest_failure_wins;
+        Alcotest.test_case "run_phase reusable barrier" `Quick
+          test_run_phase_reuse;
+        Alcotest.test_case "failed flag and wait" `Quick
+          test_failed_flag_and_wait;
       ] );
   ]

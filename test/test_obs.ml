@@ -385,10 +385,12 @@ let test_bench_history_roundtrip () =
             [
               { Experiments.Bench_history.subject = "cflow";
                 mode = "path";
+                shards = 0;
                 execs_per_sec = v;
               };
               { Experiments.Bench_history.subject = "gdk";
                 mode = "edge";
+                shards = 0;
                 execs_per_sec = 2. *. v;
               };
             ];
@@ -424,10 +426,12 @@ let test_bench_history_roundtrip () =
               [
                 { Experiments.Bench_history.subject = "cflow";
                   mode = "path";
+                  shards = 0;
                   execs_per_sec = 50_000.;
                 };
                 { Experiments.Bench_history.subject = "gdk";
                   mode = "edge";
+                  shards = 0;
                   execs_per_sec = 205_000.;
                 };
               ];
@@ -451,10 +455,69 @@ let test_bench_history_roundtrip () =
                   [
                     { Experiments.Bench_history.subject = "cflow";
                       mode = "path";
+                      shards = 0;
+                      execs_per_sec = 1.;
+                    };
+                  ];
+              }));
+      (* shards partition the baseline: a sharded cell has no history
+         among the unsharded rows above, so it never trips the gate *)
+      check Alcotest.int "sharded cell: separate baseline" 0
+        (List.length
+           (Experiments.Bench_history.check ~threshold_pct:20. loaded
+              {
+                Experiments.Bench_history.date = "d";
+                source = "campaign";
+                label = "";
+                cells =
+                  [
+                    { Experiments.Bench_history.subject = "cflow";
+                      mode = "path";
+                      shards = 4;
                       execs_per_sec = 1.;
                     };
                   ];
               })))
+
+(* Pre-sharding history lines carry no "shards" field; they must load
+   with shards = 0, and round-trip lines must carry it explicitly. *)
+let test_bench_history_schema_tolerant () =
+  let tmp = Filename.temp_file "pathfuzz_hist_old" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out tmp in
+      output_string oc
+        ("{\"schema\": \"pathfuzz-history/v1\", \"date\": \"2026-01-01\", "
+       ^ "\"source\": \"campaign\", \"label\": \"legacy\", \"cells\": "
+       ^ "[{\"subject\": \"cflow\", \"mode\": \"path\", "
+       ^ "\"execs_per_sec\": 123456.0}]}\n");
+      close_out oc;
+      Experiments.Bench_history.append tmp
+        {
+          Experiments.Bench_history.date = "2026-01-02";
+          source = "campaign";
+          label = "sharded";
+          cells =
+            [
+              { Experiments.Bench_history.subject = "cflow";
+                mode = "path";
+                shards = 4;
+                execs_per_sec = 200_000.;
+              };
+            ];
+        };
+      match Experiments.Bench_history.load tmp with
+      | [ legacy; sharded ] ->
+          let lc = List.hd legacy.Experiments.Bench_history.cells in
+          check Alcotest.int "legacy line defaults to shards 0" 0
+            lc.Experiments.Bench_history.shards;
+          check (Alcotest.float 0.01) "legacy execs/sec intact" 123_456.
+            lc.Experiments.Bench_history.execs_per_sec;
+          let sc = List.hd sharded.Experiments.Bench_history.cells in
+          check Alcotest.int "sharded cell round-trips" 4
+            sc.Experiments.Bench_history.shards
+      | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows))
 
 let test_bench_history_parses_bench_files () =
   (* The checked-in bench baselines must stay ingestible. *)
@@ -521,6 +584,8 @@ let suite =
           test_bench_history_roundtrip;
         Alcotest.test_case "bench history parses bench files" `Quick
           test_bench_history_parses_bench_files;
+        Alcotest.test_case "bench history shards schema tolerance" `Quick
+          test_bench_history_schema_tolerant;
         Alcotest.test_case "mode of name" `Quick test_mode_of_name;
       ] );
   ]
