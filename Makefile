@@ -1,4 +1,4 @@
-.PHONY: all build test bench shard-bench micro tables history clean
+.PHONY: all build test bench shard-bench micro tables history resume-check clean
 
 all: build
 
@@ -29,6 +29,34 @@ shard-bench: build
 # window. Run after `make bench`; set LABEL to tag the row.
 history: build
 	./_build/default/bin/pathfuzz.exe bench-history --label "$(LABEL)"
+
+# Resume-determinism smoke: an interrupted-and-resumed campaign must
+# print byte-identical results to the uninterrupted one — sequentially,
+# and from a 2-shard snapshot resumed single-sharded (barriers are
+# functions of (seed, sync_interval), not the shard count).
+resume-check: build
+	@rm -rf _build/resume-check && mkdir -p _build/resume-check
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f afl -b 4000 \
+	  > _build/resume-check/straight.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f afl -b 4000 \
+	  --checkpoint _build/resume-check/seq.ckpt --checkpoint-every 2500 \
+	  > _build/resume-check/ckpt.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f afl -b 4000 \
+	  --resume _build/resume-check/seq.ckpt > _build/resume-check/resumed.out
+	diff _build/resume-check/straight.out _build/resume-check/ckpt.out
+	diff _build/resume-check/straight.out _build/resume-check/resumed.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f afl -b 4000 \
+	  --shards 2 --sync-interval 512 > _build/resume-check/sh-straight.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f afl -b 4000 \
+	  --shards 2 --sync-interval 512 \
+	  --checkpoint _build/resume-check/sh.ckpt --checkpoint-every 2500 \
+	  > _build/resume-check/sh-ckpt.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f afl -b 4000 \
+	  --shards 1 --sync-interval 512 --resume _build/resume-check/sh.ckpt \
+	  > _build/resume-check/sh-resumed.out
+	diff _build/resume-check/sh-straight.out _build/resume-check/sh-ckpt.out
+	diff _build/resume-check/sh-straight.out _build/resume-check/sh-resumed.out
+	@echo "resume-check: straight, checkpointed and resumed runs identical"
 
 # Bechamel micro-benchmarks (one per table/figure of the paper).
 micro: build

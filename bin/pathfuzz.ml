@@ -109,18 +109,29 @@ let sync_interval_arg =
           "Executions scheduled between shard sync barriers. Part of the \
            sharded trajectory's identity (independent of wall-clock).")
 
-(* Sharding reuses the plain single-phase campaign loop; multi-phase
-   strategies (cull*, opp) re-seed corpora between phases and have no
-   sharded equivalent yet. *)
-let shard_mode_of_fuzzer (fz : Fuzz.Strategy.fuzzer) : Pathcov.Feedback.mode =
+(* Sharding and checkpointing reuse the plain single-phase campaign
+   loop; multi-phase strategies (cull*, opp) re-seed corpora between
+   phases and have neither a sharded nor a snapshottable equivalent. *)
+let plain_mode_of_fuzzer ~flag (fz : Fuzz.Strategy.fuzzer) :
+    Pathcov.Feedback.mode =
   match fz.spec with
   | Fuzz.Strategy.Plain mode -> mode
   | _ ->
       Fmt.epr
-        "pathfuzz: --shards supports plain fuzzers only (path, pcguard, \
-         pathafl, afl, block, ngram*), not %s@."
-        fz.name;
+        "pathfuzz: %s supports plain fuzzers only (path, pcguard, pathafl, \
+         afl, block, ngram*), not %s@."
+        flag fz.name;
       exit 2
+
+(* A non-positive --sync-interval used to sail past the CLI and die with
+   an uncaught Invalid_argument from the sharded runner's own guard; an
+   execution-count flag that must be >= 1 is a configuration error and
+   gets the same clean stderr + exit 2 treatment as --jobs. *)
+let check_positive ~flag n =
+  if n < 1 then begin
+    Fmt.epr "pathfuzz: %s must be a positive execution count, got %d@." flag n;
+    exit 2
+  end
 
 let fuzz_cmd =
   let fuzzer =
@@ -163,8 +174,38 @@ let fuzz_cmd =
             "Stream observer events (snapshots, retains, crashes, pool \
              trials) as JSON lines into FILE (\"-\" for stderr).")
   in
+  let checkpoint =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a versioned campaign snapshot (pathfuzz-checkpoint/v1) \
+             to FILE, atomically, at each deterministic boundary (cycle \
+             boundary, or shard merge barrier with $(b,--shards)) that \
+             crosses a multiple of $(b,--checkpoint-every) executions. \
+             Plain fuzzers, single trial.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value
+      & opt int 5000
+      & info [ "checkpoint-every" ] ~docv:"EXECS"
+          ~doc:"Snapshot cadence for $(b,--checkpoint), in executions.")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from a snapshot written by $(b,--checkpoint) instead of \
+             importing seeds. The run's subject, fuzzer, seed, budget and \
+             sync schedule must match the snapshot's; the resumed \
+             trajectory is byte-identical to the uninterrupted run's.")
+  in
   let run subject fuzzer budget trial trials rounds jobs shards sync_interval
-      stats jsonl =
+      stats jsonl checkpoint checkpoint_every resume =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
     let trials = max 1 trials in
@@ -173,7 +214,81 @@ let fuzz_cmd =
       Fmt.epr "pathfuzz: --shards must be >= 0, got %d@." shards;
       exit 2
     end;
-    let shard_mode = if shards > 0 then Some (shard_mode_of_fuzzer fz) else None in
+    check_positive ~flag:"--sync-interval" sync_interval;
+    check_positive ~flag:"--checkpoint-every" checkpoint_every;
+    let use_ck = checkpoint <> "" || resume <> "" in
+    if use_ck && trials > 1 then begin
+      Fmt.epr
+        "pathfuzz: --checkpoint/--resume snapshot a single campaign; run \
+         one trial per invocation (got --trials %d)@."
+        trials;
+      exit 2
+    end;
+    let shard_mode =
+      if shards > 0 then Some (plain_mode_of_fuzzer ~flag:"--shards" fz)
+      else None
+    in
+    (* Everything a snapshot identifies this run by; --resume refuses a
+       file whose recorded identity differs (sync_interval 0 marks the
+       sequential loop). *)
+    let expected_id () : Fuzz.Checkpoint.config_id =
+      let mode =
+        match shard_mode with
+        | Some m -> m
+        | None -> plain_mode_of_fuzzer ~flag:"--checkpoint/--resume" fz
+      in
+      let d = Fuzz.Campaign.default_config in
+      {
+        Fuzz.Checkpoint.subject = s.name;
+        fuzzer = fz.name;
+        mode = Pathcov.Feedback.mode_name mode;
+        cmplog = fz.cmplog;
+        rng_seed = trial;
+        budget;
+        fuel = d.fuel;
+        max_depth = d.max_depth;
+        map_size_log2 = d.map_size_log2;
+        max_queue = d.max_queue;
+        sync_interval = (if shards > 0 then sync_interval else 0);
+      }
+    in
+    let ck_sink =
+      if checkpoint = "" then None
+      else
+        Some
+          {
+            Fuzz.Checkpoint.every = checkpoint_every;
+            subject = s.name;
+            fuzzer = fz.name;
+            save =
+              (fun ck ->
+                Fuzz.Checkpoint.write_file ~path:checkpoint ck;
+                Fmt.epr "[checkpoint] wrote %s at %d execs@." checkpoint
+                  ck.Fuzz.Checkpoint.progress.execs);
+          }
+    in
+    let resume_ck =
+      if resume = "" then None
+      else
+        match Fuzz.Checkpoint.read_file resume with
+        | Error msg ->
+            Fmt.epr "pathfuzz: cannot resume from %s: %s@." resume msg;
+            exit 2
+        | Ok ck -> (
+            match Fuzz.Checkpoint.check_compat ~expected:(expected_id ()) ck with
+            | Ok () ->
+                Fmt.epr "[checkpoint] resuming %s at %d execs@." resume
+                  ck.Fuzz.Checkpoint.progress.execs;
+                Some ck
+            | Error msg ->
+                Fmt.epr
+                  "pathfuzz: --resume %s does not match this run's config: \
+                   %s@."
+                  resume msg;
+                exit 2)
+    in
+    (* force the plain-fuzzer check even when only --checkpoint is given *)
+    if use_ck && shard_mode = None then ignore (expected_id ());
     (* worker/shard counts go to stderr: stdout must be identical at any
        --jobs or --shards value so runs can be diffed *)
     Fmt.pr "fuzzing %s with %s for %d execs (%d trial%s from seed %d)...@."
@@ -226,12 +341,41 @@ let fuzz_cmd =
                   sync_interval;
                 }
               in
-              let r = Fuzz.Shard.run ~plans ?obs cfg prog ~seeds:s.seeds in
+              let r =
+                Fuzz.Shard.run ~plans ?obs ?checkpoint:ck_sink
+                  ?resume:resume_ck cfg prog ~seeds:s.seeds
+              in
               Fmt.epr
                 "[shard] trial %d: %d epochs, %d items, %d duplicates \
                  dropped at barriers@."
                 (trial + i) r.epochs r.items r.dup_dropped;
               Fuzz.Strategy.of_campaign fz.name r.campaign)
+      | None when use_ck ->
+          (* snapshot plumbing needs Campaign.run directly; the config is
+             exactly Strategy.run's Plain path, so the trajectory — and
+             stdout — match a run without these flags byte for byte *)
+          [|
+            (let prog = Subjects.Subject.compile_fresh s in
+             let plans = Pathcov.Ball_larus.of_program prog in
+             let obs =
+               Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
+             in
+             let mode = plain_mode_of_fuzzer ~flag:"--checkpoint/--resume" fz in
+             let config =
+               {
+                 Fuzz.Campaign.default_config with
+                 mode;
+                 budget;
+                 rng_seed = trial;
+                 cmplog = fz.cmplog;
+               }
+             in
+             let r =
+               Fuzz.Campaign.run ~plans ?obs ~config ?checkpoint:ck_sink
+                 ?resume:resume_ck prog ~seeds:s.seeds
+             in
+             Fuzz.Strategy.of_campaign fz.name r);
+          |]
       | None ->
           Exec.Pool.map ~jobs ?sink:base_sink trials (fun i ->
               (* per-worker program and plans: see lib/exec *)
@@ -286,7 +430,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one or more fuzzing campaigns")
     Term.(
       const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
-      $ jobs_arg $ shards_arg $ sync_interval_arg $ stats $ jsonl)
+      $ jobs_arg $ shards_arg $ sync_interval_arg $ stats $ jsonl $ checkpoint
+      $ checkpoint_every $ resume)
 
 (* --- profile --- *)
 
@@ -541,6 +686,7 @@ let bench_campaign_cmd =
       Fmt.epr "pathfuzz: --shards must be >= 0, got %d@." shards;
       exit 2
     end;
+    check_positive ~flag:"--sync-interval" sync_interval;
     let samples =
       if shards = 0 then Experiments.Campaign_bench.grid ~budget subjects
       else begin

@@ -118,6 +118,20 @@ let copy_into ~(dst : t) (src : t) : unit =
   Bytes.blit src.bits 0 dst.bits 0 (Bytes.length src.bits);
   dst.ntouched <- 0
 
+(** A detached copy of the raw map payload — what a campaign snapshot
+    records for its virgin/crash-virgin maps. Pairs with {!restore_raw}. *)
+let raw_bytes (t : t) : bytes = Bytes.copy t.bits
+
+(** Overwrite the map's payload with a previously captured {!raw_bytes}
+    image (sizes must match) and reset the journal — the checkpoint
+    restore half of the blit pair. Virgin maps never use their journal,
+    so a restored map behaves exactly like the captured one. *)
+let restore_raw (t : t) (payload : bytes) : unit =
+  if Bytes.length payload <> Bytes.length t.bits then
+    invalid_arg "Coverage_map.restore_raw";
+  Bytes.blit payload 0 t.bits 0 (Bytes.length payload);
+  t.ntouched <- 0
+
 (** The merge half of {!merge_into} over a sparse capture instead of a
     live trace: [idxs.(k)] carries classified byte [vals.(k)]. Sharded
     campaigns record each retained candidate's classified trace as such a

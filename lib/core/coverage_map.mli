@@ -43,6 +43,14 @@ val merge_into : virgin:t -> t -> novelty
     global map. *)
 val copy_into : dst:t -> t -> unit
 
+(** A detached copy of the raw map payload (checkpoint capture); pairs
+    with {!restore_raw}. *)
+val raw_bytes : t -> bytes
+
+(** Overwrite the map with a captured {!raw_bytes} image (same size
+    required) and reset the journal — the checkpoint restore half. *)
+val restore_raw : t -> bytes -> unit
+
 (** The merge half of {!merge_into} over a sparse (index, classified
     byte) capture instead of a live trace — sharded campaigns replay
     their shards' recorded discoveries against the shared virgin map in

@@ -382,6 +382,63 @@ let make_state ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
     obs;
   }
 
+(** The snapshot of a sequential campaign at a cycle boundary, under the
+    identity fields carried by the checkpoint sink ([sync_interval = 0]
+    marks the sequential loop). The planner-cursor slots of [progress]
+    are unused here — the whole cursor is the exec clock. *)
+let capture_checkpoint (st : state) ~(subject : string) ~(fuzzer : string) :
+    Checkpoint.t =
+  Checkpoint.capture
+    ~id:
+      {
+        Checkpoint.subject;
+        fuzzer;
+        mode = Pathcov.Feedback.mode_name st.cfg.mode;
+        cmplog = st.cfg.cmplog;
+        rng_seed = st.cfg.rng_seed;
+        budget = st.cfg.budget;
+        fuel = st.cfg.fuel;
+        max_depth = st.cfg.max_depth;
+        map_size_log2 = st.cfg.map_size_log2;
+        max_queue = st.cfg.max_queue;
+        sync_interval = 0;
+      }
+    ~progress:
+      {
+        Checkpoint.execs = st.execs;
+        blocks = st.blocks;
+        havocs = st.havocs;
+        rng_state = Rng.state st.rng;
+        items_total = 0;
+        cycle_len = 0;
+        next_qi = 0;
+        epochs = 0;
+        dup_dropped = 0;
+      }
+    ~virgin:st.virgin ~crash_virgin:st.crash_virgin ~corpus:st.corpus
+    ~triage:st.triage ~counters:st.obs.counters
+    ~snapshots:(Obs.Observer.snapshots st.obs)
+
+(** Load a cycle-boundary snapshot into freshly built campaign state:
+    queue, triage, both virgin maps, the campaign RNG position, the
+    exec/block/havoc clocks, the counter block and the recorded snapshot
+    rows (preloaded without sink emission). The caller is responsible
+    for config validation ({!Checkpoint.check_compat}); only the map
+    size — which would make the blit fault — is re-checked here. *)
+let restore_checkpoint (st : state) (ck : Checkpoint.t) : unit =
+  if ck.Checkpoint.id.map_size_log2 <> st.cfg.map_size_log2 then
+    invalid_arg "Campaign.restore_checkpoint: map size disagrees with config";
+  Checkpoint.restore_corpus_into ck st.corpus;
+  Checkpoint.restore_triage_into ck st.triage;
+  Pathcov.Coverage_map.restore_raw st.virgin ck.Checkpoint.virgin;
+  Pathcov.Coverage_map.restore_raw st.crash_virgin ck.Checkpoint.crash_virgin;
+  Rng.set_state st.rng ck.Checkpoint.progress.rng_state;
+  st.execs <- ck.Checkpoint.progress.execs;
+  st.blocks <- ck.Checkpoint.progress.blocks;
+  st.havocs <- ck.Checkpoint.progress.havocs;
+  Obs.Counters.add_into ~into:st.obs.counters ck.Checkpoint.counters;
+  Obs.Observer.preload_snapshots st.obs (Array.to_list ck.Checkpoint.snapshots)
+
 (* One havoc-mutated candidate built into the scratch, counted and (when
    the observer carries a clock) timed. *)
 let mutate (st : state) ~cmps ?splice_with (data : string) : unit =
@@ -402,8 +459,17 @@ let mutate (st : state) ~cmps ?splice_with (data : string) : unit =
 (** Run a campaign. [plans] shares a precomputed Ball–Larus artifact;
     [obs] supplies the observer (counters, snapshot log, event sink and
     the optional wall clock that enables the mutation-vs-VM split the
-    benches report). Fuzzing behaviour is identical with or without it. *)
-let run ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
+    benches report). Fuzzing behaviour is identical with or without it.
+
+    [checkpoint] writes a snapshot at each cycle boundary that crosses a
+    multiple of [sink.every] executions (mid-budget only). [resume]
+    restores one such snapshot instead of importing [seeds]; the resumed
+    run replays the uninterrupted run's trajectory byte for byte. Both
+    assume the campaign owns its observer — a checkpointed counter block
+    is restored wholesale, so resuming into a shared observer would
+    double-count other phases' work. *)
+let run ?plans ?obs ?(config = default_config) ?(checkpoint : Checkpoint.sink option)
+    ?(resume : Checkpoint.t option) (prog : Minic.Ir.program)
     ~(seeds : string list) : result =
   let st = make_state ?plans ?obs ~config prog in
   let c = st.obs.counters in
@@ -414,15 +480,30 @@ let run ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
   let snap_base = st.obs.n_snapshots in
   let vm_s0 = c.vm_s and mut_s0 = c.mut_s in
   let mut_minor_words0 = c.mut_minor_words in
-  List.iter (add_seed st) seeds;
-  (* Never start with an empty queue: synthesise a minimal seed. *)
-  if Corpus.size st.corpus = 0 then add_seed st "A";
-  if Corpus.size st.corpus = 0 then
-    (* even "A" crashes; fall back to an entry with no coverage *)
-    ignore
-      (Corpus.add st.corpus ~data:"A" ~indices:[||] ~exec_blocks:1 ~depth:0
-         ~found_at:st.execs);
+  (match resume with
+  | Some ck -> restore_checkpoint st ck
+  | None ->
+      List.iter (add_seed st) seeds;
+      (* Never start with an empty queue: synthesise a minimal seed. *)
+      if Corpus.size st.corpus = 0 then add_seed st "A";
+      if Corpus.size st.corpus = 0 then
+        (* even "A" crashes; fall back to an entry with no coverage *)
+        ignore
+          (Corpus.add st.corpus ~data:"A" ~indices:[||] ~exec_blocks:1 ~depth:0
+             ~found_at:st.execs));
+  (* The snapshot schedule is a pure function of the exec clock
+     (Checkpoint.next_mark), so straight and resumed runs write the same
+     remaining snapshots at the same boundaries. *)
+  let next_mark = ref max_int in
+  (match checkpoint with
+  | Some sk -> next_mark := Checkpoint.next_mark ~every:sk.every ~execs:st.execs
+  | None -> ());
   while st.execs < config.budget do
+    (match checkpoint with
+    | Some sk when st.execs >= !next_mark ->
+        sk.save (capture_checkpoint st ~subject:sk.subject ~fuzzer:sk.fuzzer);
+        next_mark := Checkpoint.next_mark ~every:sk.every ~execs:st.execs
+    | _ -> ());
     Corpus.recompute_favored st.corpus;
     c.cycles <- c.cycles + 1;
     let fav = ref 0 in

@@ -48,11 +48,21 @@ val queue_inputs : result -> string list
     enables the mutation-vs-VM split [pathfuzz bench-campaign] reports.
     A shared observer accumulates across runs (multi-phase strategies,
     benches); each run's [result] reports its own deltas. Fuzzing
-    behaviour is identical with or without an observer. *)
+    behaviour is identical with or without an observer.
+
+    [checkpoint] writes a {!Checkpoint.t} through the sink at each cycle
+    boundary crossing a multiple of [sink.every] executions (mid-budget
+    only). [resume] restores one such snapshot instead of importing
+    [seeds]: the resumed run replays the uninterrupted run's remaining
+    trajectory byte for byte (test-enforced differentially). Both
+    require the campaign to own its observer — the checkpointed counter
+    block is restored wholesale. *)
 val run :
   ?plans:Pathcov.Ball_larus.program_plans ->
   ?obs:Obs.Observer.t ->
   ?config:config ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   Minic.Ir.program ->
   seeds:string list ->
   result
@@ -136,3 +146,19 @@ val process : state -> depth:int -> string -> unit
 (** One calibration run of a queue entry, capturing cmplog operand pairs;
     the outcome is triaged exactly like {!process}'s. *)
 val calibrate : state -> Corpus.entry -> Mutator.cmp_pair array
+
+(** {2 Checkpoint/resume}
+
+    Exposed so tests can capture and restore mid-campaign state without
+    going through {!run}'s sink plumbing. *)
+
+(** Snapshot the campaign at a cycle boundary ([sync_interval = 0] in the
+    recorded identity). *)
+val capture_checkpoint :
+  state -> subject:string -> fuzzer:string -> Checkpoint.t
+
+(** Load a snapshot into freshly built state (queue, triage, virgin maps,
+    RNG position, clocks, counters, snapshot rows). Config validation is
+    the caller's job ({!Checkpoint.check_compat}); only the map size is
+    re-checked. *)
+val restore_checkpoint : state -> Checkpoint.t -> unit

@@ -10,7 +10,10 @@ val create : int -> t
 (** Next raw positive integer of the stream. *)
 val next : t -> int
 
-(** Uniform int in [0, bound); [bound] must be positive. *)
+(** Uniform int in [0, bound); [bound] must be positive. The draw is
+    [next t mod bound] — modulo-biased by ~bound/2^63, frozen as-is
+    because rejection sampling would invalidate every recorded
+    trajectory (see the definition for the full rationale). *)
 val int : t -> int -> int
 
 val bool : t -> bool
@@ -27,6 +30,16 @@ val range : t -> int -> int -> int
 
 (** Derive an independent child generator (per-trial streams). *)
 val split : t -> t
+
+(** The raw stream position; [of_state (state t)] continues [t]'s
+    stream draw for draw (the checkpoint/resume primitive). *)
+val state : t -> int
+
+val of_state : int -> t
+
+(** Reposition an existing generator onto a captured position (the
+    in-place form of {!of_state}). *)
+val set_state : t -> int -> unit
 
 (** The [index]-th independent stream of [seed] — a pure function of
     [(seed, index)] consuming no parent draws. Sharded campaigns key

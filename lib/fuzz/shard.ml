@@ -472,6 +472,70 @@ let take_snapshot (t : t) : unit =
     (Obs.Snapshot.of_counters t.obs.counters ~queue:(Corpus.size t.corpus)
        ~virgin_residual:(Pathcov.Coverage_map.residual t.virgin))
 
+(** Snapshot the sharded campaign at a merge barrier. Barriers are the
+    only capture points: between them shard-private state is in flight,
+    but at a barrier the entire campaign is the shared state below plus
+    the planner cursor — and both are pure functions of
+    [(seed, sync_interval)], so checkpoints are too, independent of
+    shard and worker count. Per-item RNG streams need no capture: they
+    are substreams keyed by [items_total]. *)
+let capture_checkpoint (t : t) ~(subject : string) ~(fuzzer : string) :
+    Checkpoint.t =
+  let base = t.cfg.base in
+  let c = t.obs.counters in
+  Checkpoint.capture
+    ~id:
+      {
+        Checkpoint.subject;
+        fuzzer;
+        mode = Pathcov.Feedback.mode_name base.mode;
+        cmplog = base.cmplog;
+        rng_seed = base.rng_seed;
+        budget = base.budget;
+        fuel = base.fuel;
+        max_depth = base.max_depth;
+        map_size_log2 = base.map_size_log2;
+        max_queue = base.max_queue;
+        sync_interval = t.cfg.sync_interval;
+      }
+    ~progress:
+      {
+        Checkpoint.execs = t.execs;
+        blocks = c.blocks;
+        havocs = c.havocs;
+        rng_state = Rng.state t.plan_rng;
+        items_total = t.items_total;
+        cycle_len = t.cycle_len;
+        next_qi = t.next_qi;
+        epochs = t.epochs;
+        dup_dropped = t.dup_dropped;
+      }
+    ~virgin:t.virgin ~crash_virgin:t.crash_virgin ~corpus:t.corpus
+    ~triage:t.triage ~counters:c
+    ~snapshots:(Obs.Observer.snapshots t.obs)
+
+(** Load a barrier snapshot into a freshly built coordinator: shared
+    state (queue with favored/top-rated machinery, triage, virgin maps),
+    the planner cursor and its RNG position, the counter block and the
+    recorded snapshot rows. Config validation is the caller's job
+    ({!Checkpoint.check_compat}); only the map size is re-checked. *)
+let restore_checkpoint (t : t) (ck : Checkpoint.t) : unit =
+  if ck.Checkpoint.id.map_size_log2 <> t.cfg.base.map_size_log2 then
+    invalid_arg "Shard.restore_checkpoint: map size disagrees with config";
+  Checkpoint.restore_corpus_into ck t.corpus;
+  Checkpoint.restore_triage_into ck t.triage;
+  Pathcov.Coverage_map.restore_raw t.virgin ck.Checkpoint.virgin;
+  Pathcov.Coverage_map.restore_raw t.crash_virgin ck.Checkpoint.crash_virgin;
+  Rng.set_state t.plan_rng ck.Checkpoint.progress.rng_state;
+  t.execs <- ck.Checkpoint.progress.execs;
+  t.items_total <- ck.Checkpoint.progress.items_total;
+  t.cycle_len <- ck.Checkpoint.progress.cycle_len;
+  t.next_qi <- ck.Checkpoint.progress.next_qi;
+  t.epochs <- ck.Checkpoint.progress.epochs;
+  t.dup_dropped <- ck.Checkpoint.progress.dup_dropped;
+  Obs.Counters.add_into ~into:t.obs.counters ck.Checkpoint.counters;
+  Obs.Observer.preload_snapshots t.obs (Array.to_list ck.Checkpoint.snapshots)
+
 (* Seed import on shard 0's resources, before any parallel phase — the
    sequential add_seed semantics: seeds always retained, crashes/hangs
    triaged, coverage merged into the shared virgin map directly. *)
@@ -518,8 +582,18 @@ let import_seed (t : t) (sh : shard) (input : string) : unit =
     results — it is purely a wall-clock knob, like [--jobs] for trial
     fan-out). [plans] and [obs] behave as in {!Campaign.run}; the
     observer's clock enables the same vm/mutator wall split, accumulated
-    per shard and aggregated at each barrier. *)
-let run ?plans ?obs ?workers (cfg : config) (prog : Minic.Ir.program)
+    per shard and aggregated at each barrier.
+
+    [checkpoint] writes a snapshot at each merge barrier that crosses a
+    multiple of [sink.every] executions (mid-budget only); [resume]
+    restores one instead of importing [seeds]. Because barriers — and
+    therefore checkpoints — are functions of [(seed, sync_interval)]
+    alone, a snapshot taken at any shard/worker count resumes at any
+    other with a byte-identical remaining trajectory. Both assume the
+    campaign owns its observer (the counter block is restored
+    wholesale). *)
+let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
+    ?(resume : Checkpoint.t option) (cfg : config) (prog : Minic.Ir.program)
     ~(seeds : string list) : result =
   if cfg.shards < 1 then invalid_arg "Shard.run: shards must be >= 1";
   if cfg.sync_interval < 1 then
@@ -557,16 +631,25 @@ let run ?plans ?obs ?workers (cfg : config) (prog : Minic.Ir.program)
       exec_base;
     }
   in
-  List.iter (import_seed t shards.(0)) seeds;
-  if Corpus.size t.corpus = 0 then import_seed t shards.(0) "A";
-  if Corpus.size t.corpus = 0 then
-    ignore
-      (Corpus.add t.corpus ~data:"A" ~indices:[||] ~exec_blocks:1 ~depth:0
-         ~found_at:t.execs);
-  (* drain seed-import execution counts out of shard 0's block so the
-     observer is current before the first barrier *)
-  Obs.Counters.add_into ~into:c shards.(0).counters;
-  Obs.Counters.reset shards.(0).counters;
+  (match resume with
+  | Some ck -> restore_checkpoint t ck
+  | None ->
+      List.iter (import_seed t shards.(0)) seeds;
+      if Corpus.size t.corpus = 0 then import_seed t shards.(0) "A";
+      if Corpus.size t.corpus = 0 then
+        ignore
+          (Corpus.add t.corpus ~data:"A" ~indices:[||] ~exec_blocks:1 ~depth:0
+             ~found_at:t.execs);
+      (* drain seed-import execution counts out of shard 0's block so the
+         observer is current before the first barrier *)
+      Obs.Counters.add_into ~into:c shards.(0).counters;
+      Obs.Counters.reset shards.(0).counters);
+  (* snapshot schedule: a pure function of the exec clock, identical for
+     straight and resumed runs *)
+  let next_mark = ref max_int in
+  (match checkpoint with
+  | Some sk -> next_mark := Checkpoint.next_mark ~every:sk.every ~execs:t.execs
+  | None -> ());
   let workers =
     min cfg.shards (match workers with Some w -> max 1 w | None -> cfg.shards)
   in
@@ -617,7 +700,15 @@ let run ?plans ?obs ?workers (cfg : config) (prog : Minic.Ir.program)
                retained = retained_now;
                dup_dropped = t.dup_dropped;
              });
-        take_snapshot t
+        take_snapshot t;
+        (* barrier-aligned checkpoint, mid-budget only: resuming the
+           final state would be a no-op and the written file should
+           always have budget left to replay *)
+        match checkpoint with
+        | Some sk when t.execs < base.budget && t.execs >= !next_mark ->
+            sk.save (capture_checkpoint t ~subject:sk.subject ~fuzzer:sk.fuzzer);
+            next_mark := Checkpoint.next_mark ~every:sk.every ~execs:t.execs
+        | _ -> ()
       done);
   let snapshots = Obs.Observer.snapshots_from obs ~from:snap_base in
   {

@@ -45,11 +45,20 @@ type result = {
     any value yields byte-identical results. [plans] and [obs] behave as
     in {!Campaign.run}; the observer's optional clock enables the same
     vm/mutator wall split, accumulated per shard and aggregated at each
-    barrier under the zero-perturbation rule. *)
+    barrier under the zero-perturbation rule.
+
+    [checkpoint] writes a {!Checkpoint.t} at each merge barrier crossing
+    a multiple of [sink.every] executions (mid-budget only); [resume]
+    restores one instead of importing [seeds]. Barriers are functions of
+    [(seed, sync_interval)] alone, so a snapshot taken at any
+    shard/worker count resumes at any other with a byte-identical
+    remaining trajectory. Both assume the campaign owns its observer. *)
 val run :
   ?plans:Pathcov.Ball_larus.program_plans ->
   ?obs:Obs.Observer.t ->
   ?workers:int ->
+  ?checkpoint:Checkpoint.sink ->
+  ?resume:Checkpoint.t ->
   config ->
   Minic.Ir.program ->
   seeds:string list ->

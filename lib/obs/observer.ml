@@ -50,6 +50,23 @@ let snapshot (o : t) (row : Snapshot.row) : unit =
   o.n_snapshots <- o.n_snapshots + 1;
   o.sink.emit (Event.Snapshot row)
 
+(** Append already-recorded rows without emitting sink events — the
+    checkpoint-restore half of {!snapshot}: a resumed campaign reloads
+    the snapshot trajectory captured before the interruption so its
+    final report carries the whole run's rows, while the sink (status
+    lines, JSONL) only sees what happens after the resume. *)
+let preload_snapshots (o : t) (rows : Snapshot.row list) : unit =
+  List.iter
+    (fun row ->
+      if o.n_snapshots = Array.length o.snapshots then begin
+        let bigger = Array.make (max 16 (2 * o.n_snapshots)) row in
+        Array.blit o.snapshots 0 bigger 0 o.n_snapshots;
+        o.snapshots <- bigger
+      end;
+      o.snapshots.(o.n_snapshots) <- row;
+      o.n_snapshots <- o.n_snapshots + 1)
+    rows
+
 let flush (o : t) : unit = o.sink.flush ()
 
 (** Snapshot rows recorded so far, oldest first. *)

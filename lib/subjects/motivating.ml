@@ -54,8 +54,8 @@ let subject : Subject.t =
       ];
   }
 
-(** The organic overflow's ground-truth identity (site-based). *)
+(** The organic overflow's ground-truth identity (site-based). The
+    self-check reports the subject name and witness bytes on failure
+    (see {!Subject.witness_identity_exn}). *)
 let overflow_identity () : Vm.Crash.identity =
-  match Vm.Interp.crash_of (Subject.program subject) ~input:("h" ^ String.make 51 'x') with
-  | Some crash -> Vm.Crash.bug_identity crash
-  | None -> failwith "motivating example witness no longer crashes"
+  Subject.witness_identity_exn subject ~witness:("h" ^ String.make 51 'x')

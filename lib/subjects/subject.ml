@@ -86,6 +86,19 @@ let witness_identity (t : t) (b : bug) : Vm.Crash.identity option =
   | Some crash -> Some (Vm.Crash.bug_identity crash)
   | None -> None
 
+(** Witness self-check used by subject modules that assert their own
+    ground truth: the identity a witness input actually triggers. A
+    witness that no longer crashes fails with the subject name and the
+    witness bytes in the message, so a registry-wide sweep pinpoints
+    which subject's bug table went stale without a debugger. *)
+let witness_identity_exn (t : t) ~(witness : string) : Vm.Crash.identity =
+  match Vm.Interp.crash_of (program t) ~input:witness with
+  | Some crash -> Vm.Crash.bug_identity crash
+  | None ->
+      failwith
+        (Printf.sprintf "subject %s: witness %S no longer crashes" t.name
+           witness)
+
 (* Helpers for building binary seed/witness strings. *)
 let b (l : int list) : string =
   String.init (List.length l) (fun i -> Char.chr (List.nth l i land 255))

@@ -4,5 +4,5 @@ let () =
     (Test_frontend.suite @ Test_ballarus.suite @ Test_vm.suite
    @ Test_differential.suite @ Test_coverage.suite @ Test_exec.suite
    @ Test_fuzz.suite @ Test_hotpath.suite @ Test_shard.suite
-   @ Test_subjects.suite
+   @ Test_checkpoint.suite @ Test_subjects.suite
    @ Test_experiments.suite @ Test_obs.suite @ Test_misc.suite)
