@@ -1,4 +1,4 @@
-.PHONY: all build test bench shard-bench micro tables history resume-check clean
+.PHONY: all build test bench shard-bench micro tables history resume-check engine-check clean
 
 all: build
 
@@ -57,6 +57,29 @@ resume-check: build
 	diff _build/resume-check/sh-straight.out _build/resume-check/sh-ckpt.out
 	diff _build/resume-check/sh-straight.out _build/resume-check/sh-resumed.out
 	@echo "resume-check: straight, checkpointed and resumed runs identical"
+
+# Engine-determinism smoke: the staged-compilation engine and
+# selective tracing must be trajectory-invisible — fuzz stdout is
+# byte-identical across --engine interp/compiled x --selective on/off,
+# sequentially and at any shard count (path mode exercises the
+# Ball-Larus probes and the cmplog taps).
+engine-check: build
+	@rm -rf _build/engine-check && mkdir -p _build/engine-check
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  > _build/engine-check/interp.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine compiled > _build/engine-check/compiled.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine compiled --selective > _build/engine-check/selective.out
+	diff _build/engine-check/interp.out _build/engine-check/compiled.out
+	diff _build/engine-check/interp.out _build/engine-check/selective.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --shards 2 --sync-interval 512 > _build/engine-check/sh-interp.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --shards 2 --sync-interval 512 --engine compiled --selective \
+	  > _build/engine-check/sh-selective.out
+	diff _build/engine-check/sh-interp.out _build/engine-check/sh-selective.out
+	@echo "engine-check: trajectories identical across engines and selective tracing"
 
 # Bechamel micro-benchmarks (one per table/figure of the paper).
 micro: build

@@ -155,6 +155,29 @@ let fuzz_cmd =
           ~doc:"Number of trials (seeds $(b,--trial), $(b,--trial)+1, ...).")
   in
   let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.") in
+  let engine =
+    Arg.(
+      value
+      & opt string "interp"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Execution engine: $(b,interp) (the reference CFG interpreter) \
+             or $(b,compiled) (staged compilation of the subject into OCaml \
+             closures with the feedback probes baked in). The fuzzing \
+             trajectory — queue, coverage, crashes, stdout — is \
+             engine-invariant; only throughput changes.")
+  in
+  let selective =
+    Arg.(
+      value
+      & flag
+      & info [ "selective" ]
+          ~doc:
+            "Selective tracing: run candidates under a near-null novelty- \
+             signal specialisation and re-execute with full instrumentation \
+             only on first-seen signals. Decisions are byte-identical to \
+             always-on tracing.")
+  in
   let stats =
     Arg.(
       value
@@ -204,10 +227,19 @@ let fuzz_cmd =
              sync schedule must match the snapshot's; the resumed \
              trajectory is byte-identical to the uninterrupted run's.")
   in
-  let run subject fuzzer budget trial trials rounds jobs shards sync_interval
-      stats jsonl checkpoint checkpoint_every resume =
+  let run subject fuzzer budget trial trials rounds engine selective jobs
+      shards sync_interval stats jsonl checkpoint checkpoint_every resume =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
+    let engine =
+      match Fuzz.Tracer.engine_of_name engine with
+      | Some e -> e
+      | None ->
+          Fmt.epr
+            "pathfuzz: unknown --engine %s (expected interp or compiled)@."
+            engine;
+          exit 2
+    in
     let trials = max 1 trials in
     let jobs = resolve_jobs jobs in
     if shards < 0 then begin
@@ -298,6 +330,13 @@ let fuzz_cmd =
     if jobs > 1 then Fmt.epr "[fuzz] %d worker domains@." jobs;
     if shards > 0 then
       Fmt.epr "[fuzz] %d shards, sync every %d execs@." shards sync_interval;
+    (* engine/selective are trajectory-invisible, so they stay off stdout
+       (runs must diff clean across engines) and out of the checkpoint
+       identity (snapshots resume under either engine) *)
+    if engine <> Fuzz.Tracer.Interp || selective then
+      Fmt.epr "[fuzz] engine=%s%s@."
+        (Fuzz.Tracer.engine_name engine)
+        (if selective then " +selective" else "");
     (* Observability: status/JSONL sinks never touch stdout, so observed
        and unobserved runs produce the same diffable report. The sink is
        mutex-wrapped and shared; each trial gets its own counter block. *)
@@ -336,6 +375,8 @@ let fuzz_cmd =
                       budget;
                       rng_seed = trial + i;
                       cmplog = fz.cmplog;
+                      engine;
+                      selective;
                     };
                   shards;
                   sync_interval;
@@ -368,6 +409,8 @@ let fuzz_cmd =
                  budget;
                  rng_seed = trial;
                  cmplog = fz.cmplog;
+                 engine;
+                 selective;
                }
              in
              let r =
@@ -384,8 +427,8 @@ let fuzz_cmd =
               let obs =
                 Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
               in
-              Fuzz.Strategy.run ~plans ?obs ~budget ~trial_seed:(trial + i) fz
-                prog ~seeds:s.seeds)
+              Fuzz.Strategy.run ~plans ?obs ~engine ~selective ~budget
+                ~trial_seed:(trial + i) fz prog ~seeds:s.seeds)
     in
     (match jsonl_oc with
     | Some oc ->
@@ -430,8 +473,8 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one or more fuzzing campaigns")
     Term.(
       const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
-      $ jobs_arg $ shards_arg $ sync_interval_arg $ stats $ jsonl $ checkpoint
-      $ checkpoint_every $ resume)
+      $ engine $ selective $ jobs_arg $ shards_arg $ sync_interval_arg $ stats
+      $ jsonl $ checkpoint $ checkpoint_every $ resume)
 
 (* --- profile --- *)
 
@@ -592,7 +635,16 @@ let bench_throughput_cmd =
             "Tiny-budget self-check: one subject, 50 execs per cell — \
              exercises the telemetry path in seconds (used by dune runtest).")
   in
-  let run subjects execs out smoke =
+  let note =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "note" ] ~docv:"TEXT"
+          ~doc:
+            "Free-form note embedded in the JSON (e.g. the honest outcome \
+             of a perf target).")
+  in
+  let run subjects execs out smoke note =
     let names =
       if smoke then [ "gdk" ]
       else String.split_on_char ',' subjects |> List.map String.trim
@@ -608,7 +660,16 @@ let bench_throughput_cmd =
       if out = "-" then None
       else Experiments.Throughput.extract_cells ~key:"baseline_cells" out
     in
-    let json = Experiments.Throughput.to_json ?baseline_raw samples in
+    (match baseline_raw with
+    | Some raw -> (
+        match
+          Experiments.Throughput.speedup_vs_baseline ~baseline_raw:raw samples
+        with
+        | Some (g, l) ->
+            Fmt.epr "%s@." (Experiments.Throughput.speedup_report g l)
+        | None -> ())
+    | None -> ());
+    let json = Experiments.Throughput.to_json ~note ?baseline_raw samples in
     if out = "-" then print_string json
     else begin
       let oc = open_out out in
@@ -623,7 +684,7 @@ let bench_throughput_cmd =
        ~doc:
          "Measure execs/sec, blocks/sec and allocation per execution across \
           the (subject x feedback) grid")
-    Term.(const run $ subjects $ execs $ out $ smoke)
+    Term.(const run $ subjects $ execs $ out $ smoke $ note)
 
 (* --- bench-campaign --- *)
 
@@ -911,13 +972,19 @@ let bench_history_cmd =
         Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
           (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
     in
+    let machine =
+      Printf.sprintf "nproc=%d ocaml=%s"
+        (Domain.recommended_domain_count ())
+        Sys.ocaml_version
+    in
     let sources =
       List.filter_map
         (fun (source, path) ->
           match Experiments.Bench_history.cells_of_bench path with
           | None -> None
           | Some cells ->
-              Some { Experiments.Bench_history.date; source; label; cells })
+              Some
+                { Experiments.Bench_history.date; source; label; machine; cells })
         [ ("throughput", throughput); ("campaign", campaign) ]
     in
     if sources = [] then begin

@@ -156,6 +156,26 @@ let merge_sparse_into ~(virgin : t) ~(idxs : int array) ~(vals : int array) :
   done;
   !res
 
+(** Would {!merge_sparse_into} report novelty against [virgin]? A pure
+    check — the virgin map is not written. Selective shard loops use it
+    to decide whether a novelty signal may enter the permanently-seen
+    set: only coverage already folded into the epoch-start global map is
+    monotonically non-novel for the rest of the run. *)
+let sparse_would_merge ~(virgin : t) ~(idxs : int array) ~(vals : int array) :
+    bool =
+  if Array.length idxs <> Array.length vals then
+    invalid_arg "Coverage_map.sparse_would_merge";
+  let n = Array.length idxs in
+  let rec go k =
+    k < n
+    && (Array.unsafe_get vals k
+        land Char.code
+              (Bytes.unsafe_get virgin.bits (Array.unsafe_get idxs k land virgin.mask))
+        <> 0
+       || go (k + 1))
+  in
+  go 0
+
 (** Classified bytes of a trace at the given indices (the sparse capture
     paired with {!sorted_indices} on the sharded retention path). *)
 let values_at (t : t) (idxs : int array) : int array =

@@ -57,6 +57,11 @@ val restore_raw : t -> bytes -> unit
     deterministic order at the sync barrier. *)
 val merge_sparse_into : virgin:t -> idxs:int array -> vals:int array -> novelty
 
+(** Would {!merge_sparse_into} report novelty? Pure — the virgin map is
+    not written. Selective shard loops consult it before promoting a
+    novelty signal to the permanently-seen set. *)
+val sparse_would_merge : virgin:t -> idxs:int array -> vals:int array -> bool
+
 (** Classified bytes of a trace at the given indices (pairs with
     {!sorted_indices} to form the sparse capture above). *)
 val values_at : t -> int array -> int array

@@ -22,6 +22,12 @@ val mode_name : mode -> string
     the two can never drift apart. *)
 val mode_of_name : string -> mode option
 
+(** Stable per-(function, block) location key, spread over the map
+    domain — the primitive every listener derives its indices from.
+    Exposed so the staged compiler ([Vm.Compile]) bakes exactly the same
+    keys into its probes as the runtime listeners compute. *)
+val block_key : int -> int -> int
+
 type t = {
   mode : mode;
   trace : Coverage_map.t;

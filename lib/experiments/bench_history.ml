@@ -22,6 +22,10 @@ type cell = {
       (** sharded-campaign width; 0 = the unsharded sequential loop
           (also the schema-tolerant default for pre-sharding history
           lines, so legacy cells and [--shards 1] cells never collide) *)
+  engine : string;
+      (** execution engine of the measurement ("interp", "compiled",
+          "selective"); the schema-tolerant default for pre-engine
+          history lines is "interp", which is what those lines measured *)
   execs_per_sec : float;
 }
 
@@ -29,6 +33,10 @@ type row = {
   date : string;  (** YYYY-MM-DD *)
   source : string;  (** "throughput" or "campaign" *)
   label : string;  (** free-form tag, e.g. a PR name *)
+  machine : string;
+      (** host fingerprint ("nproc=N ocaml=V"); "" on pre-machine lines.
+          Recorded so cross-host rate jumps in the trend are explicable;
+          deliberately not part of the regression-check key *)
   cells : cell list;
 }
 
@@ -94,12 +102,16 @@ let cells_of_string ?(from = 0) (s : string) : cell list =
                   float_field obj "execs_per_sec" )
               with
               | Some subject, Some mode, Some execs_per_sec ->
-                  (* "shards" appeared with the sharded-campaign bench;
-                     older lines simply lack it *)
+                  (* "shards" appeared with the sharded-campaign bench,
+                     "engine" with staged compilation; older lines
+                     simply lack them *)
                   let shards =
                     Option.value ~default:0 (int_field obj "shards")
                   in
-                  { subject; mode; shards; execs_per_sec } :: acc
+                  let engine =
+                    Option.value ~default:"interp" (string_field obj "engine")
+                  in
+                  { subject; mode; shards; engine; execs_per_sec } :: acc
               | _ -> acc
             in
             go (c + 1) acc)
@@ -124,12 +136,13 @@ let row_of_line (line : string) : row option =
   with
   | Some "pathfuzz-history/v1", Some date, Some source ->
       let label = Option.value ~default:"" (string_field line "label") in
+      let machine = Option.value ~default:"" (string_field line "machine") in
       let cells =
         match find_sub line ~from:0 "\"cells\": [" with
         | None -> []
         | Some i -> cells_of_string ~from:i line
       in
-      Some { date; source; label; cells }
+      Some { date; source; label; machine; cells }
   | _ -> None
 
 (** Load a history file, oldest row first. Unparseable lines are
@@ -158,16 +171,16 @@ let row_to_jsonl (r : row) : string =
   Buffer.add_string buf
     (Printf.sprintf
        "{\"schema\": \"pathfuzz-history/v1\", \"date\": %S, \"source\": %S, \
-        \"label\": %S, \"cells\": ["
-       r.date r.source r.label);
+        \"label\": %S, \"machine\": %S, \"cells\": ["
+       r.date r.source r.label r.machine);
   List.iteri
     (fun i (c : cell) ->
       if i > 0 then Buffer.add_string buf ", ";
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"subject\": %S, \"mode\": %S, \"shards\": %d, \
+           "{\"subject\": %S, \"mode\": %S, \"shards\": %d, \"engine\": %S, \
             \"execs_per_sec\": %s}"
-           c.subject c.mode c.shards
+           c.subject c.mode c.shards c.engine
            (Throughput.json_float c.execs_per_sec)))
     r.cells;
   Buffer.add_string buf "]}";
@@ -184,7 +197,9 @@ let append (path : string) (r : row) : unit =
 (* Regression check *)
 
 type regression = {
-  key : string;  (** "subject/mode", with "@sN" appended for sharded cells *)
+  key : string;
+      (** "subject/mode", with "@sN" appended for sharded cells and
+          "@engine" for non-interp engines *)
   baseline : float;  (** trailing-window mean execs/sec *)
   current : float;
   drop_pct : float;  (** positive = slower than baseline *)
@@ -211,7 +226,7 @@ let check ?(window = 4) ~threshold_pct (history : row list) (candidate : row) :
             List.find_opt
               (fun (p : cell) ->
                 p.subject = c.subject && p.mode = c.mode
-                && p.shards = c.shards)
+                && p.shards = c.shards && p.engine = c.engine)
               r.cells)
           trailing
       in
@@ -229,7 +244,8 @@ let check ?(window = 4) ~threshold_pct (history : row list) (candidate : row) :
                 key =
                   c.subject ^ "/" ^ c.mode
                   ^ (if c.shards > 0 then Printf.sprintf "@s%d" c.shards
-                     else "");
+                     else "")
+                  ^ (if c.engine <> "interp" then "@" ^ c.engine else "");
                 baseline = mean;
                 current = c.execs_per_sec;
                 drop_pct = 100. *. (1. -. (c.execs_per_sec /. mean));

@@ -32,17 +32,38 @@ let standard_fuzzers (cfg : Config.t) : Fuzz.Strategy.fuzzer list =
     Fuzz.Strategy.afl;
   ]
 
-(** Run one (subject, fuzzer, trial) task. Every task builds its own
-    program, Ball–Larus plans and (inside [Campaign.run]) a pooled
-    {!Vm.Interp.exec_ctx} reused for all of the trial's executions:
-    campaigns are pure functions of (program, seeds, config), so per-task
-    rebuilding keeps the matrix bit-identical at any worker count while
-    sharing no mutable structure across domains. *)
+(* Per-subject Ball–Larus plans, computed once and shared read-only
+   across trials (and worker domains — the memo is mutex-guarded, the
+   plans themselves immutable). Keyed on subject name: every trial of a
+   subject sees the same memoized program below. *)
+let plans_memo : (string, Pathcov.Ball_larus.program_plans) Hashtbl.t =
+  Hashtbl.create 16
+
+let plans_mutex = Mutex.create ()
+
+let subject_plans (subject : Subjects.Subject.t) (prog : Minic.Ir.program) :
+    Pathcov.Ball_larus.program_plans =
+  Mutex.protect plans_mutex (fun () ->
+      match Hashtbl.find_opt plans_memo subject.Subjects.Subject.name with
+      | Some p -> p
+      | None ->
+          let p = Pathcov.Ball_larus.of_program prog in
+          Hashtbl.add plans_memo subject.Subjects.Subject.name p;
+          p)
+
+(** Run one (subject, fuzzer, trial) task. Subject preparation is hoisted
+    out of the per-trial loop: the program ({!Subjects.Subject.program},
+    memoized), its Ball–Larus plans (memo above) and — inside
+    [Campaign.run], via [Vm.Interp.prepare_cached] — the prepared CFG are
+    all built once per subject and shared read-only across trials and
+    worker domains. Campaigns are pure functions of
+    (program, seeds, config) and the shared artifacts are immutable, so
+    the matrix stays bit-identical at any worker count. *)
 let run_trial (cfg : Config.t) (subject : Subjects.Subject.t)
     (fuzzer : Fuzz.Strategy.fuzzer) (trial : int) :
     Fuzz.Strategy.run_result * float =
-  let prog = Subjects.Subject.compile_fresh subject in
-  let plans = Pathcov.Ball_larus.of_program prog in
+  let prog = Subjects.Subject.program subject in
+  let plans = subject_plans subject prog in
   let t0 = Unix.gettimeofday () in
   let r =
     Fuzz.Strategy.run ~plans ~budget:cfg.budget

@@ -2,20 +2,28 @@
 
     Every number in the evaluation is bought with executions, so execs/sec
     is the real budget unit behind the paper's wall-clock budgets. This
-    module measures steady-state interpreter throughput per
-    (subject x feedback mode) cell — executions/sec, VM blocks/sec and GC
-    minor words allocated per execution — and renders the result as the
-    [BENCH_throughput.json] baseline that future PRs are compared against.
+    module measures steady-state execution throughput per
+    (subject x feedback mode x engine) cell — executions/sec, VM
+    blocks/sec and GC minor words allocated per execution — and renders
+    the result as the [BENCH_throughput.json] baseline that future PRs
+    are compared against.
 
     One measured "execution" is exactly one iteration of the campaign hot
-    loop: feedback reset, trace clear, VM run, trace classify — i.e. what
-    [Fuzz.Campaign.execute] does minus queue bookkeeping. Seeds are cycled
-    in order, so the work per execution (and therefore minor-words/exec)
-    is deterministic; only the wall-clock rates vary across hosts. *)
+    loop: feedback reset, trace clear, run, trace classify — i.e. what
+    [Fuzz.Campaign.execute] does minus queue bookkeeping. Three engines
+    are measured: [interp] (the pooled interpreter driving the runtime
+    listeners), [compiled] (the [Vm.Compile] staged artifact with probes
+    baked in), and [selective] (the compiled signal specialisation — the
+    cost of the bulk executions under selective tracing, which skip the
+    trace clear/classify entirely and fold only the novelty hash). Seeds
+    are cycled in order, so the work per execution (and therefore
+    minor-words/exec) is deterministic; only wall-clock rates vary across
+    hosts. *)
 
 type sample = {
   subject : string;
   mode : string;  (** feedback mode name, or ["none"] (uninstrumented) *)
+  engine : string;  (** "interp", "compiled" or "selective" *)
   execs : int;  (** measured executions (after warmup) *)
   wall_s : float;
   execs_per_sec : float;
@@ -35,38 +43,77 @@ let modes : (string * Pathcov.Feedback.mode option) list =
   ]
 
 (* One throughput cell: replay the subject's seeds round-robin through a
-   reused execution context. Warmup executions let frame pools and the
-   touched-index journals reach steady state before the clock starts. *)
-let measure ?(warmup = 64) ~execs ~(mode : Pathcov.Feedback.mode option)
-    (s : Subjects.Subject.t) : sample =
-  let prog = Subjects.Subject.compile_fresh s in
-  let prepared = Vm.Interp.prepare prog in
-  let fb = Option.map (fun m -> Pathcov.Feedback.make m prog) mode in
-  let hooks =
-    match fb with
-    | None -> Vm.Interp.no_hooks
-    | Some fb ->
-        {
-          Vm.Interp.no_hooks with
-          h_call = fb.Pathcov.Feedback.on_call;
-          h_block = fb.Pathcov.Feedback.on_block;
-          h_edge = fb.Pathcov.Feedback.on_edge;
-          h_ret = fb.Pathcov.Feedback.on_ret;
-        }
-  in
-  let ctx = Vm.Interp.create_ctx ~hooks prepared in
+   reused execution context. Warmup executions let frame pools, the
+   touched-index journals and (for the compiled engines) the per-domain
+   artifact cache reach steady state before the clock starts.
+   Preparation is shared across cells: [Subject.program] memoises the
+   front-end and [Interp.prepare_cached] the slot resolution, so a grid
+   pays for each once instead of per cell. *)
+let measure ?(warmup = 64) ~execs ~(engine : string)
+    ~(mode : Pathcov.Feedback.mode option) (s : Subjects.Subject.t) : sample =
+  let prog = Subjects.Subject.program s in
+  let prepared = Vm.Interp.prepare_cached prog in
   let seeds = Array.of_list (if s.seeds = [] then [ "A" ] else s.seeds) in
   let nseeds = Array.length seeds in
   let blocks = ref 0 in
-  let one i =
-    (match fb with
-    | Some fb ->
-        fb.Pathcov.Feedback.reset ();
-        Pathcov.Coverage_map.clear fb.trace
-    | None -> ());
-    let out = Vm.Interp.run_ctx ctx ~input:seeds.(i mod nseeds) in
-    blocks := !blocks + out.blocks_executed;
-    match fb with Some fb -> Pathcov.Coverage_map.classify fb.trace | None -> ()
+  let one : int -> unit =
+    match engine with
+    | "interp" ->
+        let fb = Option.map (fun m -> Pathcov.Feedback.make m prog) mode in
+        let hooks =
+          match fb with
+          | None -> Vm.Interp.no_hooks
+          | Some fb ->
+              {
+                Vm.Interp.no_hooks with
+                h_call = fb.Pathcov.Feedback.on_call;
+                h_block = fb.Pathcov.Feedback.on_block;
+                h_edge = fb.Pathcov.Feedback.on_edge;
+                h_ret = fb.Pathcov.Feedback.on_ret;
+              }
+        in
+        let ctx = Vm.Interp.create_ctx ~hooks prepared in
+        fun i ->
+          (match fb with
+          | Some fb ->
+              fb.Pathcov.Feedback.reset ();
+              Pathcov.Coverage_map.clear fb.trace
+          | None -> ());
+          let out = Vm.Interp.run_ctx ctx ~input:seeds.(i mod nseeds) in
+          blocks := !blocks + out.blocks_executed;
+          (match fb with
+          | Some fb -> Pathcov.Coverage_map.classify fb.trace
+          | None -> ())
+    | "compiled" ->
+        let spec =
+          match mode with
+          | None -> Vm.Compile.Snone
+          | Some m -> Vm.Compile.Sfull m
+        in
+        (* cmplog is off in this loop (the h_cmp binding below is a
+           no-op), so the cmp-free artifact variant is the honest cost *)
+        let art = Vm.Compile.cached ~cmplog:false prepared spec in
+        let ctx = Vm.Interp.create_ctx prepared in
+        let trace = Pathcov.Coverage_map.create () in
+        Vm.Compile.bind art ~trace ~h_cmp:(fun _ _ -> ());
+        fun i ->
+          (match mode with
+          | Some _ -> Pathcov.Coverage_map.clear trace
+          | None -> ());
+          let out = Vm.Compile.run art ctx ~input:seeds.(i mod nseeds) in
+          blocks := !blocks + out.blocks_executed;
+          (match mode with
+          | Some _ -> Pathcov.Coverage_map.classify trace
+          | None -> ())
+    | "selective" ->
+        (* the bulk-exec path of selective tracing: signal spec only,
+           no trace to clear or classify, whatever the campaign mode *)
+        let art = Vm.Compile.cached prepared Vm.Compile.Ssignal in
+        let ctx = Vm.Interp.create_ctx prepared in
+        fun i ->
+          let out = Vm.Compile.run art ctx ~input:seeds.(i mod nseeds) in
+          blocks := !blocks + out.blocks_executed
+    | e -> invalid_arg (Printf.sprintf "Throughput.measure: engine %S" e)
   in
   for i = 0 to warmup - 1 do
     one i
@@ -83,6 +130,7 @@ let measure ?(warmup = 64) ~execs ~(mode : Pathcov.Feedback.mode option)
   {
     subject = s.name;
     mode = (match mode with None -> "none" | Some m -> Pathcov.Feedback.mode_name m);
+    engine;
     execs;
     wall_s;
     execs_per_sec = per_sec execs;
@@ -90,10 +138,19 @@ let measure ?(warmup = 64) ~execs ~(mode : Pathcov.Feedback.mode option)
     minor_words_per_exec = mw /. float_of_int (max 1 execs);
   }
 
-(** Measure the full (subject x mode) grid. *)
+(** Measure the full (subject x mode x engine) grid: every mode under
+    both full engines, plus one [selective] signal-cost row per subject
+    (the signal run is mode-independent). *)
 let grid ?warmup ~execs (subjects : Subjects.Subject.t list) : sample list =
   List.concat_map
-    (fun s -> List.map (fun (_, m) -> measure ?warmup ~execs ~mode:m s) modes)
+    (fun s ->
+      List.map
+        (fun (_, m) -> measure ?warmup ~execs ~engine:"interp" ~mode:m s)
+        modes
+      @ List.map
+          (fun (_, m) -> measure ?warmup ~execs ~engine:"compiled" ~mode:m s)
+          modes
+      @ [ measure ?warmup ~execs ~engine:"selective" ~mode:None s ])
     subjects
 
 (* ------------------------------------------------------------------ *)
@@ -107,10 +164,10 @@ let json_float f =
 let sample_json buf (s : sample) =
   Buffer.add_string buf
     (Printf.sprintf
-       "    {\"subject\": %S, \"mode\": %S, \"execs\": %d, \"wall_s\": %s, \
-        \"execs_per_sec\": %s, \"blocks_per_sec\": %s, \
+       "    {\"subject\": %S, \"mode\": %S, \"engine\": %S, \"execs\": %d, \
+        \"wall_s\": %s, \"execs_per_sec\": %s, \"blocks_per_sec\": %s, \
         \"minor_words_per_exec\": %s}"
-       s.subject s.mode s.execs (json_float s.wall_s)
+       s.subject s.mode s.engine s.execs (json_float s.wall_s)
        (json_float s.execs_per_sec)
        (json_float s.blocks_per_sec)
        (json_float s.minor_words_per_exec))
@@ -152,17 +209,139 @@ let extract_cells ~(key : string) (path : string) : string option =
         take [] rest
   end
 
+(* ------------------------------------------------------------------ *)
+(* Speedup vs the recorded baseline *)
+
+type speedup = {
+  sp_subject : string;
+  sp_baseline : float;  (** baseline path-mode execs/sec *)
+  sp_current : float;  (** compiled-engine path-mode execs/sec *)
+  sp_ratio : float;
+}
+
+(* Minimal cell scan over a raw cell block (the bench_history idiom):
+   baseline cells predate the engine field, so a missing engine reads as
+   "interp". *)
+let scan_cells (raw : string) : (string * string * string * float) list =
+  let field obj key =
+    let pat = Printf.sprintf "\"%s\": " key in
+    let n = String.length obj and m = String.length pat in
+    let rec find i =
+      if i + m > n then None
+      else if String.sub obj i m = pat then Some (i + m)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let string_field obj key =
+    match field obj key with
+    | Some i when i < String.length obj && obj.[i] = '"' -> (
+        match String.index_from_opt obj (i + 1) '"' with
+        | Some stop -> Some (String.sub obj (i + 1) (stop - i - 1))
+        | None -> None)
+    | _ -> None
+  in
+  let float_field obj key =
+    match field obj key with
+    | None -> None
+    | Some start ->
+        let stop = ref start in
+        let n = String.length obj in
+        while
+          !stop < n
+          && (match obj.[!stop] with
+             | ',' | '}' | ']' | ' ' | '\n' -> false
+             | _ -> true)
+        do
+          incr stop
+        done;
+        float_of_string_opt (String.sub obj start (!stop - start))
+  in
+  let rec go i acc =
+    match String.index_from_opt raw i '{' with
+    | None -> List.rev acc
+    | Some o -> (
+        match String.index_from_opt raw o '}' with
+        | None -> List.rev acc
+        | Some c ->
+            let obj = String.sub raw o (c - o + 1) in
+            let acc =
+              match
+                ( string_field obj "subject",
+                  string_field obj "mode",
+                  float_field obj "execs_per_sec" )
+              with
+              | Some subject, Some mode, Some eps ->
+                  let engine =
+                    Option.value ~default:"interp" (string_field obj "engine")
+                  in
+                  (subject, mode, engine, eps) :: acc
+              | _ -> acc
+            in
+            go (c + 1) acc)
+  in
+  go 0 []
+
+(** Per-subject path-mode speedup of this run's compiled engine over the
+    recorded baseline cells, plus the geometric mean — the ISSUE 7 / PR 2
+    acceptance number. [None] when either side has no usable path cell. *)
+let speedup_vs_baseline ~(baseline_raw : string) (samples : sample list) :
+    (float * speedup list) option =
+  let base = scan_cells baseline_raw in
+  let per_subject =
+    List.filter_map
+      (fun s ->
+        if s.mode = "path" && s.engine = "compiled" then
+          match
+            List.find_opt
+              (fun (subj, mode, engine, _) ->
+                subj = s.subject && mode = "path" && engine = "interp")
+              base
+          with
+          | Some (_, _, _, b) when b > 0. ->
+              Some
+                {
+                  sp_subject = s.subject;
+                  sp_baseline = b;
+                  sp_current = s.execs_per_sec;
+                  sp_ratio = s.execs_per_sec /. b;
+                }
+          | _ -> None
+        else None)
+      samples
+  in
+  match per_subject with
+  | [] -> None
+  | l ->
+      let g =
+        exp
+          (List.fold_left (fun a sp -> a +. log sp.sp_ratio) 0. l
+          /. float_of_int (List.length l))
+      in
+      Some (g, l)
+
 (** Render the [BENCH_throughput.json] document. [baseline] optionally
     embeds a prior measurement (e.g. the pre-optimisation interpreter) so
     the file itself records the trajectory, not just the endpoint;
     [baseline_raw] does the same from a previously rendered cell block
-    (see {!extract_cells}), taking precedence over [baseline]. *)
+    (see {!extract_cells}), taking precedence over [baseline]. When a
+    baseline is embedded, the path-mode compiled-vs-baseline speedup is
+    recorded in the document too. *)
 let to_json ?(note = "") ?(baseline = []) ?baseline_raw (samples : sample list)
     : string =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n  \"schema\": \"pathfuzz-throughput/v1\",\n";
   if note <> "" then
     Buffer.add_string buf (Printf.sprintf "  \"note\": %S,\n" note);
+  (match baseline_raw with
+  | Some raw when raw <> "" -> (
+      match speedup_vs_baseline ~baseline_raw:raw samples with
+      | Some (g, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"path_speedup_compiled_vs_baseline\": %s,\n" (json_float g))
+      | None -> ())
+  | _ -> ());
   let block name ss =
     Buffer.add_string buf (Printf.sprintf "  %S: [\n" name);
     List.iteri
@@ -188,17 +367,31 @@ let to_json ?(note = "") ?(baseline = []) ?baseline_raw (samples : sample list)
 
 (** Human-readable table (the bench hook and [--smoke] output). *)
 let to_table (samples : sample list) : string =
-  let header = [ "subject"; "mode"; "execs/s"; "blocks/s"; "minor w/exec" ] in
+  let header =
+    [ "subject"; "mode"; "engine"; "execs/s"; "blocks/s"; "minor w/exec" ]
+  in
   let rows =
     List.map
       (fun s ->
         [
           s.subject;
           s.mode;
+          s.engine;
           Printf.sprintf "%.0f" s.execs_per_sec;
           Printf.sprintf "%.0f" s.blocks_per_sec;
           Printf.sprintf "%.1f" s.minor_words_per_exec;
         ])
       samples
   in
-  Render.table ~title:"Throughput (execs/sec by subject x feedback)" ~header ~rows
+  Render.table ~title:"Throughput (execs/sec by subject x feedback x engine)"
+    ~header ~rows
+
+(** One line per subject: the acceptance-criterion view. *)
+let speedup_report (g : float) (l : speedup list) : string =
+  String.concat "\n"
+    (List.map
+       (fun sp ->
+         Printf.sprintf "  %-10s path: %.0f -> %.0f execs/s (%.2fx)"
+           sp.sp_subject sp.sp_baseline sp.sp_current sp.sp_ratio)
+       l
+    @ [ Printf.sprintf "  geomean speedup vs baseline (path, compiled): %.2fx" g ])

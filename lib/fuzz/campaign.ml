@@ -25,6 +25,8 @@ type config = {
   map_size_log2 : int;
   cmplog : bool;  (** enable comparison-operand capture + I2S mutations *)
   max_queue : int;  (** hard safety bound on queue growth *)
+  engine : Tracer.engine;  (** execution engine (trajectory-invisible) *)
+  selective : bool;  (** signal-first execution with full replay on novelty *)
 }
 
 let default_config =
@@ -37,6 +39,8 @@ let default_config =
     map_size_log2 = 16;
     cmplog = true;
     max_queue = 500_000;
+    engine = Tracer.Interp;
+    selective = false;
   }
 
 type result = {
@@ -89,6 +93,7 @@ let cmp_seen (b : cmp_buf) a bv =
 type state = {
   prepared : Vm.Interp.prepared;
   ctx : Vm.Interp.exec_ctx;  (** pooled execution context, reused per exec *)
+  tracer : Tracer.t;  (** engine dispatch + selective-tracing state *)
   cfg : config;
   feedback : Pathcov.Feedback.t;
   virgin : Pathcov.Coverage_map.t;
@@ -153,19 +158,71 @@ let post_exec (st : state) (out : Vm.Interp.outcome) : unit =
   Pathcov.Coverage_map.classify st.feedback.trace;
   if st.execs mod st.sample_every = 0 then take_snapshot st
 
+(* Run one input with full instrumentation through the selected engine. *)
+let run_full (st : state) (input : string) : Vm.Interp.outcome =
+  match st.obs.clock with
+  | None ->
+      Tracer.run_full st.tracer st.ctx ~fuel:st.cfg.fuel
+        ~max_depth:st.cfg.max_depth ~input
+  | Some now ->
+      let t0 = now () in
+      let out =
+        Tracer.run_full st.tracer st.ctx ~fuel:st.cfg.fuel
+          ~max_depth:st.cfg.max_depth ~input
+      in
+      let c = st.obs.counters in
+      c.vm_s <- c.vm_s +. (now () -. t0);
+      out
+
+let run_full_scratch (st : state) : Vm.Interp.outcome =
+  let sc = st.scratch in
+  match st.obs.clock with
+  | None ->
+      Tracer.run_full_sub st.tracer st.ctx ~fuel:st.cfg.fuel
+        ~max_depth:st.cfg.max_depth ~buf:sc.buf ~len:sc.len
+  | Some now ->
+      let t0 = now () in
+      let out =
+        Tracer.run_full_sub st.tracer st.ctx ~fuel:st.cfg.fuel
+          ~max_depth:st.cfg.max_depth ~buf:sc.buf ~len:sc.len
+      in
+      let c = st.obs.counters in
+      c.vm_s <- c.vm_s +. (now () -. t0);
+      out
+
 (* Run one input. *)
 let execute (st : state) (input : string) : Vm.Interp.outcome =
   pre_exec st;
+  let out = run_full st input in
+  post_exec st out;
+  out
+
+(* Run the candidate sitting in the mutation scratch, zero-copy. *)
+let execute_scratch (st : state) : Vm.Interp.outcome =
+  pre_exec st;
+  let out = run_full_scratch st in
+  post_exec st out;
+  out
+
+(* Selective-tracing bulk run: the near-null signal specialisation. The
+   exec/block clocks advance exactly as for a fully-traced run — outcomes
+   (and [blocks_executed]) are engine- and spec-invariant — so budget
+   accounting, snapshot cadence and checkpoint marks are untouched by
+   selective mode. The trace map stays cleared (pre_exec) and classify
+   over an empty journal is a no-op. *)
+let execute_signal_scratch (st : state) : Vm.Interp.outcome =
+  pre_exec st;
+  let sc = st.scratch in
   let out =
     match st.obs.clock with
     | None ->
-        Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx
-          ~input
+        Tracer.run_signal_sub st.tracer st.ctx ~fuel:st.cfg.fuel
+          ~max_depth:st.cfg.max_depth ~buf:sc.buf ~len:sc.len
     | Some now ->
         let t0 = now () in
         let out =
-          Vm.Interp.run_ctx ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth st.ctx
-            ~input
+          Tracer.run_signal_sub st.tracer st.ctx ~fuel:st.cfg.fuel
+            ~max_depth:st.cfg.max_depth ~buf:sc.buf ~len:sc.len
         in
         let c = st.obs.counters in
         c.vm_s <- c.vm_s +. (now () -. t0);
@@ -174,26 +231,47 @@ let execute (st : state) (input : string) : Vm.Interp.outcome =
   post_exec st out;
   out
 
-(* Run the candidate sitting in the mutation scratch, zero-copy. *)
-let execute_scratch (st : state) : Vm.Interp.outcome =
+(* String-input twin of [execute_signal_scratch]. *)
+let execute_signal (st : state) (input : string) : Vm.Interp.outcome =
   pre_exec st;
-  let sc = st.scratch in
   let out =
     match st.obs.clock with
     | None ->
-        Vm.Interp.run_ctx_sub ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth
-          st.ctx ~buf:sc.buf ~len:sc.len
+        Tracer.run_signal st.tracer st.ctx ~fuel:st.cfg.fuel
+          ~max_depth:st.cfg.max_depth ~input
     | Some now ->
         let t0 = now () in
         let out =
-          Vm.Interp.run_ctx_sub ~fuel:st.cfg.fuel ~max_depth:st.cfg.max_depth
-            st.ctx ~buf:sc.buf ~len:sc.len
+          Tracer.run_signal st.tracer st.ctx ~fuel:st.cfg.fuel
+            ~max_depth:st.cfg.max_depth ~input
         in
         let c = st.obs.counters in
         c.vm_s <- c.vm_s +. (now () -. t0);
         out
   in
   post_exec st out;
+  out
+
+(* Full-instrumentation replay after a signal run (or after a pruned
+   calibration crash): rebuilds the classified trace for merge/triage.
+   Counted as a replay, not an execution — the budget clock already
+   ticked for the first run of the same candidate. *)
+let reexec_full_scratch (st : state) : Vm.Interp.outcome =
+  st.feedback.reset ();
+  Pathcov.Coverage_map.clear st.feedback.trace;
+  let out = run_full_scratch st in
+  Pathcov.Coverage_map.classify st.feedback.trace;
+  let c = st.obs.counters in
+  c.replays <- c.replays + 1;
+  out
+
+let reexec_full (st : state) (input : string) : Vm.Interp.outcome =
+  st.feedback.reset ();
+  Pathcov.Coverage_map.clear st.feedback.trace;
+  let out = run_full st input in
+  Pathcov.Coverage_map.classify st.feedback.trace;
+  let c = st.obs.counters in
+  c.replays <- c.replays + 1;
   out
 
 (** Both substitution directions per captured pair, in capture order —
@@ -227,24 +305,31 @@ let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : un
   | Vm.Interp.Hung -> Triage.record_hang ~at_exec:st.execs st.triage
   | Vm.Interp.Finished _ -> ()
 
-(* Coverage-novelty verdict for the execution just finished. The capacity
-   check precedes the virgin merge: a full queue must not mark coverage
-   as seen without retaining an input reaching it, or that coverage
-   becomes unreachable for the whole run. *)
+(* Queue-capacity bookkeeping for one evaluated finished exec. The
+   capacity check precedes the virgin merge (and, under selective
+   tracing, precedes marking a signal seen): a full queue must not mark
+   coverage as seen without retaining an input reaching it, or that
+   coverage becomes unreachable for the whole run. *)
+let queue_full (st : state) : bool =
+  Corpus.size st.corpus >= st.cfg.max_queue
+  && begin
+       (* drop counted per evaluated exec; the event fires once per
+          campaign (branching on a counter never feeds back into fuzzing
+          decisions) *)
+       let c = st.obs.counters in
+       c.queue_full_drops <- c.queue_full_drops + 1;
+       if c.queue_full_drops = 1 then
+         Obs.Observer.event st.obs
+           (Obs.Event.Queue_full
+              { at_exec = c.execs; queue = Corpus.size st.corpus });
+       true
+     end
+
+(* Coverage-novelty verdict for the execution just finished. *)
 let novel (st : state) : bool =
-  if Corpus.size st.corpus >= st.cfg.max_queue then begin
-    (* drop counted per evaluated exec; the event fires once per campaign
-       (branching on a counter never feeds back into fuzzing decisions) *)
-    let c = st.obs.counters in
-    c.queue_full_drops <- c.queue_full_drops + 1;
-    if c.queue_full_drops = 1 then
-      Obs.Observer.event st.obs
-        (Obs.Event.Queue_full { at_exec = c.execs; queue = Corpus.size st.corpus });
-    false
-  end
-  else
-    Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
-    <> Pathcov.Coverage_map.Nothing
+  (not (queue_full st))
+  && Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
+     <> Pathcov.Coverage_map.Nothing
 
 let retain (st : state) ~depth (out : Vm.Interp.outcome) (data : string) : unit
     =
@@ -261,12 +346,34 @@ let retain (st : state) ~depth (out : Vm.Interp.outcome) (data : string) : unit
        { at_exec = c.execs; id = e.id; len = String.length data; depth })
 
 (* Evaluate one candidate input end to end: execute, triage crashes and
-   hangs, retain on coverage novelty. *)
+   hangs, retain on coverage novelty. Under selective tracing, the same
+   decision procedure as [process_selective_scratch] below. *)
 let process (st : state) ~depth (input : string) : unit =
-  let out = execute st input in
-  match out.status with
-  | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
-  | Vm.Interp.Finished _ -> if novel st then retain st ~depth out input
+  if st.cfg.selective then begin
+    let out = execute_signal st input in
+    match out.status with
+    | Vm.Interp.Crashed _ ->
+        let out = reexec_full st input in
+        triage_outcome st out ~input
+    | Vm.Interp.Hung -> triage_outcome st out ~input
+    | Vm.Interp.Finished _ ->
+        let s = Tracer.last_signal st.tracer in
+        if not (Tracer.seen_signal st.tracer s) then
+          if not (queue_full st) then begin
+            let out = reexec_full st input in
+            if
+              Pathcov.Coverage_map.merge_into ~virgin:st.virgin
+                st.feedback.trace
+              <> Pathcov.Coverage_map.Nothing
+            then retain st ~depth out input;
+            Tracer.mark_seen st.tracer s
+          end
+  end
+  else
+    let out = execute st input in
+    match out.status with
+    | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input
+    | Vm.Interp.Finished _ -> if novel st then retain st ~depth out input
 
 (* Hot-path variant of [process]: the candidate lives in the mutation
    scratch and its string is materialised only when triage or retention
@@ -275,13 +382,49 @@ let process (st : state) ~depth (input : string) : unit =
 let scratch_child (st : state) : string =
   Bytes.sub_string st.scratch.buf 0 st.scratch.len
 
-let process_scratch (st : state) ~depth : unit =
-  let out = execute_scratch st in
+(* Selective evaluation of the scratch candidate: one signal-specialised
+   run, then a full-instrumentation replay only when the trace can
+   matter. Decision-identical to [process_scratch] without selective
+   tracing (DESIGN §12):
+   - a crash always replays — crash triage reads the trace for the
+     crash-virgin merge, whose saturation is independent of the virgin
+     map, so crash signals are never marked seen;
+   - a hang triages directly — the trace is never read;
+   - a finished run with a seen signal would replay a trace already
+     folded into the virgin map, whose merge verdict is Nothing by
+     virgin monotonicity: skipping it is invisible;
+   - a first-seen signal replays, merges, retains on novelty, and only
+     then enters the seen set. The queue-capacity check fires first and
+     suppresses the marking, exactly as [novel] suppresses the merge. *)
+let process_selective_scratch (st : state) ~depth : unit =
+  let out = execute_signal_scratch st in
   match out.status with
-  | Vm.Interp.Crashed _ | Vm.Interp.Hung ->
+  | Vm.Interp.Crashed _ ->
+      let out = reexec_full_scratch st in
       triage_outcome st out ~input:(scratch_child st)
+  | Vm.Interp.Hung -> triage_outcome st out ~input:(scratch_child st)
   | Vm.Interp.Finished _ ->
-      if novel st then retain st ~depth out (scratch_child st)
+      let s = Tracer.last_signal st.tracer in
+      if not (Tracer.seen_signal st.tracer s) then
+        if not (queue_full st) then begin
+          let out = reexec_full_scratch st in
+          if
+            Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace
+            <> Pathcov.Coverage_map.Nothing
+          then retain st ~depth out (scratch_child st);
+          Tracer.mark_seen st.tracer s
+        end
+
+let process_scratch (st : state) ~depth : unit =
+  if st.cfg.selective then process_selective_scratch st ~depth
+  else begin
+    let out = execute_scratch st in
+    match out.status with
+    | Vm.Interp.Crashed _ | Vm.Interp.Hung ->
+        triage_outcome st out ~input:(scratch_child st)
+    | Vm.Interp.Finished _ ->
+        if novel st then retain st ~depth out (scratch_child st)
+  end
 
 (* Seeds are always retained (afl imports the full seed directory). *)
 let add_seed (st : state) (input : string) : unit =
@@ -303,9 +446,27 @@ let add_seed (st : state) (input : string) : unit =
     crash or hang here — possible for the synthetic fallback entry, whose
     data never executed cleanly — must be recorded, not discarded. *)
 let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair array =
+  (* Probe self-pruning is enabled for exactly this run: calibration is
+     always fully instrumented, and its trace feeds only the virgin
+     merge — eliding writes to saturated indices cannot change the merge
+     verdict (Nothing either way at those indices) or the virgin bytes.
+     Retention and crash triage read [sorted_indices], so the marks come
+     off before anything else executes, and a crash under pruning is
+     replayed unpruned before its crash-virgin merge. *)
+  let prune =
+    Tracer.pruning_available st.tracer
+    &&
+    (Tracer.refresh_pruning st.tracer ~virgin:st.virgin;
+     Tracer.pruned_fids st.tracer > 0)
+  in
+  if prune then Tracer.set_pruning st.tracer true;
   let out = execute st e.data in
+  if prune then Tracer.set_pruning st.tracer false;
   (match out.status with
-  | Vm.Interp.Crashed _ | Vm.Interp.Hung -> triage_outcome st out ~input:e.data
+  | Vm.Interp.Crashed _ ->
+      let out = if prune then reexec_full st e.data else out in
+      triage_outcome st out ~input:e.data
+  | Vm.Interp.Hung -> triage_outcome st out ~input:e.data
   | Vm.Interp.Finished _ ->
       ignore (Pathcov.Coverage_map.merge_into ~virgin:st.virgin st.feedback.trace));
   let c = st.obs.counters in
@@ -359,12 +520,18 @@ let make_state ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
   let feedback =
     Pathcov.Feedback.make ~size_log2:config.map_size_log2 ?plans config.mode prog
   in
-  let prepared = Vm.Interp.prepare prog in
+  let prepared = Vm.Interp.prepare_cached prog in
   let cmp_buf = make_cmp_buf () in
   let hooks = make_hooks config feedback cmp_buf in
+  let tracer =
+    Tracer.make ?plans ~engine:config.engine ~selective:config.selective
+      ~cmplog:config.cmplog ~mode:config.mode prepared
+  in
+  Tracer.bind tracer ~trace:feedback.trace ~h_cmp:hooks.Vm.Interp.h_cmp;
   {
     prepared;
     ctx = Vm.Interp.create_ctx ~hooks prepared;
+    tracer;
     cfg = config;
     feedback;
     virgin = Pathcov.Coverage_map.create_virgin ~size_log2:config.map_size_log2 ();

@@ -19,6 +19,14 @@ type config = {
   map_size_log2 : int;
   cmplog : bool;  (** comparison-operand capture + I2S mutations *)
   max_queue : int;  (** hard safety bound on queue growth *)
+  engine : Tracer.engine;
+      (** execution engine — interpreter or staged compilation; the
+          trajectory is engine-invariant (test-enforced differentially) *)
+  selective : bool;
+      (** selective tracing: bulk executions run a near-null novelty-
+          signal specialisation and re-execute fully only on first-seen
+          signals; decisions are byte-identical to always-on tracing
+          (DESIGN §12) *)
 }
 
 val default_config : config
@@ -107,6 +115,7 @@ val entry_energy : budget:int -> Corpus.entry -> int
 type state = {
   prepared : Vm.Interp.prepared;
   ctx : Vm.Interp.exec_ctx;  (** pooled execution context, reused per exec *)
+  tracer : Tracer.t;  (** engine dispatch + selective-tracing state *)
   cfg : config;
   feedback : Pathcov.Feedback.t;
   virgin : Pathcov.Coverage_map.t;

@@ -37,13 +37,13 @@ let set_of_array a = Array.fold_left (fun acc i -> Int_set.add i acc) Int_set.em
     listener (raw tuple identities; bucketing is irrelevant here). *)
 let edges_of_input ?fuel prog (input : string) : Int_set.t =
   let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
-  let ctx = make_ctx (Vm.Interp.prepare prog) fb in
+  let ctx = make_ctx (Vm.Interp.prepare_cached prog) fb in
   set_of_array (fst (replay ?fuel ctx fb input))
 
 (** Union of edge coverage over a corpus — "afl-showmap over the queue". *)
 let edge_union ?fuel ?obs prog (inputs : string list) : Int_set.t =
   let fb = Pathcov.Feedback.make Pathcov.Feedback.Edge prog in
-  let ctx = make_ctx (Vm.Interp.prepare prog) fb in
+  let ctx = make_ctx (Vm.Interp.prepare_cached prog) fb in
   List.fold_left
     (fun acc input ->
       Array.fold_left
@@ -55,7 +55,7 @@ let edge_union ?fuel ?obs prog (inputs : string list) : Int_set.t =
 (* Greedy favored-corpus construction over an arbitrary feedback: keep,
    for every covered index, the cheapest input covering it. Order-stable. *)
 let preserving_cull ?fuel ?obs prog fb (inputs : string list) : string list =
-  let ctx = make_ctx (Vm.Interp.prepare prog) fb in
+  let ctx = make_ctx (Vm.Interp.prepare_cached prog) fb in
   (* order-stable dedup: queue semantics never hold duplicates *)
   let seen = Hashtbl.create 64 in
   let inputs =

@@ -107,6 +107,7 @@ type item_result = {
     each barrier. *)
 type shard = {
   ctx : Vm.Interp.exec_ctx;
+  tracer : Tracer.t;  (** engine dispatch + per-shard seen-signal set *)
   feedback : Pathcov.Feedback.t;
   cmp_buf : Campaign.cmp_buf;
   scratch : Mutator.scratch;
@@ -121,8 +122,16 @@ let make_shard ?plans (base : Campaign.config) prepared clock prog : shard =
   in
   let cmp_buf = Campaign.make_cmp_buf () in
   let hooks = Campaign.make_hooks base feedback cmp_buf in
+  (* ~shared:false: compiled artifacts carry single-threaded rebindable
+     state, so every shard compiles its own *)
+  let tracer =
+    Tracer.make ?plans ~shared:false ~engine:base.engine
+      ~selective:base.selective ~cmplog:base.cmplog ~mode:base.mode prepared
+  in
+  Tracer.bind tracer ~trace:feedback.trace ~h_cmp:hooks.Vm.Interp.h_cmp;
   {
     ctx = Vm.Interp.create_ctx ~hooks prepared;
+    tracer;
     feedback;
     cmp_buf;
     scratch = Mutator.create_scratch ();
@@ -145,19 +154,35 @@ let sh_post (sh : shard) (out : Vm.Interp.outcome) : unit =
   c.blocks <- c.blocks + out.blocks_executed;
   Pathcov.Coverage_map.classify sh.feedback.trace
 
+let sh_run_full_scratch (base : Campaign.config) (sh : shard) :
+    Vm.Interp.outcome =
+  let sc = sh.scratch in
+  match sh.clock with
+  | None ->
+      Tracer.run_full_sub sh.tracer sh.ctx ~fuel:base.fuel
+        ~max_depth:base.max_depth ~buf:sc.buf ~len:sc.len
+  | Some now ->
+      let t0 = now () in
+      let out =
+        Tracer.run_full_sub sh.tracer sh.ctx ~fuel:base.fuel
+          ~max_depth:base.max_depth ~buf:sc.buf ~len:sc.len
+      in
+      sh.counters.vm_s <- sh.counters.vm_s +. (now () -. t0);
+      out
+
 let sh_exec (base : Campaign.config) (sh : shard) (input : string) :
     Vm.Interp.outcome =
   sh_pre base sh;
   let out =
     match sh.clock with
     | None ->
-        Vm.Interp.run_ctx ~fuel:base.fuel ~max_depth:base.max_depth sh.ctx
-          ~input
+        Tracer.run_full sh.tracer sh.ctx ~fuel:base.fuel
+          ~max_depth:base.max_depth ~input
     | Some now ->
         let t0 = now () in
         let out =
-          Vm.Interp.run_ctx ~fuel:base.fuel ~max_depth:base.max_depth sh.ctx
-            ~input
+          Tracer.run_full sh.tracer sh.ctx ~fuel:base.fuel
+            ~max_depth:base.max_depth ~input
         in
         sh.counters.vm_s <- sh.counters.vm_s +. (now () -. t0);
         out
@@ -167,22 +192,42 @@ let sh_exec (base : Campaign.config) (sh : shard) (input : string) :
 
 let sh_exec_scratch (base : Campaign.config) (sh : shard) : Vm.Interp.outcome =
   sh_pre base sh;
+  let out = sh_run_full_scratch base sh in
+  sh_post sh out;
+  out
+
+(* Selective-tracing twins of [sh_exec_scratch] — see
+   Campaign.process_selective_scratch for the decision procedure; the
+   shard variant differs only in where the seen-set promotion rule lives
+   (run_item below). *)
+let sh_exec_signal_scratch (base : Campaign.config) (sh : shard) :
+    Vm.Interp.outcome =
+  sh_pre base sh;
   let sc = sh.scratch in
   let out =
     match sh.clock with
     | None ->
-        Vm.Interp.run_ctx_sub ~fuel:base.fuel ~max_depth:base.max_depth sh.ctx
-          ~buf:sc.buf ~len:sc.len
+        Tracer.run_signal_sub sh.tracer sh.ctx ~fuel:base.fuel
+          ~max_depth:base.max_depth ~buf:sc.buf ~len:sc.len
     | Some now ->
         let t0 = now () in
         let out =
-          Vm.Interp.run_ctx_sub ~fuel:base.fuel ~max_depth:base.max_depth
-            sh.ctx ~buf:sc.buf ~len:sc.len
+          Tracer.run_signal_sub sh.tracer sh.ctx ~fuel:base.fuel
+            ~max_depth:base.max_depth ~buf:sc.buf ~len:sc.len
         in
         sh.counters.vm_s <- sh.counters.vm_s +. (now () -. t0);
         out
   in
   sh_post sh out;
+  out
+
+let sh_reexec_scratch (base : Campaign.config) (sh : shard) : Vm.Interp.outcome
+    =
+  sh.feedback.reset ();
+  Pathcov.Coverage_map.clear sh.feedback.trace;
+  let out = sh_run_full_scratch base sh in
+  Pathcov.Coverage_map.classify sh.feedback.trace;
+  sh.counters.replays <- sh.counters.replays + 1;
   out
 
 let scratch_child (sh : shard) : string =
@@ -294,11 +339,53 @@ let run_item (base : Campaign.config) (sh : shard) (view : Corpus.view)
           e.Corpus.data;
         c.mut_s <- c.mut_s +. (now () -. t0);
         c.mut_minor_words <- c.mut_minor_words +. (Gc.minor_words () -. w0));
-    let out = sh_exec_scratch base sh in
-    incr local;
-    capture_outcome out
-      ~input:(fun () -> scratch_child sh)
-      ~depth:(e.Corpus.depth + 1)
+    (if not base.selective then begin
+       let out = sh_exec_scratch base sh in
+       incr local;
+       capture_outcome out
+         ~input:(fun () -> scratch_child sh)
+         ~depth:(e.Corpus.depth + 1)
+     end
+     else begin
+       (* Selective step: signal run first, full replay only when the
+          trace can matter. The seen set persists across items and
+          epochs, so admission is stricter than the sequential rule: a
+          signal is promoted only when its trace is wholly non-novel
+          against the EPOCH-START global map — monotonically non-novel
+          against every later global map and every item overlay seeded
+          from one, making the skip invisible. A capture that is novel
+          only item-locally (or that the barrier later drops, e.g. on a
+          full queue) is not promoted and is re-captured identically by
+          later items — barrier decisions, dup-drop counts and the final
+          trajectory match the always-traced run for every shard count. *)
+       let out = sh_exec_signal_scratch base sh in
+       incr local;
+       match out.status with
+       | Vm.Interp.Crashed _ ->
+           (* crash triage needs the trace (crash-virgin merge at the
+              barrier); crash signals are never marked seen *)
+           let out = sh_reexec_scratch base sh in
+           capture_outcome out
+             ~input:(fun () -> scratch_child sh)
+             ~depth:(e.Corpus.depth + 1)
+       | Vm.Interp.Hung -> res.hangs <- (it.base_exec + !local) :: res.hangs
+       | Vm.Interp.Finished _ ->
+           let s = Tracer.last_signal sh.tracer in
+           if not (Tracer.seen_signal sh.tracer s) then begin
+             let out = sh_reexec_scratch base sh in
+             capture_outcome out
+               ~input:(fun () -> scratch_child sh)
+               ~depth:(e.Corpus.depth + 1);
+             let tr = sh.feedback.trace in
+             let idxs = Pathcov.Coverage_map.sorted_indices tr in
+             let vals = Pathcov.Coverage_map.values_at tr idxs in
+             if
+               not
+                 (Pathcov.Coverage_map.sparse_would_merge ~virgin:global_virgin
+                    ~idxs ~vals)
+             then Tracer.mark_seen sh.tracer s
+           end
+     end)
   done;
   res.execs <- !local;
   res.retained <- List.rev res.retained;
@@ -600,7 +687,7 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
     invalid_arg "Shard.run: sync_interval must be >= 1";
   let obs = match obs with Some o -> o | None -> Obs.Observer.null () in
   let base = cfg.base in
-  let prepared = Vm.Interp.prepare prog in
+  let prepared = Vm.Interp.prepare_cached prog in
   let shards =
     Array.init cfg.shards (fun _ ->
         make_shard ?plans base prepared obs.clock prog)

@@ -69,8 +69,17 @@ let of_campaign name (r : Campaign.result) : run_result =
     sum_exec_blocks = r.sum_exec_blocks;
   }
 
-let base_config ~budget ~trial_seed ~cmplog mode =
-  { Campaign.default_config with mode; budget; rng_seed = trial_seed; cmplog }
+let base_config ?(engine = Tracer.Interp) ?(selective = false) ~budget
+    ~trial_seed ~cmplog mode =
+  {
+    Campaign.default_config with
+    mode;
+    budget;
+    rng_seed = trial_seed;
+    cmplog;
+    engine;
+    selective;
+  }
 
 (* Random trim per Appendix D: remove 84–98% of the queue. *)
 let random_trim rng inputs =
@@ -95,11 +104,14 @@ let random_trim rng inputs =
     [obs] is shared across every phase of a multi-phase strategy, so its
     counters and snapshots accumulate over the whole campaign (culling
     replays included); fuzzing behaviour is identical without it. *)
-let run ?plans ?obs ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.program)
-    ~(seeds : string list) : run_result =
+let run ?plans ?obs ?engine ?selective ~budget ~trial_seed (fuzzer : fuzzer)
+    (prog : Minic.Ir.program) ~(seeds : string list) : run_result =
   match fuzzer.spec with
   | Plain mode ->
-      let config = base_config ~budget ~trial_seed ~cmplog:fuzzer.cmplog mode in
+      let config =
+        base_config ?engine ?selective ~budget ~trial_seed
+          ~cmplog:fuzzer.cmplog mode
+      in
       of_campaign fuzzer.name (Campaign.run ?plans ?obs ~config prog ~seeds)
   | Cull { rounds; criterion } ->
       let rounds = max 1 rounds in
@@ -108,7 +120,7 @@ let run ?plans ?obs ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.progr
       let triage = Triage.create () in
       let rec go round seeds_now execs_so_far series last =
         let config =
-          base_config ~budget:per_round
+          base_config ?engine ?selective ~budget:per_round
             ~trial_seed:(trial_seed + (round * 101))
             ~cmplog:fuzzer.cmplog Pathcov.Feedback.Path
         in
@@ -145,8 +157,8 @@ let run ?plans ?obs ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.progr
   | Opportunistic ->
       let half = max 1 (budget / 2) in
       let config1 =
-        base_config ~budget:half ~trial_seed:(trial_seed + 17) ~cmplog:true
-          Pathcov.Feedback.Edge
+        base_config ?engine ?selective ~budget:half
+          ~trial_seed:(trial_seed + 17) ~cmplog:true Pathcov.Feedback.Edge
       in
       let phase1 = Campaign.run ?plans ?obs ~config:config1 prog ~seeds in
       (* The paper strips crashing inputs (our queue never holds them) and
@@ -156,8 +168,8 @@ let run ?plans ?obs ~budget ~trial_seed (fuzzer : fuzzer) (prog : Minic.Ir.progr
       in
       let donor = if donor = [] then seeds else donor in
       let config2 =
-        base_config ~budget:(budget - half) ~trial_seed ~cmplog:fuzzer.cmplog
-          Pathcov.Feedback.Path
+        base_config ?engine ?selective ~budget:(budget - half) ~trial_seed
+          ~cmplog:fuzzer.cmplog Pathcov.Feedback.Path
       in
       let phase2 = Campaign.run ?plans ?obs ~config:config2 prog ~seeds:donor in
       {

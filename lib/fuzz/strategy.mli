@@ -62,10 +62,15 @@ val of_campaign : string -> Campaign.result -> run_result
     Ball–Larus artifact across configurations of a trial. [obs] is shared
     across every phase of a multi-phase strategy (cull rounds, the two
     opportunistic halves), so counters and snapshots accumulate over the
-    whole campaign; fuzzing behaviour is identical without it. *)
+    whole campaign; fuzzing behaviour is identical without it. [engine]
+    (default [Tracer.Interp]) and [selective] (default off) pick the
+    execution engine and selective tracing for every phase — both are
+    trajectory-invisible (test-enforced differentially). *)
 val run :
   ?plans:Pathcov.Ball_larus.program_plans ->
   ?obs:Obs.Observer.t ->
+  ?engine:Tracer.engine ->
+  ?selective:bool ->
   budget:int ->
   trial_seed:int ->
   fuzzer ->

@@ -1,0 +1,225 @@
+(** Execution-engine selection and selective tracing for campaigns.
+
+    A campaign executes candidates through one of two engines over the
+    same pooled {!Vm.Interp.exec_ctx}:
+
+    - [Interp]: the reference CFG interpreter driving the runtime
+      feedback listeners through hooks;
+    - [Compiled]: the {!Vm.Compile} staged artifact with the listener
+      probes partially evaluated into the block closures.
+
+    Both produce byte-identical traces, outcomes and fuel accounting
+    (test-enforced differentially), so the engine choice is invisible to
+    the fuzzing trajectory.
+
+    On top of either engine, {e selective tracing} splits each candidate
+    evaluation in two: a bulk run under a near-null specialisation that
+    folds only a 62-bit rolling novelty signal over the tagged
+    call/block/return event stream ({!Vm.Compile.signal} /
+    {!Vm.Compile.signal_hooks}), and — only when the signal has not been
+    seen before — a full-instrumentation replay that rebuilds the
+    classified trace for the usual merge/retain pipeline. Because per-
+    activation block sequences (and hence every derived feedback index,
+    in every mode) are a function of the event stream, signal equality
+    implies trace equality up to hash collisions, and the campaign's
+    decisions are byte-identical to the always-instrumented pipeline's
+    (DESIGN.md §12 gives the argument; the differential suite enforces
+    it). The seen set is an in-memory cache of "this trace is already
+    folded into the virgin map": it is deliberately absent from
+    checkpoints — a resumed run re-replays a few signals and reaches the
+    very same decisions.
+
+    The tracer also owns the probe self-pruning schedule: once every map
+    index a function's Ball–Larus path commits can produce is saturated
+    in the virgin map, the commit's map write can never change novelty
+    and is elided ({!Vm.Compile.prune_fid}). Pruning is enabled only
+    around calibration runs — the one full-instrumentation site whose
+    trace feeds nothing but the virgin merge — so retained entries keep
+    exactly the trace indices the unpruned pipeline records. *)
+
+type engine = Interp | Compiled
+
+let engine_name = function Interp -> "interp" | Compiled -> "compiled"
+
+let engine_of_name = function
+  | "interp" -> Some Interp
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+type t = {
+  engine : engine;
+  selective : bool;
+  mode : Pathcov.Feedback.mode;
+  full_art : Vm.Compile.t option;  (** [Compiled]: the [Sfull mode] artifact *)
+  sig_art : Vm.Compile.t option;  (** [Compiled] + selective: [Ssignal] *)
+  sig_cell : int ref;  (** [Interp] + selective: rolling-hash accumulator *)
+  sig_ctx : Vm.Interp.exec_ctx option;
+      (** [Interp] + selective: private context with the signal hooks *)
+  seen : (int, unit) Hashtbl.t;  (** signals whose traces are in the virgin map *)
+  mutable last_sig : int;  (** signal of the last signal-specialised run *)
+  prune_mark : bool array;  (** current per-function pruning marks *)
+  mutable pruned : int;  (** functions currently marked pruned *)
+}
+
+(** Build a tracer over a prepared subject. [shared] (default [true])
+    memoises compiled artifacts per domain ({!Vm.Compile.cached});
+    sharded campaigns pass [~shared:false] to compile fresh per shard —
+    the artifact's rebindable state is single-threaded. [cmplog] elides
+    the comparison probes from compiled code when the campaign binds a
+    no-op [h_cmp] anyway. *)
+let make ?plans ?(shared = true) ~(engine : engine) ~(selective : bool)
+    ~(cmplog : bool) ~(mode : Pathcov.Feedback.mode)
+    (prepared : Vm.Interp.prepared) : t =
+  let compile spec =
+    if shared then Vm.Compile.cached ?plans ~cmplog prepared spec
+    else Vm.Compile.compile ?plans ~cmplog prepared spec
+  in
+  let full_art =
+    match engine with
+    | Interp -> None
+    | Compiled -> Some (compile (Vm.Compile.Sfull mode))
+  in
+  let sig_art =
+    match engine with
+    | Compiled when selective -> Some (compile Vm.Compile.Ssignal)
+    | _ -> None
+  in
+  let sig_cell = ref 0 in
+  let sig_ctx =
+    match engine with
+    | Interp when selective ->
+        Some
+          (Vm.Interp.create_ctx
+             ~hooks:(Vm.Compile.signal_hooks prepared ~cell:sig_cell)
+             prepared)
+    | _ -> None
+  in
+  {
+    engine;
+    selective;
+    mode;
+    full_art;
+    sig_art;
+    sig_cell;
+    sig_ctx;
+    seen = Hashtbl.create 4096;
+    last_sig = 0;
+    prune_mark = Array.make (Array.length prepared.rfuncs) false;
+    pruned = 0;
+  }
+
+let engine_of (t : t) : engine = t.engine
+let selective (t : t) : bool = t.selective
+
+(** Retarget the compiled artifact's probes at the campaign's trace map
+    and cmplog probe (no-op for the interpreter engine, whose hooks are
+    installed in the campaign context directly). *)
+let bind (t : t) ~(trace : Pathcov.Coverage_map.t) ~(h_cmp : int -> int -> unit)
+    : unit =
+  match t.full_art with
+  | Some art -> Vm.Compile.bind art ~trace ~h_cmp
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let run_full (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
+    ~(max_depth : int) ~(input : string) : Vm.Interp.outcome =
+  match t.full_art with
+  | Some art -> Vm.Compile.run ~fuel ~max_depth art ctx ~input
+  | None -> Vm.Interp.run_ctx ~fuel ~max_depth ctx ~input
+
+let run_full_sub (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
+    ~(max_depth : int) ~(buf : Bytes.t) ~(len : int) : Vm.Interp.outcome =
+  match t.full_art with
+  | Some art -> Vm.Compile.run_sub ~fuel ~max_depth art ctx ~buf ~len
+  | None -> Vm.Interp.run_ctx_sub ~fuel ~max_depth ctx ~buf ~len
+
+let run_signal (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
+    ~(max_depth : int) ~(input : string) : Vm.Interp.outcome =
+  match t.sig_art with
+  | Some art ->
+      let out = Vm.Compile.run ~fuel ~max_depth art ctx ~input in
+      t.last_sig <- Vm.Compile.signal art;
+      out
+  | None -> (
+      match t.sig_ctx with
+      | Some sctx ->
+          t.sig_cell := 0;
+          let out = Vm.Interp.run_ctx ~fuel ~max_depth sctx ~input in
+          t.last_sig <- !(t.sig_cell);
+          out
+      | None -> invalid_arg "Tracer.run_signal: not a selective tracer")
+
+let run_signal_sub (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
+    ~(max_depth : int) ~(buf : Bytes.t) ~(len : int) : Vm.Interp.outcome =
+  match t.sig_art with
+  | Some art ->
+      let out = Vm.Compile.run_sub ~fuel ~max_depth art ctx ~buf ~len in
+      t.last_sig <- Vm.Compile.signal art;
+      out
+  | None -> (
+      match t.sig_ctx with
+      | Some sctx ->
+          t.sig_cell := 0;
+          let out = Vm.Interp.run_ctx_sub ~fuel ~max_depth sctx ~buf ~len in
+          t.last_sig <- !(t.sig_cell);
+          out
+      | None -> invalid_arg "Tracer.run_signal_sub: not a selective tracer")
+
+let last_signal (t : t) : int = t.last_sig
+let seen_signal (t : t) (s : int) : bool = Hashtbl.mem t.seen s
+
+let mark_seen (t : t) (s : int) : unit =
+  if not (Hashtbl.mem t.seen s) then Hashtbl.add t.seen s ()
+
+(* ------------------------------------------------------------------ *)
+(* Probe self-pruning *)
+
+(** Pruning applies when the full engine is a compiled [Path] artifact
+    under selective tracing — the configuration whose calibration runs
+    are the only consumers of the elided commits. *)
+let pruning_available (t : t) : bool =
+  t.selective
+  && (match t.mode with Pathcov.Feedback.Path -> true | _ -> false)
+  && t.full_art <> None
+
+(** Recompute the per-function pruning marks from the virgin map: a
+    function is pruned when every map index its path commits can produce
+    ({!Vm.Compile.path_universe}) is fully saturated (virgin byte 0).
+    Saturation is monotone, but culprits can also {e unprune}: the marks
+    are recomputed from scratch, so a restored (resumed) virgin map
+    yields the same marks as the uninterrupted run's. *)
+let refresh_pruning (t : t) ~(virgin : Pathcov.Coverage_map.t) : unit =
+  match t.full_art with
+  | None -> ()
+  | Some art ->
+      for fid = 0 to Array.length t.prune_mark - 1 do
+        let u = Vm.Compile.path_universe art fid in
+        let n = Array.length u in
+        if n > 0 then begin
+          let sat = ref true in
+          let k = ref 0 in
+          while !sat && !k < n do
+            if Pathcov.Coverage_map.get virgin (Array.unsafe_get u !k) <> 0
+            then sat := false;
+            incr k
+          done;
+          if !sat <> t.prune_mark.(fid) then begin
+            t.prune_mark.(fid) <- !sat;
+            t.pruned <- (t.pruned + if !sat then 1 else -1);
+            Vm.Compile.prune_fid art fid !sat
+          end
+        end
+      done
+
+(** Gate the pruning marks on or off ({!Vm.Compile.set_pruning}); the
+    initial state is off, and campaigns enable it only around
+    calibration runs. *)
+let set_pruning (t : t) (on : bool) : unit =
+  match t.full_art with
+  | Some art -> Vm.Compile.set_pruning art on
+  | None -> ()
+
+(** Functions currently marked pruned (diagnostics and tests). *)
+let pruned_fids (t : t) : int = t.pruned

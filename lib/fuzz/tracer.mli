@@ -1,0 +1,123 @@
+(** Execution-engine selection and selective tracing for campaigns.
+
+    A tracer wraps one prepared subject with a choice of execution
+    engine — the reference CFG interpreter or the {!Vm.Compile} staged
+    artifact — plus, optionally, {e selective tracing}: bulk executions
+    run under a near-null specialisation that folds only a 62-bit
+    novelty signal, and a full-instrumentation replay rebuilds the
+    classified trace exactly when the signal is new. Signal equality
+    implies trace equality (up to hash collisions), so campaign
+    trajectories are byte-identical across engines × selective on/off —
+    DESIGN.md §12 gives the argument, the differential suite enforces
+    it. *)
+
+type engine = Interp | Compiled
+
+val engine_name : engine -> string
+
+(** Inverse of {!engine_name}; [None] on unknown names (CLI parsing). *)
+val engine_of_name : string -> engine option
+
+type t
+
+(** Build a tracer over a prepared subject. [shared] (default [true])
+    memoises compiled artifacts per domain ({!Vm.Compile.cached});
+    sharded campaigns pass [~shared:false] to compile fresh per shard —
+    the artifact's rebindable state is single-threaded. [cmplog] elides
+    comparison probes from compiled code when the campaign binds a no-op
+    [h_cmp] anyway. Engine [Interp] with [selective] builds a private
+    signal context over {!Vm.Compile.signal_hooks}. *)
+val make :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  ?shared:bool ->
+  engine:engine ->
+  selective:bool ->
+  cmplog:bool ->
+  mode:Pathcov.Feedback.mode ->
+  Vm.Interp.prepared ->
+  t
+
+val engine_of : t -> engine
+val selective : t -> bool
+
+(** Retarget the compiled artifact's probes at the campaign's trace map
+    and cmplog probe (no-op for the interpreter engine, whose hooks are
+    installed in the campaign context directly). *)
+val bind :
+  t -> trace:Pathcov.Coverage_map.t -> h_cmp:(int -> int -> unit) -> unit
+
+(** {2 Execution}
+
+    [run_full]/[run_full_sub] execute with full instrumentation through
+    the selected engine on the given pooled context (compiled probes
+    ignore the context's hooks). [run_signal]/[run_signal_sub] execute
+    the signal specialisation and latch {!last_signal}; they require a
+    selective tracer. *)
+
+val run_full :
+  t ->
+  Vm.Interp.exec_ctx ->
+  fuel:int ->
+  max_depth:int ->
+  input:string ->
+  Vm.Interp.outcome
+
+val run_full_sub :
+  t ->
+  Vm.Interp.exec_ctx ->
+  fuel:int ->
+  max_depth:int ->
+  buf:Bytes.t ->
+  len:int ->
+  Vm.Interp.outcome
+
+val run_signal :
+  t ->
+  Vm.Interp.exec_ctx ->
+  fuel:int ->
+  max_depth:int ->
+  input:string ->
+  Vm.Interp.outcome
+
+val run_signal_sub :
+  t ->
+  Vm.Interp.exec_ctx ->
+  fuel:int ->
+  max_depth:int ->
+  buf:Bytes.t ->
+  len:int ->
+  Vm.Interp.outcome
+
+(** The signal latched by the last [run_signal]/[run_signal_sub]. *)
+val last_signal : t -> int
+
+(** {2 Seen-signal set}
+
+    An in-memory cache of "a trace with this signal is already folded
+    into the virgin map". Deliberately absent from checkpoints: a
+    resumed campaign re-replays a few signals and reaches identical
+    decisions. *)
+
+val seen_signal : t -> int -> bool
+val mark_seen : t -> int -> unit
+
+(** {2 Probe self-pruning}
+
+    Active only for compiled [Path] artifacts under selective tracing,
+    and only around calibration runs — the one full-instrumentation
+    site whose trace feeds nothing but the virgin merge, so eliding
+    saturated Ball–Larus commits cannot perturb the trajectory. *)
+
+val pruning_available : t -> bool
+
+(** Recompute per-function pruning marks from the virgin map: a function
+    prunes when every index in its {!Vm.Compile.path_universe} is
+    saturated (virgin byte 0). Recomputed from scratch each call, so a
+    restored virgin map reproduces the uninterrupted run's marks. *)
+val refresh_pruning : t -> virgin:Pathcov.Coverage_map.t -> unit
+
+(** Gate the pruning marks on or off; initial state is off. *)
+val set_pruning : t -> bool -> unit
+
+(** Functions currently marked pruned (diagnostics and tests). *)
+val pruned_fids : t -> int

@@ -1,0 +1,119 @@
+(** Staged compilation of a prepared MiniC program into OCaml closures —
+    the second execution engine.
+
+    [compile] partially evaluates a {!Interp.prepared} CFG, threaded-code
+    style: one closure per basic block (forward references resolved
+    through a block table read at call time), expression trees folded
+    into closure trees with slots/sites/constants baked in, and the
+    feedback listener specialised at compile time into per-site probes.
+    Under {!spec} [Snone] no probe code exists at all; under
+    [Sfull Path] each CFG edge bakes its resolved Ball–Larus operation
+    (or compiles to a direct jump when it carries none), so the per-event
+    dense-table dispatch of the runtime listener disappears along with
+    the interpreter's [rinstr]/[rexpr] match dispatch.
+
+    Compiled code executes against the unmodified pooled
+    {!Interp.exec_ctx} and replicates the interpreter's observable
+    semantics exactly — fuel burn placement, evaluation order, crash
+    kinds/sites/stacks, [h_cmp] timing, [blocks_executed] — which the
+    differential suite enforces against the boxed reference interpreter.
+
+    Artifacts are immutable modulo a small rebindable {!cstate} (trace
+    map, cmplog probe, listener registers, pruning gate), so one
+    artifact per [(prepared, spec)] serves every campaign on a domain;
+    {!cached} memoises exactly that. The state is single-threaded:
+    sharded campaigns compile one artifact per shard via {!compile}. *)
+
+(** What gets baked in: nothing, the selective-tracing novelty signal,
+    or a full {!Pathcov.Feedback} mode. *)
+type spec = Snone | Ssignal | Sfull of Pathcov.Feedback.mode
+
+val spec_name : spec -> string
+
+type t
+
+(** [cmplog] (default [true]) controls whether comparisons emit [h_cmp]
+    calls. A campaign with cmplog disabled binds a no-op probe, so such
+    callers pass [~cmplog:false] to compile the calls out entirely —
+    unobservable by construction. *)
+val compile :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  ?cmplog:bool ->
+  Interp.prepared ->
+  spec ->
+  t
+
+(** Per-domain compile-once memo over [(prepared, spec, cmplog)]
+    (physical identity on [prepared]). Safe for sequential campaigns,
+    measurement replays and bench cells; sharded campaigns must
+    {!compile} fresh per shard instead. *)
+val cached :
+  ?plans:Pathcov.Ball_larus.program_plans ->
+  ?cmplog:bool ->
+  Interp.prepared ->
+  spec ->
+  t
+
+(** {2 Campaign binding} *)
+
+(** Retarget the artifact's probes at a trace map and cmplog probe —
+    two field writes, so callers may rebind before every execution.
+    Only meaningful for [Sfull _] artifacts (others never touch
+    either). *)
+val bind :
+  t -> trace:Pathcov.Coverage_map.t -> h_cmp:(int -> int -> unit) -> unit
+
+(** {2 Execution}
+
+    Both runners mirror {!Interp.run_ctx} / {!Interp.run_ctx_sub}: same
+    defaults, same outcome construction, same crash materialisation.
+    The context must have been created over the same [prepared] value
+    the artifact was compiled from ([Invalid_argument] otherwise); the
+    context's own hooks are ignored — probes are already compiled in. *)
+
+val run : ?fuel:int -> ?max_depth:int -> t -> Interp.exec_ctx -> input:string -> Interp.outcome
+
+val run_sub :
+  ?fuel:int -> ?max_depth:int -> t -> Interp.exec_ctx -> buf:Bytes.t -> len:int -> Interp.outcome
+
+(** {2 Selective-tracing novelty signal}
+
+    A 62-bit rolling hash over the tagged call/block/return event
+    stream. The tags make per-activation block sequences — and hence
+    every derived feedback index, in every mode — a function of the
+    stream, so signal equality implies trace equality up to hash
+    collisions (DESIGN §12). *)
+
+(** The signal accumulated by the last [Ssignal] execution. *)
+val signal : t -> int
+
+(** The same hash computed by the interpreter engine: hooks folding
+    each event's tag into [cell]. Reset [cell] to [0] before each
+    execution; precomputed tag tables keep the handlers
+    allocation-free. *)
+val signal_hooks : Interp.prepared -> cell:int ref -> Interp.hooks
+
+(** {2 Probe self-pruning} (only affects [Sfull Path] artifacts)
+
+    The runtime analogue of Ball–Larus spanning-tree probe
+    minimisation: once every map index a function's path commits can
+    produce is saturated in the virgin map, the commit's map write can
+    never change novelty and is elided. Register arithmetic is never
+    elided, so unpruned functions commit exact IDs regardless. *)
+
+(** Functions with at most this many acyclic paths have an enumerable
+    commit universe and participate in pruning. *)
+val prune_path_bound : int
+
+(** Every map key function [fid]'s path commits can produce — unwrapped,
+    so wrap by the consulted map's size — or [[||]] when not enumerable
+    (too many paths, or non-path spec). *)
+val path_universe : t -> int -> int array
+
+(** Mark one function's path commits elided (or restore them). Takes
+    effect only while pruning is enabled. *)
+val prune_fid : t -> int -> bool -> unit
+
+(** Enable/disable pruning: [false] (the initial state) makes every
+    probe fire regardless of {!prune_fid} marks. *)
+val set_pruning : t -> bool -> unit

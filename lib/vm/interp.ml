@@ -247,6 +247,45 @@ let prepare (prog : Minic.Ir.program) : prepared =
     global_sizes = Array.of_list (List.rev !sizes);
   }
 
+(* Memoised [prepare] keyed on physical program identity. Campaigns,
+   measurement replays and throughput cells all resolve the same cached
+   program; one shared [prepared] (immutable once built) saves the
+   per-invocation resolution that used to run per cell/per replay. The
+   list is short (one entry per live program) and mutex-guarded so
+   worker domains can share it. *)
+let prepare_cache : (Minic.Ir.program * prepared) list ref = ref []
+let prepare_cache_lock = Mutex.create ()
+let prepare_cache_cap = 16
+
+let prepare_cached (prog : Minic.Ir.program) : prepared =
+  Mutex.lock prepare_cache_lock;
+  let hit =
+    List.find_opt (fun (p, _) -> p == prog) !prepare_cache
+  in
+  match hit with
+  | Some (_, prepared) ->
+      Mutex.unlock prepare_cache_lock;
+      prepared
+  | None ->
+      Mutex.unlock prepare_cache_lock;
+      let prepared = prepare prog in
+      Mutex.lock prepare_cache_lock;
+      (* racing domains may both prepare; first insert wins *)
+      let r =
+        match List.find_opt (fun (p, _) -> p == prog) !prepare_cache with
+        | Some (_, winner) -> winner
+        | None ->
+            let keep =
+              if List.length !prepare_cache >= prepare_cache_cap then
+                List.filteri (fun i _ -> i < prepare_cache_cap - 1) !prepare_cache
+              else !prepare_cache
+            in
+            prepare_cache := (prog, prepared) :: keep;
+            prepared
+      in
+      Mutex.unlock prepare_cache_lock;
+      r
+
 (* ------------------------------------------------------------------ *)
 (* Execution context: pooled frames, globals and call stack *)
 
@@ -385,6 +424,27 @@ let acquire (ctx : exec_ctx) (fid : int) : frame =
   let fr = Array.unsafe_get pool.frames pool.live in
   pool.live <- pool.live + 1;
   Array.fill fr.f_ints 0 (Array.length fr.f_ints) 0;
+  if fr.f_arrs_live then begin
+    Array.fill fr.f_arrs 0 (Array.length fr.f_arrs) no_arr;
+    fr.f_arrs_live <- false
+  end;
+  fr
+
+(* Like [acquire] but leaves [f_ints] unzeroed (the array table is still
+   reset — reads consult it to tell ints from arrays). For engines that
+   prove definite assignment and zero the residual slots themselves. *)
+let acquire_raw (ctx : exec_ctx) (fid : int) : frame =
+  let pool = Array.unsafe_get ctx.pools fid in
+  let n = Array.length pool.frames in
+  if pool.live = n then begin
+    let nlocals = ctx.p.rfuncs.(fid).nlocals in
+    pool.frames <-
+      Array.init
+        (max 4 (2 * n))
+        (fun i -> if i < n then pool.frames.(i) else make_frame nlocals)
+  end;
+  let fr = Array.unsafe_get pool.frames pool.live in
+  pool.live <- pool.live + 1;
   if fr.f_arrs_live then begin
     Array.fill fr.f_arrs 0 (Array.length fr.f_arrs) no_arr;
     fr.f_arrs_live <- false

@@ -4,7 +4,16 @@
     [Pathcov.Feedback] consume, and converting memory-safety violations
     into {!Crash.t} reports exactly where ASAN would. Execution is bounded
     by a fuel budget (the analogue of AFL's timeout) and a call-depth
-    limit. MiniC locals are zero-initialised at function entry. *)
+    limit. MiniC locals are zero-initialised at function entry.
+
+    The resolved representation and the pooled execution context are
+    exposed concretely (not abstract) because {!Compile} — the staged
+    compiler that partially evaluates a prepared program into OCaml
+    closures — is a second execution engine over exactly this state:
+    compiled code runs against the same frames, pools, globals journal,
+    call stack and return scratch, so crash materialisation, fuel and
+    outcome construction stay byte-identical between engines. Treat every
+    exposed field as read-only unless you are an execution engine. *)
 
 (** Instrumentation hooks, invoked during execution. *)
 type hooks = {
@@ -33,9 +42,69 @@ val default_max_depth : int
 (** Maximum [array(n)] size before the VM reports [Bad_alloc]. *)
 val max_alloc : int
 
+(** {2 Resolved (slot-addressed) representation} *)
+
+type slot = Local of int | Global of int
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type arith =
+  | Aadd
+  | Asub
+  | Amul
+  | Adiv
+  | Arem
+  | Aband
+  | Abor
+  | Abxor
+  | Ashl
+  | Ashr
+
+type rexpr =
+  | Rconst of int
+  | Rload of slot * int  (** slot, site of the enclosing instruction *)
+  | Rindex of rexpr * rexpr * int  (** base, index, site *)
+  | Rarith of arith * rexpr * rexpr * int  (** site for div-by-zero *)
+  | Rcmp of cmp * rexpr * rexpr
+  | Rneg of rexpr
+  | Rnot of rexpr
+  | Rbnot of rexpr
+  | Rin of rexpr
+  | Rlen
+  | Rarray_make of rexpr * int
+  | Rarray_len of rexpr * int
+  | Rabs of rexpr
+
+type rinstr =
+  | Rassign of slot * rexpr
+  | Rstore of rexpr * rexpr * rexpr * int
+  | Rcall of { dst : slot option; callee : int; args : rexpr array; site : int }
+  | Rbug of int * int  (** bug id, site *)
+  | Rcheck of rexpr * int * int  (** cond, bug id, site *)
+
+type rterm =
+  | Rgoto of int
+  | Rbranch of rexpr * int * int * int  (** cond, true, false, site *)
+  | Rret of rexpr option * int
+
+type rblock = { rinstrs : rinstr array; rterm : rterm }
+
+type rfunc = {
+  rname : string;
+  nlocals : int;
+  param_slots : slot array;
+  rblocks : rblock array;
+}
+
 (** A program with names resolved to slots — build once per program,
     reuse across the campaign's millions of executions. *)
-type prepared
+type prepared = {
+  prog : Minic.Ir.program;
+  rfuncs : rfunc array;
+  main_id : int;
+  global_names : string array;
+  global_sizes : int array;  (** 0 = int cell, n > 0 = array of n *)
+}
 
 (** Raised by {!prepare} when the IR references an unbound variable or an
     undefined function (cannot happen for sema-checked programs). *)
@@ -43,19 +112,101 @@ exception Unknown_name of string
 
 val prepare : Minic.Ir.program -> prepared
 
+(** Memoised {!prepare} keyed on the program's physical identity —
+    campaigns, measurement replays and throughput cells over the same
+    (cached) program share one resolution. Mutex-guarded; the [prepared]
+    artifact is immutable, so sharing it across domains is safe. *)
+val prepare_cached : Minic.Ir.program -> prepared
+
 (** Execute a prepared program from [main] on [input] through a fresh
     context. Never raises for program-under-test misbehaviour — crashes,
     hangs and type confusion all come back as [status]. *)
 val run_prepared :
   ?fuel:int -> ?hooks:hooks -> ?max_depth:int -> prepared -> input:string -> outcome
 
-(** A reusable execution context over a prepared program: owns the frame
-    pools, global slots and call stack, reused across executions so the
-    steady-state hot path allocates nothing beyond the program's own
+(** {2 Execution context}
+
+    Pooled frames, globals and call stack, reused across executions so
+    the steady-state hot path allocates nothing beyond the program's own
     [array(n)] requests. Single-threaded; use one per worker domain. *)
-type exec_ctx
+
+(** Raised internally (and by compiled code) for program-under-test
+    crashes: kind plus the crash site. Converted to {!Crash.t} with the
+    materialised stack by the run harness — never escapes [run_ctx]. *)
+exception Crash_exn of Crash.kind * int
+
+(** Raised internally when the fuel budget is exhausted. *)
+exception Out_of_fuel
+
+(** Distinguished "this slot holds an int" marker for array-slot tables
+    (compare with [==] only). *)
+val no_arr : int array
+
+type frame = {
+  f_ints : int array;
+  f_arrs : int array array;
+  mutable f_arrs_live : bool;
+}
+
+type fpool = { mutable frames : frame array; mutable live : int }
+
+type exec_ctx = {
+  p : prepared;
+  hooks : hooks;
+  gints : int array;
+  garrs : int array array;
+  gorig : int array array;
+  gdirty : Bytes.t;
+  mutable gtouched : int array;
+  mutable ngtouched : int;
+  pools : fpool array;  (** indexed by function id *)
+  mutable cs_fid : int array;
+  mutable cs_site : int array;
+  mutable cs_top : int;
+  mutable input : string;
+  mutable input_len : int;
+  mutable fuel : int;
+  mutable max_depth : int;
+  mutable blocks : int;
+  mutable ret_i : int;
+  mutable ret_a : int array;
+}
 
 val create_ctx : ?hooks:hooks -> prepared -> exec_ctx
+
+(** Reset between executions: undo journaled global writes, re-zero
+    array globals, drop leftover frames, clear per-exec registers. *)
+val reset_ctx : exec_ctx -> unit
+
+(** Take a zeroed frame for one activation of [fid]. *)
+val acquire : exec_ctx -> int -> frame
+
+(** Like {!acquire} but leaves [f_ints] unzeroed (the array table is
+    still reset — reads consult it to tell ints from arrays). For
+    engines that prove definite assignment and zero the residual slots
+    themselves. *)
+val acquire_raw : exec_ctx -> int -> frame
+
+val push_call : exec_ctx -> int -> int -> unit
+
+(** Materialise the [Crash.frame] list (innermost first) from the int
+    stacks — only reached when a crash actually happened. *)
+val materialize_stack : exec_ctx -> Crash.frame list
+
+val site_function : Minic.Ir.program -> int -> string
+
+(** {2 Slot access} (shared by both engines) *)
+
+(** Record a global index in the write journal (so {!reset_ctx} can undo
+    it) — engines writing globals directly must call it first. *)
+val touch_global : exec_ctx -> int -> unit
+
+val read_int : exec_ctx -> frame -> int -> slot -> int
+val read_arr : exec_ctx -> frame -> int -> slot -> int array
+val write_int : exec_ctx -> frame -> slot -> int -> unit
+val write_arr : exec_ctx -> frame -> slot -> int array -> unit
+val copy_slot : exec_ctx -> frame -> slot -> frame -> slot -> unit
+
 val run_ctx : ?fuel:int -> ?max_depth:int -> exec_ctx -> input:string -> outcome
 
 (** Execute on the first [len] bytes of [buf] without copying them into a

@@ -1,0 +1,348 @@
+(** Staged-compiler differential suite: [Vm.Compile] (closures, probes
+    baked in) vs [Vm.Interp] driving the runtime [Pathcov.Feedback]
+    listeners — same status (crash kinds, sites, stacks), same block
+    counts (hence fuel behaviour), same cmplog event streams, identical
+    classified traces under every feedback mode; plus the selective-
+    tracing signal parity between the two engines, probe-pruning
+    invariants, and a steady-state allocation bound for the compiled
+    hot path. *)
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+
+let all_modes =
+  [
+    Pathcov.Feedback.Block;
+    Pathcov.Feedback.Edge;
+    Pathcov.Feedback.Ngram 4;
+    Pathcov.Feedback.Path;
+    Pathcov.Feedback.Pathafl;
+  ]
+
+let feedback_hooks ?(h_cmp = fun _ _ -> ()) (fb : Pathcov.Feedback.t) :
+    Vm.Interp.hooks =
+  {
+    Vm.Interp.h_call = fb.on_call;
+    h_block = fb.on_block;
+    h_edge = fb.on_edge;
+    h_ret = fb.on_ret;
+    h_cmp;
+  }
+
+let pp_status fmt (s : Vm.Interp.status) =
+  match s with
+  | Vm.Interp.Finished None -> Fmt.string fmt "finished(array)"
+  | Vm.Interp.Finished (Some n) -> Fmt.pf fmt "finished(%d)" n
+  | Vm.Interp.Hung -> Fmt.string fmt "hung"
+  | Vm.Interp.Crashed c -> Fmt.pf fmt "crashed(%a)" Vm.Crash.pp c
+
+let status_t : Vm.Interp.status Alcotest.testable =
+  Alcotest.testable pp_status ( = )
+
+let subject_inputs (s : Subjects.Subject.t) : string list =
+  s.seeds @ List.map (fun (b : Subjects.Subject.bug) -> b.witness) s.bugs
+
+let trace_contents (m : Pathcov.Coverage_map.t) : (int * int) list =
+  let acc = ref [] in
+  Pathcov.Coverage_map.iteri_set (fun i b -> acc := (i, b) :: !acc) m;
+  List.rev !acc
+
+(* --- uninstrumented ([Snone]) agreement on the curated subjects --- *)
+
+let test_none_agreement () =
+  List.iter
+    (fun (s : Subjects.Subject.t) ->
+      let prog = Subjects.Subject.compile_fresh s in
+      let prepared = Vm.Interp.prepare prog in
+      let ictx = Vm.Interp.create_ctx prepared in
+      let cctx = Vm.Interp.create_ctx prepared in
+      let art = Vm.Compile.compile prepared Vm.Compile.Snone in
+      List.iter
+        (fun input ->
+          let i = Vm.Interp.run_ctx ictx ~input in
+          let c = Vm.Compile.run art cctx ~input in
+          let where = Printf.sprintf "%s %S" s.name input in
+          check status_t (where ^ " status") i.status c.status;
+          check Alcotest.int (where ^ " blocks") i.blocks_executed
+            c.blocks_executed)
+        (subject_inputs s))
+    Subjects.Registry.all
+
+(* --- instrumented agreement, every mode: status, blocks, classified
+   trace, and the cmplog operand stream --- *)
+
+let test_mode_agreement () =
+  List.iter
+    (fun (s : Subjects.Subject.t) ->
+      let prog = Subjects.Subject.compile_fresh s in
+      let prepared = Vm.Interp.prepare prog in
+      List.iter
+        (fun mode ->
+          let fb = Pathcov.Feedback.make mode prog in
+          let icmps = ref [] and ccmps = ref [] in
+          let ictx =
+            Vm.Interp.create_ctx
+              ~hooks:
+                (feedback_hooks
+                   ~h_cmp:(fun a b -> icmps := (a, b) :: !icmps)
+                   fb)
+              prepared
+          in
+          let cctx = Vm.Interp.create_ctx prepared in
+          let art = Vm.Compile.compile prepared (Vm.Compile.Sfull mode) in
+          let ctrace = Pathcov.Coverage_map.create () in
+          Vm.Compile.bind art ~trace:ctrace ~h_cmp:(fun a b ->
+              ccmps := (a, b) :: !ccmps);
+          List.iter
+            (fun input ->
+              fb.reset ();
+              Pathcov.Coverage_map.clear fb.trace;
+              Pathcov.Coverage_map.clear ctrace;
+              icmps := [];
+              ccmps := [];
+              let i = Vm.Interp.run_ctx ictx ~input in
+              let c = Vm.Compile.run art cctx ~input in
+              let where =
+                Printf.sprintf "%s/%s %S" s.name
+                  (Pathcov.Feedback.mode_name mode)
+                  input
+              in
+              check status_t (where ^ " status") i.status c.status;
+              check Alcotest.int (where ^ " blocks") i.blocks_executed
+                c.blocks_executed;
+              check
+                Alcotest.(list (pair int int))
+                (where ^ " cmp stream") (List.rev !icmps) (List.rev !ccmps);
+              Pathcov.Coverage_map.classify fb.trace;
+              Pathcov.Coverage_map.classify ctrace;
+              check
+                Alcotest.(list (pair int int))
+                (where ^ " classified trace")
+                (trace_contents fb.trace) (trace_contents ctrace))
+            (subject_inputs s))
+        all_modes)
+    Subjects.Registry.all
+
+(* --- selective-tracing signal: both engines fold the same hash --- *)
+
+let test_signal_parity () =
+  List.iter
+    (fun (s : Subjects.Subject.t) ->
+      let prog = Subjects.Subject.compile_fresh s in
+      let prepared = Vm.Interp.prepare prog in
+      let cell = ref 0 in
+      let ictx =
+        Vm.Interp.create_ctx
+          ~hooks:(Vm.Compile.signal_hooks prepared ~cell)
+          prepared
+      in
+      let cctx = Vm.Interp.create_ctx prepared in
+      let art = Vm.Compile.compile prepared Vm.Compile.Ssignal in
+      let sigs = Hashtbl.create 16 in
+      List.iter
+        (fun input ->
+          cell := 0;
+          let i = Vm.Interp.run_ctx ictx ~input in
+          let c = Vm.Compile.run art cctx ~input in
+          let where = Printf.sprintf "%s %S" s.name input in
+          check status_t (where ^ " status") i.status c.status;
+          check Alcotest.int (where ^ " signal") !cell
+            (Vm.Compile.signal art);
+          Hashtbl.replace sigs !cell ())
+        (subject_inputs s);
+      (* sanity: the signal actually separates distinct executions — a
+         constant hash would trivially satisfy parity *)
+      let distinct_inputs =
+        List.length
+          (List.sort_uniq compare
+             (List.map
+                (fun input -> (Vm.Interp.run_ctx ictx ~input).blocks_executed)
+                (subject_inputs s)))
+      in
+      check_bool
+        (s.name ^ " signal separates executions")
+        true
+        (Hashtbl.length sigs >= distinct_inputs))
+    Subjects.Registry.all
+
+(* --- random programs x all modes: the compiled engine must agree with
+   the interpreter-driven listeners beyond the curated subjects --- *)
+
+let prop_compiled_differential =
+  QCheck.Test.make ~count:300 ~name:"compiled and interpreted engines agree"
+    (QCheck.pair Gen.arbitrary_ir Gen.arbitrary_input)
+    (fun (prog, input) ->
+      let prepared = Vm.Interp.prepare prog in
+      List.for_all
+        (fun mode ->
+          let fb = Pathcov.Feedback.make mode prog in
+          let ictx =
+            Vm.Interp.create_ctx ~hooks:(feedback_hooks fb) prepared
+          in
+          let cctx = Vm.Interp.create_ctx prepared in
+          let art = Vm.Compile.compile prepared (Vm.Compile.Sfull mode) in
+          let ctrace = Pathcov.Coverage_map.create () in
+          Vm.Compile.bind art ~trace:ctrace ~h_cmp:(fun _ _ -> ());
+          fb.reset ();
+          Pathcov.Coverage_map.clear fb.trace;
+          let i = Vm.Interp.run_ctx ~fuel:50_000 ictx ~input in
+          let c = Vm.Compile.run ~fuel:50_000 art cctx ~input in
+          Pathcov.Coverage_map.classify fb.trace;
+          Pathcov.Coverage_map.classify ctrace;
+          i.status = c.status
+          && i.blocks_executed = c.blocks_executed
+          && trace_contents fb.trace = trace_contents ctrace)
+        all_modes)
+
+(* ... and the signal parity property over the same space. *)
+let prop_signal_differential =
+  QCheck.Test.make ~count:300 ~name:"signal hash identical across engines"
+    (QCheck.pair Gen.arbitrary_ir Gen.arbitrary_input)
+    (fun (prog, input) ->
+      let prepared = Vm.Interp.prepare prog in
+      let cell = ref 0 in
+      let ictx =
+        Vm.Interp.create_ctx
+          ~hooks:(Vm.Compile.signal_hooks prepared ~cell)
+          prepared
+      in
+      let cctx = Vm.Interp.create_ctx prepared in
+      let art = Vm.Compile.compile prepared Vm.Compile.Ssignal in
+      let i = Vm.Interp.run_ctx ~fuel:50_000 ictx ~input in
+      let c = Vm.Compile.run ~fuel:50_000 art cctx ~input in
+      i.status = c.status && !cell = Vm.Compile.signal art)
+
+(* --- probe self-pruning invariants (path mode) ---
+
+   Eliding a function's commits must (a) only remove trace indices, (b)
+   remove only indices inside that function's enumerated commit
+   universe, and (c) leave the register discipline exact: un-eliding
+   restores the byte-identical trace. *)
+
+let test_pruning_invariants () =
+  List.iter
+    (fun (s : Subjects.Subject.t) ->
+      let prog = Subjects.Subject.compile_fresh s in
+      let prepared = Vm.Interp.prepare prog in
+      let cctx = Vm.Interp.create_ctx prepared in
+      let art = Vm.Compile.compile prepared (Vm.Compile.Sfull Path) in
+      let trace = Pathcov.Coverage_map.create () in
+      Vm.Compile.bind art ~trace ~h_cmp:(fun _ _ -> ());
+      let run_trace input =
+        Pathcov.Coverage_map.clear trace;
+        ignore (Vm.Compile.run art cctx ~input);
+        Pathcov.Coverage_map.classify trace;
+        trace_contents trace
+      in
+      let nfuncs = Array.length prog.funcs in
+      let enumerable =
+        List.filter
+          (fun fid -> Array.length (Vm.Compile.path_universe art fid) > 0)
+          (List.init nfuncs Fun.id)
+      in
+      check_bool (s.name ^ " has enumerable functions") true
+        (enumerable <> []);
+      (* the universe holds unwrapped keys; traces hold map indices *)
+      let mask = Pathcov.Coverage_map.size trace - 1 in
+      let universe = Hashtbl.create 256 in
+      List.iter
+        (fun fid ->
+          Array.iter
+            (fun key -> Hashtbl.replace universe (key land mask) ())
+            (Vm.Compile.path_universe art fid))
+        enumerable;
+      List.iter
+        (fun input ->
+          let full = run_trace input in
+          (* pruning enabled but nothing marked: identical *)
+          Vm.Compile.set_pruning art true;
+          check
+            Alcotest.(list (pair int int))
+            (s.name ^ " pruning-on/empty trace") full (run_trace input);
+          (* every enumerable function elided *)
+          List.iter (fun fid -> Vm.Compile.prune_fid art fid true) enumerable;
+          let pruned = run_trace input in
+          List.iter
+            (fun (idx, _) ->
+              check_bool
+                (Printf.sprintf "%s pruned idx %d survives from full" s.name
+                   idx)
+                true
+                (List.mem_assoc idx full))
+            pruned;
+          List.iter
+            (fun (idx, b) ->
+              match List.assoc_opt idx pruned with
+              | Some b' ->
+                  check Alcotest.int
+                    (Printf.sprintf "%s surviving idx %d byte" s.name idx)
+                    b b'
+              | None ->
+                  check_bool
+                    (Printf.sprintf
+                       "%s removed idx %d lies in the pruned universe" s.name
+                       idx)
+                    true (Hashtbl.mem universe idx))
+            full;
+          (* restore: byte-identical again *)
+          List.iter (fun fid -> Vm.Compile.prune_fid art fid false) enumerable;
+          check
+            Alcotest.(list (pair int int))
+            (s.name ^ " restored trace") full (run_trace input);
+          Vm.Compile.set_pruning art false)
+        (subject_inputs s))
+    Subjects.Registry.all
+
+(* --- steady-state allocation: the compiled hot path ---
+
+   Closure dispatch must not re-introduce per-exec allocation: beyond
+   the program's own [array(n)] requests, a compiled run through the
+   pooled context allocates nothing once warm. cflow allocates no
+   arrays, so the bound is a few words (outcome record + status). *)
+
+let test_compiled_allocation () =
+  let s = Subjects.Registry.find_exn "cflow" in
+  let prog = Subjects.Subject.compile_fresh s in
+  let prepared = Vm.Interp.prepare prog in
+  let ctx = Vm.Interp.create_ctx prepared in
+  let art = Vm.Compile.compile prepared (Vm.Compile.Sfull Path) in
+  let trace = Pathcov.Coverage_map.create () in
+  Vm.Compile.bind art ~trace ~h_cmp:(fun _ _ -> ());
+  let input = List.hd s.seeds in
+  let one () = ignore (Vm.Compile.run art ctx ~input) in
+  for _ = 1 to 64 do
+    one ()
+  done;
+  let n = 2048 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to n do
+    one ()
+  done;
+  let per_exec = (Gc.minor_words () -. w0) /. float_of_int n in
+  check_bool
+    (Printf.sprintf "compiled minor words per exec bounded (got %.1f)"
+       per_exec)
+    true
+    (per_exec >= 0. && per_exec < 16.)
+
+let suite =
+  [
+    ( "compile",
+      [
+        Alcotest.test_case "subjects: none spec agrees" `Quick
+          test_none_agreement;
+        Alcotest.test_case "subjects: every mode agrees" `Quick
+          test_mode_agreement;
+        Alcotest.test_case "subjects: signal parity across engines" `Quick
+          test_signal_parity;
+        Alcotest.test_case "path probe pruning invariants" `Quick
+          test_pruning_invariants;
+        Alcotest.test_case "compiled hot path allocation-free" `Quick
+          test_compiled_allocation;
+      ] );
+    ( "compile-properties",
+      [
+        QCheck_alcotest.to_alcotest prop_compiled_differential;
+        QCheck_alcotest.to_alcotest prop_signal_differential;
+      ] );
+  ]

@@ -2,7 +2,9 @@
 let () =
   Alcotest.run "pathcov"
     (Test_frontend.suite @ Test_ballarus.suite @ Test_vm.suite
-   @ Test_differential.suite @ Test_coverage.suite @ Test_exec.suite
-   @ Test_fuzz.suite @ Test_hotpath.suite @ Test_shard.suite
+   @ Test_differential.suite @ Test_compile.suite @ Test_coverage.suite
+   @ Test_exec.suite
+   @ Test_fuzz.suite @ Test_hotpath.suite @ Test_tracer.suite
+   @ Test_shard.suite
    @ Test_checkpoint.suite @ Test_subjects.suite
    @ Test_experiments.suite @ Test_obs.suite @ Test_misc.suite)

@@ -381,16 +381,19 @@ let test_bench_history_roundtrip () =
           Experiments.Bench_history.date = day;
           source = "campaign";
           label = "t";
+          machine = "nproc=1 ocaml=test";
           cells =
             [
               { Experiments.Bench_history.subject = "cflow";
                 mode = "path";
                 shards = 0;
+                engine = "interp";
                 execs_per_sec = v;
               };
               { Experiments.Bench_history.subject = "gdk";
                 mode = "edge";
                 shards = 0;
+                engine = "interp";
                 execs_per_sec = 2. *. v;
               };
             ];
@@ -422,16 +425,19 @@ let test_bench_history_roundtrip () =
             Experiments.Bench_history.date = "2026-08-03";
             source = "campaign";
             label = "t";
+            machine = "";
             cells =
               [
                 { Experiments.Bench_history.subject = "cflow";
                   mode = "path";
                   shards = 0;
+                  engine = "interp";
                   execs_per_sec = 50_000.;
                 };
                 { Experiments.Bench_history.subject = "gdk";
                   mode = "edge";
                   shards = 0;
+                  engine = "interp";
                   execs_per_sec = 205_000.;
                 };
               ];
@@ -451,11 +457,13 @@ let test_bench_history_roundtrip () =
                 Experiments.Bench_history.date = "d";
                 source = "throughput";
                 label = "";
+                machine = "";
                 cells =
                   [
                     { Experiments.Bench_history.subject = "cflow";
                       mode = "path";
                       shards = 0;
+                      engine = "interp";
                       execs_per_sec = 1.;
                     };
                   ];
@@ -469,11 +477,33 @@ let test_bench_history_roundtrip () =
                 Experiments.Bench_history.date = "d";
                 source = "campaign";
                 label = "";
+                machine = "";
                 cells =
                   [
                     { Experiments.Bench_history.subject = "cflow";
                       mode = "path";
                       shards = 4;
+                      engine = "interp";
+                      execs_per_sec = 1.;
+                    };
+                  ];
+              }));
+      (* engines partition it too: a compiled cell never compares
+         against the interp rows above *)
+      check Alcotest.int "compiled cell: separate baseline" 0
+        (List.length
+           (Experiments.Bench_history.check ~threshold_pct:20. loaded
+              {
+                Experiments.Bench_history.date = "d";
+                source = "campaign";
+                label = "";
+                machine = "";
+                cells =
+                  [
+                    { Experiments.Bench_history.subject = "cflow";
+                      mode = "path";
+                      shards = 0;
+                      engine = "compiled";
                       execs_per_sec = 1.;
                     };
                   ];
@@ -498,11 +528,13 @@ let test_bench_history_schema_tolerant () =
           Experiments.Bench_history.date = "2026-01-02";
           source = "campaign";
           label = "sharded";
+          machine = "";
           cells =
             [
               { Experiments.Bench_history.subject = "cflow";
                 mode = "path";
                 shards = 4;
+                engine = "interp";
                 execs_per_sec = 200_000.;
               };
             ];
@@ -512,11 +544,17 @@ let test_bench_history_schema_tolerant () =
           let lc = List.hd legacy.Experiments.Bench_history.cells in
           check Alcotest.int "legacy line defaults to shards 0" 0
             lc.Experiments.Bench_history.shards;
+          check Alcotest.string "legacy line defaults to interp engine"
+            "interp" lc.Experiments.Bench_history.engine;
+          check Alcotest.string "legacy line defaults to empty machine" ""
+            legacy.Experiments.Bench_history.machine;
           check (Alcotest.float 0.01) "legacy execs/sec intact" 123_456.
             lc.Experiments.Bench_history.execs_per_sec;
           let sc = List.hd sharded.Experiments.Bench_history.cells in
           check Alcotest.int "sharded cell round-trips" 4
-            sc.Experiments.Bench_history.shards
+            sc.Experiments.Bench_history.shards;
+          check Alcotest.string "machine round-trips" ""
+            sharded.Experiments.Bench_history.machine
       | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows))
 
 let test_bench_history_parses_bench_files () =
