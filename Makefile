@@ -58,11 +58,12 @@ resume-check: build
 	diff _build/resume-check/sh-straight.out _build/resume-check/sh-resumed.out
 	@echo "resume-check: straight, checkpointed and resumed runs identical"
 
-# Engine-determinism smoke: the staged-compilation engine and
-# selective tracing must be trajectory-invisible — fuzz stdout is
-# byte-identical across --engine interp/compiled x --selective on/off,
-# sequentially and at any shard count (path mode exercises the
-# Ball-Larus probes and the cmplog taps).
+# Engine-determinism smoke: the staged-compilation engine (with and
+# without superblock fusion) and selective tracing must be
+# trajectory-invisible — fuzz stdout is byte-identical across
+# --engine interp/compiled/fused x --selective on/off, sequentially and
+# at any shard count (path mode exercises the Ball-Larus probes, the
+# fused bulk-burn/folded-increment paths and the cmplog taps).
 engine-check: build
 	@rm -rf _build/engine-check && mkdir -p _build/engine-check
 	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
@@ -71,14 +72,24 @@ engine-check: build
 	  --engine compiled > _build/engine-check/compiled.out
 	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
 	  --engine compiled --selective > _build/engine-check/selective.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine fused > _build/engine-check/fused.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine fused --selective > _build/engine-check/fused-selective.out
 	diff _build/engine-check/interp.out _build/engine-check/compiled.out
 	diff _build/engine-check/interp.out _build/engine-check/selective.out
+	diff _build/engine-check/interp.out _build/engine-check/fused.out
+	diff _build/engine-check/interp.out _build/engine-check/fused-selective.out
 	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
 	  --shards 2 --sync-interval 512 > _build/engine-check/sh-interp.out
 	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
 	  --shards 2 --sync-interval 512 --engine compiled --selective \
 	  > _build/engine-check/sh-selective.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --shards 2 --sync-interval 512 --engine fused --selective \
+	  > _build/engine-check/sh-fused.out
 	diff _build/engine-check/sh-interp.out _build/engine-check/sh-selective.out
+	diff _build/engine-check/sh-interp.out _build/engine-check/sh-fused.out
 	@echo "engine-check: trajectories identical across engines and selective tracing"
 
 # Bechamel micro-benchmarks (one per table/figure of the paper).

@@ -161,11 +161,14 @@ let fuzz_cmd =
       & opt string "interp"
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
-            "Execution engine: $(b,interp) (the reference CFG interpreter) \
-             or $(b,compiled) (staged compilation of the subject into OCaml \
-             closures with the feedback probes baked in). The fuzzing \
-             trajectory — queue, coverage, crashes, stdout — is \
-             engine-invariant; only throughput changes.")
+            "Execution engine: $(b,interp) (the reference CFG interpreter), \
+             $(b,compiled) (staged compilation of the subject into OCaml \
+             closures with the feedback probes baked in) or $(b,fused) \
+             (compiled plus superblock fusion: single-predecessor chains \
+             collapsed into one closure with coalesced fuel burns and \
+             folded path increments). The fuzzing trajectory — queue, \
+             coverage, crashes, stdout — is engine-invariant; only \
+             throughput changes.")
   in
   let selective =
     Arg.(
@@ -236,7 +239,8 @@ let fuzz_cmd =
       | Some e -> e
       | None ->
           Fmt.epr
-            "pathfuzz: unknown --engine %s (expected interp or compiled)@."
+            "pathfuzz: unknown --engine %s (expected interp, compiled or \
+             fused)@."
             engine;
           exit 2
     in
@@ -661,13 +665,29 @@ let bench_throughput_cmd =
       else Experiments.Throughput.extract_cells ~key:"baseline_cells" out
     in
     (match baseline_raw with
-    | Some raw -> (
-        match
-          Experiments.Throughput.speedup_vs_baseline ~baseline_raw:raw samples
-        with
+    | Some raw ->
+        (match
+           Experiments.Throughput.speedup_vs_baseline ~baseline_raw:raw samples
+         with
         | Some (g, l) ->
             Fmt.epr "%s@." (Experiments.Throughput.speedup_report g l)
-        | None -> ())
+        | None -> ());
+        (match
+           Experiments.Throughput.speedup_for ~mode:"path" ~engine:"fused"
+             ~baseline_raw:raw samples
+         with
+        | Some (g, l) ->
+            Fmt.epr "%s@."
+              (Experiments.Throughput.speedup_report ~engine:"fused" g l)
+        | None -> ());
+        (match Experiments.Throughput.speedups_by_mode ~baseline_raw:raw samples with
+        | [] -> ()
+        | by_mode ->
+            Fmt.epr "  per-mode geomeans vs baseline interp:@.";
+            List.iter
+              (fun (mode, engine, g) ->
+                Fmt.epr "    %-8s %-9s %.2fx@." mode engine g)
+              by_mode)
     | None -> ());
     let json = Experiments.Throughput.to_json ~note ?baseline_raw samples in
     if out = "-" then print_string json

@@ -10,25 +10,33 @@
 
     One measured "execution" is exactly one iteration of the campaign hot
     loop: feedback reset, trace clear, run, trace classify — i.e. what
-    [Fuzz.Campaign.execute] does minus queue bookkeeping. Three engines
+    [Fuzz.Campaign.execute] does minus queue bookkeeping. Four engines
     are measured: [interp] (the pooled interpreter driving the runtime
     listeners), [compiled] (the [Vm.Compile] staged artifact with probes
-    baked in), and [selective] (the compiled signal specialisation — the
-    cost of the bulk executions under selective tracing, which skip the
-    trace clear/classify entirely and fold only the novelty hash). Seeds
-    are cycled in order, so the work per execution (and therefore
-    minor-words/exec) is deterministic; only wall-clock rates vary across
-    hosts. *)
+    baked in), [fused] (the staged artifact with superblock fusion —
+    single-predecessor chains collapsed into one closure with coalesced
+    fuel burns and folded path increments), and [selective] (the
+    selective-tracing pipeline: the near-null signal specialisation per
+    execution plus a full-instrumentation replay on each first-seen
+    signal; the mode-less row is the pure signal floor with no replay).
+    Selective rows also report [replays] — the replays that fell inside
+    the measured window, which drops to ~0 once the cycled seeds' signals
+    are all seen (the amortisation the campaign enjoys). Seeds are cycled
+    in order, so the work per execution (and therefore minor-words/exec)
+    is deterministic; only wall-clock rates vary across hosts. *)
 
 type sample = {
   subject : string;
   mode : string;  (** feedback mode name, or ["none"] (uninstrumented) *)
-  engine : string;  (** "interp", "compiled" or "selective" *)
+  engine : string;  (** "interp", "compiled", "fused" or "selective" *)
   execs : int;  (** measured executions (after warmup) *)
   wall_s : float;
   execs_per_sec : float;
   blocks_per_sec : float;
   minor_words_per_exec : float;
+  replays : int;
+      (** selective rows: full-instrumentation replays (first-seen
+          signals) inside the measured window; 0 elsewhere *)
 }
 
 (** The measured instrumentation ladder: uninstrumented, then each
@@ -56,6 +64,7 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
   let seeds = Array.of_list (if s.seeds = [] then [ "A" ] else s.seeds) in
   let nseeds = Array.length seeds in
   let blocks = ref 0 in
+  let replays = ref 0 in
   let one : int -> unit =
     match engine with
     | "interp" ->
@@ -84,7 +93,7 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
           (match fb with
           | Some fb -> Pathcov.Coverage_map.classify fb.trace
           | None -> ())
-    | "compiled" ->
+    | "compiled" | "fused" ->
         let spec =
           match mode with
           | None -> Vm.Compile.Snone
@@ -92,7 +101,10 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
         in
         (* cmplog is off in this loop (the h_cmp binding below is a
            no-op), so the cmp-free artifact variant is the honest cost *)
-        let art = Vm.Compile.cached ~cmplog:false prepared spec in
+        let art =
+          Vm.Compile.cached ~cmplog:false ~fused:(engine = "fused") prepared
+            spec
+        in
         let ctx = Vm.Interp.create_ctx prepared in
         let trace = Pathcov.Coverage_map.create () in
         Vm.Compile.bind art ~trace ~h_cmp:(fun _ _ -> ());
@@ -105,20 +117,46 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
           (match mode with
           | Some _ -> Pathcov.Coverage_map.classify trace
           | None -> ())
-    | "selective" ->
-        (* the bulk-exec path of selective tracing: signal spec only,
-           no trace to clear or classify, whatever the campaign mode *)
-        let art = Vm.Compile.cached prepared Vm.Compile.Ssignal in
+    | "selective" -> (
+        let sig_art = Vm.Compile.cached prepared Vm.Compile.Ssignal in
         let ctx = Vm.Interp.create_ctx prepared in
-        fun i ->
-          let out = Vm.Compile.run art ctx ~input:seeds.(i mod nseeds) in
-          blocks := !blocks + out.blocks_executed
+        match mode with
+        | None ->
+            (* the bulk-exec floor of selective tracing: signal spec
+               only, no trace to clear or classify, no replays *)
+            fun i ->
+              let out = Vm.Compile.run sig_art ctx ~input:seeds.(i mod nseeds) in
+              blocks := !blocks + out.blocks_executed
+        | Some m ->
+            (* the full selective pipeline at this mode: a signal run per
+               execution plus a full-instrumentation replay on each
+               first-seen signal — the steady-state cost the campaign's
+               bulk executions actually pay *)
+            let full =
+              Vm.Compile.cached ~cmplog:false prepared (Vm.Compile.Sfull m)
+            in
+            let trace = Pathcov.Coverage_map.create () in
+            Vm.Compile.bind full ~trace ~h_cmp:(fun _ _ -> ());
+            let seen = Hashtbl.create 256 in
+            fun i ->
+              let input = seeds.(i mod nseeds) in
+              let out = Vm.Compile.run sig_art ctx ~input in
+              blocks := !blocks + out.blocks_executed;
+              let s = Vm.Compile.signal sig_art in
+              if not (Hashtbl.mem seen s) then begin
+                Hashtbl.add seen s ();
+                incr replays;
+                Pathcov.Coverage_map.clear trace;
+                ignore (Vm.Compile.run full ctx ~input);
+                Pathcov.Coverage_map.classify trace
+              end)
     | e -> invalid_arg (Printf.sprintf "Throughput.measure: engine %S" e)
   in
   for i = 0 to warmup - 1 do
     one i
   done;
   blocks := 0;
+  replays := 0;
   let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   for i = 0 to execs - 1 do
@@ -136,11 +174,13 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
     execs_per_sec = per_sec execs;
     blocks_per_sec = per_sec !blocks;
     minor_words_per_exec = mw /. float_of_int (max 1 execs);
+    replays = !replays;
   }
 
 (** Measure the full (subject x mode x engine) grid: every mode under
-    both full engines, plus one [selective] signal-cost row per subject
-    (the signal run is mode-independent). *)
+    each full engine ([interp], [compiled], [fused]), the mode-less
+    [selective] signal floor, and the full selective pipeline per
+    instrumented mode (signal runs + first-seen replays). *)
 let grid ?warmup ~execs (subjects : Subjects.Subject.t list) : sample list =
   List.concat_map
     (fun s ->
@@ -150,7 +190,12 @@ let grid ?warmup ~execs (subjects : Subjects.Subject.t list) : sample list =
       @ List.map
           (fun (_, m) -> measure ?warmup ~execs ~engine:"compiled" ~mode:m s)
           modes
-      @ [ measure ?warmup ~execs ~engine:"selective" ~mode:None s ])
+      @ List.map
+          (fun (_, m) -> measure ?warmup ~execs ~engine:"fused" ~mode:m s)
+          modes
+      @ List.map
+          (fun (_, m) -> measure ?warmup ~execs ~engine:"selective" ~mode:m s)
+          modes)
     subjects
 
 (* ------------------------------------------------------------------ *)
@@ -166,11 +211,14 @@ let sample_json buf (s : sample) =
     (Printf.sprintf
        "    {\"subject\": %S, \"mode\": %S, \"engine\": %S, \"execs\": %d, \
         \"wall_s\": %s, \"execs_per_sec\": %s, \"blocks_per_sec\": %s, \
-        \"minor_words_per_exec\": %s}"
+        \"minor_words_per_exec\": %s%s}"
        s.subject s.mode s.engine s.execs (json_float s.wall_s)
        (json_float s.execs_per_sec)
        (json_float s.blocks_per_sec)
-       (json_float s.minor_words_per_exec))
+       (json_float s.minor_words_per_exec)
+       (if s.engine = "selective" then
+          Printf.sprintf ", \"replays\": %d" s.replays
+        else ""))
 
 (** Extract the raw (verbatim) cell lines of a [key] array block from a
     previously written BENCH_*.json file, e.g. [~key:"baseline_cells"].
@@ -282,20 +330,27 @@ let scan_cells (raw : string) : (string * string * string * float) list =
   in
   go 0 []
 
-(** Per-subject path-mode speedup of this run's compiled engine over the
-    recorded baseline cells, plus the geometric mean — the ISSUE 7 / PR 2
-    acceptance number. [None] when either side has no usable path cell. *)
-let speedup_vs_baseline ~(baseline_raw : string) (samples : sample list) :
-    (float * speedup list) option =
+let geomean = function
+  | [] -> None
+  | l ->
+      Some
+        (exp
+           (List.fold_left (fun a x -> a +. log x) 0. l
+           /. float_of_int (List.length l)))
+
+(** Per-subject speedup of this run's [engine] cells at [mode] over the
+    recorded baseline's interp cells at the same mode, plus the
+    geometric mean. [None] when either side has no usable cell. *)
+let speedup_for ~(mode : string) ~(engine : string) ~(baseline_raw : string)
+    (samples : sample list) : (float * speedup list) option =
   let base = scan_cells baseline_raw in
   let per_subject =
     List.filter_map
       (fun s ->
-        if s.mode = "path" && s.engine = "compiled" then
+        if s.mode = mode && s.engine = engine then
           match
             List.find_opt
-              (fun (subj, mode, engine, _) ->
-                subj = s.subject && mode = "path" && engine = "interp")
+              (fun (subj, m, e, _) -> subj = s.subject && m = mode && e = "interp")
               base
           with
           | Some (_, _, _, b) when b > 0. ->
@@ -313,12 +368,32 @@ let speedup_vs_baseline ~(baseline_raw : string) (samples : sample list) :
   match per_subject with
   | [] -> None
   | l ->
-      let g =
-        exp
-          (List.fold_left (fun a sp -> a +. log sp.sp_ratio) 0. l
-          /. float_of_int (List.length l))
-      in
+      let g = Option.get (geomean (List.map (fun sp -> sp.sp_ratio) l)) in
       Some (g, l)
+
+(** Per-subject path-mode speedup of this run's compiled engine over the
+    recorded baseline cells, plus the geometric mean — the ISSUE 7 / PR 2
+    acceptance number. [None] when either side has no usable path cell. *)
+let speedup_vs_baseline ~(baseline_raw : string) (samples : sample list) :
+    (float * speedup list) option =
+  speedup_for ~mode:"path" ~engine:"compiled" ~baseline_raw samples
+
+(** Geomean speedup vs the baseline's interp cells for every
+    (mode x engine) pair present in [samples] — the honest per-mode view
+    behind the single path scalar. Modes keep the ladder order; engines
+    are ordered compiled, fused, selective. *)
+let speedups_by_mode ~(baseline_raw : string) (samples : sample list) :
+    (string * string * float) list =
+  let mode_names = List.map fst modes in
+  List.concat_map
+    (fun mode ->
+      List.filter_map
+        (fun engine ->
+          match speedup_for ~mode ~engine ~baseline_raw samples with
+          | Some (g, _) -> Some (mode, engine, g)
+          | None -> None)
+        [ "compiled"; "fused"; "selective" ])
+    mode_names
 
 (** Render the [BENCH_throughput.json] document. [baseline] optionally
     embeds a prior measurement (e.g. the pre-optimisation interpreter) so
@@ -334,13 +409,32 @@ let to_json ?(note = "") ?(baseline = []) ?baseline_raw (samples : sample list)
   if note <> "" then
     Buffer.add_string buf (Printf.sprintf "  \"note\": %S,\n" note);
   (match baseline_raw with
-  | Some raw when raw <> "" -> (
-      match speedup_vs_baseline ~baseline_raw:raw samples with
+  | Some raw when raw <> "" ->
+      (match speedup_vs_baseline ~baseline_raw:raw samples with
       | Some (g, _) ->
           Buffer.add_string buf
             (Printf.sprintf
                "  \"path_speedup_compiled_vs_baseline\": %s,\n" (json_float g))
-      | None -> ())
+      | None -> ());
+      (match speedup_for ~mode:"path" ~engine:"fused" ~baseline_raw:raw samples with
+      | Some (g, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"path_speedup_fused_vs_baseline\": %s,\n" (json_float g))
+      | None -> ());
+      (match speedups_by_mode ~baseline_raw:raw samples with
+      | [] -> ()
+      | l ->
+          Buffer.add_string buf "  \"speedups_vs_baseline\": [\n";
+          List.iteri
+            (fun i (mode, engine, g) ->
+              if i > 0 then Buffer.add_string buf ",\n";
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "    {\"mode\": %S, \"engine\": %S, \"geomean\": %s}" mode
+                   engine (json_float g)))
+            l;
+          Buffer.add_string buf "\n  ],\n")
   | _ -> ());
   let block name ss =
     Buffer.add_string buf (Printf.sprintf "  %S: [\n" name);
@@ -368,7 +462,10 @@ let to_json ?(note = "") ?(baseline = []) ?baseline_raw (samples : sample list)
 (** Human-readable table (the bench hook and [--smoke] output). *)
 let to_table (samples : sample list) : string =
   let header =
-    [ "subject"; "mode"; "engine"; "execs/s"; "blocks/s"; "minor w/exec" ]
+    [
+      "subject"; "mode"; "engine"; "execs/s"; "blocks/s"; "minor w/exec";
+      "replays";
+    ]
   in
   let rows =
     List.map
@@ -380,6 +477,7 @@ let to_table (samples : sample list) : string =
           Printf.sprintf "%.0f" s.execs_per_sec;
           Printf.sprintf "%.0f" s.blocks_per_sec;
           Printf.sprintf "%.1f" s.minor_words_per_exec;
+          (if s.engine = "selective" then string_of_int s.replays else "-");
         ])
       samples
   in
@@ -387,11 +485,15 @@ let to_table (samples : sample list) : string =
     ~header ~rows
 
 (** One line per subject: the acceptance-criterion view. *)
-let speedup_report (g : float) (l : speedup list) : string =
+let speedup_report ?(engine = "compiled") (g : float) (l : speedup list) :
+    string =
   String.concat "\n"
     (List.map
        (fun sp ->
          Printf.sprintf "  %-10s path: %.0f -> %.0f execs/s (%.2fx)"
            sp.sp_subject sp.sp_baseline sp.sp_current sp.sp_ratio)
        l
-    @ [ Printf.sprintf "  geomean speedup vs baseline (path, compiled): %.2fx" g ])
+    @ [
+        Printf.sprintf "  geomean speedup vs baseline (path, %s): %.2fx" engine
+          g;
+      ])

@@ -396,8 +396,12 @@ let scratch_child (st : state) : string =
    - a first-seen signal replays, merges, retains on novelty, and only
      then enters the seen set. The queue-capacity check fires first and
      suppresses the marking, exactly as [novel] suppresses the merge. *)
-let process_selective_scratch (st : state) ~depth : unit =
-  let out = execute_signal_scratch st in
+(* The decision procedures proper, over the outcome of a run that
+   already went through [post_exec] — shared by the per-candidate
+   [process_*_scratch] wrappers and the batched cohort loop in [run]
+   (whose sinks feed them directly). *)
+let decide_selective_scratch (st : state) ~depth (out : Vm.Interp.outcome) :
+    unit =
   match out.status with
   | Vm.Interp.Crashed _ ->
       let out = reexec_full_scratch st in
@@ -415,15 +419,25 @@ let process_selective_scratch (st : state) ~depth : unit =
           Tracer.mark_seen st.tracer s
         end
 
+let decide_scratch (st : state) ~depth (out : Vm.Interp.outcome) : unit =
+  match out.status with
+  | Vm.Interp.Crashed _ | Vm.Interp.Hung ->
+      triage_outcome st out ~input:(scratch_child st)
+  | Vm.Interp.Finished _ ->
+      if novel st then retain st ~depth out (scratch_child st)
+
+(* Per-candidate wrappers over the decision procedures — the batched
+   cohort loop in [run] is the hot path; these remain for one-off
+   evaluation sites and tests driving single stages. *)
+let process_selective_scratch (st : state) ~depth : unit =
+  let out = execute_signal_scratch st in
+  decide_selective_scratch st ~depth out
+
 let process_scratch (st : state) ~depth : unit =
   if st.cfg.selective then process_selective_scratch st ~depth
   else begin
     let out = execute_scratch st in
-    match out.status with
-    | Vm.Interp.Crashed _ | Vm.Interp.Hung ->
-        triage_outcome st out ~input:(scratch_child st)
-    | Vm.Interp.Finished _ ->
-        if novel st then retain st ~depth out (scratch_child st)
+    decide_scratch st ~depth out
   end
 
 (* Seeds are always retained (afl imports the full seed directory). *)
@@ -694,12 +708,43 @@ let run ?plans ?obs ?(config = default_config) ?(checkpoint : Checkpoint.sink op
       if st.execs < config.budget && not (should_skip st e) then begin
         let cmps = if config.cmplog then calibrate st e else [||] in
         let n = energy st e in
-        let i = ref 0 in
-        while !i < n && st.execs < config.budget do
-          mutate st ~cmps ?splice_with:(random_other st e) e.data;
-          process_scratch st ~depth:(e.depth + 1);
-          incr i
-        done;
+        (* Batched cohort: the whole energy allotment runs back-to-back
+           through one [Tracer.run_*_batch] call. Each candidate ticks
+           the budget clock exactly once (replays don't), so the cohort
+           size is exactly what the per-candidate loop would have run;
+           generation, post-exec accounting and the retain/triage
+           decisions are the same code in the same order. *)
+        let count = max 0 (min n (config.budget - st.execs)) in
+        if count > 0 then begin
+          let depth = e.depth + 1 in
+          let gen _ =
+            mutate st ~cmps ?splice_with:(random_other st e) e.data;
+            pre_exec st;
+            (st.scratch.buf, st.scratch.len)
+          in
+          let clock = st.obs.clock in
+          let vm_s =
+            match clock with
+            | None -> None
+            | Some _ ->
+                Some
+                  (fun dt ->
+                    let c = st.obs.counters in
+                    c.vm_s <- c.vm_s +. dt)
+          in
+          if config.selective then
+            Tracer.run_signal_batch ?clock ?vm_s st.tracer st.ctx
+              ~fuel:config.fuel ~max_depth:config.max_depth ~n:count ~gen
+              ~sink:(fun _ out ->
+                post_exec st out;
+                decide_selective_scratch st ~depth out)
+          else
+            Tracer.run_full_batch ?clock ?vm_s st.tracer st.ctx
+              ~fuel:config.fuel ~max_depth:config.max_depth ~n:count ~gen
+              ~sink:(fun _ out ->
+                post_exec st out;
+                decide_scratch st ~depth out)
+        end;
         e.times_fuzzed <- e.times_fuzzed + 1;
         if e.favored && e.times_fuzzed = 1 then
           st.corpus.pending_favored <- max 0 (st.corpus.pending_favored - 1)

@@ -152,6 +152,13 @@ val add_seed : state -> string -> unit
     retain on coverage novelty if the queue has capacity. *)
 val process : state -> depth:int -> string -> unit
 
+(** Zero-copy twin of {!process} over the candidate sitting in the
+    mutation scratch. The campaign's own havoc loop runs cohorts through
+    [Tracer.run_full_batch]/[run_signal_batch] with the same decision
+    procedure; this per-candidate form serves one-off evaluation sites
+    and stage-level tests. *)
+val process_scratch : state -> depth:int -> unit
+
 (** One calibration run of a queue entry, capturing cmplog operand pairs;
     the outcome is triaged exactly like {!process}'s. *)
 val calibrate : state -> Corpus.entry -> Mutator.cmp_pair array

@@ -190,37 +190,9 @@ let sh_exec (base : Campaign.config) (sh : shard) (input : string) :
   sh_post sh out;
   out
 
-let sh_exec_scratch (base : Campaign.config) (sh : shard) : Vm.Interp.outcome =
-  sh_pre base sh;
-  let out = sh_run_full_scratch base sh in
-  sh_post sh out;
-  out
-
-(* Selective-tracing twins of [sh_exec_scratch] — see
-   Campaign.process_selective_scratch for the decision procedure; the
-   shard variant differs only in where the seen-set promotion rule lives
-   (run_item below). *)
-let sh_exec_signal_scratch (base : Campaign.config) (sh : shard) :
-    Vm.Interp.outcome =
-  sh_pre base sh;
-  let sc = sh.scratch in
-  let out =
-    match sh.clock with
-    | None ->
-        Tracer.run_signal_sub sh.tracer sh.ctx ~fuel:base.fuel
-          ~max_depth:base.max_depth ~buf:sc.buf ~len:sc.len
-    | Some now ->
-        let t0 = now () in
-        let out =
-          Tracer.run_signal_sub sh.tracer sh.ctx ~fuel:base.fuel
-            ~max_depth:base.max_depth ~buf:sc.buf ~len:sc.len
-        in
-        sh.counters.vm_s <- sh.counters.vm_s +. (now () -. t0);
-        out
-  in
-  sh_post sh out;
-  out
-
+(* The per-candidate scratch executions are batched in run_item below
+   ([Tracer.run_full_batch]/[run_signal_batch]); only the replay path
+   keeps a one-shot scratch runner. *)
 let sh_reexec_scratch (base : Campaign.config) (sh : shard) : Vm.Interp.outcome
     =
   sh.feedback.reset ();
@@ -323,7 +295,13 @@ let run_item (base : Campaign.config) (sh : shard) (view : Corpus.view)
     else [||]
   in
   let c = sh.counters in
-  for _ = 1 to it.energy do
+  (* Batched cohort: the item's whole energy allotment runs back-to-back
+     through one [Tracer.run_*_batch] call — generation (splice draw,
+     counter bumps, timed mutation, pre-exec reset) moves into [gen],
+     the per-candidate bookkeeping and capture into [sink], in exactly
+     the per-iteration order of the former loop. Replays don't go
+     through the batch, so [local] ticks once per candidate as before. *)
+  let gen _ =
     let splice_with = random_other_view it.rng view e in
     c.havocs <- c.havocs + 1;
     (match splice_with with Some _ -> c.splices <- c.splices + 1 | None -> ());
@@ -339,54 +317,65 @@ let run_item (base : Campaign.config) (sh : shard) (view : Corpus.view)
           e.Corpus.data;
         c.mut_s <- c.mut_s +. (now () -. t0);
         c.mut_minor_words <- c.mut_minor_words +. (Gc.minor_words () -. w0));
-    (if not base.selective then begin
-       let out = sh_exec_scratch base sh in
-       incr local;
-       capture_outcome out
-         ~input:(fun () -> scratch_child sh)
-         ~depth:(e.Corpus.depth + 1)
-     end
-     else begin
-       (* Selective step: signal run first, full replay only when the
-          trace can matter. The seen set persists across items and
-          epochs, so admission is stricter than the sequential rule: a
-          signal is promoted only when its trace is wholly non-novel
-          against the EPOCH-START global map — monotonically non-novel
-          against every later global map and every item overlay seeded
-          from one, making the skip invisible. A capture that is novel
-          only item-locally (or that the barrier later drops, e.g. on a
-          full queue) is not promoted and is re-captured identically by
-          later items — barrier decisions, dup-drop counts and the final
-          trajectory match the always-traced run for every shard count. *)
-       let out = sh_exec_signal_scratch base sh in
-       incr local;
-       match out.status with
-       | Vm.Interp.Crashed _ ->
-           (* crash triage needs the trace (crash-virgin merge at the
-              barrier); crash signals are never marked seen *)
-           let out = sh_reexec_scratch base sh in
-           capture_outcome out
-             ~input:(fun () -> scratch_child sh)
-             ~depth:(e.Corpus.depth + 1)
-       | Vm.Interp.Hung -> res.hangs <- (it.base_exec + !local) :: res.hangs
-       | Vm.Interp.Finished _ ->
-           let s = Tracer.last_signal sh.tracer in
-           if not (Tracer.seen_signal sh.tracer s) then begin
+    sh_pre base sh;
+    (sh.scratch.buf, sh.scratch.len)
+  in
+  let vm_s =
+    match sh.clock with
+    | None -> None
+    | Some _ -> Some (fun dt -> c.vm_s <- c.vm_s +. dt)
+  in
+  (if not base.selective then
+     Tracer.run_full_batch ?clock:sh.clock ?vm_s sh.tracer sh.ctx
+       ~fuel:base.fuel ~max_depth:base.max_depth ~n:it.energy ~gen
+       ~sink:(fun _ out ->
+         sh_post sh out;
+         incr local;
+         capture_outcome out
+           ~input:(fun () -> scratch_child sh)
+           ~depth:(e.Corpus.depth + 1))
+   else
+     (* Selective step: signal run first, full replay only when the
+        trace can matter. The seen set persists across items and
+        epochs, so admission is stricter than the sequential rule: a
+        signal is promoted only when its trace is wholly non-novel
+        against the EPOCH-START global map — monotonically non-novel
+        against every later global map and every item overlay seeded
+        from one, making the skip invisible. A capture that is novel
+        only item-locally (or that the barrier later drops, e.g. on a
+        full queue) is not promoted and is re-captured identically by
+        later items — barrier decisions, dup-drop counts and the final
+        trajectory match the always-traced run for every shard count. *)
+     Tracer.run_signal_batch ?clock:sh.clock ?vm_s sh.tracer sh.ctx
+       ~fuel:base.fuel ~max_depth:base.max_depth ~n:it.energy ~gen
+       ~sink:(fun _ out ->
+         sh_post sh out;
+         incr local;
+         match out.status with
+         | Vm.Interp.Crashed _ ->
+             (* crash triage needs the trace (crash-virgin merge at the
+                barrier); crash signals are never marked seen *)
              let out = sh_reexec_scratch base sh in
              capture_outcome out
                ~input:(fun () -> scratch_child sh)
-               ~depth:(e.Corpus.depth + 1);
-             let tr = sh.feedback.trace in
-             let idxs = Pathcov.Coverage_map.sorted_indices tr in
-             let vals = Pathcov.Coverage_map.values_at tr idxs in
-             if
-               not
-                 (Pathcov.Coverage_map.sparse_would_merge ~virgin:global_virgin
-                    ~idxs ~vals)
-             then Tracer.mark_seen sh.tracer s
-           end
-     end)
-  done;
+               ~depth:(e.Corpus.depth + 1)
+         | Vm.Interp.Hung -> res.hangs <- (it.base_exec + !local) :: res.hangs
+         | Vm.Interp.Finished _ ->
+             let s = Tracer.last_signal sh.tracer in
+             if not (Tracer.seen_signal sh.tracer s) then begin
+               let out = sh_reexec_scratch base sh in
+               capture_outcome out
+                 ~input:(fun () -> scratch_child sh)
+                 ~depth:(e.Corpus.depth + 1);
+               let tr = sh.feedback.trace in
+               let idxs = Pathcov.Coverage_map.sorted_indices tr in
+               let vals = Pathcov.Coverage_map.values_at tr idxs in
+               if
+                 not
+                   (Pathcov.Coverage_map.sparse_would_merge
+                      ~virgin:global_virgin ~idxs ~vals)
+               then Tracer.mark_seen sh.tracer s
+             end));
   res.execs <- !local;
   res.retained <- List.rev res.retained;
   res.crashes <- List.rev res.crashes;

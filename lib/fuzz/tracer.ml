@@ -1,14 +1,17 @@
 (** Execution-engine selection and selective tracing for campaigns.
 
-    A campaign executes candidates through one of two engines over the
+    A campaign executes candidates through one of three engines over the
     same pooled {!Vm.Interp.exec_ctx}:
 
     - [Interp]: the reference CFG interpreter driving the runtime
       feedback listeners through hooks;
     - [Compiled]: the {!Vm.Compile} staged artifact with the listener
-      probes partially evaluated into the block closures.
+      probes partially evaluated into the block closures;
+    - [Fused]: [Compiled] plus superblock fusion — single-predecessor
+      goto chains collapsed into one closure with coalesced fuel burns
+      and folded Ball–Larus increments ([Vm.Compile.compile ~fused]).
 
-    Both produce byte-identical traces, outcomes and fuel accounting
+    All produce byte-identical traces, outcomes and fuel accounting
     (test-enforced differentially), so the engine choice is invisible to
     the fuzzing trajectory.
 
@@ -37,13 +40,17 @@
     trace feeds nothing but the virgin merge — so retained entries keep
     exactly the trace indices the unpruned pipeline records. *)
 
-type engine = Interp | Compiled
+type engine = Interp | Compiled | Fused
 
-let engine_name = function Interp -> "interp" | Compiled -> "compiled"
+let engine_name = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Fused -> "fused"
 
 let engine_of_name = function
   | "interp" -> Some Interp
   | "compiled" -> Some Compiled
+  | "fused" -> Some Fused
   | _ -> None
 
 type t = {
@@ -70,18 +77,19 @@ type t = {
 let make ?plans ?(shared = true) ~(engine : engine) ~(selective : bool)
     ~(cmplog : bool) ~(mode : Pathcov.Feedback.mode)
     (prepared : Vm.Interp.prepared) : t =
+  let fused = match engine with Fused -> true | Interp | Compiled -> false in
   let compile spec =
-    if shared then Vm.Compile.cached ?plans ~cmplog prepared spec
-    else Vm.Compile.compile ?plans ~cmplog prepared spec
+    if shared then Vm.Compile.cached ?plans ~cmplog ~fused prepared spec
+    else Vm.Compile.compile ?plans ~cmplog ~fused prepared spec
   in
   let full_art =
     match engine with
     | Interp -> None
-    | Compiled -> Some (compile (Vm.Compile.Sfull mode))
+    | Compiled | Fused -> Some (compile (Vm.Compile.Sfull mode))
   in
   let sig_art =
     match engine with
-    | Compiled when selective -> Some (compile Vm.Compile.Ssignal)
+    | (Compiled | Fused) when selective -> Some (compile Vm.Compile.Ssignal)
     | _ -> None
   in
   let sig_cell = ref 0 in
@@ -166,6 +174,47 @@ let run_signal_sub (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
           t.last_sig <- !(t.sig_cell);
           out
       | None -> invalid_arg "Tracer.run_signal_sub: not a selective tracer")
+
+(* Batched cohort execution: hoist the per-candidate engine dispatch
+   (and, compiled, the prepared-identity check) out of the havoc inner
+   loop, and let back-to-back runs take the context's journaled
+   fast-reset path. Same observable semantics per candidate as the
+   one-shot entries above. *)
+
+let run_full_batch ?clock ?vm_s (t : t) (ctx : Vm.Interp.exec_ctx)
+    ~(fuel : int) ~(max_depth : int) ~(n : int)
+    ~(gen : int -> Bytes.t * int) ~(sink : int -> Vm.Interp.outcome -> unit) :
+    unit =
+  match t.full_art with
+  | Some art -> Vm.Compile.run_batch ~fuel ~max_depth ?clock ?vm_s art ctx ~n ~gen ~sink
+  | None -> Vm.Interp.run_batch ~fuel ~max_depth ?clock ?vm_s ctx ~n ~gen ~sink
+
+(* The signal variant latches [last_sig] before each [sink] call, so the
+   sink observes exactly what a [run_signal_sub]-per-candidate loop
+   would. The interpreter case runs on the private signal context ([ctx]
+   is ignored), mirroring [run_signal_sub]. *)
+let run_signal_batch ?clock ?vm_s (t : t) (ctx : Vm.Interp.exec_ctx)
+    ~(fuel : int) ~(max_depth : int) ~(n : int)
+    ~(gen : int -> Bytes.t * int) ~(sink : int -> Vm.Interp.outcome -> unit) :
+    unit =
+  ignore ctx;
+  match t.sig_art with
+  | Some art ->
+      Vm.Compile.run_batch ~fuel ~max_depth ?clock ?vm_s art ctx ~n ~gen
+        ~sink:(fun k out ->
+          t.last_sig <- Vm.Compile.signal art;
+          sink k out)
+  | None -> (
+      match t.sig_ctx with
+      | Some sctx ->
+          Vm.Interp.run_batch ~fuel ~max_depth ?clock ?vm_s sctx ~n
+            ~gen:(fun k ->
+              t.sig_cell := 0;
+              gen k)
+            ~sink:(fun k out ->
+              t.last_sig <- !(t.sig_cell);
+              sink k out)
+      | None -> invalid_arg "Tracer.run_signal_batch: not a selective tracer")
 
 let last_signal (t : t) : int = t.last_sig
 let seen_signal (t : t) (s : int) : bool = Hashtbl.mem t.seen s

@@ -1,8 +1,10 @@
 (** Execution-engine selection and selective tracing for campaigns.
 
     A tracer wraps one prepared subject with a choice of execution
-    engine — the reference CFG interpreter or the {!Vm.Compile} staged
-    artifact — plus, optionally, {e selective tracing}: bulk executions
+    engine — the reference CFG interpreter, the {!Vm.Compile} staged
+    artifact, or the staged artifact with superblock fusion
+    ([Vm.Compile.compile ~fused]) — plus, optionally, {e selective
+    tracing}: bulk executions
     run under a near-null specialisation that folds only a 62-bit
     novelty signal, and a full-instrumentation replay rebuilds the
     classified trace exactly when the signal is new. Signal equality
@@ -11,7 +13,7 @@
     DESIGN.md §12 gives the argument, the differential suite enforces
     it. *)
 
-type engine = Interp | Compiled
+type engine = Interp | Compiled | Fused
 
 val engine_name : engine -> string
 
@@ -87,6 +89,44 @@ val run_signal_sub :
   buf:Bytes.t ->
   len:int ->
   Vm.Interp.outcome
+
+(** {2 Batched cohort execution}
+
+    Run [n] candidates back-to-back on one context: [gen k] produces
+    the [k]-th candidate as a [(buf, len)] scratch view, [sink k out]
+    consumes its result before [gen (k + 1)] runs, so a single scratch
+    buffer may back the whole cohort. Per-candidate semantics are
+    identical to a [run_full_sub]/[run_signal_sub] loop; the batch
+    hoists the engine dispatch out of the loop and lets back-to-back
+    runs take the context's journaled fast-reset path. [clock]/[vm_s]
+    bracket each VM run alone. The signal variant latches
+    {!last_signal} before each [sink] call and requires a selective
+    tracer (the interpreter case runs on the private signal context —
+    the passed context is ignored, as in [run_signal_sub]). *)
+
+val run_full_batch :
+  ?clock:(unit -> float) ->
+  ?vm_s:(float -> unit) ->
+  t ->
+  Vm.Interp.exec_ctx ->
+  fuel:int ->
+  max_depth:int ->
+  n:int ->
+  gen:(int -> Bytes.t * int) ->
+  sink:(int -> Vm.Interp.outcome -> unit) ->
+  unit
+
+val run_signal_batch :
+  ?clock:(unit -> float) ->
+  ?vm_s:(float -> unit) ->
+  t ->
+  Vm.Interp.exec_ctx ->
+  fuel:int ->
+  max_depth:int ->
+  n:int ->
+  gen:(int -> Bytes.t * int) ->
+  sink:(int -> Vm.Interp.outcome -> unit) ->
+  unit
 
 (** The signal latched by the last [run_signal]/[run_signal_sub]. *)
 val last_signal : t -> int

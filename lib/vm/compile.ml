@@ -87,6 +87,7 @@ type t = {
   prepared : prepared;
   spec : spec;
   cmplog : bool;  (** were [h_cmp] calls compiled into comparisons? *)
+  fused : bool;  (** was superblock fusion applied? *)
   cs : cstate;
   fentries : (exec_ctx -> frame -> unit) array;
   main_zero : int array;
@@ -159,6 +160,20 @@ type probes = {
   pb : int -> int -> (unit -> unit) option;  (** fid block *)
   pe : int -> int -> int -> (unit -> unit) option;  (** fid src dst *)
   pr : int -> int -> (unit -> unit) option;  (** fid block (return) *)
+  pe_add : int -> int -> int -> int option;
+      (** Superblock-fusion query: [Some k] means the edge's only effect
+          is adding [k] to the current Ball–Larus register ([k = 0]: no
+          effect at all), so consecutive fused edges may fold their
+          constants into one deferred add; [None] means the probe must
+          fire in place (it reads or commits the register, or emits an
+          event whose stream position is observable). Must agree with
+          {!pe}: an edge reported [Some _] is exactly one whose [pe]
+          either is [None] or only adds to the register. *)
+  padd : (int -> unit) option;
+      (** Apply a folded (nonzero) register add — same top-of-stack guard
+          as the per-edge closures it replaces. [None] when the spec has
+          no register adds to fold (then [pe_add] never reports a nonzero
+          constant). *)
   emit_cmp : bool;  (** compile [cs.h_cmp] calls into comparisons *)
 }
 
@@ -168,6 +183,8 @@ let probes_none =
     pb = (fun _ _ -> None);
     pe = (fun _ _ _ -> None);
     pr = (fun _ _ -> None);
+    pe_add = (fun _ _ _ -> Some 0);
+    padd = None;
     emit_cmp = false;
   }
 
@@ -280,6 +297,20 @@ let probes_path (cs : cstate) (p : prepared)
                       (((Array.unsafe_get r i + add) lxor salt) land max_int);
                   Array.unsafe_set r i reset
                 end));
+    pe_add =
+      (fun fid src dst ->
+        match Pathcov.Ball_larus.on_edge plans.plans.(fid) ~src ~dst with
+        | None -> Some 0
+        | Some (Pathcov.Ball_larus.Add k) -> Some k
+        | Some (Pathcov.Ball_larus.Commit_back _) -> None);
+    padd =
+      Some
+        (fun k ->
+          if cs.top > 0 then begin
+            let r = cs.regs in
+            let i = cs.top - 1 in
+            Array.unsafe_set r i (Array.unsafe_get r i + k)
+          end);
     pr =
       (fun fid block ->
         let ra = plans.plans.(fid).Pathcov.Ball_larus.ret_add.(block) in
@@ -324,6 +355,8 @@ let probes_pathafl (cs : cstate) (p : prepared) =
           let k = Pathcov.Feedback.block_key fid src lxor (dst * 31) in
           Some (fun () -> key_event k)
         else None);
+    pe_add =
+      (fun fid src _dst -> if nsucc fid src >= 2 then None else Some 0);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1762,13 +1795,273 @@ let cblock (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
   build 0 ~first:true
   end
 
+(* ------------------------------------------------------------------ *)
+(* Superblock fusion.
+
+   A chain of blocks linked by unconditional gotos where every interior
+   block has exactly one predecessor executes as one straight line: no
+   input-dependent branch can enter or leave it except at the head and
+   the final terminator. Fusing the chain into one closure elides the
+   interior dispatch (the [tbl] jumps), coalesces the interior fuel
+   burns into the bulk-burn dispatcher the intra-block segments already
+   use — lifted here from intra-block to inter-block — and folds
+   consecutive Ball–Larus register increments into one deferred
+   constant-add.
+
+   Equivalence argument (the inter-block extension of the intra-block
+   one at [cblock]): the fast chain runs only when [fuel > burn_units]
+   where [burn_units] counts one unit per block entry and per non-call
+   instruction in the segment, exactly what the careful chain burns one
+   at a time. Under that guard no interior burn can hit zero, so
+   [Out_of_fuel] is impossible inside the fast chain and the end-of-
+   segment fuel is identical; otherwise the careful chain replays the
+   per-op burn order exactly, making mid-chain hang points and crash
+   sites (each instruction's own crash raises from its compiled body,
+   with [ctx.blocks] advanced per block entry) bit-identical to the
+   unfused engine. Probe event order is preserved: block probes fire
+   per entry in chain order, and only edges whose entire effect is a
+   register increment ([probes.pe_add] = [Some k]) are folded — the
+   folded constant is flushed (via [probes.padd], same top-of-stack
+   guard) before any must-fire edge probe (a commit reads the register)
+   and at segment end, and adds commute with everything in between
+   (instructions never touch the register; register state after an
+   aborted run is dead — [reset] clears it before the next one). *)
+
+type cop =
+  | Oentry of int  (** fused block entry: burn 1, work counter, pb *)
+  | Oinstr of rinstr  (** non-call instruction: burn 1 *)
+  | Ocall of rinstr  (** [Rcall]: burns exactly, bounds segments *)
+  | Oedge of int * int  (** fused goto edge (src, dst): burn 0 *)
+
+let max_chain_blocks = 24
+let max_dup_instrs = 32
+
+(* Grow the fused region headed at [head]: follow unconditional gotos
+   through single-predecessor interior blocks, and through multi-
+   predecessor join blocks by tail duplication (the join keeps its own
+   [tbl] entry for the other predecessors) within a copied-instruction
+   budget. Stops on branches, returns, self-loops/cycles and the caps. *)
+let grow_chain (f : rfunc) (interior : bool array) (head : int) : int list =
+  let dup = ref 0 in
+  let rec go acc len cur =
+    let acc = cur :: acc in
+    match f.rblocks.(cur).rterm with
+    | Rgoto l when (not (List.mem l acc)) && len < max_chain_blocks ->
+        if interior.(l) then go acc (len + 1) l
+        else begin
+          let cost = Array.length f.rblocks.(l).rinstrs + 1 in
+          if !dup + cost <= max_dup_instrs then begin
+            dup := !dup + cost;
+            go acc (len + 1) l
+          end
+          else List.rev acc
+        end
+    | _ -> List.rev acc
+  in
+  go [] 1 head
+
+(* Compile one fused chain into a single closure. *)
+let cchain (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
+    (tbl : bfn array) (fid : int) (f : rfunc) (chain : int list) : bfn =
+  let instr_op i = match i with Rcall _ -> Ocall i | _ -> Oinstr i in
+  (* Flatten the chain into an op stream; the last block's terminator
+     compiles through the ordinary [cterm] (its edge/return probes and
+     jumps through [tbl] are unchanged). *)
+  let rec ops_of = function
+    | [] -> assert false
+    | [ last ] ->
+        let b = f.rblocks.(last) in
+        ( Oentry last :: List.map instr_op (Array.to_list b.rinstrs),
+          cterm env probes tbl fid last b.rterm )
+    | cur :: (next :: _ as rest) ->
+        let b = f.rblocks.(cur) in
+        let here =
+          Oentry cur
+          :: List.map instr_op (Array.to_list b.rinstrs)
+          @ [ Oedge (cur, next) ]
+        in
+        let more, final = ops_of rest in
+        (here @ more, final)
+  in
+  let ops, final = ops_of chain in
+  let rec compile_ops (ops : cop list) : bfn =
+    match ops with
+    | [] -> final
+    | Ocall (Rcall { dst; callee; args; site }) :: rest ->
+        ccall env p fentries fid ~dst ~callee ~args ~site (compile_ops rest)
+    | Ocall _ :: _ -> assert false
+    | _ ->
+        (* Maximal call-free segment: one bulk-burn dispatcher. *)
+        let rec split acc = function
+          | (Ocall _ :: _ | []) as rest -> (List.rev acc, rest)
+          | op :: more -> split (op :: acc) more
+        in
+        let seg, rest = split [] ops in
+        let cont = compile_ops rest in
+        let burn =
+          List.fold_left
+            (fun a op ->
+              match op with Oentry _ | Oinstr _ -> a + 1 | _ -> a)
+            0 seg
+        in
+        (* Apply a folded register add ([padd] is the fold target the
+           probe set promised whenever [pe_add] reports nonzero). *)
+        let apply_add k (restf : bfn) : bfn =
+          if k = 0 then restf
+          else
+            match probes.padd with
+            | Some add ->
+                fun ctx fr ->
+                  add k;
+                  restf ctx fr
+            | None -> assert false
+        in
+        let rec fast pending = function
+          | [] -> apply_add pending cont
+          | Oentry b :: tl -> (
+              let restf = fast pending tl in
+              match probes.pb fid b with
+              | None ->
+                  fun ctx fr ->
+                    ctx.blocks <- ctx.blocks + 1;
+                    restf ctx fr
+              | Some pb ->
+                  fun ctx fr ->
+                    ctx.blocks <- ctx.blocks + 1;
+                    pb ();
+                    restf ctx fr)
+          | Oinstr i :: tl -> cinstr_fast env i (fast pending tl)
+          | Oedge (s, d) :: tl -> (
+              match probes.pe_add fid s d with
+              | Some k -> fast (pending + k) tl
+              | None ->
+                  (* Must fire in place: flush the fold first. *)
+                  let fire_then =
+                    match probes.pe fid s d with
+                    | None -> fast 0 tl
+                    | Some pe ->
+                        let restf = fast 0 tl in
+                        fun ctx fr ->
+                          pe ();
+                          restf ctx fr
+                  in
+                  apply_add pending fire_then)
+          | Ocall _ :: _ -> assert false
+        in
+        let rec careful = function
+          | [] -> cont
+          | Oentry b :: tl -> (
+              let restc = careful tl in
+              match probes.pb fid b with
+              | None ->
+                  fun ctx fr ->
+                    ctx.fuel <- ctx.fuel - 1;
+                    if ctx.fuel <= 0 then raise Out_of_fuel;
+                    ctx.blocks <- ctx.blocks + 1;
+                    restc ctx fr
+              | Some pb ->
+                  fun ctx fr ->
+                    ctx.fuel <- ctx.fuel - 1;
+                    if ctx.fuel <= 0 then raise Out_of_fuel;
+                    ctx.blocks <- ctx.blocks + 1;
+                    pb ();
+                    restc ctx fr)
+          | Oinstr i :: tl -> cinstr_careful env i (careful tl)
+          | Oedge (s, d) :: tl -> (
+              match probes.pe fid s d with
+              | None -> careful tl
+              | Some pe ->
+                  let restc = careful tl in
+                  fun ctx fr ->
+                    pe ();
+                    restc ctx fr)
+          | Ocall _ :: _ -> assert false
+        in
+        let carefulc = careful seg in
+        if burn = 0 then fast 0 seg
+        else
+          (* The leading block entry's work (counter, block probe) is
+             inlined into the dispatcher itself, as in [cblock] — the
+             fused fast path must not pay a closure hop the standalone
+             one doesn't. *)
+          match seg with
+          | Oentry b :: tl -> (
+              let fastc = fast 0 tl in
+              match probes.pb fid b with
+              | None ->
+                  fun ctx fr ->
+                    ctx.fuel <- ctx.fuel - burn;
+                    if ctx.fuel > 0 then begin
+                      ctx.blocks <- ctx.blocks + 1;
+                      fastc ctx fr
+                    end
+                    else begin
+                      ctx.fuel <- ctx.fuel + burn;
+                      carefulc ctx fr
+                    end
+              | Some pb ->
+                  fun ctx fr ->
+                    ctx.fuel <- ctx.fuel - burn;
+                    if ctx.fuel > 0 then begin
+                      ctx.blocks <- ctx.blocks + 1;
+                      pb ();
+                      fastc ctx fr
+                    end
+                    else begin
+                      ctx.fuel <- ctx.fuel + burn;
+                      carefulc ctx fr
+                    end)
+          | _ ->
+              let fastc = fast 0 seg in
+              fun ctx fr ->
+                ctx.fuel <- ctx.fuel - burn;
+                if ctx.fuel > 0 then fastc ctx fr
+                else begin
+                  ctx.fuel <- ctx.fuel + burn;
+                  carefulc ctx fr
+                end
+  in
+  compile_ops ops
+
 let cfunc (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
-    (fid : int) (f : rfunc) : bfn =
+    ~(fused : bool) (fid : int) (f : rfunc) : bfn =
   let nb = Array.length f.rblocks in
   let tbl = Array.make nb (fun _ _ -> assert false : bfn) in
   for b = 0 to nb - 1 do
     tbl.(b) <- cblock env probes p fentries tbl fid b f.rblocks.(b)
   done;
+  if fused then begin
+    (* Predecessor counts over resolved terminators, with a pseudo-
+       predecessor for the entry block so it is never fused away. *)
+    let npreds = Array.make nb 0 in
+    npreds.(0) <- 1;
+    let succs = function
+      | Rgoto l -> [ l ]
+      | Rbranch (_, tl, fl, _) -> if tl = fl then [ tl ] else [ tl; fl ]
+      | Rret _ -> []
+    in
+    Array.iter
+      (fun (b : rblock) ->
+        List.iter (fun s -> npreds.(s) <- npreds.(s) + 1) (succs b.rterm))
+      f.rblocks;
+    (* Interior: reached only by one unconditional goto. Interior blocks
+       keep their standalone [tbl] entries — a budget-capped chain can
+       still end with a goto into one. *)
+    let interior = Array.make nb false in
+    Array.iteri
+      (fun bi (b : rblock) ->
+        match b.rterm with
+        | Rgoto l when l <> bi && npreds.(l) = 1 -> interior.(l) <- true
+        | _ -> ())
+      f.rblocks;
+    for b = 0 to nb - 1 do
+      if not interior.(b) then
+        match grow_chain f interior b with
+        | _ :: _ :: _ as chain ->
+            tbl.(b) <- cchain env probes p fentries tbl fid f chain
+        | _ -> ()
+    done
+  end;
   let b0 = tbl.(0) in
   let cs = env.cs in
   match probes.pc fid with
@@ -1792,7 +2085,8 @@ let cfunc (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
     cheaply). *)
 let prune_path_bound = 4096
 
-let compile ?plans ?(cmplog = true) (p : prepared) (spec : spec) : t =
+let compile ?plans ?(cmplog = true) ?(fused = false) (p : prepared)
+    (spec : spec) : t =
   let nfuncs = Array.length p.rfuncs in
   let pruned_zero = Bytes.make (max 1 nfuncs) '\000' in
   let pruned_live = Bytes.make (max 1 nfuncs) '\000' in
@@ -1849,7 +2143,7 @@ let compile ?plans ?(cmplog = true) (p : prepared) (spec : spec) : t =
           zeroes;
         }
       in
-      fentries.(fid) <- cfunc env probes p fentries fid f)
+      fentries.(fid) <- cfunc env probes p fentries ~fused fid f)
     p.rfuncs;
   let path_universe =
     match path_plans with
@@ -1867,6 +2161,7 @@ let compile ?plans ?(cmplog = true) (p : prepared) (spec : spec) : t =
     prepared = p;
     spec;
     cmplog;
+    fused;
     cs;
     fentries;
     main_zero = zeroes.(p.main_id);
@@ -1934,10 +2229,14 @@ let run_current (t : t) (ctx : exec_ctx) ~fuel ~max_depth : outcome =
       if ctx.ret_a != no_arr then Finished None else Finished (Some ctx.ret_i)
     with
     | Crash_exn (kind, site) ->
+        ctx.unwound <- true;
         let top = { Crash.fn = site_function t.prepared.prog site; site } in
         Crashed { Crash.kind; stack = top :: materialize_stack ctx }
-    | Out_of_fuel -> Hung
+    | Out_of_fuel ->
+        ctx.unwound <- true;
+        Hung
     | Stack_overflow ->
+        ctx.unwound <- true;
         Crashed
           { Crash.kind = Crash.Stack_overflow; stack = materialize_stack ctx }
   in
@@ -1966,6 +2265,35 @@ let run_sub ?(fuel = default_fuel) ?(max_depth = default_max_depth) (t : t)
   ctx.input_len <- len;
   run_current t ctx ~fuel ~max_depth
 
+(** Execute a cohort of [n] candidates back-to-back on one context (see
+    {!Interp.run_batch}): [gen k] produces the [k]-th candidate as a
+    [(buf, len)] scratch view, [sink k outcome] consumes its result
+    before [gen (k+1)] runs. [clock]/[vm_s] bracket each VM run alone
+    (generation and consumption excluded), matching the per-exec timing
+    of the one-shot entry points. *)
+let run_batch ?(fuel = default_fuel) ?(max_depth = default_max_depth) ?clock
+    ?(vm_s = fun (_ : float) -> ()) (t : t) (ctx : exec_ctx) ~(n : int)
+    ~(gen : int -> Bytes.t * int) ~(sink : int -> outcome -> unit) : unit =
+  if n > 0 && ctx.p != t.prepared then
+    invalid_arg
+      "Compile.run_batch: context belongs to a different prepared program";
+  for k = 0 to n - 1 do
+    let buf, len = gen k in
+    if len < 0 || len > Bytes.length buf then invalid_arg "Compile.run_batch";
+    ctx.input <- Bytes.unsafe_to_string buf;
+    ctx.input_len <- len;
+    let out =
+      match clock with
+      | None -> run_current t ctx ~fuel ~max_depth
+      | Some now ->
+          let t0 = now () in
+          let out = run_current t ctx ~fuel ~max_depth in
+          vm_s (now () -. t0);
+          out
+    in
+    sink k out
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Per-domain artifact cache *)
 
@@ -1979,16 +2307,19 @@ let dls_cache : t list ref Domain.DLS.key =
     artifact (rebound per campaign via {!bind}). Sharded campaigns must
     not use this — each shard owns a fresh {!compile} because [cstate]
     is single-threaded. *)
-let cached ?plans ?(cmplog = true) (p : prepared) (spec : spec) : t =
+let cached ?plans ?(cmplog = true) ?(fused = false) (p : prepared)
+    (spec : spec) : t =
   let c = Domain.DLS.get dls_cache in
   match
     List.find_opt
-      (fun t -> t.prepared == p && t.spec = spec && t.cmplog = cmplog)
+      (fun t ->
+        t.prepared == p && t.spec = spec && t.cmplog = cmplog
+        && t.fused = fused)
       !c
   with
   | Some t -> t
   | None ->
-      let t = compile ?plans ~cmplog p spec in
+      let t = compile ?plans ~cmplog ~fused p spec in
       let keep =
         if List.length !c >= cache_cap then
           List.filteri (fun i _ -> i < cache_cap - 1) !c

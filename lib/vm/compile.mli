@@ -35,21 +35,34 @@ type t
 (** [cmplog] (default [true]) controls whether comparisons emit [h_cmp]
     calls. A campaign with cmplog disabled binds a no-op probe, so such
     callers pass [~cmplog:false] to compile the calls out entirely —
-    unobservable by construction. *)
+    unobservable by construction.
+
+    [fused] (default [false]) additionally applies superblock fusion:
+    chains of blocks linked by unconditional gotos whose interior blocks
+    have a single predecessor (plus rejoining diamond tails within a
+    tail-duplication budget) collapse into one closure — interior
+    dispatch elided, interior fuel burns coalesced into one bulk burn
+    with exact per-op replay on the crash/hang path, and consecutive
+    Ball–Larus register increments folded into one constant-add.
+    Observably equivalent to the unfused artifact (same outcomes, crash
+    sites, fuel accounting, [blocks_executed], probe event order);
+    enforced by the differential suite. *)
 val compile :
   ?plans:Pathcov.Ball_larus.program_plans ->
   ?cmplog:bool ->
+  ?fused:bool ->
   Interp.prepared ->
   spec ->
   t
 
-(** Per-domain compile-once memo over [(prepared, spec, cmplog)]
+(** Per-domain compile-once memo over [(prepared, spec, cmplog, fused)]
     (physical identity on [prepared]). Safe for sequential campaigns,
     measurement replays and bench cells; sharded campaigns must
     {!compile} fresh per shard instead. *)
 val cached :
   ?plans:Pathcov.Ball_larus.program_plans ->
   ?cmplog:bool ->
+  ?fused:bool ->
   Interp.prepared ->
   spec ->
   t
@@ -75,6 +88,23 @@ val run : ?fuel:int -> ?max_depth:int -> t -> Interp.exec_ctx -> input:string ->
 
 val run_sub :
   ?fuel:int -> ?max_depth:int -> t -> Interp.exec_ctx -> buf:Bytes.t -> len:int -> Interp.outcome
+
+(** Batched mirror of {!Interp.run_batch} over the compiled entry: run
+    [n] candidates back-to-back on one context, [gen k] producing the
+    [k]-th [(buf, len)] scratch view and [sink k outcome] consuming its
+    result before the next [gen]. The prepared-program identity check
+    happens once per cohort instead of once per exec. *)
+val run_batch :
+  ?fuel:int ->
+  ?max_depth:int ->
+  ?clock:(unit -> float) ->
+  ?vm_s:(float -> unit) ->
+  t ->
+  Interp.exec_ctx ->
+  n:int ->
+  gen:(int -> Bytes.t * int) ->
+  sink:(int -> Interp.outcome -> unit) ->
+  unit
 
 (** {2 Selective-tracing novelty signal}
 

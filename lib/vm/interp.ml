@@ -346,6 +346,15 @@ type exec_ctx = {
      in [ret_i]. Lets [call] return results without boxing. *)
   mutable ret_i : int;
   mutable ret_a : int array;
+  (* Batched-reset support. [gclear] is the subset of [gorig] that holds
+     real arrays, precomputed so reset skips int-global sentinels.
+     [unwound] is set by the exception fences of both engines' run
+     loops: a clean run leaves every callee pool back at zero (calls
+     release their frame on return) with only the entry frame live, so
+     reset can skip the full pool sweep unless an exception unwound the
+     stack. *)
+  gclear : int array array;
+  mutable unwound : bool;
 }
 
 let make_frame nlocals =
@@ -386,6 +395,10 @@ let create_ctx ?(hooks = no_hooks) (p : prepared) : exec_ctx =
     blocks = 0;
     ret_i = 0;
     ret_a = no_arr;
+    gclear =
+      Array.of_list
+        (List.filter (fun a -> a != no_arr) (Array.to_list gorig));
+    unwound = false;
   }
 
 (* Reset between executions: undo journaled global-slot writes, re-zero
@@ -400,10 +413,19 @@ let reset_ctx (ctx : exec_ctx) : unit =
     Bytes.unsafe_set ctx.gdirty i '\000'
   done;
   ctx.ngtouched <- 0;
-  Array.iter
-    (fun a -> if a != no_arr then Array.fill a 0 (Array.length a) 0)
-    ctx.gorig;
-  Array.iter (fun (pool : fpool) -> pool.live <- 0) ctx.pools;
+  let gc = ctx.gclear in
+  for k = 0 to Array.length gc - 1 do
+    let a = Array.unsafe_get gc k in
+    Array.fill a 0 (Array.length a) 0
+  done;
+  (* Clean runs release every callee frame on return, so only the entry
+     pool can be live; crash/hang unwinding skips the releases and is
+     flagged by [unwound], paying the full sweep only then. *)
+  if ctx.unwound then begin
+    Array.iter (fun (pool : fpool) -> pool.live <- 0) ctx.pools;
+    ctx.unwound <- false
+  end
+  else (Array.unsafe_get ctx.pools ctx.p.main_id).live <- 0;
   ctx.cs_top <- 0;
   ctx.blocks <- 0;
   ctx.ret_i <- 0;
@@ -745,10 +767,14 @@ let run_current (ctx : exec_ctx) ~fuel ~max_depth : outcome =
       if ctx.ret_a != no_arr then Finished None else Finished (Some ctx.ret_i)
     with
     | Crash_exn (kind, site) ->
+        ctx.unwound <- true;
         let top = { Crash.fn = site_function ctx.p.prog site; site } in
         Crashed { Crash.kind; stack = top :: materialize_stack ctx }
-    | Out_of_fuel -> Hung
+    | Out_of_fuel ->
+        ctx.unwound <- true;
+        Hung
     | Stack_overflow ->
+        ctx.unwound <- true;
         Crashed { Crash.kind = Crash.Stack_overflow; stack = materialize_stack ctx }
   in
   { status; blocks_executed = ctx.blocks }
@@ -773,6 +799,36 @@ let run_ctx_sub ?(fuel = default_fuel) ?(max_depth = default_max_depth)
   ctx.input <- Bytes.unsafe_to_string buf;
   ctx.input_len <- len;
   run_current ctx ~fuel ~max_depth
+
+(** Execute a cohort of [n] candidates back-to-back on one context.
+    [gen k] produces candidate [k] as a [(buf, len)] scratch view (same
+    zero-copy contract as {!run_ctx_sub}); [sink k outcome] consumes its
+    result before [gen (k + 1)] is called, so a single scratch buffer
+    may back the whole cohort. The point of the batched entry is reset
+    amortisation: back-to-back runs take the journaled fast path of
+    [reset_ctx] (clean runs skip the frame-pool sweep entirely), and
+    callers hoist their own per-candidate dispatch out of the loop.
+    [clock]/[vm_s] bracket each VM run alone — generation and
+    consumption are excluded, matching the one-shot entry points. *)
+let run_batch ?(fuel = default_fuel) ?(max_depth = default_max_depth) ?clock
+    ?(vm_s = fun (_ : float) -> ()) (ctx : exec_ctx) ~(n : int)
+    ~(gen : int -> Bytes.t * int) ~(sink : int -> outcome -> unit) : unit =
+  for k = 0 to n - 1 do
+    let buf, len = gen k in
+    if len < 0 || len > Bytes.length buf then invalid_arg "Interp.run_batch";
+    ctx.input <- Bytes.unsafe_to_string buf;
+    ctx.input_len <- len;
+    let out =
+      match clock with
+      | None -> run_current ctx ~fuel ~max_depth
+      | Some now ->
+          let t0 = now () in
+          let out = run_current ctx ~fuel ~max_depth in
+          vm_s (now () -. t0);
+          out
+    in
+    sink k out
+  done
 
 (** Execute a prepared program from [main] on [input] through a fresh
     context (use [create_ctx] + [run_ctx] in loops to reuse the pools). *)

@@ -170,6 +170,13 @@ type exec_ctx = {
   mutable blocks : int;
   mutable ret_i : int;
   mutable ret_a : int array;
+  gclear : int array array;
+      (** the subset of [gorig] holding real arrays (reset re-zeroes
+          exactly these) *)
+  mutable unwound : bool;
+      (** set by the run-loop exception fences when a crash/hang
+          unwound the frame stack; tells {!reset_ctx} the pool
+          occupancy cannot be trusted and a full sweep is needed *)
 }
 
 val create_ctx : ?hooks:hooks -> prepared -> exec_ctx
@@ -215,6 +222,26 @@ val run_ctx : ?fuel:int -> ?max_depth:int -> exec_ctx -> input:string -> outcome
     [len] exceeds the buffer. *)
 val run_ctx_sub :
   ?fuel:int -> ?max_depth:int -> exec_ctx -> buf:Bytes.t -> len:int -> outcome
+
+(** Execute a cohort of [n] candidates back-to-back on one context.
+    [gen k] produces candidate [k] as a [(buf, len)] scratch view (same
+    zero-copy contract as {!run_ctx_sub}); [sink k outcome] consumes its
+    result before [gen (k + 1)] is called, so one scratch buffer may
+    back the whole cohort. Back-to-back runs take the journaled
+    fast-reset path (clean runs skip the frame-pool sweep).
+    [clock]/[vm_s] bracket each VM run alone — generation and
+    consumption excluded — matching the one-shot entry points'
+    per-exec timing. *)
+val run_batch :
+  ?fuel:int ->
+  ?max_depth:int ->
+  ?clock:(unit -> float) ->
+  ?vm_s:(float -> unit) ->
+  exec_ctx ->
+  n:int ->
+  gen:(int -> Bytes.t * int) ->
+  sink:(int -> outcome -> unit) ->
+  unit
 
 (** One-shot convenience (prepares on each call; use {!prepare} +
     {!create_ctx} + {!run_ctx} in loops). *)

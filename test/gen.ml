@@ -110,6 +110,106 @@ let gen_program : program QCheck.Gen.t =
 
 let arbitrary_program : program QCheck.arbitrary = QCheck.make gen_program
 
+(* --- chain/diamond-biased programs (superblock-fusion differentials) ---
+
+   Lowered CFGs from this generator are dominated by the shapes the
+   fusion pass targets: long straight-line assignment runs (single-
+   predecessor goto chains), if/else diamonds whose arms rejoin, and
+   division sites whose divisor reads input — so a crash (or a small
+   fuel budget) lands mid-chain, where bulk-burn replay must reproduce
+   the interpreter's exact site and fuel accounting. *)
+
+let gen_chain_stmt vars st : stmt_node list =
+  let open QCheck.Gen in
+  match int_range 0 9 st with
+  | 0 | 1 | 2 | 3 ->
+      (* straight-line run: a single-predecessor chain once lowered *)
+      let n = int_range 3 8 st in
+      List.init n (fun _ ->
+          let v = oneofl vars st in
+          s (Assign (v, gen_expr vars 1 st)))
+  | 4 | 5 ->
+      (* rejoining diamond with straight-line arms *)
+      let cond = gen_expr vars 1 st in
+      let arm () =
+        List.init
+          (int_range 1 4 st)
+          (fun _ ->
+            let v = oneofl vars st in
+            s (Assign (v, gen_expr vars 1 st)))
+      in
+      [ s (If (cond, arm (), arm ())) ]
+  | 6 | 7 ->
+      (* mid-chain crash site: input-dependent divisor *)
+      let v = oneofl vars st in
+      [
+        s
+          (Assign
+             ( v,
+               e
+                 (Binop
+                    ( Div,
+                      gen_expr vars 1 st,
+                      e (In (e (Int (int_range 0 24 st)))) )) ));
+      ]
+  | _ ->
+      (* bounded loop: the back edge's target has two predecessors, so
+         fusion must stop at the loop head *)
+      let v = oneofl vars st in
+      let bound = int_range 1 5 st in
+      [
+        s (Assign (v, e (Int 0)));
+        s
+          (While
+             ( e (Binop (Lt, e (Var v), e (Int bound))),
+               List.init
+                 (int_range 1 3 st)
+                 (fun _ ->
+                   let w = oneofl vars st in
+                   s (Assign (w, gen_expr vars 1 st)))
+               @ [ s (Assign (v, e (Binop (Add, e (Var v), e (Int 1))))) ] ));
+      ]
+
+let gen_chain_program : program QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let vars = [ "a"; "b"; "c"; "d" ] in
+  let decls = List.map (fun v -> s (Decl (v, Some (e (Int 1))))) vars in
+  let mk_func name =
+    let n = int_range 3 6 st in
+    let body =
+      decls @ List.concat (List.init n (fun _ -> gen_chain_stmt vars st))
+    in
+    let ret = s (Return (Some (gen_expr vars 1 st))) in
+    { fname = name; params = [ "x" ]; body = body @ [ ret ]; fpos = pos }
+  in
+  let f = mk_func "f" in
+  let g = mk_func "g" in
+  let main_body =
+    decls
+    @ [
+        s (Assign ("a", e (Call ("f", [ e (In (e (Int 0))) ]))));
+        s (Assign ("b", e (Call ("g", [ e (Var "a") ]))));
+        s (Return (Some (e (Binop (Add, e (Var "a"), e (Var "b"))))));
+      ]
+  in
+  {
+    globals = [ Gint "gcount" ];
+    funcs =
+      [ f; g; { fname = "main"; params = []; body = main_body; fpos = pos } ];
+  }
+
+(** Lowered IR of a chain/diamond-biased program. *)
+let gen_chain_ir : Minic.Ir.program QCheck.Gen.t =
+  QCheck.Gen.map
+    (fun p ->
+      Minic.Sema.check p;
+      Minic.Lower.lower p)
+    gen_chain_program
+
+let arbitrary_chain_ir : Minic.Ir.program QCheck.arbitrary =
+  QCheck.make gen_chain_ir
+
 (** Lowered IR of a random program (checks sema along the way). *)
 let gen_ir : Minic.Ir.program QCheck.Gen.t =
   QCheck.Gen.map

@@ -2,7 +2,8 @@
 let () =
   Alcotest.run "pathcov"
     (Test_frontend.suite @ Test_ballarus.suite @ Test_vm.suite
-   @ Test_differential.suite @ Test_compile.suite @ Test_coverage.suite
+   @ Test_differential.suite @ Test_compile.suite @ Test_fused.suite
+   @ Test_coverage.suite
    @ Test_exec.suite
    @ Test_fuzz.suite @ Test_hotpath.suite @ Test_tracer.suite
    @ Test_shard.suite
