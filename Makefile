@@ -1,4 +1,4 @@
-.PHONY: all build test bench shard-bench micro tables history resume-check engine-check clean
+.PHONY: all build test bench shard-bench micro tables history resume-check engine-check profile-check clean
 
 all: build
 
@@ -91,6 +91,44 @@ engine-check: build
 	diff _build/engine-check/sh-interp.out _build/engine-check/sh-selective.out
 	diff _build/engine-check/sh-interp.out _build/engine-check/sh-fused.out
 	@echo "engine-check: trajectories identical across engines and selective tracing"
+
+# Introspection-perturbation smoke: recording a span trace and the
+# engine-metrics registry must be trajectory-invisible — fuzz stdout is
+# byte-identical with and without --trace/--metrics, sequentially and
+# sharded, under the interpreter and the fused engine — and the trace
+# files must parse as valid Chrome trace-event JSON.
+profile-check: build
+	@rm -rf _build/profile-check && mkdir -p _build/profile-check
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  > _build/profile-check/plain.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --trace _build/profile-check/seq.trace.json \
+	  --metrics _build/profile-check/seq.metrics.json \
+	  > _build/profile-check/traced.out
+	diff _build/profile-check/plain.out _build/profile-check/traced.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine fused --selective > _build/profile-check/fused.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine fused --selective \
+	  --trace _build/profile-check/fused.trace.json \
+	  --metrics _build/profile-check/fused.metrics.json \
+	  > _build/profile-check/fused-traced.out
+	diff _build/profile-check/fused.out _build/profile-check/fused-traced.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --shards 2 --sync-interval 512 > _build/profile-check/sh.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --shards 2 --sync-interval 512 \
+	  --trace _build/profile-check/sh.trace.json \
+	  --metrics _build/profile-check/sh.metrics.json \
+	  > _build/profile-check/sh-traced.out
+	diff _build/profile-check/sh.out _build/profile-check/sh-traced.out
+	python3 -m json.tool _build/profile-check/seq.trace.json > /dev/null
+	python3 -m json.tool _build/profile-check/fused.trace.json > /dev/null
+	python3 -m json.tool _build/profile-check/sh.trace.json > /dev/null
+	python3 -m json.tool _build/profile-check/seq.metrics.json > /dev/null
+	python3 -m json.tool _build/profile-check/fused.metrics.json > /dev/null
+	python3 -m json.tool _build/profile-check/sh.metrics.json > /dev/null
+	@echo "profile-check: tracing is trajectory-invisible; trace/metrics files are valid JSON"
 
 # Bechamel micro-benchmarks (one per table/figure of the paper).
 micro: build

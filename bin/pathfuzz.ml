@@ -2,8 +2,13 @@
 
     Subcommands:
     - [subjects]           list the benchmark subjects;
-    - [fuzz]               run one fuzzing campaign on a subject;
-    - [profile]            Ball–Larus path-profile one input (§VII's
+    - [fuzz]               run one fuzzing campaign on a subject
+                           (optionally recording a span trace and the
+                           engine-metrics registry);
+    - [profile]            run one introspected campaign and render the
+                           deep profile report: phase wall breakdown,
+                           shard utilization and engine metrics;
+    - [path-profile]       Ball–Larus path-profile one input (§VII's
                            profiling use of the encoding);
     - [cfg]                print a function's CFG (optionally Graphviz)
                            with path increments;
@@ -133,20 +138,63 @@ let check_positive ~flag n =
     exit 2
   end
 
+(* shared by `fuzz` and `profile` *)
+let fuzzer_arg =
+  Arg.(
+    value
+    & opt string "path"
+    & info [ "f"; "fuzzer" ] ~docv:"FUZZER"
+        ~doc:
+          "One of path, pcguard, cull, cull_r, cull_p, opp, pathafl, afl, \
+           block, ngram2, ngram4.")
+
+let trial_arg =
+  Arg.(value & opt int 1 & info [ "t"; "trial" ] ~docv:"N" ~doc:"Trial seed.")
+
+let rounds_arg =
+  Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt string "interp"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Execution engine: $(b,interp) (the reference CFG interpreter), \
+           $(b,compiled) (staged compilation of the subject into OCaml \
+           closures with the feedback probes baked in) or $(b,fused) \
+           (compiled plus superblock fusion: single-predecessor chains \
+           collapsed into one closure with coalesced fuel burns and \
+           folded path increments). The fuzzing trajectory — queue, \
+           coverage, crashes, stdout — is engine-invariant; only \
+           throughput changes.")
+
+let selective_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "selective" ]
+        ~doc:
+          "Selective tracing: run candidates under a near-null novelty- \
+           signal specialisation and re-execute with full instrumentation \
+           only on first-seen signals. Decisions are byte-identical to \
+           always-on tracing.")
+
+let engine_of_flag engine =
+  match Fuzz.Tracer.engine_of_name engine with
+  | Some e -> e
+  | None ->
+      Fmt.epr
+        "pathfuzz: unknown --engine %s (expected interp, compiled or fused)@."
+        engine;
+      exit 2
+
 let fuzz_cmd =
-  let fuzzer =
-    Arg.(
-      value
-      & opt string "path"
-      & info [ "f"; "fuzzer" ] ~docv:"FUZZER"
-          ~doc:
-            "One of path, pcguard, cull, cull_r, cull_p, opp, pathafl, afl, \
-             block, ngram2, ngram4.")
-  in
+  let fuzzer = fuzzer_arg in
   let budget =
     Arg.(value & opt int 24_000 & info [ "b"; "budget" ] ~docv:"EXECS" ~doc:"Execution budget.")
   in
-  let trial = Arg.(value & opt int 1 & info [ "t"; "trial" ] ~docv:"N" ~doc:"Trial seed.") in
+  let trial = trial_arg in
   let trials =
     Arg.(
       value
@@ -154,33 +202,9 @@ let fuzz_cmd =
       & info [ "n"; "trials" ] ~docv:"N"
           ~doc:"Number of trials (seeds $(b,--trial), $(b,--trial)+1, ...).")
   in
-  let rounds = Arg.(value & opt int 4 & info [ "rounds" ] ~doc:"Culling rounds.") in
-  let engine =
-    Arg.(
-      value
-      & opt string "interp"
-      & info [ "engine" ] ~docv:"ENGINE"
-          ~doc:
-            "Execution engine: $(b,interp) (the reference CFG interpreter), \
-             $(b,compiled) (staged compilation of the subject into OCaml \
-             closures with the feedback probes baked in) or $(b,fused) \
-             (compiled plus superblock fusion: single-predecessor chains \
-             collapsed into one closure with coalesced fuel burns and \
-             folded path increments). The fuzzing trajectory — queue, \
-             coverage, crashes, stdout — is engine-invariant; only \
-             throughput changes.")
-  in
-  let selective =
-    Arg.(
-      value
-      & flag
-      & info [ "selective" ]
-          ~doc:
-            "Selective tracing: run candidates under a near-null novelty- \
-             signal specialisation and re-execute with full instrumentation \
-             only on first-seen signals. Decisions are byte-identical to \
-             always-on tracing.")
-  in
+  let rounds = rounds_arg in
+  let engine = engine_arg in
+  let selective = selective_arg in
   let stats =
     Arg.(
       value
@@ -230,20 +254,36 @@ let fuzz_cmd =
              sync schedule must match the snapshot's; the resumed \
              trajectory is byte-identical to the uninterrupted run's.")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the campaign's span trace (planning, mutation, \
+             execution, replays, triage, merges, compiles, checkpoints) \
+             and write it to FILE as Chrome trace-event JSON — loadable \
+             in chrome://tracing or Perfetto, one track per shard. \
+             Observation-only: stdout is byte-identical with or without \
+             this flag. Single trial.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the engine-metrics registry (compile cache and walls, \
+             rollbacks, fusion shape, batch and dirty-reset histograms, \
+             barrier waits, checkpoint costs) to FILE as one JSON object \
+             (\"-\" for stderr). Observation-only; single trial.")
+  in
   let run subject fuzzer budget trial trials rounds engine selective jobs
-      shards sync_interval stats jsonl checkpoint checkpoint_every resume =
+      shards sync_interval stats jsonl checkpoint checkpoint_every resume
+      trace_file metrics_file =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
-    let engine =
-      match Fuzz.Tracer.engine_of_name engine with
-      | Some e -> e
-      | None ->
-          Fmt.epr
-            "pathfuzz: unknown --engine %s (expected interp, compiled or \
-             fused)@."
-            engine;
-          exit 2
-    in
+    let engine = engine_of_flag engine in
     let trials = max 1 trials in
     let jobs = resolve_jobs jobs in
     if shards < 0 then begin
@@ -257,6 +297,14 @@ let fuzz_cmd =
       Fmt.epr
         "pathfuzz: --checkpoint/--resume snapshot a single campaign; run \
          one trial per invocation (got --trials %d)@."
+        trials;
+      exit 2
+    end;
+    let introspect = trace_file <> "" || metrics_file <> "" in
+    if introspect && trials > 1 then begin
+      Fmt.epr
+        "pathfuzz: --trace/--metrics record a single campaign; run one \
+         trial per invocation (got --trials %d)@."
         trials;
       exit 2
     end;
@@ -288,6 +336,11 @@ let fuzz_cmd =
         sync_interval = (if shards > 0 then sync_interval else 0);
       }
     in
+    (* The campaign's observer, exposed so the checkpoint save closure
+       can charge write costs to the metrics registry and so the trace/
+       metrics files can be written after the run. Only set when
+       introspection is on (single trial, so a single cell suffices). *)
+    let obs_out : Obs.Observer.t option ref = ref None in
     let ck_sink =
       if checkpoint = "" then None
       else
@@ -298,9 +351,22 @@ let fuzz_cmd =
             fuzzer = fz.name;
             save =
               (fun ck ->
-                Fuzz.Checkpoint.write_file ~path:checkpoint ck;
-                Fmt.epr "[checkpoint] wrote %s at %d execs@." checkpoint
-                  ck.Fuzz.Checkpoint.progress.execs);
+                let t0 = Unix.gettimeofday () in
+                let bytes = Fuzz.Checkpoint.write_file ~path:checkpoint ck in
+                (match !obs_out with
+                | Some obs ->
+                    let m = obs.Obs.Observer.metrics in
+                    Obs.Metrics.bump
+                      (Obs.Metrics.counter m "checkpoint.writes");
+                    Obs.Metrics.observe
+                      (Obs.Metrics.hist m "checkpoint.bytes")
+                      bytes;
+                    Obs.Metrics.add_wall
+                      (Obs.Metrics.wall m "checkpoint.write_s")
+                      (Unix.gettimeofday () -. t0)
+                | None -> ());
+                Fmt.epr "[checkpoint] wrote %s (%d bytes) at %d execs@."
+                  checkpoint bytes ck.Fuzz.Checkpoint.progress.execs);
           }
     in
     let resume_ck =
@@ -359,6 +425,26 @@ let fuzz_cmd =
       | [] -> None
       | s :: rest -> Some (Obs.Sink.locked (List.fold_left Obs.Sink.tee s rest))
     in
+    (* Deep introspection (--trace/--metrics): the trial's observer gets
+       a wall clock and, for --trace, a span trace with one track per
+       shard (track 0 = coordinator / sequential loop). Both are
+       observation-only under the zero-perturbation rule, so stdout
+       still diffs clean against an uninstrumented run (make
+       profile-check holds this). *)
+    let mk_obs ~tracks () : Obs.Observer.t option =
+      if not introspect then
+        Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
+      else begin
+        let clock = Unix.gettimeofday in
+        let trace =
+          if trace_file = "" then None
+          else Some (Obs.Trace.create ~clock ~tracks ())
+        in
+        let obs = Obs.Observer.create ~clock ?trace ?sink:base_sink () in
+        obs_out := Some obs;
+        Some obs
+      end
+    in
     let results =
       match shard_mode with
       | Some mode ->
@@ -367,9 +453,7 @@ let fuzz_cmd =
           Array.init trials (fun i ->
               let prog = Subjects.Subject.compile_fresh s in
               let plans = Pathcov.Ball_larus.of_program prog in
-              let obs =
-                Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
-              in
+              let obs = mk_obs ~tracks:(shards + 1) () in
               let cfg =
                 {
                   Fuzz.Shard.base =
@@ -402,9 +486,7 @@ let fuzz_cmd =
           [|
             (let prog = Subjects.Subject.compile_fresh s in
              let plans = Pathcov.Ball_larus.of_program prog in
-             let obs =
-               Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
-             in
+             let obs = mk_obs ~tracks:1 () in
              let mode = plain_mode_of_fuzzer ~flag:"--checkpoint/--resume" fz in
              let config =
                {
@@ -428,9 +510,7 @@ let fuzz_cmd =
               (* per-worker program and plans: see lib/exec *)
               let prog = Subjects.Subject.compile_fresh s in
               let plans = Pathcov.Ball_larus.of_program prog in
-              let obs =
-                Option.map (fun sink -> Obs.Observer.create ~sink ()) base_sink
-              in
+              let obs = mk_obs ~tracks:1 () in
               Fuzz.Strategy.run ~plans ?obs ~engine ~selective ~budget
                 ~trial_seed:(trial + i) fz prog ~seeds:s.seeds)
     in
@@ -439,6 +519,34 @@ let fuzz_cmd =
         flush oc;
         if jsonl <> "-" then close_out oc
     | None -> ());
+    (* introspection artifacts go to their own files (stderr notes only):
+       stdout stays diffable against a run without these flags *)
+    (match !obs_out with
+    | None -> ()
+    | Some obs ->
+        (match (trace_file, obs.Obs.Observer.trace) with
+        | "", _ | _, None -> ()
+        | path, Some tr ->
+            let oc = open_out path in
+            let track_names i =
+              if i = 0 then
+                Some (if shards > 0 then "coordinator" else "campaign")
+              else Some (Printf.sprintf "shard %d" (i - 1))
+            in
+            Obs.Trace.to_chrome ~track_names tr oc;
+            close_out oc;
+            Fmt.epr "[fuzz] wrote span trace %s@." path);
+        if metrics_file <> "" then begin
+          let json = Obs.Metrics.to_json obs.Obs.Observer.metrics in
+          if metrics_file = "-" then Fmt.epr "%s@." json
+          else begin
+            let oc = open_out metrics_file in
+            output_string oc json;
+            output_char oc '\n';
+            close_out oc;
+            Fmt.epr "[fuzz] wrote metrics %s@." metrics_file
+          end
+        end);
     Array.iteri
       (fun i (r : Fuzz.Strategy.run_result) ->
         if trials > 1 then Fmt.pr "@.-- trial %d --@." (trial + i);
@@ -478,11 +586,106 @@ let fuzz_cmd =
     Term.(
       const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
       $ engine $ selective $ jobs_arg $ shards_arg $ sync_interval_arg $ stats
-      $ jsonl $ checkpoint $ checkpoint_every $ resume)
+      $ jsonl $ checkpoint $ checkpoint_every $ resume $ trace_file
+      $ metrics_file)
 
-(* --- profile --- *)
+(* --- profile (deep campaign introspection) --- *)
 
 let profile_cmd =
+  let budget =
+    Arg.(
+      value
+      & opt int 8_000
+      & info [ "b"; "budget" ] ~docv:"EXECS" ~doc:"Execution budget.")
+  in
+  let deterministic =
+    Arg.(
+      value
+      & flag
+      & info [ "deterministic" ]
+          ~doc:
+            "Replace the wall clock with a virtual tick counter (+1 per \
+             clock reading): every wall in the report becomes a \
+             deterministic count of clock reads, so the whole report is \
+             reproducible byte for byte (the golden-test mode). \
+             Sequential loop only — ticks are not meaningful across \
+             domains.")
+  in
+  let run subject fuzzer budget trial rounds engine selective shards
+      sync_interval deterministic =
+    let s = lookup_subject subject in
+    let fz = fuzzer_of_name rounds fuzzer in
+    let engine = engine_of_flag engine in
+    if shards < 0 then begin
+      Fmt.epr "pathfuzz: --shards must be >= 0, got %d@." shards;
+      exit 2
+    end;
+    check_positive ~flag:"--sync-interval" sync_interval;
+    if deterministic && shards > 0 then begin
+      Fmt.epr
+        "pathfuzz: --deterministic profiles the sequential loop (the \
+         virtual tick clock is single-domain); drop --shards@.";
+      exit 2
+    end;
+    let clock =
+      if deterministic then (
+        let t = ref 0. in
+        fun () ->
+          t := !t +. 1.;
+          !t)
+      else Unix.gettimeofday
+    in
+    let trace = Obs.Trace.create ~clock ~tracks:(shards + 1) () in
+    let obs = Obs.Observer.create ~clock ~trace () in
+    let prog = Subjects.Subject.compile_fresh s in
+    let plans = Pathcov.Ball_larus.of_program prog in
+    (match shards with
+    | 0 ->
+        ignore
+          (Fuzz.Strategy.run ~plans ~obs ~engine ~selective ~budget
+             ~trial_seed:trial fz prog ~seeds:s.seeds)
+    | _ ->
+        let mode = plain_mode_of_fuzzer ~flag:"--shards" fz in
+        let cfg =
+          {
+            Fuzz.Shard.base =
+              {
+                Fuzz.Campaign.default_config with
+                mode;
+                budget;
+                rng_seed = trial;
+                cmplog = fz.cmplog;
+                engine;
+                selective;
+              };
+            shards;
+            sync_interval;
+          }
+        in
+        ignore (Fuzz.Shard.run ~plans ~obs cfg prog ~seeds:s.seeds));
+    let title =
+      Printf.sprintf "pathfuzz profile: %s / %s, budget %d, trial %d%s%s"
+        s.name fz.name budget trial
+        (if shards > 0 then Printf.sprintf ", shards %d" shards else "")
+        (if deterministic then ", virtual clock" else "")
+    in
+    print_string
+      (Experiments.Profile_report.render ~title ~with_wall:true ~shards obs)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run one campaign under the span tracer and engine-metrics \
+          registry and render the deep introspection report (phase \
+          walls, shard utilization, engine metrics, counters)")
+    Term.(
+      const run $ subject_arg $ fuzzer_arg $ budget $ trial_arg $ rounds_arg
+      $ engine_arg $ selective_arg $ shards_arg $ sync_interval_arg
+      $ deterministic)
+
+(* --- path-profile --- *)
+
+let path_profile_cmd =
   let input =
     Arg.(value & opt string "" & info [ "i"; "input" ] ~docv:"STRING" ~doc:"Input to profile.")
   in
@@ -554,7 +757,8 @@ let profile_cmd =
       prog.funcs
   in
   Cmd.v
-    (Cmd.info "profile" ~doc:"Path-profile one input (Ball-Larus as a profiler)")
+    (Cmd.info "path-profile"
+       ~doc:"Path-profile one input (Ball-Larus as a profiler)")
     Term.(const run $ subject_arg $ input $ top)
 
 (* --- cfg --- *)
@@ -1052,6 +1256,7 @@ let () =
             subjects_cmd;
             fuzz_cmd;
             profile_cmd;
+            path_profile_cmd;
             cfg_cmd;
             tables_cmd;
             bench_throughput_cmd;

@@ -53,16 +53,18 @@ let measure ~budget ~(mode : Pathcov.Feedback.mode) (s : Subjects.Subject.t) :
   let config =
     { Fuzz.Campaign.default_config with mode; budget; rng_seed = 1 }
   in
+  let obs = Obs.Observer.create ~clock:Unix.gettimeofday () in
   let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  let r =
-    Fuzz.Campaign.run ~plans
-      ~obs:(Obs.Observer.create ~clock:Unix.gettimeofday ())
-      ~config prog ~seeds:s.seeds
-  in
+  let r = Fuzz.Campaign.run ~plans ~obs ~config prog ~seeds:s.seeds in
   let wall_s = Unix.gettimeofday () -. t0 in
   let mw = Gc.minor_words () -. mw0 in
   let frac x = if wall_s > 0. then x /. wall_s else 0. in
+  (* mut/vm split re-sourced from the engine-metrics registry the
+     campaign harvests at budget exhaustion (the observer is private to
+     this cell, so the cumulative walls are this run's) *)
+  let vm_s = Obs.Metrics.wall_value obs.metrics "campaign.vm_s" in
+  let mut_s = Obs.Metrics.wall_value obs.metrics "campaign.mut_s" in
   {
     subject = s.name;
     mode = Pathcov.Feedback.mode_name mode;
@@ -75,8 +77,8 @@ let measure ~budget ~(mode : Pathcov.Feedback.mode) (s : Subjects.Subject.t) :
     execs_per_sec =
       (if wall_s > 0. then float_of_int r.execs /. wall_s else 0.);
     minor_words_per_exec = mw /. float_of_int (max 1 r.execs);
-    mut_frac = frac r.mut_s;
-    vm_frac = frac r.vm_s;
+    mut_frac = frac mut_s;
+    vm_frac = frac vm_s;
     mut_minor_words_per_cand =
       r.mut_minor_words /. float_of_int (max 1 r.havocs);
   }
@@ -136,17 +138,16 @@ let measure_sharded ~budget ~shards ~sync_interval
       sync_interval;
     }
   in
+  let obs = Obs.Observer.create ~clock:Unix.gettimeofday () in
   let mw0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
-  let r =
-    Fuzz.Shard.run ~plans
-      ~obs:(Obs.Observer.create ~clock:Unix.gettimeofday ())
-      cfg prog ~seeds:s.seeds
-  in
+  let r = Fuzz.Shard.run ~plans ~obs cfg prog ~seeds:s.seeds in
   let wall_s = Unix.gettimeofday () -. t0 in
   let mw = Gc.minor_words () -. mw0 in
   let c = r.campaign in
   let frac x = if wall_s > 0. then x /. wall_s else 0. in
+  let vm_s = Obs.Metrics.wall_value obs.metrics "campaign.vm_s" in
+  let mut_s = Obs.Metrics.wall_value obs.metrics "campaign.mut_s" in
   ( {
       subject = s.name;
       mode = Pathcov.Feedback.mode_name mode;
@@ -158,8 +159,8 @@ let measure_sharded ~budget ~shards ~sync_interval
       wall_s;
       execs_per_sec = (if wall_s > 0. then float_of_int c.execs /. wall_s else 0.);
       minor_words_per_exec = mw /. float_of_int (max 1 c.execs);
-      mut_frac = frac c.mut_s;
-      vm_frac = frac c.vm_s;
+      mut_frac = frac mut_s;
+      vm_frac = frac vm_s;
       mut_minor_words_per_cand =
         c.mut_minor_words /. float_of_int (max 1 c.havocs);
     },

@@ -109,7 +109,22 @@ type state = {
   scratch : Mutator.scratch;  (** pooled mutation buffer, reused per child *)
   obs : Obs.Observer.t;
       (** counters + snapshots + event sink; may be shared across phases *)
+  h_batch : Obs.Metrics.hist;  (** cohort sizes ([exec.batch_n]) *)
+  h_dirty : Obs.Metrics.hist;  (** context dirty-reset widths *)
 }
+
+(* Span brackets on the campaign's track (track 0): plain begin/end on
+   the preallocated ring when the observer carries a trace, nothing
+   otherwise. Observation-only — never consults RNG or feedback state. *)
+let trace_begin (st : state) (k : Obs.Trace.kind) : unit =
+  match st.obs.trace with
+  | Some tr -> Obs.Trace.begin_span tr ~track:0 k
+  | None -> ()
+
+let trace_end ?(arg = 0) (st : state) : unit =
+  match st.obs.trace with
+  | Some tr -> Obs.Trace.end_span ~arg tr ~track:0 ()
+  | None -> ()
 
 (* The instrumentation hook set installed in the context at state-creation
    time. The cmplog probe (and its per-exec buffer bookkeeping) exists
@@ -155,6 +170,7 @@ let post_exec (st : state) (out : Vm.Interp.outcome) : unit =
   let c = st.obs.counters in
   c.execs <- c.execs + 1;
   c.blocks <- c.blocks + out.blocks_executed;
+  Obs.Metrics.observe st.h_dirty st.ctx.last_reset_width;
   Pathcov.Coverage_map.classify st.feedback.trace;
   if st.execs mod st.sample_every = 0 then take_snapshot st
 
@@ -257,21 +273,25 @@ let execute_signal (st : state) (input : string) : Vm.Interp.outcome =
    Counted as a replay, not an execution — the budget clock already
    ticked for the first run of the same candidate. *)
 let reexec_full_scratch (st : state) : Vm.Interp.outcome =
+  trace_begin st Obs.Trace.Replay;
   st.feedback.reset ();
   Pathcov.Coverage_map.clear st.feedback.trace;
   let out = run_full_scratch st in
   Pathcov.Coverage_map.classify st.feedback.trace;
   let c = st.obs.counters in
   c.replays <- c.replays + 1;
+  trace_end st;
   out
 
 let reexec_full (st : state) (input : string) : Vm.Interp.outcome =
+  trace_begin st Obs.Trace.Replay;
   st.feedback.reset ();
   Pathcov.Coverage_map.clear st.feedback.trace;
   let out = run_full st input in
   Pathcov.Coverage_map.classify st.feedback.trace;
   let c = st.obs.counters in
   c.replays <- c.replays + 1;
+  trace_end st;
   out
 
 (** Both substitution directions per captured pair, in capture order —
@@ -297,12 +317,17 @@ let update_top_rated (st : state) (e : Corpus.entry) =
 let triage_outcome (st : state) (out : Vm.Interp.outcome) ~(input : string) : unit =
   match out.status with
   | Vm.Interp.Crashed crash ->
+      trace_begin st Obs.Trace.Triage;
       let coverage_novel =
         Pathcov.Coverage_map.merge_into ~virgin:st.crash_virgin st.feedback.trace
         <> Pathcov.Coverage_map.Nothing
       in
-      Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel
-  | Vm.Interp.Hung -> Triage.record_hang ~at_exec:st.execs st.triage
+      Triage.record_crash st.triage ~crash ~input ~at_exec:st.execs ~coverage_novel;
+      trace_end st
+  | Vm.Interp.Hung ->
+      trace_begin st Obs.Trace.Triage;
+      Triage.record_hang ~at_exec:st.execs st.triage;
+      trace_end st
   | Vm.Interp.Finished _ -> ()
 
 (* Queue-capacity bookkeeping for one evaluated finished exec. The
@@ -467,6 +492,7 @@ let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair array =
      Retention and crash triage read [sorted_indices], so the marks come
      off before anything else executes, and a crash under pruning is
      replayed unpruned before its crash-virgin merge. *)
+  trace_begin st Obs.Trace.Calibrate;
   let prune =
     Tracer.pruning_available st.tracer
     &&
@@ -488,6 +514,7 @@ let calibrate (st : state) (e : Corpus.entry) : Mutator.cmp_pair array =
   Obs.Observer.event st.obs
     (Obs.Event.Calibration
        { at_exec = c.execs; entry = e.id; cmps = st.cmp_buf.n_cmps });
+  trace_end st;
   current_cmps st
 
 (** afl-fuzz's skip probabilities in fuzz_one, over an explicit RNG and
@@ -537,10 +564,17 @@ let make_state ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
   let prepared = Vm.Interp.prepare_cached prog in
   let cmp_buf = make_cmp_buf () in
   let hooks = make_hooks config feedback cmp_buf in
+  (match obs.trace with
+  | Some tr -> Obs.Trace.begin_span tr ~track:0 Obs.Trace.Compile
+  | None -> ());
   let tracer =
-    Tracer.make ?plans ~engine:config.engine ~selective:config.selective
-      ~cmplog:config.cmplog ~mode:config.mode prepared
+    Tracer.make ?plans ?clock:obs.clock ~engine:config.engine
+      ~selective:config.selective ~cmplog:config.cmplog ~mode:config.mode
+      prepared
   in
+  (match obs.trace with
+  | Some tr -> Obs.Trace.end_span tr ~track:0 ()
+  | None -> ());
   Tracer.bind tracer ~trace:feedback.trace ~h_cmp:hooks.Vm.Interp.h_cmp;
   {
     prepared;
@@ -561,6 +595,8 @@ let make_state ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
     cmp_buf;
     scratch = Mutator.create_scratch ();
     obs;
+    h_batch = Obs.Metrics.hist obs.metrics "exec.batch_n";
+    h_dirty = Obs.Metrics.hist obs.metrics "vm.dirty_reset_w";
   }
 
 (** The snapshot of a sequential campaign at a cycle boundary, under the
@@ -628,14 +664,54 @@ let mutate (st : state) ~cmps ?splice_with (data : string) : unit =
   c.havocs <- c.havocs + 1;
   (match splice_with with Some _ -> c.splices <- c.splices + 1 | None -> ());
   if Array.length cmps > 0 then c.i2s_cands <- c.i2s_cands + 1;
-  match st.obs.clock with
+  trace_begin st Obs.Trace.Mutate;
+  (match st.obs.clock with
   | None -> Mutator.havoc_in_place st.scratch ~cmps ?splice_with st.rng data
   | Some now ->
       let w0 = Gc.minor_words () in
       let t0 = now () in
       Mutator.havoc_in_place st.scratch ~cmps ?splice_with st.rng data;
       c.mut_s <- c.mut_s +. (now () -. t0);
-      c.mut_minor_words <- c.mut_minor_words +. (Gc.minor_words () -. w0)
+      c.mut_minor_words <- c.mut_minor_words +. (Gc.minor_words () -. w0));
+  trace_end st
+
+(* Drain the engine-level tallies into the observer's metrics registry.
+   Runs once per campaign at budget exhaustion — a deterministic point —
+   so registration order (and hence every dump) is reproducible. Gauges
+   use set semantics: the sources are cumulative (per artifact / per
+   domain), so the latest reading is the total. *)
+let harvest_metrics (st : state) : unit =
+  let m = st.obs.metrics in
+  let c = st.obs.counters in
+  Obs.Metrics.set_wall (Obs.Metrics.wall m "campaign.vm_s") c.vm_s;
+  Obs.Metrics.set_wall (Obs.Metrics.wall m "campaign.mut_s") c.mut_s;
+  Obs.Metrics.add_wall
+    (Obs.Metrics.wall m "engine.compile_s")
+    (Tracer.compile_seconds st.tracer);
+  let hits, misses = Vm.Compile.cache_stats () in
+  Obs.Metrics.set (Obs.Metrics.gauge m "engine.cache_hits") hits;
+  Obs.Metrics.set (Obs.Metrics.gauge m "engine.cache_misses") misses;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge m "engine.seen_signals")
+    (Tracer.seen_signals st.tracer);
+  match Tracer.artifact_stats st.tracer with
+  | None -> ()
+  | Some (r, s) ->
+      Obs.Metrics.set (Obs.Metrics.gauge m "engine.rollbacks")
+        r.Vm.Compile.rollbacks;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "engine.careful_units")
+        r.Vm.Compile.careful_units;
+      Obs.Metrics.set (Obs.Metrics.gauge m "fusion.chains") s.Vm.Compile.chains;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "fusion.chain_blocks")
+        s.Vm.Compile.chain_blocks;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "fusion.chain_max")
+        s.Vm.Compile.chain_max;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "fusion.dup_instrs")
+        s.Vm.Compile.dup_instrs
 
 (** Run a campaign. [plans] shares a precomputed Ball–Larus artifact;
     [obs] supplies the observer (counters, snapshot log, event sink and
@@ -682,7 +758,9 @@ let run ?plans ?obs ?(config = default_config) ?(checkpoint : Checkpoint.sink op
   while st.execs < config.budget do
     (match checkpoint with
     | Some sk when st.execs >= !next_mark ->
+        trace_begin st Obs.Trace.Checkpoint;
         sk.save (capture_checkpoint st ~subject:sk.subject ~fuzzer:sk.fuzzer);
+        trace_end st;
         next_mark := Checkpoint.next_mark ~every:sk.every ~execs:st.execs
     | _ -> ());
     Corpus.recompute_favored st.corpus;
@@ -717,6 +795,8 @@ let run ?plans ?obs ?(config = default_config) ?(checkpoint : Checkpoint.sink op
         let count = max 0 (min n (config.budget - st.execs)) in
         if count > 0 then begin
           let depth = e.depth + 1 in
+          Obs.Metrics.observe st.h_batch count;
+          trace_begin st Obs.Trace.Exec;
           let gen _ =
             mutate st ~cmps ?splice_with:(random_other st e) e.data;
             pre_exec st;
@@ -743,7 +823,8 @@ let run ?plans ?obs ?(config = default_config) ?(checkpoint : Checkpoint.sink op
               ~fuel:config.fuel ~max_depth:config.max_depth ~n:count ~gen
               ~sink:(fun _ out ->
                 post_exec st out;
-                decide_scratch st ~depth out)
+                decide_scratch st ~depth out);
+          trace_end ~arg:count st
         end;
         e.times_fuzzed <- e.times_fuzzed + 1;
         if e.favored && e.times_fuzzed = 1 then
@@ -754,6 +835,7 @@ let run ?plans ?obs ?(config = default_config) ?(checkpoint : Checkpoint.sink op
   (* final snapshot row: budget exhausted (kept even when it duplicates a
      cadence row, matching the historical queue_series tail sample) *)
   take_snapshot st;
+  harvest_metrics st;
   let snapshots = Obs.Observer.snapshots_from st.obs ~from:snap_base in
   {
     config;

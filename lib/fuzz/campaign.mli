@@ -131,6 +131,11 @@ type state = {
   scratch : Mutator.scratch;  (** pooled mutation buffer, reused per child *)
   obs : Obs.Observer.t;
       (** counters + snapshots + event sink; may be shared across phases *)
+  h_batch : Obs.Metrics.hist;
+      (** cohort-size histogram ([exec.batch_n]), pre-registered in the
+          observer's metrics registry at state creation *)
+  h_dirty : Obs.Metrics.hist;
+      (** context dirty-reset widths ([vm.dirty_reset_w]) *)
 }
 
 (** Build a fresh campaign state. *)

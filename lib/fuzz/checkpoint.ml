@@ -757,13 +757,16 @@ let of_string (s : string) : (t, string) result =
 (* Files *)
 
 (** Write atomically: serialize to [path ^ ".tmp"], then rename — an
-    interrupted write never destroys the previous good snapshot. *)
-let write_file ~(path : string) (ck : t) : unit =
+    interrupted write never destroys the previous good snapshot.
+    Returns the serialized size in bytes (for checkpoint metrics). *)
+let write_file ~(path : string) (ck : t) : int =
   let tmp = path ^ ".tmp" in
+  let payload = to_string ck in
   let oc = open_out_bin tmp in
-  output_string oc (to_string ck);
+  output_string oc payload;
   close_out oc;
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  String.length payload
 
 let read_file (path : string) : (t, string) result =
   match In_channel.with_open_bin path In_channel.input_all with

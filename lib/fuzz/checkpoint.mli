@@ -130,7 +130,8 @@ val to_string : t -> string
 (** Decode a serialized snapshot; all failures come back as [Error]. *)
 val of_string : string -> (t, string) result
 
-(** Serialize to [path] atomically (write to [path ^ ".tmp"], rename). *)
-val write_file : path:string -> t -> unit
+(** Serialize to [path] atomically (write to [path ^ ".tmp"], rename);
+    returns the serialized size in bytes. *)
+val write_file : path:string -> t -> int
 
 val read_file : string -> (t, string) result

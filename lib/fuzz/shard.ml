@@ -114,9 +114,19 @@ type shard = {
   item_virgin : Pathcov.Coverage_map.t;  (** per-item overlay of the global map *)
   counters : Obs.Counters.t;
   clock : (unit -> float) option;
+  metrics : Obs.Metrics.t;
+      (** shard-private registry, drained into the campaign observer's at
+          each barrier (exactly like the counter block) *)
+  h_batch : Obs.Metrics.hist;  (** cohort sizes ([exec.batch_n]) *)
+  h_dirty : Obs.Metrics.hist;  (** context dirty-reset widths *)
+  span_trace : Obs.Trace.t option;
+      (** the observer's trace when it has a track for this shard *)
+  track : int;  (** this shard's trace track ([shard index + 1]) *)
+  mutable epoch_wall : float;  (** wall of this shard's last epoch slice *)
 }
 
-let make_shard ?plans (base : Campaign.config) prepared clock prog : shard =
+let make_shard ?plans (base : Campaign.config) prepared clock span_trace
+    ~(track : int) prog : shard =
   let feedback =
     Pathcov.Feedback.make ~size_log2:base.map_size_log2 ?plans base.mode prog
   in
@@ -125,10 +135,11 @@ let make_shard ?plans (base : Campaign.config) prepared clock prog : shard =
   (* ~shared:false: compiled artifacts carry single-threaded rebindable
      state, so every shard compiles its own *)
   let tracer =
-    Tracer.make ?plans ~shared:false ~engine:base.engine
+    Tracer.make ?plans ?clock ~shared:false ~engine:base.engine
       ~selective:base.selective ~cmplog:base.cmplog ~mode:base.mode prepared
   in
   Tracer.bind tracer ~trace:feedback.trace ~h_cmp:hooks.Vm.Interp.h_cmp;
+  let metrics = Obs.Metrics.create () in
   {
     ctx = Vm.Interp.create_ctx ~hooks prepared;
     tracer;
@@ -139,7 +150,28 @@ let make_shard ?plans (base : Campaign.config) prepared clock prog : shard =
       Pathcov.Coverage_map.create_virgin ~size_log2:base.map_size_log2 ();
     counters = Obs.Counters.create ();
     clock;
+    metrics;
+    h_batch = Obs.Metrics.hist metrics "exec.batch_n";
+    h_dirty = Obs.Metrics.hist metrics "vm.dirty_reset_w";
+    span_trace =
+      (match span_trace with
+      | Some tr when track < Obs.Trace.n_tracks tr -> Some tr
+      | _ -> None);
+    track;
+    epoch_wall = 0.;
   }
+
+(* Span brackets on this shard's own trace track. Each track is written
+   only by the domain running the shard's slice, so no locking. *)
+let sh_trace_begin (sh : shard) (k : Obs.Trace.kind) : unit =
+  match sh.span_trace with
+  | Some tr -> Obs.Trace.begin_span tr ~track:sh.track k
+  | None -> ()
+
+let sh_trace_end ?(arg = 0) (sh : shard) : unit =
+  match sh.span_trace with
+  | Some tr -> Obs.Trace.end_span ~arg tr ~track:sh.track ()
+  | None -> ()
 
 (* Pre/post brackets around one VM run on a shard — the parallel twin of
    Campaign.pre_exec/post_exec, writing only shard-private state. *)
@@ -152,6 +184,7 @@ let sh_post (sh : shard) (out : Vm.Interp.outcome) : unit =
   let c = sh.counters in
   c.execs <- c.execs + 1;
   c.blocks <- c.blocks + out.blocks_executed;
+  Obs.Metrics.observe sh.h_dirty sh.ctx.last_reset_width;
   Pathcov.Coverage_map.classify sh.feedback.trace
 
 let sh_run_full_scratch (base : Campaign.config) (sh : shard) :
@@ -195,11 +228,13 @@ let sh_exec (base : Campaign.config) (sh : shard) (input : string) :
    keeps a one-shot scratch runner. *)
 let sh_reexec_scratch (base : Campaign.config) (sh : shard) : Vm.Interp.outcome
     =
+  sh_trace_begin sh Obs.Trace.Replay;
   sh.feedback.reset ();
   Pathcov.Coverage_map.clear sh.feedback.trace;
   let out = sh_run_full_scratch base sh in
   Pathcov.Coverage_map.classify sh.feedback.trace;
   sh.counters.replays <- sh.counters.replays + 1;
+  sh_trace_end sh;
   out
 
 let scratch_child (sh : shard) : string =
@@ -325,6 +360,10 @@ let run_item (base : Campaign.config) (sh : shard) (view : Corpus.view)
     | None -> None
     | Some _ -> Some (fun dt -> c.vm_s <- c.vm_s +. dt)
   in
+  if it.energy > 0 then begin
+    Obs.Metrics.observe sh.h_batch it.energy;
+    sh_trace_begin sh Obs.Trace.Exec
+  end;
   (if not base.selective then
      Tracer.run_full_batch ?clock:sh.clock ?vm_s sh.tracer sh.ctx
        ~fuel:base.fuel ~max_depth:base.max_depth ~n:it.energy ~gen
@@ -376,6 +415,7 @@ let run_item (base : Campaign.config) (sh : shard) (view : Corpus.view)
                       ~virgin:global_virgin ~idxs ~vals)
                then Tracer.mark_seen sh.tracer s
              end));
+  if it.energy > 0 then sh_trace_end ~arg:it.energy sh;
   res.execs <- !local;
   res.retained <- List.rev res.retained;
   res.crashes <- List.rev res.crashes;
@@ -548,6 +588,51 @@ let take_snapshot (t : t) : unit =
     (Obs.Snapshot.of_counters t.obs.counters ~queue:(Corpus.size t.corpus)
        ~virgin_residual:(Pathcov.Coverage_map.residual t.virgin))
 
+(* ------------------------------------------------------------------ *)
+(* Stall watchdog *)
+
+(** A shard counts as stalled when its epoch slice took more than this
+    many times the median shard's wall. *)
+let stall_factor = 4.
+
+(** Pure stall verdicts over one epoch's per-shard walls:
+    [(shard, wall, median)] for every shard whose wall exceeds
+    [factor *.] the median. Empty when fewer than two shards or when the
+    median is zero (unclocked or degenerate epochs never stall). *)
+let stall_check ~(walls : float array) ~(factor : float) :
+    (int * float * float) list =
+  let n = Array.length walls in
+  if n < 2 then []
+  else begin
+    let sorted = Array.copy walls in
+    Array.sort compare sorted;
+    let median =
+      if n land 1 = 1 then sorted.(n / 2)
+      else 0.5 *. (sorted.((n / 2) - 1) +. sorted.(n / 2))
+    in
+    if median <= 0. then []
+    else begin
+      let out = ref [] in
+      for s = n - 1 downto 0 do
+        if walls.(s) > factor *. median then
+          out := (s, walls.(s), median) :: !out
+      done;
+      !out
+    end
+  end
+
+(* Coordinator-side span brackets on track 0 (planning, merge barriers,
+   checkpoint writes). *)
+let co_trace_begin (obs : Obs.Observer.t) (k : Obs.Trace.kind) : unit =
+  match obs.trace with
+  | Some tr -> Obs.Trace.begin_span tr ~track:0 k
+  | None -> ()
+
+let co_trace_end ?(arg = 0) (obs : Obs.Observer.t) : unit =
+  match obs.trace with
+  | Some tr -> Obs.Trace.end_span ~arg tr ~track:0 ()
+  | None -> ()
+
 (** Snapshot the sharded campaign at a merge barrier. Barriers are the
     only capture points: between them shard-private state is in flight,
     but at a barrier the entire campaign is the shared state below plus
@@ -678,8 +763,8 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
   let base = cfg.base in
   let prepared = Vm.Interp.prepare_cached prog in
   let shards =
-    Array.init cfg.shards (fun _ ->
-        make_shard ?plans base prepared obs.clock prog)
+    Array.init cfg.shards (fun s ->
+        make_shard ?plans base prepared obs.clock obs.trace ~track:(s + 1) prog)
   in
   let c = obs.counters in
   let exec_base = c.execs in
@@ -719,7 +804,9 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
       (* drain seed-import execution counts out of shard 0's block so the
          observer is current before the first barrier *)
       Obs.Counters.add_into ~into:c shards.(0).counters;
-      Obs.Counters.reset shards.(0).counters);
+      Obs.Counters.reset shards.(0).counters;
+      Obs.Metrics.add_into ~into:obs.metrics shards.(0).metrics;
+      Obs.Metrics.reset shards.(0).metrics);
   (* snapshot schedule: a pure function of the exec clock, identical for
      straight and resumed runs *)
   let next_mark = ref max_int in
@@ -735,17 +822,26 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
       match pool with Some p -> Exec.Pool.shutdown p | None -> ())
     (fun () ->
       while t.execs < base.budget do
+        co_trace_begin obs Obs.Trace.Plan;
         let items = plan_epoch t in
         let n = Array.length items in
+        co_trace_end ~arg:n obs;
         let results = Array.make n None in
         let view = Corpus.view t.corpus ~limit:(Corpus.size t.corpus) in
         let slice s ~worker:_ =
           let sh = shards.(s) in
+          let t0 = match sh.clock with Some now -> now () | None -> 0. in
+          sh_trace_begin sh Obs.Trace.Epoch;
+          let mine = ref 0 in
           let k = ref s in
           while !k < n do
             results.(!k) <- Some (run_item base sh view t.virgin items.(!k));
+            incr mine;
             k := !k + cfg.shards
-          done
+          done;
+          sh_trace_end ~arg:!mine sh;
+          sh.epoch_wall <-
+            (match sh.clock with Some now -> now () -. t0 | None -> 0.)
         in
         (match pool with
         | Some p -> Exec.Pool.run_phase p cfg.shards slice
@@ -759,14 +855,51 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
               | Some r -> r | None -> invalid_arg "Shard.run: missing result")
             results
         in
+        (* barrier: the shard domains are parked (run_phase returned), so
+           draining their private counter/metric blocks is race-free *)
         Array.iter
           (fun sh ->
             Obs.Counters.add_into ~into:c sh.counters;
-            Obs.Counters.reset sh.counters)
+            Obs.Counters.reset sh.counters;
+            Obs.Metrics.add_into ~into:obs.metrics sh.metrics;
+            Obs.Metrics.reset sh.metrics)
           shards;
+        co_trace_begin obs Obs.Trace.Merge;
         let retained_now = merge_epoch t items results in
+        co_trace_end ~arg:retained_now obs;
         Array.iter (fun (r : item_result) -> t.execs <- t.execs + r.execs) results;
         t.epochs <- t.epochs + 1;
+        (* stall watchdog: epoch walls exist only when the observer
+           carries a clock, so verdicts (like every wall) are
+           observation-only and never reach a fuzzing decision *)
+        (match obs.clock with
+        | Some _ when cfg.shards > 1 ->
+            let walls = Array.map (fun sh -> sh.epoch_wall) shards in
+            let maxw = Array.fold_left max 0. walls in
+            let m = obs.metrics in
+            Array.iteri
+              (fun s sh ->
+                Obs.Metrics.add_wall
+                  (Obs.Metrics.wall m (Printf.sprintf "shard%d.busy_s" s))
+                  sh.epoch_wall;
+                Obs.Metrics.add_wall
+                  (Obs.Metrics.wall m (Printf.sprintf "shard%d.wait_s" s))
+                  (maxw -. sh.epoch_wall))
+              shards;
+            List.iter
+              (fun (s, w, med) ->
+                Obs.Metrics.bump (Obs.Metrics.counter m "shard.stalls");
+                Obs.Observer.event t.obs
+                  (Obs.Event.Stall
+                     {
+                       at_exec = t.exec_base + t.execs;
+                       epoch = t.epochs;
+                       shard = s;
+                       wall_s = w;
+                       median_s = med;
+                     }))
+              (stall_check ~walls ~factor:stall_factor)
+        | _ -> ());
         Obs.Observer.event t.obs
           (Obs.Event.Shard_sync
              {
@@ -782,10 +915,54 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
            always have budget left to replay *)
         match checkpoint with
         | Some sk when t.execs < base.budget && t.execs >= !next_mark ->
+            co_trace_begin obs Obs.Trace.Checkpoint;
             sk.save (capture_checkpoint t ~subject:sk.subject ~fuzzer:sk.fuzzer);
+            co_trace_end obs;
             next_mark := Checkpoint.next_mark ~every:sk.every ~execs:t.execs
         | _ -> ()
       done);
+  (* engine-level harvest, mirroring the sequential campaign's: walls
+     and gauges set once at budget exhaustion; artifact tallies summed
+     across the per-shard tracers (fusion shape is per-artifact and
+     identical across shards, so shard 0's stands for all). *)
+  let m = obs.metrics in
+  Obs.Metrics.set_wall (Obs.Metrics.wall m "campaign.vm_s") c.vm_s;
+  Obs.Metrics.set_wall (Obs.Metrics.wall m "campaign.mut_s") c.mut_s;
+  Obs.Metrics.add_wall
+    (Obs.Metrics.wall m "engine.compile_s")
+    (Array.fold_left
+       (fun a sh -> a +. Tracer.compile_seconds sh.tracer)
+       0. shards);
+  let hits, misses = Vm.Compile.cache_stats () in
+  Obs.Metrics.set (Obs.Metrics.gauge m "engine.cache_hits") hits;
+  Obs.Metrics.set (Obs.Metrics.gauge m "engine.cache_misses") misses;
+  Obs.Metrics.set
+    (Obs.Metrics.gauge m "engine.seen_signals")
+    (Array.fold_left (fun a sh -> a + Tracer.seen_signals sh.tracer) 0 shards);
+  (match Tracer.artifact_stats shards.(0).tracer with
+  | None -> ()
+  | Some (_, s) ->
+      let rollbacks = ref 0 and careful = ref 0 in
+      Array.iter
+        (fun sh ->
+          match Tracer.artifact_stats sh.tracer with
+          | Some (r, _) ->
+              rollbacks := !rollbacks + r.Vm.Compile.rollbacks;
+              careful := !careful + r.Vm.Compile.careful_units
+          | None -> ())
+        shards;
+      Obs.Metrics.set (Obs.Metrics.gauge m "engine.rollbacks") !rollbacks;
+      Obs.Metrics.set (Obs.Metrics.gauge m "engine.careful_units") !careful;
+      Obs.Metrics.set (Obs.Metrics.gauge m "fusion.chains") s.Vm.Compile.chains;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "fusion.chain_blocks")
+        s.Vm.Compile.chain_blocks;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "fusion.chain_max")
+        s.Vm.Compile.chain_max;
+      Obs.Metrics.set
+        (Obs.Metrics.gauge m "fusion.dup_instrs")
+        s.Vm.Compile.dup_instrs);
   let snapshots = Obs.Observer.snapshots_from obs ~from:snap_base in
   {
     campaign =

@@ -63,3 +63,21 @@ val run :
   Minic.Ir.program ->
   seeds:string list ->
   result
+
+(** {2 Stall watchdog}
+
+    After every merge barrier of a clocked, multi-shard run the
+    coordinator compares each shard's epoch wall against the epoch's
+    median and emits an {!Obs.Event.Stall} (plus a [shard.stalls]
+    counter bump) for any shard beyond [stall_factor ×] the median.
+    Walls exist only when the observer carries a clock, so the watchdog
+    is observation-only by construction. *)
+
+(** Stall threshold as a multiple of the median epoch wall. *)
+val stall_factor : float
+
+(** Pure stall verdicts over one epoch's per-shard walls:
+    [(shard, wall, median)] for each wall exceeding [factor *.] the
+    median; empty for fewer than two shards or a non-positive median.
+    Exposed for unit tests. *)
+val stall_check : walls:float array -> factor:float -> (int * float * float) list

@@ -66,6 +66,7 @@ type t = {
   mutable last_sig : int;  (** signal of the last signal-specialised run *)
   prune_mark : bool array;  (** current per-function pruning marks *)
   mutable pruned : int;  (** functions currently marked pruned *)
+  compile_s : float;  (** wall spent compiling artifacts (0 unclocked) *)
 }
 
 (** Build a tracer over a prepared subject. [shared] (default [true])
@@ -73,14 +74,23 @@ type t = {
     sharded campaigns pass [~shared:false] to compile fresh per shard —
     the artifact's rebindable state is single-threaded. [cmplog] elides
     the comparison probes from compiled code when the campaign binds a
-    no-op [h_cmp] anyway. *)
-let make ?plans ?(shared = true) ~(engine : engine) ~(selective : bool)
-    ~(cmplog : bool) ~(mode : Pathcov.Feedback.mode)
+    no-op [h_cmp] anyway. [clock] (optional, observation-only) times the
+    artifact compilations into {!compile_seconds}. *)
+let make ?plans ?clock ?(shared = true) ~(engine : engine)
+    ~(selective : bool) ~(cmplog : bool) ~(mode : Pathcov.Feedback.mode)
     (prepared : Vm.Interp.prepared) : t =
   let fused = match engine with Fused -> true | Interp | Compiled -> false in
+  let compile_s = ref 0. in
   let compile spec =
-    if shared then Vm.Compile.cached ?plans ~cmplog ~fused prepared spec
-    else Vm.Compile.compile ?plans ~cmplog ~fused prepared spec
+    let t0 = match clock with Some c -> c () | None -> 0. in
+    let art =
+      if shared then Vm.Compile.cached ?plans ~cmplog ~fused prepared spec
+      else Vm.Compile.compile ?plans ~cmplog ~fused prepared spec
+    in
+    (match clock with
+    | Some c -> compile_s := !compile_s +. (c () -. t0)
+    | None -> ());
+    art
   in
   let full_art =
     match engine with
@@ -114,6 +124,7 @@ let make ?plans ?(shared = true) ~(engine : engine) ~(selective : bool)
     last_sig = 0;
     prune_mark = Array.make (Array.length prepared.rfuncs) false;
     pruned = 0;
+    compile_s = !compile_s;
   }
 
 let engine_of (t : t) : engine = t.engine
@@ -272,3 +283,40 @@ let set_pruning (t : t) (on : bool) : unit =
 
 (** Functions currently marked pruned (diagnostics and tests). *)
 let pruned_fids (t : t) : int = t.pruned
+
+(* ------------------------------------------------------------------ *)
+(* Introspection — read-only tallies for the metrics registry. *)
+
+(** Wall spent compiling this tracer's artifacts ([0.] unclocked). *)
+let compile_seconds (t : t) : float = t.compile_s
+
+(** Distinct novelty signals recorded as seen. *)
+let seen_signals (t : t) : int = Hashtbl.length t.seen
+
+(** Engine-level tallies from the compiled artifacts: bulk-burn
+    rollback counts summed over both artifacts, fusion shape from the
+    full artifact. [None] for the interpreter engine. *)
+let artifact_stats (t : t) :
+    (Vm.Compile.runtime_stats * Vm.Compile.static_stats) option =
+  match (t.full_art, t.sig_art) with
+  | None, None -> None
+  | full, sg ->
+      let r art =
+        match art with
+        | Some a -> Vm.Compile.runtime_stats a
+        | None -> { Vm.Compile.rollbacks = 0; careful_units = 0 }
+      in
+      let rf = r full and rs = r sg in
+      let runtime =
+        {
+          Vm.Compile.rollbacks = rf.rollbacks + rs.rollbacks;
+          careful_units = rf.careful_units + rs.careful_units;
+        }
+      in
+      let static =
+        match full with
+        | Some a -> Vm.Compile.static_stats a
+        | None ->
+            { Vm.Compile.chains = 0; chain_blocks = 0; chain_max = 0; dup_instrs = 0 }
+      in
+      Some (runtime, static)

@@ -28,9 +28,12 @@ type t
     the artifact's rebindable state is single-threaded. [cmplog] elides
     comparison probes from compiled code when the campaign binds a no-op
     [h_cmp] anyway. Engine [Interp] with [selective] builds a private
-    signal context over {!Vm.Compile.signal_hooks}. *)
+    signal context over {!Vm.Compile.signal_hooks}. [clock]
+    (observation-only) times artifact compilation into
+    {!compile_seconds}. *)
 val make :
   ?plans:Pathcov.Ball_larus.program_plans ->
+  ?clock:(unit -> float) ->
   ?shared:bool ->
   engine:engine ->
   selective:bool ->
@@ -161,3 +164,21 @@ val set_pruning : t -> bool -> unit
 
 (** Functions currently marked pruned (diagnostics and tests). *)
 val pruned_fids : t -> int
+
+(** {2 Introspection}
+
+    Read-only tallies the campaign drains into its metrics registry at
+    deterministic points; reading them never perturbs execution. *)
+
+(** Wall spent compiling this tracer's artifacts ([0.] when [make] was
+    given no clock). *)
+val compile_seconds : t -> float
+
+(** Distinct novelty signals recorded as seen. *)
+val seen_signals : t -> int
+
+(** Engine-level tallies from the compiled artifacts: bulk-burn
+    rollback counts summed over both artifacts, fusion shape from the
+    full artifact. [None] for the interpreter engine. *)
+val artifact_stats :
+  t -> (Vm.Compile.runtime_stats * Vm.Compile.static_stats) option

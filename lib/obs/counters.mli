@@ -1,0 +1,53 @@
+(** The campaign-wide counter block: one preallocated record of mutable
+    scalars, bumped inline from the fuzzer's hot loop and sampled into
+    immutable {!Snapshot.row}s on an exec-count cadence.
+
+    The record is deliberately concrete: the whole point is that hot
+    paths bump fields with plain int/float stores — no closure, no
+    dispatch, no allocation — which is what makes the zero-perturbation
+    rule (DESIGN.md §7) hold byte-for-byte. *)
+
+type t = {
+  (* execution *)
+  mutable execs : int;  (** VM executions completed *)
+  mutable blocks : int;  (** VM basic blocks executed (throughput proxy) *)
+  (* mutation *)
+  mutable havocs : int;  (** mutated candidates generated *)
+  mutable splices : int;  (** candidates built with a splice peer *)
+  mutable i2s_cands : int;  (** candidates built with cmplog pairs in scope *)
+  mutable calibrations : int;  (** calibration runs (cmplog colorization) *)
+  (* queue *)
+  mutable seeds_imported : int;  (** seed-directory imports retained *)
+  mutable retained : int;  (** coverage-novel candidates admitted *)
+  mutable favored : int;  (** favored entries at the last cycle boundary *)
+  mutable pending_favored : int;  (** never-fuzzed favored at last boundary *)
+  mutable cycles : int;  (** queue cycles started *)
+  mutable queue_full_drops : int;
+      (** finished execs evaluated with a full queue *)
+  (* outcomes *)
+  mutable crashes : int;  (** raw crash count *)
+  mutable crashes_stack_unique : int;  (** new top-5-frame stack hashes *)
+  mutable crashes_cov_novel : int;  (** AFL-2.52b coverage-novel crashes *)
+  mutable hangs : int;  (** fuel-exhausted executions *)
+  (* replay work outside the campaign loop (culling, showmap) *)
+  mutable replays : int;
+  (* per-stage wall splits + mutator allocation (observer clock only) *)
+  mutable vm_s : float;
+  mutable mut_s : float;
+  mutable mut_minor_words : float;
+}
+
+val create : unit -> t
+
+(** Zero every field in place. *)
+val reset : t -> unit
+
+(** Fold [src] into [into] field-wise. Sharded campaigns give every
+    shard a private block bumped lock-free on its own domain, then
+    aggregate into the campaign observer's block at each sync barrier. *)
+val add_into : into:t -> t -> unit
+
+(** (name, value) pairs in a fixed render order — the [fuzzer_stats]
+    analogue consumed by [pathfuzz stats]. Wall-split floats are
+    rendered separately by callers that enabled a clock. *)
+val to_fields : t -> (string * int) list

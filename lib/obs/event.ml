@@ -34,6 +34,16 @@ type t =
       retained : int;  (** candidates admitted at this barrier *)
       dup_dropped : int;  (** shard-novel candidates another item beat to it *)
     }  (** a sharded campaign's sync barrier merged shard discoveries *)
+  | Stall of {
+      at_exec : int;
+      epoch : int;
+      shard : int;
+      wall_s : float;  (** the straggler's epoch wall *)
+      median_s : float;  (** median epoch wall across shards *)
+    }
+      (** the coordinator's watchdog flagged a shard whose epoch wall
+          exceeded the stall factor times the median (clocked runs
+          only; diagnostics, never a fuzzing decision) *)
   | Snapshot of Snapshot.row  (** periodic stats sample *)
   | Trial_begin of { task : int; worker : int }
       (** a pool worker claimed trial [task] *)
@@ -49,6 +59,7 @@ let name = function
   | Queue_full _ -> "queue_full"
   | Cull _ -> "cull"
   | Shard_sync _ -> "shard_sync"
+  | Stall _ -> "stall"
   | Snapshot _ -> "snapshot"
   | Trial_begin _ -> "trial_begin"
   | Trial_end _ -> "trial_end"
@@ -64,7 +75,8 @@ let at_exec = function
   | Hang { at_exec }
   | Queue_full { at_exec; _ }
   | Cull { at_exec; _ }
-  | Shard_sync { at_exec; _ } ->
+  | Shard_sync { at_exec; _ }
+  | Stall { at_exec; _ } ->
       at_exec
   | Snapshot r -> r.Snapshot.at_exec
   | Trial_begin _ | Trial_end _ -> -1
@@ -86,6 +98,9 @@ let detail = function
   | Shard_sync { epoch; queue; retained; dup_dropped; _ } ->
       Printf.sprintf "epoch %d, queue %d, retained %d, dup %d" epoch queue
         retained dup_dropped
+  | Stall { epoch; shard; wall_s; median_s; _ } ->
+      Printf.sprintf "shard %d, epoch %d, wall %.3fs vs median %.3fs" shard
+        epoch wall_s median_s
   | Snapshot r -> Snapshot.to_status r
   | Trial_begin { task; worker } ->
       Printf.sprintf "task %d, worker %d" task worker
@@ -129,8 +144,16 @@ let to_jsonl (e : t) : string =
         before after
   | Shard_sync { at_exec; epoch; queue; retained; dup_dropped } ->
       Printf.sprintf
-        "{\"ev\": \"shard_sync\", \"at\": %d, \"epoch\": %d, \"queue\": %d,          \"retained\": %d, \"dup_dropped\": %d}"
+        "{\"ev\": \"shard_sync\", \"at\": %d, \"epoch\": %d, \"queue\": %d, \
+         \"retained\": %d, \"dup_dropped\": %d}"
         at_exec epoch queue retained dup_dropped
+  | Stall { at_exec; epoch; shard; wall_s; median_s } ->
+      Printf.sprintf
+        "{\"ev\": \"stall\", \"at\": %d, \"epoch\": %d, \"shard\": %d, \
+         \"wall_s\": %s, \"median_s\": %s}"
+        at_exec epoch shard
+        (Snapshot.json_float wall_s)
+        (Snapshot.json_float median_s)
   | Trial_begin { task; worker } ->
       Printf.sprintf "{\"ev\": \"trial_begin\", \"task\": %d, \"worker\": %d}"
         task worker

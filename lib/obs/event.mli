@@ -1,0 +1,63 @@
+(** Structured campaign events.
+
+    Events fire on the fuzzer's *cold* paths — retention, crashes, cycle
+    boundaries, calibration, sync barriers, pool trial scheduling —
+    never per execution. Everything an event carries is data the
+    campaign computed anyway: observers never consume RNG draws and
+    never feed back into fuzzing decisions (the zero-perturbation rule,
+    test-enforced). *)
+
+type t =
+  | Seed_import of { at_exec : int; len : int }
+      (** a seed-directory input was executed and retained *)
+  | Retain of { at_exec : int; id : int; len : int; depth : int }
+      (** a coverage-novel candidate was admitted to the queue *)
+  | Favored_cycle of {
+      at_exec : int;
+      queue : int;
+      favored : int;
+      pending : int;
+    }  (** a queue cycle began; favored flags were recomputed *)
+  | Calibration of { at_exec : int; entry : int; cmps : int }
+      (** a queue entry was calibrated, capturing [cmps] operand pairs *)
+  | Crash of { at_exec : int; stack_unique : bool; cov_novel : bool }
+  | Hang of { at_exec : int }
+  | Queue_full of { at_exec : int; queue : int }
+      (** first finished execution evaluated against a full queue *)
+  | Cull of { at_exec : int; before : int; after : int }
+      (** a queue trim (culling/opportunistic strategies) *)
+  | Shard_sync of {
+      at_exec : int;
+      epoch : int;
+      queue : int;
+      retained : int;  (** candidates admitted at this barrier *)
+      dup_dropped : int;  (** shard-novel candidates another item beat to it *)
+    }  (** a sharded campaign's sync barrier merged shard discoveries *)
+  | Stall of {
+      at_exec : int;
+      epoch : int;
+      shard : int;
+      wall_s : float;  (** the straggler's epoch wall *)
+      median_s : float;  (** median epoch wall across shards *)
+    }
+      (** the coordinator's watchdog flagged a shard whose epoch wall
+          exceeded the stall factor times the median (clocked runs
+          only; diagnostics, never a fuzzing decision) *)
+  | Snapshot of Snapshot.row  (** periodic stats sample *)
+  | Trial_begin of { task : int; worker : int }
+      (** a pool worker claimed trial [task] *)
+  | Trial_end of { task : int; worker : int; wall_s : float }
+
+(** Event name as rendered in tables and JSONL ([ev] field). *)
+val name : t -> string
+
+(** Execution counter the event is anchored to (-1 for pool events,
+    which live outside any one campaign's exec clock). *)
+val at_exec : t -> int
+
+(** Human-readable payload (everything but the name and exec anchor). *)
+val detail : t -> string
+
+(** One JSONL line (no trailing newline); snapshots delegate to
+    {!Snapshot.to_jsonl} so both streams share one schema. *)
+val to_jsonl : t -> string

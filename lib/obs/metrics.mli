@@ -1,0 +1,91 @@
+(** Typed engine-metrics registry: counters, gauges, wall accumulators
+    and fixed-bucket log2 histograms, registered by name on first use
+    and iterated in registration order, so every render and dump is
+    deterministic for a deterministic trajectory.
+
+    Instruments are concrete mutable records: callers look one up once
+    (one Hashtbl probe per campaign) and bump fields with plain
+    int/float stores afterwards — the same zero-perturbation discipline
+    as {!Counters}. Sharded campaigns keep a private registry per shard
+    and drain it into the coordinator's with {!add_into} at sync
+    barriers, exactly like counter blocks. *)
+
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+type wall = { mutable s : float }
+
+(** Log2 histogram: bucket 0 counts values [<= 0]; bucket [k >= 1]
+    counts values in [\[2{^k-1}, 2{^k})]. 64 buckets cover every
+    non-negative OCaml int; observing allocates nothing. *)
+type hist = {
+  buckets : int array;  (** length 64 *)
+  mutable count : int;
+  mutable sum : int;
+  mutable max_v : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Wall of wall
+  | Hist of hist
+
+type t
+
+val create : unit -> t
+
+(** {2 Get-or-create}
+
+    Each returns the live instrument registered under the name,
+    creating it on first use; raises [Invalid_argument] if the name is
+    already registered with a different kind. *)
+
+val counter : t -> string -> counter
+val gauge : t -> string -> gauge
+val wall : t -> string -> wall
+val hist : t -> string -> hist
+
+(** {2 Bump helpers} — plain stores, no allocation. *)
+
+val add : counter -> int -> unit
+val bump : counter -> unit
+val set : gauge -> int -> unit
+
+(** Running max. *)
+val set_max : gauge -> int -> unit
+
+val add_wall : wall -> float -> unit
+val set_wall : wall -> float -> unit
+val observe : hist -> int -> unit
+
+(** {2 Readers} *)
+
+(** Registered names, registration order. *)
+val names : t -> string list
+
+val find : t -> string -> instrument option
+
+(** Scalar readers return the zero of their kind when the instrument is
+    absent or of another kind. *)
+
+val counter_value : t -> string -> int
+val gauge_value : t -> string -> int
+val wall_value : t -> string -> float
+
+(** [(count, sum, max)] of a histogram, [(0, 0, 0)] when absent. *)
+val hist_stats : t -> string -> int * int * int
+
+(** {2 Aggregation and dumps} *)
+
+(** Fold [src] into [into] by name, creating missing instruments in
+    [src]'s registration order. Every kind merges by summing
+    (histograms bucket-wise, max by max). Raises [Invalid_argument] on
+    a kind clash. *)
+val add_into : into:t -> t -> unit
+
+(** Zero every instrument in place (registrations survive). *)
+val reset : t -> unit
+
+(** One JSON object, fields in registration order (no trailing
+    newline) — the [fuzz --metrics FILE] payload. *)
+val to_json : t -> string

@@ -22,15 +22,29 @@
 
 type t = {
   counters : Counters.t;
+  metrics : Metrics.t;
+      (** engine-metrics registry (compile cache, rollbacks, barrier
+          waits, checkpoint costs); always present — an unused registry
+          is a few empty arrays *)
   sink : Sink.t;
   clock : (unit -> float) option;
       (** enables the vm/mutator wall split; [None] costs nothing *)
+  trace : Trace.t option;
+      (** span flight recorder; [None] (the default) costs nothing *)
   mutable snapshots : Snapshot.row array;  (** slots [0, n_snapshots) *)
   mutable n_snapshots : int;
 }
 
-let create ?clock ?(sink = Sink.null) () : t =
-  { counters = Counters.create (); sink; clock; snapshots = [||]; n_snapshots = 0 }
+let create ?clock ?metrics ?trace ?(sink = Sink.null) () : t =
+  {
+    counters = Counters.create ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    sink;
+    clock;
+    trace;
+    snapshots = [||];
+    n_snapshots = 0;
+  }
 
 (** A fresh counters-only observer — what [Campaign.run] uses when the
     caller passes none. *)

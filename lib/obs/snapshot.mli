@@ -1,0 +1,49 @@
+(** Immutable periodic stats rows — the [plot_data] analogue.
+
+    A campaign samples its {!Counters.t} block (plus the queue and
+    virgin-map state only it can see) into one [row] every
+    [budget / 64] executions and once more at budget exhaustion. Rows
+    are plain data: render as tables ([pathfuzz stats]), stream as
+    JSONL, or fold back into [Campaign.result.queue_series]. *)
+
+type row = {
+  at_exec : int;  (** observer-global execution counter at sample time *)
+  queue : int;  (** queue size *)
+  favored : int;  (** favored entries at the last cycle boundary *)
+  pending_favored : int;
+  cycles : int;
+  retained : int;
+  havocs : int;
+  splices : int;
+  i2s_cands : int;
+  calibrations : int;
+  crashes : int;
+  crashes_stack_unique : int;
+  crashes_cov_novel : int;
+  hangs : int;
+  queue_full_drops : int;
+  blocks : int;
+  virgin_residual : int;  (** virgin-map indices still untouched *)
+  vm_s : float;  (** cumulative wall inside the VM (0 without a clock) *)
+  mut_s : float;  (** cumulative wall inside the mutator *)
+  mut_minor_words : float;  (** cumulative mutator minor words *)
+}
+
+(** Sample the sharable part of a row from the counter block; the caller
+    fills in what only it can see (queue size, virgin residual). *)
+val of_counters : Counters.t -> queue:int -> virgin_residual:int -> row
+
+(** Compact float rendering shared by every obs JSON writer: integers as
+    ["%.1f"], everything else as ["%.6g"]. *)
+val json_float : float -> string
+
+(** Quote and escape a string as a JSON string literal (quotes,
+    backslashes, control characters). Every string interpolated into an
+    obs JSON stream must go through this. *)
+val json_string : string -> string
+
+(** One JSONL line (no trailing newline). *)
+val to_jsonl : row -> string
+
+(** One-line human status (the [pathfuzz fuzz --stats] monitor line). *)
+val to_status : row -> string

@@ -81,6 +81,17 @@ type cstate = {
   mutable rolling : int;  (** pathafl whole-program rolling hash *)
   mutable sig_h : int;  (** Ssignal event-stream hash *)
   mutable pruned : Bytes.t;  (** per-fid path-commit elision gate *)
+  (* introspection tallies — plain stores on paths that never feed back
+     into execution, so they are trajectory-invisible *)
+  mutable stat_rollbacks : int;
+      (** bulk-burn fast paths abandoned for a careful replay *)
+  mutable stat_careful_units : int;
+      (** fuel units re-burned one at a time by those replays *)
+  (* static superblock-fusion shape, filled once at compile time *)
+  mutable stat_chains : int;  (** fused chains emitted *)
+  mutable stat_chain_blocks : int;  (** blocks covered by fused chains *)
+  mutable stat_chain_max : int;  (** longest fused chain (blocks) *)
+  mutable stat_dup_instrs : int;  (** instructions copied by tail duplication *)
 }
 
 type t = {
@@ -1754,6 +1765,7 @@ let cblock (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
       in
       let fast = fast_chain i in
       let careful = head_careful (careful_chain i) in
+      let cs = env.cs in
       (* The head work of the first segment (entry burn already counted
          in [burn_units], the work counter, the block probe) is inlined
          into the dispatcher itself — no extra closure hop. *)
@@ -1763,6 +1775,8 @@ let cblock (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
           if ctx.fuel > 0 then fast ctx fr
           else begin
             ctx.fuel <- ctx.fuel + burn_units;
+            cs.stat_rollbacks <- cs.stat_rollbacks + 1;
+            cs.stat_careful_units <- cs.stat_careful_units + burn_units;
             careful ctx fr
           end
       else
@@ -1776,6 +1790,8 @@ let cblock (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
               end
               else begin
                 ctx.fuel <- ctx.fuel + burn_units;
+                cs.stat_rollbacks <- cs.stat_rollbacks + 1;
+                cs.stat_careful_units <- cs.stat_careful_units + burn_units;
                 careful ctx fr
               end
         | Some pb ->
@@ -1788,6 +1804,8 @@ let cblock (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
               end
               else begin
                 ctx.fuel <- ctx.fuel + burn_units;
+                cs.stat_rollbacks <- cs.stat_rollbacks + 1;
+                cs.stat_careful_units <- cs.stat_careful_units + burn_units;
                 careful ctx fr
               end
     end
@@ -1978,6 +1996,7 @@ let cchain (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
           | Ocall _ :: _ -> assert false
         in
         let carefulc = careful seg in
+        let cs = env.cs in
         if burn = 0 then fast 0 seg
         else
           (* The leading block entry's work (counter, block probe) is
@@ -1997,6 +2016,8 @@ let cchain (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
                     end
                     else begin
                       ctx.fuel <- ctx.fuel + burn;
+                      cs.stat_rollbacks <- cs.stat_rollbacks + 1;
+                      cs.stat_careful_units <- cs.stat_careful_units + burn;
                       carefulc ctx fr
                     end
               | Some pb ->
@@ -2009,6 +2030,8 @@ let cchain (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
                     end
                     else begin
                       ctx.fuel <- ctx.fuel + burn;
+                      cs.stat_rollbacks <- cs.stat_rollbacks + 1;
+                      cs.stat_careful_units <- cs.stat_careful_units + burn;
                       carefulc ctx fr
                     end)
           | _ ->
@@ -2018,6 +2041,8 @@ let cchain (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
                 if ctx.fuel > 0 then fastc ctx fr
                 else begin
                   ctx.fuel <- ctx.fuel + burn;
+                  cs.stat_rollbacks <- cs.stat_rollbacks + 1;
+                  cs.stat_careful_units <- cs.stat_careful_units + burn;
                   carefulc ctx fr
                 end
   in
@@ -2058,6 +2083,17 @@ let cfunc (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
       if not interior.(b) then
         match grow_chain f interior b with
         | _ :: _ :: _ as chain ->
+            let cs = env.cs in
+            let len = List.length chain in
+            cs.stat_chains <- cs.stat_chains + 1;
+            cs.stat_chain_blocks <- cs.stat_chain_blocks + len;
+            if len > cs.stat_chain_max then cs.stat_chain_max <- len;
+            List.iteri
+              (fun i l ->
+                if i > 0 && not interior.(l) then
+                  cs.stat_dup_instrs <-
+                    cs.stat_dup_instrs + Array.length f.rblocks.(l).rinstrs + 1)
+              chain;
             tbl.(b) <- cchain env probes p fentries tbl fid f chain
         | _ -> ()
     done
@@ -2104,6 +2140,12 @@ let compile ?plans ?(cmplog = true) ?(fused = false) (p : prepared)
       rolling = 0;
       sig_h = 0;
       pruned = pruned_zero;
+      stat_rollbacks = 0;
+      stat_careful_units = 0;
+      stat_chains = 0;
+      stat_chain_blocks = 0;
+      stat_chain_max = 0;
+      stat_dup_instrs = 0;
     }
   in
   let path_plans =
@@ -2211,6 +2253,36 @@ let prune_fid (t : t) (fid : int) (elide : bool) : unit =
     spec). *)
 let path_universe (t : t) (fid : int) : int array = t.path_universe.(fid)
 
+(* ------------------------------------------------------------------ *)
+(* Introspection (plain ints — this library has no obs dependency; the
+   fuzz layer reads these into its metrics registry at deterministic
+   points) *)
+
+type runtime_stats = {
+  rollbacks : int;  (** bulk-burn fast paths abandoned for careful replay *)
+  careful_units : int;  (** fuel units re-burned by those replays *)
+}
+
+type static_stats = {
+  chains : int;  (** fused superblock chains emitted *)
+  chain_blocks : int;  (** blocks covered by fused chains *)
+  chain_max : int;  (** longest fused chain (blocks) *)
+  dup_instrs : int;  (** instructions copied by tail duplication *)
+}
+
+(** Bulk-burn rollback tallies accumulated since compilation. *)
+let runtime_stats (t : t) : runtime_stats =
+  { rollbacks = t.cs.stat_rollbacks; careful_units = t.cs.stat_careful_units }
+
+(** Superblock-fusion shape fixed at compilation (all zero unfused). *)
+let static_stats (t : t) : static_stats =
+  {
+    chains = t.cs.stat_chains;
+    chain_blocks = t.cs.stat_chain_blocks;
+    chain_max = t.cs.stat_chain_max;
+    dup_instrs = t.cs.stat_dup_instrs;
+  }
+
 (* Mirror of [Interp.run_current] over the compiled entry points: same
    reset, same exception fences, same outcome construction. *)
 let run_current (t : t) (ctx : exec_ctx) ~fuel ~max_depth : outcome =
@@ -2302,6 +2374,17 @@ let cache_cap = 16
 let dls_cache : t list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
+(* Hit/miss tallies live beside the cache in DLS — multiple domains
+   probe their own caches concurrently, so the counters must be
+   per-domain too. *)
+let dls_cache_stats : (int ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref 0, ref 0))
+
+(** [(hits, misses)] of {!cached} on the calling domain. *)
+let cache_stats () : int * int =
+  let hits, misses = Domain.DLS.get dls_cache_stats in
+  (!hits, !misses)
+
 (** Compile-once memo, per domain: sequential campaigns, measurement
     replays and bench cells over the same [(prepared, spec)] share one
     artifact (rebound per campaign via {!bind}). Sharded campaigns must
@@ -2310,6 +2393,7 @@ let dls_cache : t list ref Domain.DLS.key =
 let cached ?plans ?(cmplog = true) ?(fused = false) (p : prepared)
     (spec : spec) : t =
   let c = Domain.DLS.get dls_cache in
+  let hits, misses = Domain.DLS.get dls_cache_stats in
   match
     List.find_opt
       (fun t ->
@@ -2317,8 +2401,11 @@ let cached ?plans ?(cmplog = true) ?(fused = false) (p : prepared)
         && t.fused = fused)
       !c
   with
-  | Some t -> t
+  | Some t ->
+      incr hits;
+      t
   | None ->
+      incr misses;
       let t = compile ?plans ~cmplog ~fused p spec in
       let keep =
         if List.length !c >= cache_cap then

@@ -147,3 +147,30 @@ val prune_fid : t -> int -> bool -> unit
 (** Enable/disable pruning: [false] (the initial state) makes every
     probe fire regardless of {!prune_fid} marks. *)
 val set_pruning : t -> bool -> unit
+
+(** {2 Introspection}
+
+    Plain-int tallies — this library carries no obs dependency; the
+    fuzz layer reads them into its metrics registry at deterministic
+    points. Reading them never perturbs execution. *)
+
+type runtime_stats = {
+  rollbacks : int;  (** bulk-burn fast paths abandoned for careful replay *)
+  careful_units : int;  (** fuel units re-burned by those replays *)
+}
+
+type static_stats = {
+  chains : int;  (** fused superblock chains emitted *)
+  chain_blocks : int;  (** blocks covered by fused chains *)
+  chain_max : int;  (** longest fused chain (blocks) *)
+  dup_instrs : int;  (** instructions copied by tail duplication *)
+}
+
+(** Bulk-burn rollback tallies accumulated since compilation. *)
+val runtime_stats : t -> runtime_stats
+
+(** Superblock-fusion shape fixed at compilation (all zero unfused). *)
+val static_stats : t -> static_stats
+
+(** [(hits, misses)] of {!cached} on the calling domain. *)
+val cache_stats : unit -> int * int

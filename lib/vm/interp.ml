@@ -355,6 +355,10 @@ type exec_ctx = {
      stack. *)
   gclear : int array array;
   mutable unwound : bool;
+  (* Introspection: how many journaled global slots the last reset had
+     to undo — the width of the dirty set. Written by [reset_ctx], read
+     only by observers (never by execution). *)
+  mutable last_reset_width : int;
 }
 
 let make_frame nlocals =
@@ -399,6 +403,7 @@ let create_ctx ?(hooks = no_hooks) (p : prepared) : exec_ctx =
       Array.of_list
         (List.filter (fun a -> a != no_arr) (Array.to_list gorig));
     unwound = false;
+    last_reset_width = 0;
   }
 
 (* Reset between executions: undo journaled global-slot writes, re-zero
@@ -406,6 +411,7 @@ let create_ctx ?(hooks = no_hooks) (p : prepared) : exec_ctx =
    so content dirtiness cannot be slot-journaled), drop leftover frames
    from crash unwinding, and clear the per-execution registers. *)
 let reset_ctx (ctx : exec_ctx) : unit =
+  ctx.last_reset_width <- ctx.ngtouched;
   for k = 0 to ctx.ngtouched - 1 do
     let i = Array.unsafe_get ctx.gtouched k in
     Array.unsafe_set ctx.gints i 0;

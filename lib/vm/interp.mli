@@ -177,6 +177,10 @@ type exec_ctx = {
       (** set by the run-loop exception fences when a crash/hang
           unwound the frame stack; tells {!reset_ctx} the pool
           occupancy cannot be trusted and a full sweep is needed *)
+  mutable last_reset_width : int;
+      (** introspection: journaled global slots the last {!reset_ctx}
+          undid (dirty-set width); written by reset, read only by
+          observers *)
 }
 
 val create_ctx : ?hooks:hooks -> prepared -> exec_ctx

@@ -392,7 +392,10 @@ let test_file_io () =
   Fun.protect
     ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
     (fun () ->
-      Fuzz.Checkpoint.write_file ~path ck;
+      let bytes_written = Fuzz.Checkpoint.write_file ~path ck in
+      check Alcotest.int "write_file reports the serialized size"
+        (String.length (Fuzz.Checkpoint.to_string ck))
+        bytes_written;
       (match Fuzz.Checkpoint.read_file path with
       | Error e -> Alcotest.fail ("read back failed: " ^ e)
       | Ok ck2 ->

@@ -8,4 +8,5 @@ let () =
    @ Test_fuzz.suite @ Test_hotpath.suite @ Test_tracer.suite
    @ Test_shard.suite
    @ Test_checkpoint.suite @ Test_subjects.suite
-   @ Test_experiments.suite @ Test_obs.suite @ Test_misc.suite)
+   @ Test_experiments.suite @ Test_obs.suite @ Test_introspect.suite
+   @ Test_misc.suite)
