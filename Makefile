@@ -59,11 +59,16 @@ resume-check: build
 	@echo "resume-check: straight, checkpointed and resumed runs identical"
 
 # Engine-determinism smoke: the staged-compilation engine (with and
-# without superblock fusion) and selective tracing must be
-# trajectory-invisible — fuzz stdout is byte-identical across
-# --engine interp/compiled/fused x --selective on/off, sequentially and
-# at any shard count (path mode exercises the Ball-Larus probes, the
-# fused bulk-burn/folded-increment paths and the cmplog taps).
+# without superblock fusion), the native generated-unit engine and
+# selective tracing must be trajectory-invisible — fuzz stdout is
+# byte-identical across --engine interp/compiled/fused/native x
+# --selective on/off, sequentially and at any shard count (path mode
+# exercises the Ball-Larus probes, the fused bulk-burn/folded-increment
+# paths and the cmplog taps). The native tiers run against a private
+# emit cache: the first run measures the cold compile wall, the second
+# must be served entirely from the cache (100% hits, zero misses), and
+# a PATHFUZZ_EMIT_FAIL=1 run must degrade to fused mid-flight with the
+# fallback counted in the metrics — all with identical stdout.
 engine-check: build
 	@rm -rf _build/engine-check && mkdir -p _build/engine-check
 	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
@@ -90,6 +95,37 @@ engine-check: build
 	  > _build/engine-check/sh-fused.out
 	diff _build/engine-check/sh-interp.out _build/engine-check/sh-selective.out
 	diff _build/engine-check/sh-interp.out _build/engine-check/sh-fused.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine native --emit-cache _build/engine-check/emit-cache \
+	  --metrics _build/engine-check/native-cold.metrics.json \
+	  > _build/engine-check/native-cold.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --engine native --emit-cache _build/engine-check/emit-cache \
+	  --metrics _build/engine-check/native-warm.metrics.json \
+	  > _build/engine-check/native-warm.out
+	diff _build/engine-check/interp.out _build/engine-check/native-cold.out
+	diff _build/engine-check/interp.out _build/engine-check/native-warm.out
+	./_build/default/bin/pathfuzz.exe fuzz -s cflow -f path -b 6000 \
+	  --shards 2 --sync-interval 512 --engine native --selective \
+	  --emit-cache _build/engine-check/emit-cache \
+	  > _build/engine-check/sh-native.out
+	diff _build/engine-check/sh-interp.out _build/engine-check/sh-native.out
+	PATHFUZZ_EMIT_FAIL=1 ./_build/default/bin/pathfuzz.exe fuzz -s cflow \
+	  -f path -b 6000 --engine native \
+	  --metrics _build/engine-check/native-fail.metrics.json \
+	  > _build/engine-check/native-fail.out
+	diff _build/engine-check/interp.out _build/engine-check/native-fail.out
+	python3 -c "import json; \
+	  cold = json.load(open('_build/engine-check/native-cold.metrics.json')); \
+	  warm = json.load(open('_build/engine-check/native-warm.metrics.json')); \
+	  fail = json.load(open('_build/engine-check/native-fail.metrics.json')); \
+	  assert fail['emit.fallbacks'] > 0, 'forced emit failure not counted'; \
+	  print('engine-check: emit compile wall cold %.3fs -> warm %.3fs' \
+	    % (cold['emit.compile_s'], warm['emit.compile_s'])); \
+	  assert cold['emit.fallbacks'] > 0 or ( \
+	    warm['emit.cache_misses'] == 0 and warm['emit.cache_hits'] > 0 \
+	    and warm['emit.fallbacks'] == 0), \
+	    'warm native run was not served 100% from the emit cache'"
 	@echo "engine-check: trajectories identical across engines and selective tracing"
 
 # Introspection-perturbation smoke: recording a span trace and the

@@ -160,14 +160,20 @@ let engine_arg =
     & opt string "interp"
     & info [ "engine" ] ~docv:"ENGINE"
         ~doc:
-          "Execution engine: $(b,interp) (the reference CFG interpreter), \
-           $(b,compiled) (staged compilation of the subject into OCaml \
-           closures with the feedback probes baked in) or $(b,fused) \
-           (compiled plus superblock fusion: single-predecessor chains \
-           collapsed into one closure with coalesced fuel burns and \
-           folded path increments). The fuzzing trajectory — queue, \
-           coverage, crashes, stdout — is engine-invariant; only \
-           throughput changes.")
+          (Printf.sprintf
+             "Execution engine (%s): $(b,interp) (the reference CFG \
+              interpreter), $(b,compiled) (staged compilation of the \
+              subject into OCaml closures with the feedback probes baked \
+              in), $(b,fused) (compiled plus superblock fusion: single-\
+              predecessor chains collapsed into one closure with coalesced \
+              fuel burns and folded path increments) or $(b,native) (the \
+              fused plan emitted as per-subject OCaml source, compiled \
+              out-of-process with ocamlopt, loaded via Dynlink and cached \
+              on disk; silently degrades to fused when no toolchain is \
+              available). The fuzzing trajectory — queue, coverage, \
+              crashes, stdout — is engine-invariant; only throughput \
+              changes."
+             (String.concat ", " Fuzz.Tracer.engine_names)))
 
 let selective_arg =
   Arg.(
@@ -184,10 +190,22 @@ let engine_of_flag engine =
   match Fuzz.Tracer.engine_of_name engine with
   | Some e -> e
   | None ->
-      Fmt.epr
-        "pathfuzz: unknown --engine %s (expected interp, compiled or fused)@."
-        engine;
+      Fmt.epr "pathfuzz: unknown --engine %s (expected %s)@." engine
+        (String.concat ", " Fuzz.Tracer.engine_names);
       exit 2
+
+let emit_cache_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "emit-cache" ] ~docv:"DIR"
+        ~doc:
+          "Directory for the native engine's on-disk artifact cache \
+           (compiled per-subject units, keyed by content hash). Overrides \
+           $(b,PATHFUZZ_EMIT_CACHE); default is a per-user cache dir. \
+           Only meaningful with $(b,--engine) native.")
+
+let apply_emit_cache dir = if dir <> "" then Vm.Emit.set_cache_dir dir
 
 let fuzz_cmd =
   let fuzzer = fuzzer_arg in
@@ -278,12 +296,13 @@ let fuzz_cmd =
              barrier waits, checkpoint costs) to FILE as one JSON object \
              (\"-\" for stderr). Observation-only; single trial.")
   in
-  let run subject fuzzer budget trial trials rounds engine selective jobs
-      shards sync_interval stats jsonl checkpoint checkpoint_every resume
-      trace_file metrics_file =
+  let run subject fuzzer budget trial trials rounds engine selective
+      emit_cache jobs shards sync_interval stats jsonl checkpoint
+      checkpoint_every resume trace_file metrics_file =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
     let engine = engine_of_flag engine in
+    apply_emit_cache emit_cache;
     let trials = max 1 trials in
     let jobs = resolve_jobs jobs in
     if shards < 0 then begin
@@ -585,9 +604,9 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc:"Run one or more fuzzing campaigns")
     Term.(
       const run $ subject_arg $ fuzzer $ budget $ trial $ trials $ rounds
-      $ engine $ selective $ jobs_arg $ shards_arg $ sync_interval_arg $ stats
-      $ jsonl $ checkpoint $ checkpoint_every $ resume $ trace_file
-      $ metrics_file)
+      $ engine $ selective $ emit_cache_arg $ jobs_arg $ shards_arg
+      $ sync_interval_arg $ stats $ jsonl $ checkpoint $ checkpoint_every
+      $ resume $ trace_file $ metrics_file)
 
 (* --- profile (deep campaign introspection) --- *)
 
@@ -611,11 +630,12 @@ let profile_cmd =
              Sequential loop only — ticks are not meaningful across \
              domains.")
   in
-  let run subject fuzzer budget trial rounds engine selective shards
-      sync_interval deterministic =
+  let run subject fuzzer budget trial rounds engine selective emit_cache
+      shards sync_interval deterministic =
     let s = lookup_subject subject in
     let fz = fuzzer_of_name rounds fuzzer in
     let engine = engine_of_flag engine in
+    apply_emit_cache emit_cache;
     if shards < 0 then begin
       Fmt.epr "pathfuzz: --shards must be >= 0, got %d@." shards;
       exit 2
@@ -680,8 +700,8 @@ let profile_cmd =
           walls, shard utilization, engine metrics, counters)")
     Term.(
       const run $ subject_arg $ fuzzer_arg $ budget $ trial_arg $ rounds_arg
-      $ engine_arg $ selective_arg $ shards_arg $ sync_interval_arg
-      $ deterministic)
+      $ engine_arg $ selective_arg $ emit_cache_arg $ shards_arg
+      $ sync_interval_arg $ deterministic)
 
 (* --- path-profile --- *)
 
@@ -852,14 +872,54 @@ let bench_throughput_cmd =
             "Free-form note embedded in the JSON (e.g. the honest outcome \
              of a perf target).")
   in
-  let run subjects execs out smoke note =
+  let engines =
+    Arg.(
+      value
+      & opt string ""
+      & info [ "engines" ] ~docv:"NAMES"
+          ~doc:
+            (Printf.sprintf
+               "Comma-separated engines to measure (subset of %s; default: \
+                all). The filter is recorded in the JSON note so a partial \
+                re-measurement is never mistaken for a full grid."
+               (String.concat ", " Experiments.Throughput.engines)))
+  in
+  let run subjects execs out smoke note engines emit_cache =
+    apply_emit_cache emit_cache;
     let names =
       if smoke then [ "gdk" ]
       else String.split_on_char ',' subjects |> List.map String.trim
     in
     let execs = if smoke then 50 else max 1 execs in
     let subjects = List.map lookup_subject names in
-    let samples = Experiments.Throughput.grid ~execs subjects in
+    let engine_filter =
+      match engines with
+      | "" -> None
+      | s ->
+          let l = String.split_on_char ',' s |> List.map String.trim in
+          List.iter
+            (fun e ->
+              if not (List.mem e Experiments.Throughput.engines) then begin
+                Fmt.epr "pathfuzz: unknown --engines entry %s (expected %s)@."
+                  e
+                  (String.concat ", " Experiments.Throughput.engines);
+                exit 2
+              end)
+            l;
+          Some l
+    in
+    let note =
+      match engine_filter with
+      | None -> note
+      | Some l ->
+          let tag =
+            Printf.sprintf "engines filter: %s" (String.concat "," l)
+          in
+          if note = "" then tag else note ^ "; " ^ tag
+    in
+    let samples =
+      Experiments.Throughput.grid ?engines:engine_filter ~execs subjects
+    in
     (* table to stderr: stdout stays machine-readable when out = "-" *)
     Fmt.epr "%s@." (Experiments.Throughput.to_table samples);
     (* regeneration keeps the recorded baseline trajectory of the
@@ -908,7 +968,9 @@ let bench_throughput_cmd =
        ~doc:
          "Measure execs/sec, blocks/sec and allocation per execution across \
           the (subject x feedback) grid")
-    Term.(const run $ subjects $ execs $ out $ smoke $ note)
+    Term.(
+      const run $ subjects $ execs $ out $ smoke $ note $ engines
+      $ emit_cache_arg)
 
 (* --- bench-campaign --- *)
 

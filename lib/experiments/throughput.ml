@@ -10,15 +10,19 @@
 
     One measured "execution" is exactly one iteration of the campaign hot
     loop: feedback reset, trace clear, run, trace classify — i.e. what
-    [Fuzz.Campaign.execute] does minus queue bookkeeping. Four engines
+    [Fuzz.Campaign.execute] does minus queue bookkeeping. Five engines
     are measured: [interp] (the pooled interpreter driving the runtime
     listeners), [compiled] (the [Vm.Compile] staged artifact with probes
     baked in), [fused] (the staged artifact with superblock fusion —
     single-predecessor chains collapsed into one closure with coalesced
-    fuel burns and folded path increments), and [selective] (the
+    fuel burns and folded path increments), [selective] (the
     selective-tracing pipeline: the near-null signal specialisation per
     execution plus a full-instrumentation replay on each first-seen
-    signal; the mode-less row is the pure signal floor with no replay).
+    signal; the mode-less row is the pure signal floor with no replay),
+    and [native] (the [Vm.Emit] per-subject generated OCaml unit,
+    compiled out-of-process and Dynlink'd — measured only when the
+    emitter is available on this host; {!grid} probes once and skips the
+    native rows with a stderr note otherwise).
     Selective rows also report [replays] — the replays that fell inside
     the measured window, which drops to ~0 once the cycled seeds' signals
     are all seen (the amortisation the campaign enjoys). Seeds are cycled
@@ -28,7 +32,8 @@
 type sample = {
   subject : string;
   mode : string;  (** feedback mode name, or ["none"] (uninstrumented) *)
-  engine : string;  (** "interp", "compiled", "fused" or "selective" *)
+  engine : string;
+      (** "interp", "compiled", "fused", "selective" or "native" *)
   execs : int;  (** measured executions (after warmup) *)
   wall_s : float;
   execs_per_sec : float;
@@ -49,6 +54,11 @@ let modes : (string * Pathcov.Feedback.mode option) list =
     ("path", Some Pathcov.Feedback.Path);
     ("pathafl", Some Pathcov.Feedback.Pathafl);
   ]
+
+(** The measured engines, in presentation order — the grid default and
+    the universe the [--engines] bench filter validates against. *)
+let engines : string list =
+  [ "interp"; "compiled"; "fused"; "selective"; "native" ]
 
 (* One throughput cell: replay the subject's seeds round-robin through a
    reused execution context. Warmup executions let frame pools, the
@@ -150,6 +160,30 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
                 ignore (Vm.Compile.run full ctx ~input);
                 Pathcov.Coverage_map.classify trace
               end)
+    | "native" -> (
+        let spec =
+          match mode with
+          | None -> Vm.Compile.Snone
+          | Some m -> Vm.Compile.Sfull m
+        in
+        match Vm.Emit.instance ~cmplog:false prepared spec with
+        | Error msg ->
+            invalid_arg
+              (Printf.sprintf
+                 "Throughput.measure: native emitter unavailable (%s)" msg)
+        | Ok em ->
+            let ctx = Vm.Interp.create_ctx prepared in
+            let trace = Pathcov.Coverage_map.create () in
+            Vm.Emit.bind em ~trace ~h_cmp:(fun _ _ -> ());
+            fun i ->
+              (match mode with
+              | Some _ -> Pathcov.Coverage_map.clear trace
+              | None -> ());
+              let out = Vm.Emit.run em ctx ~input:seeds.(i mod nseeds) in
+              blocks := !blocks + out.blocks_executed;
+              (match mode with
+              | Some _ -> Pathcov.Coverage_map.classify trace
+              | None -> ()))
     | e -> invalid_arg (Printf.sprintf "Throughput.measure: engine %S" e)
   in
   for i = 0 to warmup - 1 do
@@ -177,25 +211,49 @@ let measure ?(warmup = 64) ~execs ~(engine : string)
     replays = !replays;
   }
 
-(** Measure the full (subject x mode x engine) grid: every mode under
-    each full engine ([interp], [compiled], [fused]), the mode-less
-    [selective] signal floor, and the full selective pipeline per
-    instrumented mode (signal runs + first-seen replays). *)
-let grid ?warmup ~execs (subjects : Subjects.Subject.t list) : sample list =
+(** Measure the (subject x mode x engine) grid: every mode under each
+    requested engine (default: all of {!engines}), where [selective]'s
+    mode-less row is the signal floor and its instrumented rows the full
+    pipeline (signal runs + first-seen replays). [native] cells are
+    measured only when the emitter works on this host: the grid probes
+    once (first subject, no instrumentation) and drops the engine with a
+    stderr note otherwise, so a toolchain-less machine still produces
+    the rest of the grid. Unknown engine names raise [Invalid_argument]
+    (the CLI validates before calling). *)
+let grid ?warmup ?(engines = engines) ~execs
+    (subjects : Subjects.Subject.t list) : sample list =
+  List.iter
+    (fun e ->
+      if
+        not
+          (List.mem e [ "interp"; "compiled"; "fused"; "selective"; "native" ])
+      then invalid_arg (Printf.sprintf "Throughput.grid: engine %S" e))
+    engines;
+  let engines =
+    if not (List.mem "native" engines) then engines
+    else
+      match subjects with
+      | [] -> engines
+      | s :: _ -> (
+          let prepared =
+            Vm.Interp.prepare_cached (Subjects.Subject.program s)
+          in
+          match Vm.Emit.instance ~cmplog:false prepared Vm.Compile.Snone with
+          | Ok _ -> engines
+          | Error msg ->
+              Printf.eprintf
+                "[throughput] native engine unavailable (%s); skipping \
+                 native cells\n\
+                 %!"
+                msg;
+              List.filter (fun e -> e <> "native") engines)
+  in
   List.concat_map
     (fun s ->
-      List.map
-        (fun (_, m) -> measure ?warmup ~execs ~engine:"interp" ~mode:m s)
-        modes
-      @ List.map
-          (fun (_, m) -> measure ?warmup ~execs ~engine:"compiled" ~mode:m s)
-          modes
-      @ List.map
-          (fun (_, m) -> measure ?warmup ~execs ~engine:"fused" ~mode:m s)
-          modes
-      @ List.map
-          (fun (_, m) -> measure ?warmup ~execs ~engine:"selective" ~mode:m s)
-          modes)
+      List.concat_map
+        (fun engine ->
+          List.map (fun (_, m) -> measure ?warmup ~execs ~engine ~mode:m s) modes)
+        engines)
     subjects
 
 (* ------------------------------------------------------------------ *)
@@ -381,7 +439,7 @@ let speedup_vs_baseline ~(baseline_raw : string) (samples : sample list) :
 (** Geomean speedup vs the baseline's interp cells for every
     (mode x engine) pair present in [samples] — the honest per-mode view
     behind the single path scalar. Modes keep the ladder order; engines
-    are ordered compiled, fused, selective. *)
+    are ordered compiled, fused, selective, native. *)
 let speedups_by_mode ~(baseline_raw : string) (samples : sample list) :
     (string * string * float) list =
   let mode_names = List.map fst modes in
@@ -392,7 +450,7 @@ let speedups_by_mode ~(baseline_raw : string) (samples : sample list) :
           match speedup_for ~mode ~engine ~baseline_raw samples with
           | Some (g, _) -> Some (mode, engine, g)
           | None -> None)
-        [ "compiled"; "fused"; "selective" ])
+        [ "compiled"; "fused"; "selective"; "native" ])
     mode_names
 
 (** Render the [BENCH_throughput.json] document. [baseline] optionally
@@ -421,6 +479,12 @@ let to_json ?(note = "") ?(baseline = []) ?baseline_raw (samples : sample list)
           Buffer.add_string buf
             (Printf.sprintf
                "  \"path_speedup_fused_vs_baseline\": %s,\n" (json_float g))
+      | None -> ());
+      (match speedup_for ~mode:"path" ~engine:"native" ~baseline_raw:raw samples with
+      | Some (g, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  \"path_speedup_native_vs_baseline\": %s,\n" (json_float g))
       | None -> ());
       (match speedups_by_mode ~baseline_raw:raw samples with
       | [] -> ()

@@ -575,6 +575,9 @@ let make_state ?plans ?obs ?(config = default_config) (prog : Minic.Ir.program)
   (match obs.trace with
   | Some tr -> Obs.Trace.end_span tr ~track:0 ()
   | None -> ());
+  (match Tracer.emit_fallback tracer with
+  | Some reason -> Obs.Observer.event obs (Obs.Event.Emit_fallback { reason })
+  | None -> ());
   Tracer.bind tracer ~trace:feedback.trace ~h_cmp:hooks.Vm.Interp.h_cmp;
   {
     prepared;
@@ -694,6 +697,17 @@ let harvest_metrics (st : state) : unit =
   Obs.Metrics.set
     (Obs.Metrics.gauge m "engine.seen_signals")
     (Tracer.seen_signals st.tracer);
+  (* Emitter tallies only exist on native campaigns — process-global
+     cumulative sources, so set semantics; gated to keep every other
+     engine's metric dump (and the golden reports) untouched. *)
+  (match st.cfg.engine with
+  | Tracer.Native ->
+      let e = Vm.Emit.stats () in
+      Obs.Metrics.set_wall (Obs.Metrics.wall m "emit.compile_s") e.compile_s;
+      Obs.Metrics.set (Obs.Metrics.gauge m "emit.cache_hits") e.cache_hits;
+      Obs.Metrics.set (Obs.Metrics.gauge m "emit.cache_misses") e.cache_misses;
+      Obs.Metrics.set (Obs.Metrics.gauge m "emit.fallbacks") e.fallbacks
+  | Tracer.Interp | Tracer.Compiled | Tracer.Fused -> ());
   match Tracer.artifact_stats st.tracer with
   | None -> ()
   | Some (r, s) ->

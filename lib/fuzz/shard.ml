@@ -766,6 +766,11 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
     Array.init cfg.shards (fun s ->
         make_shard ?plans base prepared obs.clock obs.trace ~track:(s + 1) prog)
   in
+  (* Emission fails identically for every shard (same cache key), so one
+     event stands for the fleet. *)
+  (match Tracer.emit_fallback shards.(0).tracer with
+  | Some reason -> Obs.Observer.event obs (Obs.Event.Emit_fallback { reason })
+  | None -> ());
   let c = obs.counters in
   let exec_base = c.execs in
   let snap_base = obs.n_snapshots in
@@ -939,6 +944,14 @@ let run ?plans ?obs ?workers ?(checkpoint : Checkpoint.sink option)
   Obs.Metrics.set
     (Obs.Metrics.gauge m "engine.seen_signals")
     (Array.fold_left (fun a sh -> a + Tracer.seen_signals sh.tracer) 0 shards);
+  (match base.engine with
+  | Tracer.Native ->
+      let e = Vm.Emit.stats () in
+      Obs.Metrics.set_wall (Obs.Metrics.wall m "emit.compile_s") e.compile_s;
+      Obs.Metrics.set (Obs.Metrics.gauge m "emit.cache_hits") e.cache_hits;
+      Obs.Metrics.set (Obs.Metrics.gauge m "emit.cache_misses") e.cache_misses;
+      Obs.Metrics.set (Obs.Metrics.gauge m "emit.fallbacks") e.fallbacks
+  | Tracer.Interp | Tracer.Compiled | Tracer.Fused -> ());
   (match Tracer.artifact_stats shards.(0).tracer with
   | None -> ()
   | Some (_, s) ->

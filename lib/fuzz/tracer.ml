@@ -1,6 +1,6 @@
 (** Execution-engine selection and selective tracing for campaigns.
 
-    A campaign executes candidates through one of three engines over the
+    A campaign executes candidates through one of four engines over the
     same pooled {!Vm.Interp.exec_ctx}:
 
     - [Interp]: the reference CFG interpreter driving the runtime
@@ -9,7 +9,13 @@
       probes partially evaluated into the block closures;
     - [Fused]: [Compiled] plus superblock fusion — single-predecessor
       goto chains collapsed into one closure with coalesced fuel burns
-      and folded Ball–Larus increments ([Vm.Compile.compile ~fused]).
+      and folded Ball–Larus increments ([Vm.Compile.compile ~fused]);
+    - [Native]: the {!Vm.Emit} per-subject generated OCaml unit —
+      fusion plus out-of-process [ocamlopt] and a Dynlink load, cached
+      on disk. When emission fails for any reason (no toolchain,
+      compile error, forced [PATHFUZZ_EMIT_FAIL]) the tracer silently
+      degrades to [Fused] and records why ({!emit_fallback}), so
+      campaigns behave identically on toolchain-less machines.
 
     All produce byte-identical traces, outcomes and fuel accounting
     (test-enforced differentially), so the engine choice is invisible to
@@ -40,18 +46,22 @@
     trace feeds nothing but the virgin merge — so retained entries keep
     exactly the trace indices the unpruned pipeline records. *)
 
-type engine = Interp | Compiled | Fused
+type engine = Interp | Compiled | Fused | Native
 
 let engine_name = function
   | Interp -> "interp"
   | Compiled -> "compiled"
   | Fused -> "fused"
+  | Native -> "native"
 
 let engine_of_name = function
   | "interp" -> Some Interp
   | "compiled" -> Some Compiled
   | "fused" -> Some Fused
+  | "native" -> Some Native
   | _ -> None
+
+let engine_names = [ "interp"; "compiled"; "fused"; "native" ]
 
 type t = {
   engine : engine;
@@ -59,6 +69,11 @@ type t = {
   mode : Pathcov.Feedback.mode;
   full_art : Vm.Compile.t option;  (** [Compiled]: the [Sfull mode] artifact *)
   sig_art : Vm.Compile.t option;  (** [Compiled] + selective: [Ssignal] *)
+  full_emit : Vm.Emit.t option;  (** [Native]: the emitted [Sfull mode] unit *)
+  sig_emit : Vm.Emit.t option;  (** [Native] + selective: emitted [Ssignal] *)
+  emit_fallback : string option;
+      (** [Native] only: why emission failed and the tracer degraded to
+          the fused closure engine ([None] when native is live) *)
   sig_cell : int ref;  (** [Interp] + selective: rolling-hash accumulator *)
   sig_ctx : Vm.Interp.exec_ctx option;
       (** [Interp] + selective: private context with the signal hooks *)
@@ -79,27 +94,71 @@ type t = {
 let make ?plans ?clock ?(shared = true) ~(engine : engine)
     ~(selective : bool) ~(cmplog : bool) ~(mode : Pathcov.Feedback.mode)
     (prepared : Vm.Interp.prepared) : t =
-  let fused = match engine with Fused -> true | Interp | Compiled -> false in
   let compile_s = ref 0. in
-  let compile spec =
+  let clocked f =
     let t0 = match clock with Some c -> c () | None -> 0. in
-    let art =
-      if shared then Vm.Compile.cached ?plans ~cmplog ~fused prepared spec
-      else Vm.Compile.compile ?plans ~cmplog ~fused prepared spec
-    in
+    let r = f () in
     (match clock with
     | Some c -> compile_s := !compile_s +. (c () -. t0)
     | None -> ());
-    art
+    r
+  in
+  (* [Native]: emit + load both needed specialisations up front. Any
+     failure — no compiler on PATH, compile error, Dynlink refusal,
+     forced [PATHFUZZ_EMIT_FAIL] — degrades the whole tracer to the
+     fused closure engine (recording why), so campaigns behave
+     identically on toolchain-less machines. *)
+  let full_emit, sig_emit, emit_fallback =
+    match engine with
+    | Interp | Compiled | Fused -> (None, None, None)
+    | Native -> (
+        let r =
+          clocked (fun () ->
+              match
+                Vm.Emit.instance ?plans ~cmplog prepared
+                  (Vm.Compile.Sfull mode)
+              with
+              | Error _ as e -> e
+              | Ok full ->
+                  if not selective then Ok (full, None)
+                  else (
+                    match
+                      Vm.Emit.instance ?plans ~cmplog prepared
+                        Vm.Compile.Ssignal
+                    with
+                    | Ok sg -> Ok (full, Some sg)
+                    | Error e -> Error e))
+        in
+        match r with
+        | Ok (full, sg) -> (Some full, sg, None)
+        | Error reason ->
+            Vm.Emit.note_fallback ();
+            (None, None, Some reason))
+  in
+  let fused =
+    match engine with
+    | Fused -> true
+    | Native -> emit_fallback <> None
+    | Interp | Compiled -> false
+  in
+  let compile spec =
+    clocked (fun () ->
+        if shared then Vm.Compile.cached ?plans ~cmplog ~fused prepared spec
+        else Vm.Compile.compile ?plans ~cmplog ~fused prepared spec)
   in
   let full_art =
     match engine with
     | Interp -> None
     | Compiled | Fused -> Some (compile (Vm.Compile.Sfull mode))
+    | Native ->
+        if emit_fallback <> None then Some (compile (Vm.Compile.Sfull mode))
+        else None
   in
   let sig_art =
     match engine with
     | (Compiled | Fused) when selective -> Some (compile Vm.Compile.Ssignal)
+    | Native when selective && emit_fallback <> None ->
+        Some (compile Vm.Compile.Ssignal)
     | _ -> None
   in
   let sig_cell = ref 0 in
@@ -118,6 +177,9 @@ let make ?plans ?clock ?(shared = true) ~(engine : engine)
     mode;
     full_art;
     sig_art;
+    full_emit;
+    sig_emit;
+    emit_fallback;
     sig_cell;
     sig_ctx;
     seen = Hashtbl.create 4096;
@@ -130,61 +192,87 @@ let make ?plans ?clock ?(shared = true) ~(engine : engine)
 let engine_of (t : t) : engine = t.engine
 let selective (t : t) : bool = t.selective
 
+(** [Some reason] when a [Native] tracer failed to emit and degraded to
+    the fused closure engine; [None] otherwise. *)
+let emit_fallback (t : t) : string option = t.emit_fallback
+
 (** Retarget the compiled artifact's probes at the campaign's trace map
     and cmplog probe (no-op for the interpreter engine, whose hooks are
     installed in the campaign context directly). *)
 let bind (t : t) ~(trace : Pathcov.Coverage_map.t) ~(h_cmp : int -> int -> unit)
     : unit =
-  match t.full_art with
-  | Some art -> Vm.Compile.bind art ~trace ~h_cmp
-  | None -> ()
+  match t.full_emit with
+  | Some e -> Vm.Emit.bind e ~trace ~h_cmp
+  | None -> (
+      match t.full_art with
+      | Some art -> Vm.Compile.bind art ~trace ~h_cmp
+      | None -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)
 
 let run_full (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
     ~(max_depth : int) ~(input : string) : Vm.Interp.outcome =
-  match t.full_art with
-  | Some art -> Vm.Compile.run ~fuel ~max_depth art ctx ~input
-  | None -> Vm.Interp.run_ctx ~fuel ~max_depth ctx ~input
+  match t.full_emit with
+  | Some e -> Vm.Emit.run ~fuel ~max_depth e ctx ~input
+  | None -> (
+      match t.full_art with
+      | Some art -> Vm.Compile.run ~fuel ~max_depth art ctx ~input
+      | None -> Vm.Interp.run_ctx ~fuel ~max_depth ctx ~input)
 
 let run_full_sub (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
     ~(max_depth : int) ~(buf : Bytes.t) ~(len : int) : Vm.Interp.outcome =
-  match t.full_art with
-  | Some art -> Vm.Compile.run_sub ~fuel ~max_depth art ctx ~buf ~len
-  | None -> Vm.Interp.run_ctx_sub ~fuel ~max_depth ctx ~buf ~len
+  match t.full_emit with
+  | Some e -> Vm.Emit.run_sub ~fuel ~max_depth e ctx ~buf ~len
+  | None -> (
+      match t.full_art with
+      | Some art -> Vm.Compile.run_sub ~fuel ~max_depth art ctx ~buf ~len
+      | None -> Vm.Interp.run_ctx_sub ~fuel ~max_depth ctx ~buf ~len)
 
 let run_signal (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
     ~(max_depth : int) ~(input : string) : Vm.Interp.outcome =
-  match t.sig_art with
-  | Some art ->
-      let out = Vm.Compile.run ~fuel ~max_depth art ctx ~input in
-      t.last_sig <- Vm.Compile.signal art;
+  match t.sig_emit with
+  | Some e ->
+      let out = Vm.Emit.run ~fuel ~max_depth e ctx ~input in
+      t.last_sig <- Vm.Emit.signal e;
       out
   | None -> (
-      match t.sig_ctx with
-      | Some sctx ->
-          t.sig_cell := 0;
-          let out = Vm.Interp.run_ctx ~fuel ~max_depth sctx ~input in
-          t.last_sig <- !(t.sig_cell);
+      match t.sig_art with
+      | Some art ->
+          let out = Vm.Compile.run ~fuel ~max_depth art ctx ~input in
+          t.last_sig <- Vm.Compile.signal art;
           out
-      | None -> invalid_arg "Tracer.run_signal: not a selective tracer")
+      | None -> (
+          match t.sig_ctx with
+          | Some sctx ->
+              t.sig_cell := 0;
+              let out = Vm.Interp.run_ctx ~fuel ~max_depth sctx ~input in
+              t.last_sig <- !(t.sig_cell);
+              out
+          | None -> invalid_arg "Tracer.run_signal: not a selective tracer"))
 
 let run_signal_sub (t : t) (ctx : Vm.Interp.exec_ctx) ~(fuel : int)
     ~(max_depth : int) ~(buf : Bytes.t) ~(len : int) : Vm.Interp.outcome =
-  match t.sig_art with
-  | Some art ->
-      let out = Vm.Compile.run_sub ~fuel ~max_depth art ctx ~buf ~len in
-      t.last_sig <- Vm.Compile.signal art;
+  match t.sig_emit with
+  | Some e ->
+      let out = Vm.Emit.run_sub ~fuel ~max_depth e ctx ~buf ~len in
+      t.last_sig <- Vm.Emit.signal e;
       out
   | None -> (
-      match t.sig_ctx with
-      | Some sctx ->
-          t.sig_cell := 0;
-          let out = Vm.Interp.run_ctx_sub ~fuel ~max_depth sctx ~buf ~len in
-          t.last_sig <- !(t.sig_cell);
+      match t.sig_art with
+      | Some art ->
+          let out = Vm.Compile.run_sub ~fuel ~max_depth art ctx ~buf ~len in
+          t.last_sig <- Vm.Compile.signal art;
           out
-      | None -> invalid_arg "Tracer.run_signal_sub: not a selective tracer")
+      | None -> (
+          match t.sig_ctx with
+          | Some sctx ->
+              t.sig_cell := 0;
+              let out = Vm.Interp.run_ctx_sub ~fuel ~max_depth sctx ~buf ~len in
+              t.last_sig <- !(t.sig_cell);
+              out
+          | None ->
+              invalid_arg "Tracer.run_signal_sub: not a selective tracer"))
 
 (* Batched cohort execution: hoist the per-candidate engine dispatch
    (and, compiled, the prepared-identity check) out of the havoc inner
@@ -196,9 +284,15 @@ let run_full_batch ?clock ?vm_s (t : t) (ctx : Vm.Interp.exec_ctx)
     ~(fuel : int) ~(max_depth : int) ~(n : int)
     ~(gen : int -> Bytes.t * int) ~(sink : int -> Vm.Interp.outcome -> unit) :
     unit =
-  match t.full_art with
-  | Some art -> Vm.Compile.run_batch ~fuel ~max_depth ?clock ?vm_s art ctx ~n ~gen ~sink
-  | None -> Vm.Interp.run_batch ~fuel ~max_depth ?clock ?vm_s ctx ~n ~gen ~sink
+  match t.full_emit with
+  | Some e -> Vm.Emit.run_batch ~fuel ~max_depth ?clock ?vm_s e ctx ~n ~gen ~sink
+  | None -> (
+      match t.full_art with
+      | Some art ->
+          Vm.Compile.run_batch ~fuel ~max_depth ?clock ?vm_s art ctx ~n ~gen
+            ~sink
+      | None ->
+          Vm.Interp.run_batch ~fuel ~max_depth ?clock ?vm_s ctx ~n ~gen ~sink)
 
 (* The signal variant latches [last_sig] before each [sink] call, so the
    sink observes exactly what a [run_signal_sub]-per-candidate loop
@@ -209,23 +303,31 @@ let run_signal_batch ?clock ?vm_s (t : t) (ctx : Vm.Interp.exec_ctx)
     ~(gen : int -> Bytes.t * int) ~(sink : int -> Vm.Interp.outcome -> unit) :
     unit =
   ignore ctx;
-  match t.sig_art with
-  | Some art ->
-      Vm.Compile.run_batch ~fuel ~max_depth ?clock ?vm_s art ctx ~n ~gen
+  match t.sig_emit with
+  | Some e ->
+      Vm.Emit.run_batch ~fuel ~max_depth ?clock ?vm_s e ctx ~n ~gen
         ~sink:(fun k out ->
-          t.last_sig <- Vm.Compile.signal art;
+          t.last_sig <- Vm.Emit.signal e;
           sink k out)
   | None -> (
-      match t.sig_ctx with
-      | Some sctx ->
-          Vm.Interp.run_batch ~fuel ~max_depth ?clock ?vm_s sctx ~n
-            ~gen:(fun k ->
-              t.sig_cell := 0;
-              gen k)
+      match t.sig_art with
+      | Some art ->
+          Vm.Compile.run_batch ~fuel ~max_depth ?clock ?vm_s art ctx ~n ~gen
             ~sink:(fun k out ->
-              t.last_sig <- !(t.sig_cell);
+              t.last_sig <- Vm.Compile.signal art;
               sink k out)
-      | None -> invalid_arg "Tracer.run_signal_batch: not a selective tracer")
+      | None -> (
+          match t.sig_ctx with
+          | Some sctx ->
+              Vm.Interp.run_batch ~fuel ~max_depth ?clock ?vm_s sctx ~n
+                ~gen:(fun k ->
+                  t.sig_cell := 0;
+                  gen k)
+                ~sink:(fun k out ->
+                  t.last_sig <- !(t.sig_cell);
+                  sink k out)
+          | None ->
+              invalid_arg "Tracer.run_signal_batch: not a selective tracer"))
 
 let last_signal (t : t) : int = t.last_sig
 let seen_signal (t : t) (s : int) : bool = Hashtbl.mem t.seen s

@@ -2,9 +2,11 @@
 
     A tracer wraps one prepared subject with a choice of execution
     engine — the reference CFG interpreter, the {!Vm.Compile} staged
-    artifact, or the staged artifact with superblock fusion
-    ([Vm.Compile.compile ~fused]) — plus, optionally, {e selective
-    tracing}: bulk executions
+    artifact, the staged artifact with superblock fusion
+    ([Vm.Compile.compile ~fused]), or the {!Vm.Emit} per-subject
+    generated-and-Dynlink'd native unit (degrading to fused, with
+    {!emit_fallback} recording why, when emission fails) — plus,
+    optionally, {e selective tracing}: bulk executions
     run under a near-null specialisation that folds only a 62-bit
     novelty signal, and a full-instrumentation replay rebuilds the
     classified trace exactly when the signal is new. Signal equality
@@ -13,12 +15,16 @@
     DESIGN.md §12 gives the argument, the differential suite enforces
     it. *)
 
-type engine = Interp | Compiled | Fused
+type engine = Interp | Compiled | Fused | Native
 
 val engine_name : engine -> string
 
 (** Inverse of {!engine_name}; [None] on unknown names (CLI parsing). *)
 val engine_of_name : string -> engine option
+
+(** Every engine name, in presentation order — the single source of
+    truth for CLI documentation, diagnostics and bench filters. *)
+val engine_names : string list
 
 type t
 
@@ -44,6 +50,11 @@ val make :
 
 val engine_of : t -> engine
 val selective : t -> bool
+
+(** [Some reason] when a [Native] tracer failed to emit (no compiler,
+    compile error, Dynlink refusal, forced [PATHFUZZ_EMIT_FAIL]) and
+    degraded to the fused closure engine; [None] otherwise. *)
+val emit_fallback : t -> string option
 
 (** Retarget the compiled artifact's probes at the campaign's trace map
     and cmplog probe (no-op for the interpreter engine, whose hooks are

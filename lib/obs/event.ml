@@ -44,6 +44,9 @@ type t =
       (** the coordinator's watchdog flagged a shard whose epoch wall
           exceeded the stall factor times the median (clocked runs
           only; diagnostics, never a fuzzing decision) *)
+  | Emit_fallback of { reason : string }
+      (** a native-engine campaign failed to emit/compile/load its
+          generated unit and degraded to the fused closure engine *)
   | Snapshot of Snapshot.row  (** periodic stats sample *)
   | Trial_begin of { task : int; worker : int }
       (** a pool worker claimed trial [task] *)
@@ -60,6 +63,7 @@ let name = function
   | Cull _ -> "cull"
   | Shard_sync _ -> "shard_sync"
   | Stall _ -> "stall"
+  | Emit_fallback _ -> "emit_fallback"
   | Snapshot _ -> "snapshot"
   | Trial_begin _ -> "trial_begin"
   | Trial_end _ -> "trial_end"
@@ -79,7 +83,7 @@ let at_exec = function
   | Stall { at_exec; _ } ->
       at_exec
   | Snapshot r -> r.Snapshot.at_exec
-  | Trial_begin _ | Trial_end _ -> -1
+  | Emit_fallback _ | Trial_begin _ | Trial_end _ -> -1
 
 (** Human-readable payload (everything but the name and exec anchor). *)
 let detail = function
@@ -101,6 +105,7 @@ let detail = function
   | Stall { epoch; shard; wall_s; median_s; _ } ->
       Printf.sprintf "shard %d, epoch %d, wall %.3fs vs median %.3fs" shard
         epoch wall_s median_s
+  | Emit_fallback { reason } -> reason
   | Snapshot r -> Snapshot.to_status r
   | Trial_begin { task; worker } ->
       Printf.sprintf "task %d, worker %d" task worker
@@ -154,6 +159,9 @@ let to_jsonl (e : t) : string =
         at_exec epoch shard
         (Snapshot.json_float wall_s)
         (Snapshot.json_float median_s)
+  | Emit_fallback { reason } ->
+      Printf.sprintf "{\"ev\": \"emit_fallback\", \"reason\": %s}"
+        (Snapshot.json_string reason)
   | Trial_begin { task; worker } ->
       Printf.sprintf "{\"ev\": \"trial_begin\", \"task\": %d, \"worker\": %d}"
         task worker

@@ -43,6 +43,9 @@ type t =
       (** the coordinator's watchdog flagged a shard whose epoch wall
           exceeded the stall factor times the median (clocked runs
           only; diagnostics, never a fuzzing decision) *)
+  | Emit_fallback of { reason : string }
+      (** a native-engine campaign failed to emit/compile/load its
+          generated unit and degraded to the fused closure engine *)
   | Snapshot of Snapshot.row  (** periodic stats sample *)
   | Trial_begin of { task : int; worker : int }
       (** a pool worker claimed trial [task] *)

@@ -263,13 +263,11 @@ let probes_ngram (cs : cstate) n =
    in. Commits additionally consult the per-function pruning gate: an
    elided commit skips only the map write (the register discipline is
    untouched, so later commits in the same run stay exact). *)
+let path_salt (f : Minic.Ir.func) = Hashtbl.hash f.Minic.Ir.name * 0x9e3779b1
+
 let probes_path (cs : cstate) (p : prepared)
     (plans : Pathcov.Ball_larus.program_plans) =
-  let salts =
-    Array.map
-      (fun (f : Minic.Ir.func) -> Hashtbl.hash f.name * 0x9e3779b1)
-      p.prog.funcs
-  in
+  let salts = Array.map path_salt p.prog.funcs in
   {
     probes_none with
     emit_cmp = true;
@@ -1878,6 +1876,48 @@ let grow_chain (f : rfunc) (interior : bool array) (head : int) : int list =
   in
   go [] 1 head
 
+(* Interior marking for superblock fusion: a block reached only by one
+   unconditional goto (the entry block keeps a pseudo-predecessor so it
+   is never fused away). Interior blocks keep their standalone [tbl]
+   entries — a budget-capped chain can still end with a goto into
+   one. *)
+let fusion_interior (f : rfunc) : bool array =
+  let nb = Array.length f.rblocks in
+  let npreds = Array.make nb 0 in
+  npreds.(0) <- 1;
+  let succs = function
+    | Rgoto l -> [ l ]
+    | Rbranch (_, tl, fl, _) -> if tl = fl then [ tl ] else [ tl; fl ]
+    | Rret _ -> []
+  in
+  Array.iter
+    (fun (b : rblock) ->
+      List.iter (fun s -> npreds.(s) <- npreds.(s) + 1) (succs b.rterm))
+    f.rblocks;
+  let interior = Array.make nb false in
+  Array.iteri
+    (fun bi (b : rblock) ->
+      match b.rterm with
+      | Rgoto l when l <> bi && npreds.(l) = 1 -> interior.(l) <- true
+      | _ -> ())
+    f.rblocks;
+  interior
+
+let fusion_plan_of (f : rfunc) (interior : bool array) :
+    int list option array =
+  Array.init (Array.length f.rblocks) (fun b ->
+      if interior.(b) then None
+      else
+        match grow_chain f interior b with
+        | _ :: _ :: _ as chain -> Some chain
+        | _ -> None)
+
+(** The per-function fusion plan: [Some chain] (length >= 2) at every
+    chain head, [None] elsewhere. Shared with the native emitter, which
+    must fuse exactly the regions the closure engine does. *)
+let fusion_plan (f : rfunc) : int list option array =
+  fusion_plan_of f (fusion_interior f)
+
 (* Compile one fused chain into a single closure. *)
 let cchain (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
     (tbl : bfn array) (fid : int) (f : rfunc) (chain : int list) : bfn =
@@ -2056,33 +2096,11 @@ let cfunc (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
     tbl.(b) <- cblock env probes p fentries tbl fid b f.rblocks.(b)
   done;
   if fused then begin
-    (* Predecessor counts over resolved terminators, with a pseudo-
-       predecessor for the entry block so it is never fused away. *)
-    let npreds = Array.make nb 0 in
-    npreds.(0) <- 1;
-    let succs = function
-      | Rgoto l -> [ l ]
-      | Rbranch (_, tl, fl, _) -> if tl = fl then [ tl ] else [ tl; fl ]
-      | Rret _ -> []
-    in
-    Array.iter
-      (fun (b : rblock) ->
-        List.iter (fun s -> npreds.(s) <- npreds.(s) + 1) (succs b.rterm))
-      f.rblocks;
-    (* Interior: reached only by one unconditional goto. Interior blocks
-       keep their standalone [tbl] entries — a budget-capped chain can
-       still end with a goto into one. *)
-    let interior = Array.make nb false in
-    Array.iteri
-      (fun bi (b : rblock) ->
-        match b.rterm with
-        | Rgoto l when l <> bi && npreds.(l) = 1 -> interior.(l) <- true
-        | _ -> ())
-      f.rblocks;
+    let interior = fusion_interior f in
+    let plan = fusion_plan_of f interior in
     for b = 0 to nb - 1 do
-      if not interior.(b) then
-        match grow_chain f interior b with
-        | _ :: _ :: _ as chain ->
+      match plan.(b) with
+      | Some chain ->
             let cs = env.cs in
             let len = List.length chain in
             cs.stat_chains <- cs.stat_chains + 1;
@@ -2095,7 +2113,7 @@ let cfunc (env : env) (probes : probes) (p : prepared) (fentries : bfn array)
                     cs.stat_dup_instrs + Array.length f.rblocks.(l).rinstrs + 1)
               chain;
             tbl.(b) <- cchain env probes p fentries tbl fid f chain
-        | _ -> ()
+      | None -> ()
     done
   end;
   let b0 = tbl.(0) in
@@ -2196,7 +2214,7 @@ let compile ?plans ?(cmplog = true) ?(fused = false) (p : prepared)
             let np = plan.Pathcov.Ball_larus.num_paths in
             if np > prune_path_bound then [||]
             else
-              let salt = Hashtbl.hash p.prog.funcs.(fid).Minic.Ir.name * 0x9e3779b1 in
+              let salt = path_salt p.prog.funcs.(fid) in
               Array.init np (fun pid -> (pid lxor salt) land max_int))
   in
   {

@@ -174,3 +174,42 @@ val static_stats : t -> static_stats
 
 (** [(hits, misses)] of {!cached} on the calling domain. *)
 val cache_stats : unit -> int * int
+
+(** {2 Shared planning} (consumed by {!Emit})
+
+    The analyses and constants the closure engine bakes into its
+    probes, exposed so the native source emitter specialises over
+    exactly the same plan — any drift between the two engines is a
+    trajectory divergence the differential suite would catch. *)
+
+(** Per-slot may-hold-array verdicts of the whole-program fixpoint: a
+    slot outside the tables never holds an array, so loads/stores on it
+    compile to single unchecked int-table accesses. *)
+type typing = {
+  lmay : bool array array;  (** per (fid, local slot) *)
+  gmay : bool array;  (** per global *)
+}
+
+val may_array_analysis : Interp.prepared -> typing
+
+(** Per function: the local slots to zero at frame entry (the
+    definite-assignment residue left over a pooled [acquire_raw]). *)
+val zero_slots_analysis : Interp.prepared -> int array array
+
+(** The tagged-event-stream mixer tags behind {!signal} /
+    {!signal_hooks}: call entry, block entry and return tags per
+    (fid, block). The mixer itself is
+    [h' = ((h lxor tag) * 0x2545F4914F6CDD1D) land max_int]. *)
+val sig_call_tag : int -> int
+
+val sig_block_tag : int -> int -> int
+val sig_ret_tag : int -> int -> int
+
+(** The per-function salt XOR-folded into every Ball–Larus commit key. *)
+val path_salt : Minic.Ir.func -> int
+
+(** The superblock-fusion plan for one resolved function: [Some chain]
+    (length >= 2, head first) at every chain head, [None] elsewhere.
+    Interior chain blocks still require standalone bodies — a
+    budget-capped chain can end with a goto into one. *)
+val fusion_plan : Interp.rfunc -> int list option array

@@ -3,6 +3,7 @@ let () =
   Alcotest.run "pathcov"
     (Test_frontend.suite @ Test_ballarus.suite @ Test_vm.suite
    @ Test_differential.suite @ Test_compile.suite @ Test_fused.suite
+   @ Test_native.suite
    @ Test_coverage.suite
    @ Test_exec.suite
    @ Test_fuzz.suite @ Test_hotpath.suite @ Test_tracer.suite

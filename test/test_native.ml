@@ -1,0 +1,396 @@
+(** Native-emission differential suite: the {!Vm.Emit} engine (generated
+    OCaml source, out-of-process compile, Dynlink load) vs the
+    interpreter-driven listeners — same status (crash kinds, sites,
+    stacks), same block counts (hence fuel accounting), identical cmp
+    streams and classified traces — on the curated subjects and on 300
+    fixed-seed chain/diamond CFGs batch-compiled through
+    {!Vm.Emit.preload}. A fuel ladder drives hang points into chain
+    interiors where the emitted bulk-burn replay must reproduce the
+    interpreter's exact accounting; [run_batch] is checked against
+    one-shot runs; [Ssignal] artifacts must reproduce
+    {!Vm.Compile.signal_hooks} bit for bit.
+
+    The whole suite degrades to a skip (with a stderr note) when the
+    emitter reports unavailable — no OCaml compiler on PATH, no Dynlink
+    — so [dune runtest] stays green on toolchain-less machines. *)
+
+let check = Alcotest.check
+let check_bool = check Alcotest.bool
+
+let all_modes =
+  [
+    Pathcov.Feedback.Block;
+    Pathcov.Feedback.Edge;
+    Pathcov.Feedback.Ngram 4;
+    Pathcov.Feedback.Path;
+    Pathcov.Feedback.Pathafl;
+  ]
+
+let feedback_hooks ?(h_cmp = fun _ _ -> ()) (fb : Pathcov.Feedback.t) :
+    Vm.Interp.hooks =
+  {
+    Vm.Interp.h_call = fb.on_call;
+    h_block = fb.on_block;
+    h_edge = fb.on_edge;
+    h_ret = fb.on_ret;
+    h_cmp;
+  }
+
+let pp_status fmt (s : Vm.Interp.status) =
+  match s with
+  | Vm.Interp.Finished None -> Fmt.string fmt "finished(array)"
+  | Vm.Interp.Finished (Some n) -> Fmt.pf fmt "finished(%d)" n
+  | Vm.Interp.Hung -> Fmt.string fmt "hung"
+  | Vm.Interp.Crashed c -> Fmt.pf fmt "crashed(%a)" Vm.Crash.pp c
+
+let status_t : Vm.Interp.status Alcotest.testable =
+  Alcotest.testable pp_status ( = )
+
+let subject_inputs (s : Subjects.Subject.t) : string list =
+  s.seeds @ List.map (fun (b : Subjects.Subject.bug) -> b.witness) s.bugs
+
+let trace_contents (m : Pathcov.Coverage_map.t) : (int * int) list =
+  let acc = ref [] in
+  Pathcov.Coverage_map.iteri_set (fun i b -> acc := (i, b) :: !acc) m;
+  List.rev !acc
+
+(* One availability probe for the whole suite: emit + compile + load a
+   trivial subject. On failure every test below becomes a no-op pass
+   (with one stderr note), keeping CI green without a toolchain. *)
+let available =
+  lazy
+    (let prog = Minic.Lower.compile "fn main() { return 0; }" in
+     let prepared = Vm.Interp.prepare prog in
+     match Vm.Emit.instance prepared Vm.Compile.Snone with
+     | Ok _ -> true
+     | Error reason ->
+         Printf.eprintf
+           "[test_native] emitter unavailable (%s); suite skipped\n%!" reason;
+         false)
+
+let instance_exn ?plans ?cmplog prepared spec =
+  match Vm.Emit.instance ?plans ?cmplog prepared spec with
+  | Ok t -> t
+  | Error reason -> Alcotest.failf "Emit.instance failed: %s" reason
+
+(* Batch-compile every (curated subject, spec) pair the tests below
+   need into a few grouped compilation units up front — ~6x fewer
+   compiler spawns than letting each [instance] call build its own. *)
+let curated_preloaded =
+  lazy
+    (let subs =
+       List.map
+         (fun s -> Vm.Interp.prepare (Subjects.Subject.compile_fresh s))
+         Subjects.Registry.all
+     in
+     let triples =
+       List.concat_map
+         (fun prepared ->
+           (prepared, Vm.Compile.Ssignal, false)
+           :: List.map
+                (fun m -> (prepared, Vm.Compile.Sfull m, true))
+                all_modes)
+         subs
+     in
+     ignore (Vm.Emit.preload triples))
+
+(* --- curated subjects, every mode: native agrees with the
+   interpreter-driven listeners (status, blocks, cmp stream, trace) --- *)
+
+let test_native_mode_agreement () =
+  if not (Lazy.force available) then ()
+  else begin
+    Lazy.force curated_preloaded;
+    List.iter
+      (fun (s : Subjects.Subject.t) ->
+        let prog = Subjects.Subject.compile_fresh s in
+        let prepared = Vm.Interp.prepare prog in
+        List.iter
+          (fun mode ->
+            let fb = Pathcov.Feedback.make mode prog in
+            let icmps = ref [] and ncmps = ref [] in
+            let ictx =
+              Vm.Interp.create_ctx
+                ~hooks:
+                  (feedback_hooks
+                     ~h_cmp:(fun a b -> icmps := (a, b) :: !icmps)
+                     fb)
+                prepared
+            in
+            let nctx = Vm.Interp.create_ctx prepared in
+            let art = instance_exn prepared (Vm.Compile.Sfull mode) in
+            let ntrace = Pathcov.Coverage_map.create () in
+            Vm.Emit.bind art ~trace:ntrace ~h_cmp:(fun a b ->
+                ncmps := (a, b) :: !ncmps);
+            List.iter
+              (fun input ->
+                fb.reset ();
+                Pathcov.Coverage_map.clear fb.trace;
+                Pathcov.Coverage_map.clear ntrace;
+                icmps := [];
+                ncmps := [];
+                let i = Vm.Interp.run_ctx ictx ~input in
+                let n = Vm.Emit.run art nctx ~input in
+                let where =
+                  Printf.sprintf "%s/%s %S" s.name
+                    (Pathcov.Feedback.mode_name mode)
+                    input
+                in
+                check status_t (where ^ " status") i.status n.status;
+                check Alcotest.int (where ^ " blocks") i.blocks_executed
+                  n.blocks_executed;
+                check
+                  Alcotest.(list (pair int int))
+                  (where ^ " cmp stream") (List.rev !icmps) (List.rev !ncmps);
+                Pathcov.Coverage_map.classify fb.trace;
+                Pathcov.Coverage_map.classify ntrace;
+                check
+                  Alcotest.(list (pair int int))
+                  (where ^ " classified trace")
+                  (trace_contents fb.trace) (trace_contents ntrace))
+              (subject_inputs s))
+          all_modes)
+      Subjects.Registry.all
+  end
+
+(* --- 300 fixed-seed chain/diamond CFGs, modes rotated, artifacts
+   batch-compiled up front through preload so the whole corpus costs a
+   handful of compiler invocations (and zero on a warm cache) --- *)
+
+let differential_corpus =
+  lazy
+    (let rand = Random.State.make [| 0xA11CE; 300 |] in
+     let progs =
+       QCheck.Gen.generate ~rand ~n:300 (QCheck.gen Gen.arbitrary_chain_ir)
+     in
+     let inputs =
+       QCheck.Gen.generate ~rand ~n:300 (QCheck.gen Gen.arbitrary_input)
+     in
+     List.map2
+       (fun prog input -> (prog, Vm.Interp.prepare prog, input))
+       progs inputs)
+
+let rotation_mode i = List.nth all_modes (i mod List.length all_modes)
+
+let test_native_differential () =
+  if not (Lazy.force available) then ()
+  else begin
+    let corpus = Lazy.force differential_corpus in
+    let triples =
+      List.mapi
+        (fun i (_, prepared, _) ->
+          (prepared, Vm.Compile.Sfull (rotation_mode i), true))
+        corpus
+    in
+    let served = Vm.Emit.preload triples in
+    check Alcotest.int "preload serves the whole corpus"
+      (List.length triples) served;
+    List.iteri
+      (fun i (prog, prepared, input) ->
+        let mode = rotation_mode i in
+        let fb = Pathcov.Feedback.make mode prog in
+        let icmps = ref [] and ncmps = ref [] in
+        let ictx =
+          Vm.Interp.create_ctx
+            ~hooks:
+              (feedback_hooks ~h_cmp:(fun a b -> icmps := (a, b) :: !icmps) fb)
+            prepared
+        in
+        let nctx = Vm.Interp.create_ctx prepared in
+        let art = instance_exn prepared (Vm.Compile.Sfull mode) in
+        let ntrace = Pathcov.Coverage_map.create () in
+        Vm.Emit.bind art ~trace:ntrace ~h_cmp:(fun a b ->
+            ncmps := (a, b) :: !ncmps);
+        fb.reset ();
+        Pathcov.Coverage_map.clear fb.trace;
+        let i_out = Vm.Interp.run_ctx ~fuel:50_000 ictx ~input in
+        let n_out = Vm.Emit.run ~fuel:50_000 art nctx ~input in
+        let where =
+          Printf.sprintf "cfg[%d]/%s" i (Pathcov.Feedback.mode_name mode)
+        in
+        check status_t (where ^ " status") i_out.status n_out.status;
+        check Alcotest.int (where ^ " blocks") i_out.blocks_executed
+          n_out.blocks_executed;
+        check
+          Alcotest.(list (pair int int))
+          (where ^ " cmp stream") (List.rev !icmps) (List.rev !ncmps);
+        Pathcov.Coverage_map.classify fb.trace;
+        Pathcov.Coverage_map.classify ntrace;
+        check
+          Alcotest.(list (pair int int))
+          (where ^ " classified trace")
+          (trace_contents fb.trace) (trace_contents ntrace))
+      corpus
+  end
+
+(* --- fuel ladder over the Path-mode slice of the corpus: hang points
+   land mid-chain; the emitted bulk-burn dispatcher must give them back
+   and replay carefully with the interpreter's exact accounting --- *)
+
+let test_native_fuel_ladder () =
+  if not (Lazy.force available) then ()
+  else
+    List.iteri
+      (fun i (prog, prepared, input) ->
+        if i mod List.length all_modes = 3 (* the Path rotation slots *)
+        then begin
+          let fb = Pathcov.Feedback.make Pathcov.Feedback.Path prog in
+          let ictx = Vm.Interp.create_ctx ~hooks:(feedback_hooks fb) prepared in
+          let nctx = Vm.Interp.create_ctx prepared in
+          let art =
+            instance_exn prepared (Vm.Compile.Sfull Pathcov.Feedback.Path)
+          in
+          let ntrace = Pathcov.Coverage_map.create () in
+          Vm.Emit.bind art ~trace:ntrace ~h_cmp:(fun _ _ -> ());
+          List.iter
+            (fun fuel ->
+              fb.reset ();
+              Pathcov.Coverage_map.clear fb.trace;
+              Pathcov.Coverage_map.clear ntrace;
+              let i_out = Vm.Interp.run_ctx ~fuel ictx ~input in
+              let n_out = Vm.Emit.run ~fuel art nctx ~input in
+              let where = Printf.sprintf "cfg[%d] fuel=%d" i fuel in
+              check status_t (where ^ " status") i_out.status n_out.status;
+              check Alcotest.int (where ^ " blocks") i_out.blocks_executed
+                n_out.blocks_executed;
+              Pathcov.Coverage_map.classify fb.trace;
+              Pathcov.Coverage_map.classify ntrace;
+              check
+                Alcotest.(list (pair int int))
+                (where ^ " trace")
+                (trace_contents fb.trace) (trace_contents ntrace))
+            [ 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 500; 5_000 ]
+        end)
+      (Lazy.force differential_corpus)
+
+(* --- batch entry: one run_batch call over a subject's inputs must
+   reproduce the one-shot runs candidate for candidate --- *)
+
+let test_native_batch_agreement () =
+  if not (Lazy.force available) then ()
+  else begin
+    Lazy.force curated_preloaded;
+    List.iter
+      (fun (s : Subjects.Subject.t) ->
+        let prog = Subjects.Subject.compile_fresh s in
+        let prepared = Vm.Interp.prepare prog in
+        let art =
+          instance_exn prepared (Vm.Compile.Sfull Pathcov.Feedback.Path)
+        in
+        let trace = Pathcov.Coverage_map.create () in
+        Vm.Emit.bind art ~trace ~h_cmp:(fun _ _ -> ());
+        let inputs = Array.of_list (subject_inputs s) in
+        let n = Array.length inputs in
+        let ctx1 = Vm.Interp.create_ctx prepared in
+        let expect =
+          Array.map
+            (fun input ->
+              Pathcov.Coverage_map.clear trace;
+              let out = Vm.Emit.run art ctx1 ~input in
+              Pathcov.Coverage_map.classify trace;
+              (out.Vm.Interp.status, out.blocks_executed, trace_contents trace))
+            inputs
+        in
+        let ctx2 = Vm.Interp.create_ctx prepared in
+        let bufs = Array.map Bytes.of_string inputs in
+        Vm.Emit.run_batch art ctx2 ~n
+          ~gen:(fun k ->
+            Pathcov.Coverage_map.clear trace;
+            (bufs.(k), Bytes.length bufs.(k)))
+          ~sink:(fun k out ->
+            Pathcov.Coverage_map.classify trace;
+            let st, bl, tr = expect.(k) in
+            let where = Printf.sprintf "%s[%d]" s.name k in
+            check status_t (where ^ " status") st out.Vm.Interp.status;
+            check Alcotest.int (where ^ " blocks") bl out.blocks_executed;
+            check
+              Alcotest.(list (pair int int))
+              (where ^ " trace") tr (trace_contents trace)))
+      Subjects.Registry.all
+  end
+
+(* --- Ssignal artifacts: the emitted rolling hash must equal the
+   interpreter-hook hash on every curated input --- *)
+
+let test_native_signal_agreement () =
+  if not (Lazy.force available) then ()
+  else begin
+    Lazy.force curated_preloaded;
+    List.iter
+      (fun (s : Subjects.Subject.t) ->
+        let prog = Subjects.Subject.compile_fresh s in
+        let prepared = Vm.Interp.prepare prog in
+        let cell = ref 0 in
+        let ictx =
+          Vm.Interp.create_ctx
+            ~hooks:(Vm.Compile.signal_hooks prepared ~cell)
+            prepared
+        in
+        let nctx = Vm.Interp.create_ctx prepared in
+        let art = instance_exn ~cmplog:false prepared Vm.Compile.Ssignal in
+        List.iter
+          (fun input ->
+            cell := 0;
+            let i = Vm.Interp.run_ctx ictx ~input in
+            let n = Vm.Emit.run art nctx ~input in
+            let where = Printf.sprintf "%s %S" s.name input in
+            check status_t (where ^ " status") i.status n.status;
+            check Alcotest.int (where ^ " signal") !cell (Vm.Emit.signal art))
+          (subject_inputs s))
+      Subjects.Registry.all
+  end
+
+(* --- cache hygiene: a second instantiation of an already-served triple
+   must be a registry hit, never a recompile --- *)
+
+let test_native_cache_hit () =
+  if not (Lazy.force available) then ()
+  else begin
+    let s = Subjects.Registry.find_exn "cflow" in
+    let prog = Subjects.Subject.compile_fresh s in
+    let prepared = Vm.Interp.prepare prog in
+    let _ =
+      instance_exn prepared (Vm.Compile.Sfull Pathcov.Feedback.Path)
+    in
+    let before = Vm.Emit.stats () in
+    let _ =
+      instance_exn prepared (Vm.Compile.Sfull Pathcov.Feedback.Path)
+    in
+    let after = Vm.Emit.stats () in
+    check Alcotest.int "second instance is a cache hit"
+      (before.cache_hits + 1) after.cache_hits;
+    check Alcotest.int "second instance compiles nothing"
+      before.cache_misses after.cache_misses
+  end
+
+(* --- forced failure: PATHFUZZ_EMIT_FAIL=1 must turn every
+   instantiation into a clean Error (the campaign fallback hook) --- *)
+
+let test_native_forced_fail () =
+  let prog = Minic.Lower.compile "fn main() { return 0; }" in
+  let prepared = Vm.Interp.prepare prog in
+  Unix.putenv "PATHFUZZ_EMIT_FAIL" "1";
+  let r = Vm.Emit.instance prepared Vm.Compile.Snone in
+  Unix.putenv "PATHFUZZ_EMIT_FAIL" "";
+  check_bool "forced failure yields Error" true (Result.is_error r)
+
+let suite =
+  [
+    ( "native",
+      [
+        Alcotest.test_case "subjects: every mode agrees" `Quick
+          test_native_mode_agreement;
+        Alcotest.test_case "300 chain/diamond CFGs agree" `Slow
+          test_native_differential;
+        Alcotest.test_case "fuel accounting exact at every budget" `Slow
+          test_native_fuel_ladder;
+        Alcotest.test_case "batch agrees with one-shot runs" `Quick
+          test_native_batch_agreement;
+        Alcotest.test_case "selective signal agrees with hooks" `Quick
+          test_native_signal_agreement;
+        Alcotest.test_case "repeat instantiation hits the cache" `Quick
+          test_native_cache_hit;
+        Alcotest.test_case "PATHFUZZ_EMIT_FAIL forces clean failure" `Quick
+          test_native_forced_fail;
+      ] );
+  ]

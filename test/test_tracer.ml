@@ -71,12 +71,17 @@ let run_one ?(budget = 4_000) ?(seed = 7) ~engine ~selective ~mode ~cmplog prog
   Fuzz.Campaign.run ~obs:(Obs.Observer.create ()) ~config prog ~seeds
 
 (* Every engine x selective combination must replay the reference
-   trajectory, per feedback mode and cmplog setting. *)
+   trajectory, per feedback mode and cmplog setting. Native degrades to
+   fused when the emitter is unavailable, so its variants hold on every
+   host: with a toolchain they pin the generated units to the reference
+   trajectory, without one they pin the fallback path. *)
 let engine_variants =
   [
     (Fuzz.Tracer.Compiled, false, "compiled");
     (Fuzz.Tracer.Compiled, true, "compiled+sel");
     (Fuzz.Tracer.Interp, true, "interp+sel");
+    (Fuzz.Tracer.Native, false, "native");
+    (Fuzz.Tracer.Native, true, "native+sel");
   ]
 
 let test_sequential_engines () =
@@ -181,7 +186,13 @@ let test_sharded_selective () =
       in
       check_shard_traj
         (Printf.sprintf "sharded interp+sel shards=%d" shards)
-        base r2)
+        base r2;
+      let r3 =
+        run_shd ~engine:Fuzz.Tracer.Native ~selective:true ~shards prog s.seeds
+      in
+      check_shard_traj
+        (Printf.sprintf "sharded native+sel shards=%d" shards)
+        base r3)
     [ 1; 2 ]
 
 (* ------------------------------------------------------------------ *)
@@ -190,18 +201,21 @@ let test_sharded_selective () =
 
 (* The seen-signal set is deliberately absent from snapshots: a resumed
    selective run starts with an empty set, re-replays a few signals and
-   reaches identical decisions. *)
+   reaches identical decisions. Checkpoints exclude the engine axis, so
+   a snapshot written under one engine must resume identically under
+   another — including Native, whose resumes cross the Dynlink'd
+   generated units (or the fallback path on toolchain-less hosts). *)
 let test_selective_resume () =
   let s = Subjects.Registry.find_exn "cflow" in
   let prog = Subjects.Subject.compile_fresh s in
-  let config =
+  let config_for engine =
     {
       Fuzz.Campaign.default_config with
       mode = Pathcov.Feedback.Path;
       budget = 6_000;
       rng_seed = 3;
       cmplog = true;
-      engine = Fuzz.Tracer.Compiled;
+      engine;
       selective = true;
     }
   in
@@ -214,30 +228,38 @@ let test_selective_resume () =
       save = (fun ck -> acc := ck :: !acc);
     }
   in
-  let straight = Fuzz.Campaign.run ~config ~checkpoint:sink prog ~seeds:s.seeds in
+  let straight =
+    Fuzz.Campaign.run
+      ~config:(config_for Fuzz.Tracer.Compiled)
+      ~checkpoint:sink prog ~seeds:s.seeds
+  in
   check_bool "wrote at least one checkpoint" true (!acc <> []);
   List.iter
-    (fun ck ->
-      let resumed = Fuzz.Campaign.run ~config ~resume:ck prog ~seeds:[] in
-      let label =
-        Printf.sprintf "selective resume@%d"
-          ck.Fuzz.Checkpoint.progress.execs
-      in
-      check Alcotest.int (label ^ ": execs") straight.execs resumed.execs;
-      check
-        (Alcotest.list Alcotest.string)
-        (label ^ ": queue inputs")
-        (Fuzz.Campaign.queue_inputs straight)
-        (Fuzz.Campaign.queue_inputs resumed);
-      check Alcotest.int (label ^ ": blocks") straight.sum_exec_blocks
-        resumed.sum_exec_blocks;
-      check Alcotest.int (label ^ ": total crashes")
-        straight.triage.total_crashes resumed.triage.total_crashes;
-      check_bool
-        (label ^ ": ground-truth bugs")
-        true
-        (Fuzz.Triage.bugs straight.triage = Fuzz.Triage.bugs resumed.triage))
-    !acc
+    (fun (engine, ename) ->
+      let config = config_for engine in
+      List.iter
+        (fun ck ->
+          let resumed = Fuzz.Campaign.run ~config ~resume:ck prog ~seeds:[] in
+          let label =
+            Printf.sprintf "selective resume@%d (%s)"
+              ck.Fuzz.Checkpoint.progress.execs ename
+          in
+          check Alcotest.int (label ^ ": execs") straight.execs resumed.execs;
+          check
+            (Alcotest.list Alcotest.string)
+            (label ^ ": queue inputs")
+            (Fuzz.Campaign.queue_inputs straight)
+            (Fuzz.Campaign.queue_inputs resumed);
+          check Alcotest.int (label ^ ": blocks") straight.sum_exec_blocks
+            resumed.sum_exec_blocks;
+          check Alcotest.int (label ^ ": total crashes")
+            straight.triage.total_crashes resumed.triage.total_crashes;
+          check_bool
+            (label ^ ": ground-truth bugs")
+            true
+            (Fuzz.Triage.bugs straight.triage = Fuzz.Triage.bugs resumed.triage))
+        !acc)
+    [ (Fuzz.Tracer.Compiled, "compiled"); (Fuzz.Tracer.Native, "native") ]
 
 (* ------------------------------------------------------------------ *)
 (* Probe self-pruning                                                 *)
